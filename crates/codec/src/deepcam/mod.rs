@@ -1,0 +1,340 @@
+//! DeepCAM differential floating-point codec (paper §V-A, Fig. 4).
+//!
+//! A sample is encoded **line by line** (one row of one channel). Every
+//! line is independently decodable via a per-line directory — the design
+//! property that lets the GPU assign lines to warps and the CPU assign
+//! lines to threads without synchronization.
+//!
+//! Three line modes, chosen per line for the best space saving:
+//!
+//! * [`LineMode::Constant`] — "special encoding for the case where all
+//!   neighboring values are similar": a single pivot value broadcast.
+//! * [`LineMode::Delta`] — the line is split into segments; each segment
+//!   stores its head value (f32), a base exponent, and one 8-bit code per
+//!   remaining value: `[sign:1][exp_off:3][mantissa:4]` relative to the
+//!   segment's base exponent. Code `0x00` is a zero delta and `0xFF`
+//!   escapes to a literal f32 side array (isolated spikes).
+//! * [`LineMode::RawF32`] — "lines with abrupt transitions or where the
+//!   number of segments is large" stay uncompressed.
+//!
+//! Decode reconstructs in f32 and emits f16 (`§V-A`: "we emit
+//! half-precision values, the computation is conducted in
+//! single-precision"). The encoder mirrors the decoder's reconstruction
+//! so quantization drift is accounted, and escapes bound the error.
+
+mod decode;
+mod encode;
+
+pub use decode::{decode, decode_line_into, decode_parallel};
+pub use encode::{encode, encode_parallel, EncodeStats, EncoderConfig};
+
+use crate::CodecError;
+
+/// Delta code escaping to a literal f32.
+pub const CODE_ESCAPE: u8 = 0xFF;
+/// Delta code meaning "zero delta".
+pub const CODE_ZERO: u8 = 0x00;
+/// Exponent-offset window width expressible by the 3-bit field.
+pub const EXP_WINDOW: i32 = 7;
+
+/// Per-line encoding mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineMode {
+    /// All values identical: payload is one f32.
+    Constant,
+    /// Uncompressed f32 values.
+    RawF32,
+    /// Segmented differential encoding.
+    Delta,
+}
+
+impl LineMode {
+    fn code(self) -> u8 {
+        match self {
+            LineMode::Constant => 0,
+            LineMode::RawF32 => 1,
+            LineMode::Delta => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Self, CodecError> {
+        match c {
+            0 => Ok(LineMode::Constant),
+            1 => Ok(LineMode::RawF32),
+            2 => Ok(LineMode::Delta),
+            _ => Err(CodecError::Corrupt("unknown line mode")),
+        }
+    }
+}
+
+/// Directory entry: where a line's payload lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineMeta {
+    /// Encoding mode.
+    pub mode: LineMode,
+    /// Payload byte offset.
+    pub offset: u32,
+    /// Payload byte length.
+    pub len: u32,
+}
+
+/// Segment header inside a delta line (8 bytes on the wire).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// First value of the segment, stored exactly.
+    pub head: f32,
+    /// Values covered including the head.
+    pub count: u16,
+    /// Base (minimum) delta exponent for the segment.
+    pub base_exp: i8,
+}
+
+/// An encoded DeepCAM sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedDeepCam {
+    /// Image width (values per line).
+    pub width: u32,
+    /// Image height (lines per channel).
+    pub height: u32,
+    /// Channel count.
+    pub channels: u32,
+    /// Per-line directory, `channels * height` entries, channel-major.
+    pub lines: Vec<LineMeta>,
+    /// Concatenated line payloads.
+    pub payload: Vec<u8>,
+    /// Losslessly carried label mask (may be empty).
+    pub mask: Vec<u8>,
+}
+
+const MAGIC: &[u8; 4] = b"DCMX";
+const VERSION: u32 = 1;
+
+impl EncodedDeepCam {
+    /// Total number of lines.
+    pub fn n_lines(&self) -> usize {
+        (self.channels * self.height) as usize
+    }
+
+    /// Total values the decoded sample holds.
+    pub fn n_values(&self) -> usize {
+        (self.channels * self.height * self.width) as usize
+    }
+
+    /// Size of the encoded representation (directory + payload), i.e.
+    /// what travels through the storage/memory hierarchy. The mask is
+    /// excluded: labels ship separately and losslessly in both the
+    /// baseline and the optimized path.
+    pub fn encoded_bytes(&self) -> usize {
+        self.lines.len() * 9 + self.payload.len() + 16
+    }
+
+    /// Size of the raw FP32 baseline representation.
+    pub fn raw_bytes(&self) -> usize {
+        self.n_values() * 4
+    }
+
+    /// Compression ratio (raw / encoded).
+    pub fn compression_ratio(&self) -> f64 {
+        self.raw_bytes() as f64 / self.encoded_bytes() as f64
+    }
+
+    /// Serializes to the wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.lines.len() * 9 + self.payload.len() + self.mask.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.width.to_le_bytes());
+        out.extend_from_slice(&self.height.to_le_bytes());
+        out.extend_from_slice(&self.channels.to_le_bytes());
+        for l in &self.lines {
+            out.push(l.mode.code());
+            out.extend_from_slice(&l.offset.to_le_bytes());
+            out.extend_from_slice(&l.len.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&(self.mask.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.mask);
+        out
+    }
+
+    /// Parses the wire format, validating the directory.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, CodecError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], CodecError> {
+            if *pos + n > data.len() {
+                return Err(CodecError::Truncated);
+            }
+            let s = &data[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 4)? != MAGIC {
+            return Err(CodecError::Corrupt("bad magic"));
+        }
+        let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        if version != VERSION {
+            return Err(CodecError::Corrupt("unsupported version"));
+        }
+        let width = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let height = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let channels = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let n_lines = (channels as usize)
+            .checked_mul(height as usize)
+            .ok_or(CodecError::Corrupt("line count overflow"))?;
+        if n_lines > 1 << 28 {
+            return Err(CodecError::Corrupt("implausible line count"));
+        }
+        let mut lines = Vec::with_capacity(n_lines);
+        for _ in 0..n_lines {
+            let mode = LineMode::from_code(take(&mut pos, 1)?[0])?;
+            let offset = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+            lines.push(LineMeta { mode, offset, len });
+        }
+        let payload_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let payload = take(&mut pos, payload_len)?.to_vec();
+        let mask_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let mask = take(&mut pos, mask_len)?.to_vec();
+        for l in &lines {
+            let end = (l.offset as usize)
+                .checked_add(l.len as usize)
+                .ok_or(CodecError::Corrupt("line range overflow"))?;
+            if end > payload.len() {
+                return Err(CodecError::Inconsistent("line payload out of range"));
+            }
+        }
+        Ok(Self {
+            width,
+            height,
+            channels,
+            lines,
+            payload,
+            mask,
+        })
+    }
+
+    /// The payload slice of one line.
+    pub(crate) fn line_payload(&self, idx: usize) -> &[u8] {
+        let l = &self.lines[idx];
+        &self.payload[l.offset as usize..(l.offset + l.len) as usize]
+    }
+}
+
+/// Decodes one delta code byte relative to `base_exp`.
+///
+/// Returns `None` for the escape code.
+#[inline]
+pub(crate) fn decode_code(code: u8, base_exp: i8) -> Option<f32> {
+    if code == CODE_ZERO {
+        return Some(0.0);
+    }
+    if code == CODE_ESCAPE {
+        return None;
+    }
+    let sign = if code & 0x80 != 0 { -1.0f32 } else { 1.0 };
+    let e_off = ((code >> 4) & 0x7) as i32;
+    let m = (code & 0x0F) as f32;
+    Some(sign * (1.0 + m / 16.0) * exp2i(base_exp as i32 + e_off))
+}
+
+/// 2^e for integer e, exact over the f32 range used by the codec.
+#[inline]
+pub(crate) fn exp2i(e: i32) -> f32 {
+    if (-126..=127).contains(&e) {
+        f32::from_bits(((e + 127) as u32) << 23)
+    } else if e < -126 {
+        // Subnormal or underflow range: fall back to powi (rare path).
+        2f32.powi(e)
+    } else {
+        f32::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp2i_matches_powi() {
+        for e in -140..=130 {
+            assert_eq!(exp2i(e), 2f32.powi(e), "e={e}");
+        }
+    }
+
+    #[test]
+    fn code_decoding() {
+        assert_eq!(decode_code(CODE_ZERO, 0), Some(0.0));
+        assert_eq!(decode_code(CODE_ESCAPE, 0), None);
+        // s=0, e_off=2, m=4 at base -3: (1+4/16) * 2^-1 = 0.625
+        let code = (2u8 << 4) | 4;
+        assert_eq!(decode_code(code, -3), Some(0.625));
+        // sign bit negates
+        assert_eq!(decode_code(code | 0x80, -3), Some(-0.625));
+    }
+
+    #[test]
+    fn line_mode_codes_roundtrip() {
+        for m in [LineMode::Constant, LineMode::RawF32, LineMode::Delta] {
+            assert_eq!(LineMode::from_code(m.code()).unwrap(), m);
+        }
+        assert!(LineMode::from_code(9).is_err());
+    }
+
+    #[test]
+    fn wire_roundtrip_empty() {
+        let e = EncodedDeepCam {
+            width: 0,
+            height: 0,
+            channels: 0,
+            lines: vec![],
+            payload: vec![],
+            mask: vec![],
+        };
+        assert_eq!(EncodedDeepCam::from_bytes(&e.to_bytes()).unwrap(), e);
+    }
+
+    #[test]
+    fn wire_rejects_truncation_and_bad_magic() {
+        let e = EncodedDeepCam {
+            width: 4,
+            height: 1,
+            channels: 1,
+            lines: vec![LineMeta {
+                mode: LineMode::RawF32,
+                offset: 0,
+                len: 16,
+            }],
+            payload: vec![0u8; 16],
+            mask: vec![1, 2],
+        };
+        let bytes = e.to_bytes();
+        assert_eq!(EncodedDeepCam::from_bytes(&bytes).unwrap(), e);
+        for cut in 0..bytes.len() {
+            assert!(EncodedDeepCam::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(EncodedDeepCam::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn wire_rejects_out_of_range_directory() {
+        let e = EncodedDeepCam {
+            width: 4,
+            height: 1,
+            channels: 1,
+            lines: vec![LineMeta {
+                mode: LineMode::RawF32,
+                offset: 8,
+                len: 16,
+            }],
+            payload: vec![0u8; 16],
+            mask: vec![],
+        };
+        assert!(matches!(
+            EncodedDeepCam::from_bytes(&e.to_bytes()),
+            Err(CodecError::Inconsistent(_))
+        ));
+    }
+}

@@ -1,0 +1,179 @@
+//! Lossiness accounting for the DeepCAM codec.
+//!
+//! The paper quantifies its lossy encoding as "roughly 3 % of the values
+//! with larger than 10 % error, primarily for small values close to zero
+//! due to floating-point denormalization" (§V-A). [`ErrorStats`]
+//! reproduces that measurement: a histogram of per-value relative errors
+//! plus the small-value attribution.
+
+use sciml_half::relative_error;
+
+/// Relative-error bucket boundaries (upper bounds).
+pub const BUCKETS: [f32; 7] = [1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.5, f32::INFINITY];
+
+/// Histogram of relative reconstruction errors.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ErrorStats {
+    /// Counts per bucket of [`BUCKETS`].
+    pub buckets: [u64; 7],
+    /// Total values compared.
+    pub total: u64,
+    /// Values with relative error > 10 % whose reference magnitude is
+    /// below `small_threshold` (the near-zero attribution).
+    pub large_error_small_value: u64,
+    /// Values with relative error > 10 % overall.
+    pub large_error_total: u64,
+    /// Magnitude below which a reference counts as "small".
+    pub small_threshold: f32,
+    /// Maximum relative error seen (excluding infinite, which lands in
+    /// the last bucket).
+    pub max_rel_error: f32,
+    /// Sum of absolute errors (for mean-absolute-error reporting).
+    pub abs_error_sum: f64,
+}
+
+impl ErrorStats {
+    /// Creates stats with the given small-value threshold.
+    pub fn new(small_threshold: f32) -> Self {
+        Self {
+            small_threshold,
+            ..Default::default()
+        }
+    }
+
+    /// Records one (approximation, reference) pair.
+    pub fn record(&mut self, approx: f32, reference: f32) {
+        let rel = relative_error(approx, reference);
+        let idx = BUCKETS.iter().position(|&b| rel <= b).unwrap_or(6);
+        self.buckets[idx] += 1;
+        self.total += 1;
+        if rel > 0.1 {
+            self.large_error_total += 1;
+            if reference.abs() < self.small_threshold {
+                self.large_error_small_value += 1;
+            }
+        }
+        if rel.is_finite() {
+            self.max_rel_error = self.max_rel_error.max(rel);
+        }
+        self.abs_error_sum += (approx - reference).abs() as f64;
+    }
+
+    /// Records element-wise over two slices.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn record_slices(&mut self, approx: &[f32], reference: &[f32]) {
+        assert_eq!(approx.len(), reference.len(), "slice length mismatch");
+        for (&a, &r) in approx.iter().zip(reference) {
+            self.record(a, r);
+        }
+    }
+
+    /// Merges another histogram into this one (thresholds must match).
+    pub fn merge(&mut self, other: &ErrorStats) {
+        debug_assert_eq!(self.small_threshold, other.small_threshold);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.large_error_small_value += other.large_error_small_value;
+        self.large_error_total += other.large_error_total;
+        self.max_rel_error = self.max_rel_error.max(other.max_rel_error);
+        self.abs_error_sum += other.abs_error_sum;
+    }
+
+    /// Fraction of values with relative error above 10 %.
+    pub fn frac_above_10pct(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.large_error_total as f64 / self.total as f64
+        }
+    }
+
+    /// Of the >10 %-error values, the fraction attributable to small
+    /// reference magnitudes (the paper's near-zero explanation).
+    pub fn small_value_share(&self) -> f64 {
+        if self.large_error_total == 0 {
+            0.0
+        } else {
+            self.large_error_small_value as f64 / self.large_error_total as f64
+        }
+    }
+
+    /// Mean absolute error.
+    pub fn mean_abs_error(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.abs_error_sum / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_land_in_first_bucket() {
+        let mut s = ErrorStats::new(0.01);
+        s.record(1.0, 1.0);
+        s.record(0.0, 0.0);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.frac_above_10pct(), 0.0);
+    }
+
+    #[test]
+    fn buckets_partition_errors() {
+        let mut s = ErrorStats::new(0.01);
+        s.record(1.0005, 1.0); // 5e-4 -> bucket 1
+        s.record(1.009, 1.0); // 9e-3 -> bucket 2
+        s.record(1.04, 1.0); // 4e-2 -> bucket 3
+        s.record(1.09, 1.0); // 9e-2 -> bucket 4
+        s.record(1.3, 1.0); // 0.3 -> bucket 5
+        s.record(5.0, 1.0); // 4.0 -> bucket 6
+        assert_eq!(s.buckets, [0, 1, 1, 1, 1, 1, 1]);
+        assert_eq!(s.large_error_total, 2);
+    }
+
+    #[test]
+    fn small_value_attribution() {
+        let mut s = ErrorStats::new(0.01);
+        s.record(0.002, 0.001); // rel 1.0, ref small
+        s.record(2.0, 1.0); // rel 1.0, ref large
+        assert_eq!(s.large_error_total, 2);
+        assert_eq!(s.large_error_small_value, 1);
+        assert_eq!(s.small_value_share(), 0.5);
+    }
+
+    #[test]
+    fn nonzero_vs_zero_reference_is_infinite_error() {
+        let mut s = ErrorStats::new(0.01);
+        s.record(0.5, 0.0);
+        assert_eq!(s.buckets[6], 1);
+        assert_eq!(s.large_error_total, 1);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ErrorStats::new(0.01);
+        a.record(1.2, 1.0);
+        let mut b = ErrorStats::new(0.01);
+        b.record(1.0, 1.0);
+        b.record(3.0, 1.0);
+        a.merge(&b);
+        assert_eq!(a.total, 3);
+        assert_eq!(a.large_error_total, 2);
+        assert!(a.max_rel_error >= 2.0);
+    }
+
+    #[test]
+    fn record_slices_and_mae() {
+        let mut s = ErrorStats::new(0.01);
+        s.record_slices(&[1.0, 2.5], &[1.0, 2.0]);
+        assert_eq!(s.total, 2);
+        assert!((s.mean_abs_error() - 0.25).abs() < 1e-9);
+    }
+}

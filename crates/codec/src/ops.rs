@@ -1,0 +1,143 @@
+//! Fusable preprocessing operators.
+//!
+//! The paper fuses preprocessing with decompression: CosmoFlow applies
+//! `log` to particle counts, DeepCAM normalizes channels. The decisive
+//! optimization (§V-B) is applying the operator to the *unique values*
+//! in a sample's lookup table — thousands of applications instead of
+//! millions — before the gather reconstructs the full tensor.
+//!
+//! Operators must therefore be pure per-value functions. [`Op::apply`]
+//! is the scalar form used during decode; [`OpCounter`] instruments how
+//! many times an operator ran, which the Fig-5/§V-B benchmarks use to
+//! demonstrate the "three orders of magnitude fewer op applications"
+//! property.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A pure per-value preprocessing operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Pass-through.
+    Identity,
+    /// `ln(1 + x)` — the CosmoFlow particle-count transform.
+    Log1p,
+    /// Affine normalization `(x - offset) * scale` — the DeepCAM
+    /// per-channel standardization ((x - mean) / std with
+    /// `scale = 1/std`, `offset = mean`).
+    Normalize {
+        /// Multiplied after the shift (1/σ).
+        scale: f32,
+        /// Subtracted first (μ).
+        offset: f32,
+    },
+    /// `ln(1 + x)` followed by affine normalization (CosmoFlow's full
+    /// pipeline when feature scaling is enabled).
+    Log1pNormalize {
+        /// Multiplied after the shift.
+        scale: f32,
+        /// Subtracted after the log.
+        offset: f32,
+    },
+}
+
+impl Op {
+    /// Applies the operator to one value.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Op::Identity => x,
+            Op::Log1p => x.ln_1p(),
+            Op::Normalize { scale, offset } => (x - offset) * scale,
+            Op::Log1pNormalize { scale, offset } => (x.ln_1p() - offset) * scale,
+        }
+    }
+
+    /// True when the operator is affine (`a*x + b`). Affine operators
+    /// commute with the differential decode's running sum, so the DeepCAM
+    /// decoder may apply them per emitted value without re-deriving
+    /// segment state.
+    pub fn is_affine(self) -> bool {
+        matches!(self, Op::Identity | Op::Normalize { .. })
+    }
+}
+
+/// Counts operator applications; used to verify the unique-value fusion
+/// actually reduces work.
+#[derive(Debug, Default)]
+pub struct OpCounter {
+    count: AtomicU64,
+}
+
+impl OpCounter {
+    /// Fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies `op`, counting the invocation.
+    #[inline]
+    pub fn apply(&self, op: Op, x: f32) -> f32 {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        op.apply(x)
+    }
+
+    /// Number of applications so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity() {
+        assert_eq!(Op::Identity.apply(3.25), 3.25);
+    }
+
+    #[test]
+    fn log1p_matches_std() {
+        for x in [0.0f32, 1.0, 10.0, 1000.0] {
+            assert_eq!(Op::Log1p.apply(x), x.ln_1p());
+        }
+        assert_eq!(Op::Log1p.apply(0.0), 0.0);
+    }
+
+    #[test]
+    fn normalize_is_affine_shift_then_scale() {
+        let op = Op::Normalize {
+            scale: 0.5,
+            offset: 2.0,
+        };
+        assert_eq!(op.apply(4.0), 1.0);
+        assert_eq!(op.apply(2.0), 0.0);
+    }
+
+    #[test]
+    fn composed_log_normalize() {
+        let op = Op::Log1pNormalize {
+            scale: 2.0,
+            offset: 1.0,
+        };
+        let x = 9.0f32;
+        assert_eq!(op.apply(x), (x.ln_1p() - 1.0) * 2.0);
+    }
+
+    #[test]
+    fn affinity_classification() {
+        assert!(Op::Identity.is_affine());
+        assert!(Op::Normalize { scale: 1.0, offset: 0.0 }.is_affine());
+        assert!(!Op::Log1p.is_affine());
+        assert!(!Op::Log1pNormalize { scale: 1.0, offset: 0.0 }.is_affine());
+    }
+
+    #[test]
+    fn counter_counts() {
+        let c = OpCounter::new();
+        for i in 0..10 {
+            c.apply(Op::Log1p, i as f32);
+        }
+        assert_eq!(c.count(), 10);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for both codecs.
+
+use proptest::prelude::*;
+use sciml_codec::cosmoflow as cf;
+use sciml_codec::deepcam as dc;
+use sciml_codec::Op;
+use sciml_data::cosmoflow::{CosmoParams, CosmoSample};
+use sciml_data::deepcam::DeepCamSample;
+
+/// Arbitrary small CosmoFlow sample (grid 2..6).
+fn cosmo_sample() -> impl Strategy<Value = CosmoSample> {
+    (2usize..6).prop_flat_map(|grid| {
+        let n = grid * grid * grid * 4;
+        prop::collection::vec(0u16..500, n..=n).prop_map(move |counts| CosmoSample {
+            grid,
+            counts,
+            label: CosmoParams::MEANS,
+        })
+    })
+}
+
+/// Arbitrary small DeepCAM sample with FP16-range values.
+fn deepcam_sample() -> impl Strategy<Value = DeepCamSample> {
+    (4usize..40, 1usize..4, 1usize..3).prop_flat_map(|(w, h, c)| {
+        let n = w * h * c;
+        prop::collection::vec(-1000f32..1000f32, n..=n).prop_map(move |data| DeepCamSample {
+            width: w,
+            height: h,
+            channels: c,
+            data,
+            mask: vec![0; w * h],
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CosmoFlow encoding is lossless on counts for arbitrary volumes.
+    #[test]
+    fn cosmo_lossless_roundtrip(s in cosmo_sample()) {
+        let e = cf::encode(&s);
+        prop_assert_eq!(cf::decode_counts(&e).unwrap(), s.counts);
+    }
+
+    /// CosmoFlow wire format round-trips and re-decodes identically.
+    #[test]
+    fn cosmo_wire_roundtrip(s in cosmo_sample()) {
+        let e = cf::encode(&s);
+        let e2 = cf::EncodedCosmo::from_bytes(&e.to_bytes()).unwrap();
+        prop_assert_eq!(e, e2);
+    }
+
+    /// Fused decode equals baseline preprocessing bit for bit.
+    #[test]
+    fn cosmo_fusion_equals_baseline(s in cosmo_sample()) {
+        let e = cf::encode(&s);
+        prop_assert_eq!(
+            cf::decode(&e, Op::Log1p).unwrap(),
+            cf::baseline_preprocess(&s, Op::Log1p)
+        );
+    }
+
+    /// DeepCAM reconstruction error respects the escape envelope:
+    /// relative error bounded by escape tolerance (vs |x| floored) plus
+    /// FP16 rounding.
+    #[test]
+    fn deepcam_error_envelope(s in deepcam_sample()) {
+        let cfg = dc::EncoderConfig::default();
+        let (e, _) = dc::encode(&s, &cfg);
+        let out = dc::decode(&e, Op::Identity).unwrap();
+        for (h, &x) in out.iter().zip(&s.data) {
+            let denom = x.abs().max(cfg.abs_floor);
+            let rel = ((h.to_f32() - x) / denom).abs();
+            prop_assert!(rel <= cfg.escape_rel_tol + 2e-3, "x={x} got {h:?}");
+        }
+    }
+
+    /// DeepCAM wire format round-trips arbitrary encodings.
+    #[test]
+    fn deepcam_wire_roundtrip(s in deepcam_sample()) {
+        let (e, _) = dc::encode(&s, &dc::EncoderConfig::default());
+        let e2 = dc::EncodedDeepCam::from_bytes(&e.to_bytes()).unwrap();
+        prop_assert_eq!(
+            dc::decode(&e, Op::Identity).unwrap(),
+            dc::decode(&e2, Op::Identity).unwrap()
+        );
+    }
+
+    /// Parallel decode always equals sequential decode (both codecs).
+    #[test]
+    fn parallel_equals_sequential(s in cosmo_sample(), d in deepcam_sample()) {
+        let e = cf::encode(&s);
+        prop_assert_eq!(
+            cf::decode(&e, Op::Log1p).unwrap(),
+            cf::decode_parallel(&e, Op::Log1p).unwrap()
+        );
+        let (ed, _) = dc::encode(&d, &dc::EncoderConfig::default());
+        prop_assert_eq!(
+            dc::decode(&ed, Op::Identity).unwrap(),
+            dc::decode_parallel(&ed, Op::Identity).unwrap()
+        );
+    }
+
+    /// Parsing arbitrary garbage must never panic.
+    #[test]
+    fn from_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = cf::EncodedCosmo::from_bytes(&bytes);
+        let _ = dc::EncodedDeepCam::from_bytes(&bytes);
+    }
+
+    /// Constant volumes compress to almost nothing in both codecs.
+    #[test]
+    fn constant_data_compresses_hard(v in 0u16..100, w in 8usize..64) {
+        let s = CosmoSample {
+            grid: 4,
+            counts: vec![v; 4 * 4 * 4 * 4],
+            label: CosmoParams::MEANS,
+        };
+        let e = cf::encode(&s);
+        prop_assert!(e.compression_ratio() > 5.0);
+
+        let d = DeepCamSample {
+            width: w,
+            height: 2,
+            channels: 1,
+            data: vec![1.5; w * 2],
+            mask: vec![0; w * 2],
+        };
+        let (ed, st) = dc::encode(&d, &dc::EncoderConfig::default());
+        prop_assert_eq!(st.constant_lines, 2);
+        prop_assert!(ed.payload.len() <= 8);
+    }
+}

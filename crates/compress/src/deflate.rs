@@ -1,0 +1,438 @@
+//! DEFLATE compressor: tokenizes with LZ77, then emits stored, fixed-
+//! Huffman, or dynamic-Huffman blocks, whichever is cheapest per block.
+
+use crate::bitstream::BitWriter;
+use crate::huffman::{canonical_codes, code_lengths};
+use crate::lz77::{self, Token};
+use crate::Level;
+
+/// (base length, extra bits) for length codes 257..=285.
+pub(crate) const LENGTH_CODES: [(u16, u8); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1),
+    (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3),
+    (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5),
+    (258, 0),
+];
+
+/// (base distance, extra bits) for distance codes 0..=29.
+pub(crate) const DIST_CODES: [(u16, u8); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0),
+    (5, 1), (7, 1),
+    (9, 2), (13, 2),
+    (17, 3), (25, 3),
+    (33, 4), (49, 4),
+    (65, 5), (97, 5),
+    (129, 6), (193, 6),
+    (257, 7), (385, 7),
+    (513, 8), (769, 8),
+    (1025, 9), (1537, 9),
+    (2049, 10), (3073, 10),
+    (4097, 11), (6145, 11),
+    (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+/// Order in which code-length-code lengths are stored in the header.
+pub(crate) const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// End-of-block symbol.
+pub(crate) const EOB: usize = 256;
+
+/// Maps a match length (3..=258) to (code index 0..=28, extra bits, extra value).
+#[inline]
+pub(crate) fn length_symbol(len: u16) -> (usize, u8, u16) {
+    debug_assert!((3..=258).contains(&len));
+    // Linear scan over 29 entries is fine at block-build frequency; find
+    // the last code whose base <= len (code 285 takes exactly 258).
+    if len == 258 {
+        return (28, 0, 0);
+    }
+    let mut idx = 0;
+    for (i, &(base, _)) in LENGTH_CODES.iter().enumerate() {
+        if base <= len {
+            idx = i;
+        } else {
+            break;
+        }
+    }
+    let (base, extra) = LENGTH_CODES[idx];
+    (idx, extra, len - base)
+}
+
+/// Maps a distance (1..=32768) to (code 0..=29, extra bits, extra value).
+#[inline]
+pub(crate) fn dist_symbol(dist: u16) -> (usize, u8, u16) {
+    debug_assert!(dist >= 1);
+    let mut idx = 0;
+    for (i, &(base, _)) in DIST_CODES.iter().enumerate() {
+        if base <= dist {
+            idx = i;
+        } else {
+            break;
+        }
+    }
+    let (base, extra) = DIST_CODES[idx];
+    (idx, extra, dist - base)
+}
+
+/// Fixed lit/len code lengths (RFC 1951 §3.2.6).
+pub(crate) fn fixed_litlen_lengths() -> Vec<u8> {
+    let mut l = vec![8u8; 288];
+    l[144..256].fill(9);
+    l[256..280].fill(7);
+    l
+}
+
+/// Fixed distance code lengths: thirty 5-bit codes.
+pub(crate) fn fixed_dist_lengths() -> Vec<u8> {
+    vec![5u8; 30]
+}
+
+/// Compresses `data` into a raw DEFLATE stream.
+pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
+    let tokens = lz77::tokenize(data, level.max_chain(), level.good_enough(), level.lazy());
+    let mut w = BitWriter::new();
+
+    // Split the token stream into blocks so each gets its own adaptive
+    // code. 32Ki tokens per block keeps header overhead negligible.
+    const TOKENS_PER_BLOCK: usize = 32 * 1024;
+    if tokens.is_empty() {
+        write_stored_block(&mut w, &[], true);
+        return w.finish();
+    }
+    let nblocks = tokens.len().div_ceil(TOKENS_PER_BLOCK);
+    let mut data_pos = 0usize;
+    for (bi, chunk) in tokens.chunks(TOKENS_PER_BLOCK).enumerate() {
+        let final_block = bi == nblocks - 1;
+        let raw_len: usize = chunk
+            .iter()
+            .map(|t| match t {
+                Token::Literal(_) => 1,
+                Token::Match { len, .. } => *len as usize,
+            })
+            .sum();
+        let raw = &data[data_pos..data_pos + raw_len];
+        data_pos += raw_len;
+        write_best_block(&mut w, chunk, raw, final_block);
+    }
+    w.finish()
+}
+
+/// Frequency tables for a token chunk (including the EOB symbol).
+fn frequencies(tokens: &[Token]) -> (Vec<u32>, Vec<u32>) {
+    let mut lit = vec![0u32; 288];
+    let mut dist = vec![0u32; 30];
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => lit[b as usize] += 1,
+            Token::Match { len, dist: d } => {
+                lit[257 + length_symbol(len).0] += 1;
+                dist[dist_symbol(d).0] += 1;
+            }
+        }
+    }
+    lit[EOB] += 1;
+    (lit, dist)
+}
+
+/// Cost in bits of coding `tokens` with the given lengths.
+fn body_cost(tokens: &[Token], lit_lens: &[u8], dist_lens: &[u8]) -> usize {
+    let mut bits = lit_lens[EOB] as usize;
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => bits += lit_lens[b as usize] as usize,
+            Token::Match { len, dist } => {
+                let (lc, le, _) = length_symbol(len);
+                let (dc, de, _) = dist_symbol(dist);
+                bits += lit_lens[257 + lc] as usize + le as usize;
+                bits += dist_lens[dc] as usize + de as usize;
+            }
+        }
+    }
+    bits
+}
+
+/// Writes whichever of stored / fixed / dynamic encodes this chunk in the
+/// fewest bits.
+fn write_best_block(w: &mut BitWriter, tokens: &[Token], raw: &[u8], final_block: bool) {
+    let (lit_freq, dist_freq) = frequencies(tokens);
+    let dyn_lit_lens = code_lengths(&lit_freq, 15);
+    let dyn_dist_lens = code_lengths(&dist_freq, 15);
+    let (clc_stream, clc_lens, hlit, hdist) = build_header(&dyn_lit_lens, &dyn_dist_lens);
+
+    let header_bits = 14
+        + 3 * clc_count(&clc_lens)
+        + clc_stream
+            .iter()
+            .map(|&(sym, _len_of_extra, extra_bits)| {
+                clc_lens[sym] as usize + extra_bits as usize
+            })
+            .sum::<usize>();
+    let dynamic_bits = 3 + header_bits + body_cost(tokens, &dyn_lit_lens, &dyn_dist_lens);
+
+    let fixed_lit = fixed_litlen_lengths();
+    let fixed_dist = fixed_dist_lengths();
+    let fixed_bits = 3 + body_cost(tokens, &fixed_lit, &fixed_dist);
+
+    // Stored blocks carry at most 65535 bytes each.
+    let stored_bits = raw
+        .len()
+        .div_ceil(65535)
+        .max(1)
+        .checked_mul(5 * 8)
+        .map(|hdr| hdr + raw.len() * 8 + 7)
+        .unwrap_or(usize::MAX);
+
+    if stored_bits < dynamic_bits && stored_bits < fixed_bits {
+        write_stored_chunks(w, raw, final_block);
+    } else if fixed_bits <= dynamic_bits {
+        w.write_bits(final_block as u32, 1);
+        w.write_bits(0b01, 2);
+        write_body(w, tokens, &fixed_lit, &fixed_dist);
+    } else {
+        w.write_bits(final_block as u32, 1);
+        w.write_bits(0b10, 2);
+        write_dynamic_header(w, &clc_stream, &clc_lens, hlit, hdist);
+        write_body(w, tokens, &dyn_lit_lens, &dyn_dist_lens);
+    }
+}
+
+/// Number of code-length-code lengths that must be transmitted.
+fn clc_count(clc_lens: &[u8; 19]) -> usize {
+    let mut hclen = 19;
+    while hclen > 4 && clc_lens[CLC_ORDER[hclen - 1]] == 0 {
+        hclen -= 1;
+    }
+    hclen
+}
+
+/// Run-length encodes the concatenated lit+dist length arrays with the
+/// 16/17/18 repeat codes. Returns (stream of (symbol, extra_value,
+/// extra_bits), clc lengths, hlit, hdist).
+#[allow(clippy::type_complexity)]
+fn build_header(lit_lens: &[u8], dist_lens: &[u8]) -> (Vec<(usize, u16, u8)>, [u8; 19], usize, usize) {
+    let mut hlit = 286;
+    while hlit > 257 && lit_lens[hlit - 1] == 0 {
+        hlit -= 1;
+    }
+    let mut hdist = 30;
+    while hdist > 1 && dist_lens[hdist - 1] == 0 {
+        hdist -= 1;
+    }
+
+    let mut all: Vec<u8> = Vec::with_capacity(hlit + hdist);
+    all.extend_from_slice(&lit_lens[..hlit]);
+    all.extend_from_slice(&dist_lens[..hdist]);
+
+    // RLE into CLC symbols.
+    let mut stream: Vec<(usize, u16, u8)> = Vec::new();
+    let mut i = 0;
+    while i < all.len() {
+        let v = all[i];
+        let mut run = 1;
+        while i + run < all.len() && all[i + run] == v {
+            run += 1;
+        }
+        if v == 0 {
+            let mut left = run;
+            while left >= 11 {
+                let take = left.min(138);
+                stream.push((18, (take - 11) as u16, 7));
+                left -= take;
+            }
+            if left >= 3 {
+                stream.push((17, (left - 3) as u16, 3));
+                left = 0;
+            }
+            for _ in 0..left {
+                stream.push((0, 0, 0));
+            }
+        } else {
+            stream.push((v as usize, 0, 0));
+            let mut left = run - 1;
+            while left >= 3 {
+                let take = left.min(6);
+                stream.push((16, (take - 3) as u16, 2));
+                left -= take;
+            }
+            for _ in 0..left {
+                stream.push((v as usize, 0, 0));
+            }
+        }
+        i += run;
+    }
+
+    // Huffman-code the CLC symbols themselves (max length 7).
+    let mut clc_freq = vec![0u32; 19];
+    for &(sym, _, _) in &stream {
+        clc_freq[sym] += 1;
+    }
+    let clc_lens_v = code_lengths(&clc_freq, 7);
+    let mut clc_lens = [0u8; 19];
+    clc_lens.copy_from_slice(&clc_lens_v);
+    (stream, clc_lens, hlit, hdist)
+}
+
+fn write_dynamic_header(
+    w: &mut BitWriter,
+    stream: &[(usize, u16, u8)],
+    clc_lens: &[u8; 19],
+    hlit: usize,
+    hdist: usize,
+) {
+    let hclen = clc_count(clc_lens);
+    w.write_bits((hlit - 257) as u32, 5);
+    w.write_bits((hdist - 1) as u32, 5);
+    w.write_bits((hclen - 4) as u32, 4);
+    for &pos in CLC_ORDER.iter().take(hclen) {
+        w.write_bits(clc_lens[pos] as u32, 3);
+    }
+    let clc_codes = canonical_codes(clc_lens);
+    for &(sym, extra, extra_bits) in stream {
+        w.write_code(clc_codes[sym], clc_lens[sym] as u32);
+        if extra_bits > 0 {
+            w.write_bits(extra as u32, extra_bits as u32);
+        }
+    }
+}
+
+fn write_body(w: &mut BitWriter, tokens: &[Token], lit_lens: &[u8], dist_lens: &[u8]) {
+    let lit_codes = canonical_codes(lit_lens);
+    let dist_codes = canonical_codes(dist_lens);
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => {
+                w.write_code(lit_codes[b as usize], lit_lens[b as usize] as u32);
+            }
+            Token::Match { len, dist } => {
+                let (lc, le, lv) = length_symbol(len);
+                w.write_code(lit_codes[257 + lc], lit_lens[257 + lc] as u32);
+                if le > 0 {
+                    w.write_bits(lv as u32, le as u32);
+                }
+                let (dc, de, dv) = dist_symbol(dist);
+                w.write_code(dist_codes[dc], dist_lens[dc] as u32);
+                if de > 0 {
+                    w.write_bits(dv as u32, de as u32);
+                }
+            }
+        }
+    }
+    w.write_code(lit_codes[EOB], lit_lens[EOB] as u32);
+}
+
+fn write_stored_chunks(w: &mut BitWriter, raw: &[u8], final_block: bool) {
+    if raw.is_empty() {
+        write_stored_block(w, raw, final_block);
+        return;
+    }
+    let n = raw.len().div_ceil(65535);
+    for (i, chunk) in raw.chunks(65535).enumerate() {
+        write_stored_block(w, chunk, final_block && i == n - 1);
+    }
+}
+
+fn write_stored_block(w: &mut BitWriter, chunk: &[u8], final_block: bool) {
+    debug_assert!(chunk.len() <= 65535);
+    w.write_bits(final_block as u32, 1);
+    w.write_bits(0b00, 2);
+    w.align_to_byte();
+    let len = chunk.len() as u16;
+    w.write_bytes(&len.to_le_bytes());
+    w.write_bytes(&(!len).to_le_bytes());
+    w.write_bytes(chunk);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inflate::inflate;
+
+    #[test]
+    fn length_symbol_boundaries() {
+        assert_eq!(length_symbol(3), (0, 0, 0));
+        assert_eq!(length_symbol(10), (7, 0, 0));
+        assert_eq!(length_symbol(11), (8, 1, 0));
+        assert_eq!(length_symbol(12), (8, 1, 1));
+        assert_eq!(length_symbol(257), (27, 5, 30));
+        assert_eq!(length_symbol(258), (28, 0, 0));
+    }
+
+    #[test]
+    fn dist_symbol_boundaries() {
+        assert_eq!(dist_symbol(1), (0, 0, 0));
+        assert_eq!(dist_symbol(4), (3, 0, 0));
+        assert_eq!(dist_symbol(5), (4, 1, 0));
+        assert_eq!(dist_symbol(6), (4, 1, 1));
+        assert_eq!(dist_symbol(32768), (29, 13, 8191));
+        assert_eq!(dist_symbol(24577), (29, 13, 0));
+    }
+
+    #[test]
+    fn stored_block_roundtrip() {
+        let mut w = BitWriter::new();
+        write_stored_block(&mut w, b"hello", true);
+        let bytes = w.finish();
+        assert_eq!(inflate(&bytes).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn fixed_tables_shape() {
+        let l = fixed_litlen_lengths();
+        assert_eq!(l.len(), 288);
+        assert_eq!(l[0], 8);
+        assert_eq!(l[144], 9);
+        assert_eq!(l[256], 7);
+        assert_eq!(l[280], 8);
+        assert_eq!(fixed_dist_lengths(), vec![5u8; 30]);
+    }
+
+    #[test]
+    fn compress_roundtrips_text() {
+        let data = b"compression test ".repeat(500);
+        for level in [Level::Fastest, Level::Fast, Level::Default, Level::Best] {
+            let out = compress(&data, level);
+            assert_eq!(inflate(&out).unwrap(), data, "{level:?}");
+            // Fastest does no LZ77 matching, so it only gets entropy-coding
+            // gains; matching levels should crush repeated text.
+            let bound = if level == Level::Fastest {
+                data.len() / 2
+            } else {
+                data.len() / 4
+            };
+            assert!(out.len() < bound, "{level:?}: {}", out.len());
+        }
+    }
+
+    #[test]
+    fn incompressible_data_falls_back_near_stored() {
+        // Pseudo-random bytes: compressed size must stay close to input.
+        let data: Vec<u8> = (0..50_000u64)
+            .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as u8)
+            .collect();
+        let out = compress(&data, Level::Default);
+        assert_eq!(inflate(&out).unwrap(), data);
+        assert!(out.len() < data.len() + data.len() / 16 + 64);
+    }
+
+    #[test]
+    fn multi_block_inputs() {
+        // Force several blocks (> 32Ki tokens of literals).
+        let data: Vec<u8> = (0..200_000u64)
+            .map(|i| (i.wrapping_mul(0x2545F4914F6CDD1D) >> 27) as u8)
+            .collect();
+        let out = compress(&data, Level::Fast);
+        assert_eq!(inflate(&out).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_input_roundtrip() {
+        let out = compress(&[], Level::Default);
+        assert_eq!(inflate(&out).unwrap(), Vec::<u8>::new());
+    }
+}

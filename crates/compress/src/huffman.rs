@@ -1,0 +1,310 @@
+//! Canonical, length-limited Huffman coding.
+//!
+//! * [`code_lengths`] computes optimal length-limited code lengths with
+//!   the package-merge algorithm (exact, no post-hoc fixups);
+//! * [`canonical_codes`] assigns the RFC 1951 canonical code values;
+//! * [`Decoder`] is a single-level lookup-table decoder (table indexed by
+//!   the next `max_bits` stream bits, entries carrying symbol + length).
+
+use crate::bitstream::BitReader;
+use crate::Error;
+
+/// Computes optimal code lengths bounded by `max_len` for the given
+/// symbol frequencies (zero frequency ⇒ zero length ⇒ symbol unused).
+///
+/// Uses package-merge, which is exact for length-limited prefix codes.
+///
+/// # Panics
+/// Panics if the number of used symbols exceeds `2^max_len` (no valid
+/// code exists) or `max_len == 0` with any used symbol.
+pub fn code_lengths(freqs: &[u32], max_len: u8) -> Vec<u8> {
+    let mut active: Vec<(u64, usize)> = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(i, &f)| (f as u64, i))
+        .collect();
+    let n = active.len();
+    let mut lens = vec![0u8; freqs.len()];
+    if n == 0 {
+        return lens;
+    }
+    if n == 1 {
+        // DEFLATE requires at least a 1-bit code for a lone symbol.
+        lens[active[0].1] = 1;
+        return lens;
+    }
+    assert!(max_len >= 1 && n <= (1usize << max_len.min(31)), "code over-full");
+
+    active.sort_unstable();
+
+    // A package is (weight, constituent leaf symbols).
+    #[derive(Clone)]
+    struct Pkg {
+        w: u64,
+        syms: Vec<usize>,
+    }
+    let leaves: Vec<Pkg> = active
+        .iter()
+        .map(|&(w, s)| Pkg { w, syms: vec![s] })
+        .collect();
+
+    let mut row = leaves.clone();
+    for _ in 1..max_len {
+        // Pair adjacent packages of the previous row.
+        let mut paired: Vec<Pkg> = Vec::with_capacity(row.len() / 2);
+        for pair in row.chunks_exact(2) {
+            let mut syms = pair[0].syms.clone();
+            syms.extend_from_slice(&pair[1].syms);
+            paired.push(Pkg {
+                w: pair[0].w + pair[1].w,
+                syms,
+            });
+        }
+        // Merge the paired packages with the original leaves (both sorted).
+        let mut merged = Vec::with_capacity(leaves.len() + paired.len());
+        let (mut i, mut j) = (0, 0);
+        while i < leaves.len() || j < paired.len() {
+            let take_leaf = j >= paired.len()
+                || (i < leaves.len() && leaves[i].w <= paired[j].w);
+            if take_leaf {
+                merged.push(leaves[i].clone());
+                i += 1;
+            } else {
+                merged.push(paired[j].clone());
+                j += 1;
+            }
+        }
+        row = merged;
+    }
+
+    // The code length of each leaf = number of the 2n-2 cheapest packages
+    // it appears in.
+    for pkg in row.iter().take(2 * n - 2) {
+        for &s in &pkg.syms {
+            lens[s] += 1;
+        }
+    }
+    lens
+}
+
+/// Assigns canonical code values for the given lengths (RFC 1951 §3.2.2).
+///
+/// Returns a vector parallel to `lengths`; entries with length 0 get
+/// code 0 (unused).
+pub fn canonical_codes(lengths: &[u8]) -> Vec<u16> {
+    let max = lengths.iter().copied().max().unwrap_or(0) as usize;
+    let mut bl_count = vec![0u16; max + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u16; max + 2];
+    let mut code = 0u16;
+    for bits in 1..=max {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// Validates that lengths describe a prefix code that is not
+/// over-subscribed. Returns the Kraft sum numerator scaled by 2^15.
+fn kraft_sum(lengths: &[u8]) -> Result<u32, Error> {
+    let mut sum = 0u32;
+    for &l in lengths {
+        if l > 15 {
+            return Err(Error::BadHuffmanTable);
+        }
+        if l > 0 {
+            sum += 1u32 << (15 - l);
+        }
+    }
+    if sum > 1 << 15 {
+        return Err(Error::BadHuffmanTable);
+    }
+    Ok(sum)
+}
+
+/// Table-driven Huffman decoder.
+///
+/// The table is indexed by the next `max_bits` bits of the stream (in
+/// stream order, i.e. bit-reversed canonical codes) and each entry gives
+/// the decoded symbol and how many bits to consume.
+#[derive(Debug)]
+pub struct Decoder {
+    table: Vec<Entry>,
+    max_bits: u32,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    symbol: u16,
+    /// 0 marks an unassigned pattern (incomplete code).
+    len: u8,
+}
+
+impl Decoder {
+    /// Builds a decoder from code lengths.
+    ///
+    /// Over-subscribed length sets are rejected. Incomplete codes are
+    /// accepted (required by DEFLATE's single-symbol distance codes);
+    /// unassigned bit patterns decode to `Error::Corrupt`.
+    pub fn new(lengths: &[u8]) -> Result<Decoder, Error> {
+        kraft_sum(lengths)?;
+        let max_bits = lengths.iter().copied().max().unwrap_or(0) as u32;
+        if max_bits == 0 {
+            return Ok(Decoder {
+                table: Vec::new(),
+                max_bits: 0,
+            });
+        }
+        let codes = canonical_codes(lengths);
+        let mut table = vec![Entry::default(); 1usize << max_bits];
+        for (sym, (&len, &code)) in lengths.iter().zip(&codes).enumerate() {
+            if len == 0 {
+                continue;
+            }
+            let len = len as u32;
+            // Reverse the canonical code into stream bit order.
+            let rev = (code as u32).reverse_bits() >> (32 - len);
+            // Fill every table slot whose low `len` bits equal `rev`.
+            let step = 1usize << len;
+            let mut idx = rev as usize;
+            while idx < table.len() {
+                table[idx] = Entry {
+                    symbol: sym as u16,
+                    len: len as u8,
+                };
+                idx += step;
+            }
+        }
+        Ok(Decoder { table, max_bits })
+    }
+
+    /// Decodes one symbol from the reader.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, Error> {
+        if self.max_bits == 0 {
+            return Err(Error::Corrupt("decode from empty code"));
+        }
+        let peek = r.peek_bits(self.max_bits);
+        let e = self.table[peek as usize];
+        if e.len == 0 {
+            return Err(Error::Corrupt("unassigned huffman pattern"));
+        }
+        r.consume(e.len as u32)?;
+        Ok(e.symbol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstream::BitWriter;
+
+    #[test]
+    fn lengths_satisfy_kraft_with_equality_for_complete_codes() {
+        let freqs = [10u32, 1, 1, 5, 20, 3, 0, 7];
+        let lens = code_lengths(&freqs, 15);
+        let sum: u32 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u32 << (15 - l))
+            .sum();
+        assert_eq!(sum, 1 << 15, "{lens:?}");
+        assert_eq!(lens[6], 0);
+    }
+
+    #[test]
+    fn restricting_max_len_flattens_code() {
+        // Wildly skewed frequencies want a deep code; cap at 4 bits.
+        let freqs = [1u32, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+        let lens = code_lengths(&freqs, 4);
+        assert!(lens.iter().all(|&l| l <= 4), "{lens:?}");
+        let sum: u32 = lens.iter().map(|&l| 1u32 << (15 - l)).sum();
+        assert_eq!(sum, 1 << 15);
+    }
+
+    #[test]
+    fn length_limited_is_still_cheap_for_balanced_input() {
+        let freqs = [5u32; 8];
+        let lens = code_lengths(&freqs, 15);
+        assert!(lens.iter().all(|&l| l == 3), "{lens:?}");
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let mut freqs = vec![0u32; 30];
+        freqs[17] = 42;
+        let lens = code_lengths(&freqs, 15);
+        assert_eq!(lens[17], 1);
+        assert_eq!(lens.iter().map(|&l| l as u32).sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn canonical_codes_match_rfc_example() {
+        // RFC 1951 example: lengths (3,3,3,3,3,2,4,4) for symbols A..H.
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let codes = canonical_codes(&lengths);
+        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let freqs = [50u32, 20, 10, 5, 5, 5, 3, 2];
+        let lens = code_lengths(&freqs, 15);
+        let codes = canonical_codes(&lens);
+        let symbols: Vec<u16> = (0..8).cycle().take(200).collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            w.write_code(codes[s as usize], lens[s as usize] as u32);
+        }
+        let bytes = w.finish();
+        let dec = Decoder::new(&lens).unwrap();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_rejected() {
+        assert_eq!(Decoder::new(&[1, 1, 1]).err(), Some(Error::BadHuffmanTable));
+        assert_eq!(
+            Decoder::new(&[16]).err(),
+            Some(Error::BadHuffmanTable),
+            "length above 15 must be rejected"
+        );
+    }
+
+    #[test]
+    fn incomplete_code_unassigned_pattern_errors() {
+        // Single 2-bit code: patterns 01,10,11 unassigned.
+        let dec = Decoder::new(&[2]).unwrap();
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert!(matches!(dec.decode(&mut r), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn decode_at_eof_errors() {
+        let dec = Decoder::new(&[1, 1]).unwrap();
+        let bytes: Vec<u8> = vec![];
+        let mut r = BitReader::new(&bytes);
+        assert!(dec.decode(&mut r).is_err());
+    }
+}

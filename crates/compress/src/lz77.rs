@@ -1,0 +1,242 @@
+//! Greedy hash-chain LZ77 matching with lazy evaluation (zlib-style).
+
+/// One DEFLATE token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` (3..=258) bytes from `dist`
+    /// (1..=32768) bytes back.
+    Match { len: u16, dist: u16 },
+}
+
+/// Maximum match length allowed by DEFLATE.
+pub const MAX_MATCH: usize = 258;
+/// Minimum match length worth encoding.
+pub const MIN_MATCH: usize = 3;
+/// Sliding window size.
+pub const WINDOW: usize = 32 * 1024;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
+/// `MAX_MATCH` and the end of `data`.
+#[inline]
+fn match_len(data: &[u8], a: usize, b: usize) -> usize {
+    let max = MAX_MATCH.min(data.len() - b);
+    let mut l = 0;
+    while l < max && data[a + l] == data[b + l] {
+        l += 1;
+    }
+    l
+}
+
+/// Tokenizes `data` with hash-chain matching.
+///
+/// `max_chain` bounds positions examined per attempt (0 disables matching
+/// entirely), `good_enough` stops the search once a match of that length
+/// is found, and `lazy` enables one-byte deferral when the next position
+/// has a longer match.
+pub fn tokenize(data: &[u8], max_chain: usize, good_enough: usize, lazy: bool) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 2 + 16);
+    if n < MIN_MATCH || max_chain == 0 {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+
+    // head[h] = most recent position with hash h; prev[i] = previous
+    // position with the same hash as i. Positions offset by +1 so 0 means
+    // "none".
+    let mut head = vec![0u32; HASH_SIZE];
+    let mut prev = vec![0u32; n];
+
+    let insert = |head: &mut [u32], prev: &mut [u32], data: &[u8], i: usize| {
+        if i + MIN_MATCH <= data.len() {
+            let h = hash3(data, i);
+            prev[i] = head[h];
+            head[h] = (i + 1) as u32;
+        }
+    };
+
+    let best_match = |head: &[u32], prev: &[u32], i: usize| -> (usize, usize) {
+        if i + MIN_MATCH > n {
+            return (0, 0);
+        }
+        let h = hash3(data, i);
+        let mut cand = head[h] as usize;
+        let mut best_len = 0;
+        let mut best_dist = 0;
+        let mut chain = max_chain;
+        let window_floor = i.saturating_sub(WINDOW);
+        while cand > 0 && chain > 0 {
+            let c = cand - 1;
+            if c < window_floor || c >= i {
+                break;
+            }
+            let l = match_len(data, c, i);
+            if l > best_len {
+                best_len = l;
+                best_dist = i - c;
+                if l >= good_enough || l == MAX_MATCH {
+                    break;
+                }
+            }
+            cand = prev[c] as usize;
+            chain -= 1;
+        }
+        if best_len >= MIN_MATCH {
+            (best_len, best_dist)
+        } else {
+            (0, 0)
+        }
+    };
+
+    let mut i = 0;
+    while i < n {
+        let (len, dist) = best_match(&head, &prev, i);
+        if len == 0 {
+            tokens.push(Token::Literal(data[i]));
+            insert(&mut head, &mut prev, data, i);
+            i += 1;
+            continue;
+        }
+        if lazy && i + 1 < n {
+            // Peek at the next position: if it has a strictly longer
+            // match, emit this byte as a literal instead.
+            insert(&mut head, &mut prev, data, i);
+            let (next_len, next_dist) = best_match(&head, &prev, i + 1);
+            if next_len > len {
+                tokens.push(Token::Literal(data[i]));
+                i += 1;
+                // Emit the deferred match now.
+                tokens.push(Token::Match {
+                    len: next_len as u16,
+                    dist: next_dist as u16,
+                });
+                for k in i..(i + next_len).min(n) {
+                    insert(&mut head, &mut prev, data, k);
+                }
+                i += next_len;
+                continue;
+            }
+            tokens.push(Token::Match {
+                len: len as u16,
+                dist: dist as u16,
+            });
+            for k in (i + 1)..(i + len).min(n) {
+                insert(&mut head, &mut prev, data, k);
+            }
+            i += len;
+        } else {
+            tokens.push(Token::Match {
+                len: len as u16,
+                dist: dist as u16,
+            });
+            for k in i..(i + len).min(n) {
+                insert(&mut head, &mut prev, data, k);
+            }
+            i += len;
+        }
+    }
+    tokens
+}
+
+/// Expands tokens back to bytes (reference decoder used by tests).
+pub fn expand(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], chain: usize, lazy: bool) {
+        let toks = tokenize(data, chain, 64, lazy);
+        assert_eq!(expand(&toks), data);
+    }
+
+    #[test]
+    fn literal_only_when_disabled() {
+        let toks = tokenize(b"abcabcabc", 0, 8, false);
+        assert_eq!(toks.len(), 9);
+        assert!(toks.iter().all(|t| matches!(t, Token::Literal(_))));
+    }
+
+    #[test]
+    fn finds_repeats() {
+        let toks = tokenize(b"abcabcabcabc", 128, 64, false);
+        assert!(toks.iter().any(|t| matches!(t, Token::Match { .. })));
+        assert_eq!(expand(&toks), b"abcabcabcabc");
+    }
+
+    #[test]
+    fn overlapping_match_run() {
+        // "aaaa..." should compress to one literal + one long match with
+        // dist 1 (RLE via overlapping copy).
+        let data = vec![b'a'; 300];
+        let toks = tokenize(&data, 128, 258, false);
+        assert_eq!(expand(&toks), data);
+        assert!(matches!(toks[1], Token::Match { dist: 1, .. }), "{:?}", &toks[..3]);
+    }
+
+    #[test]
+    fn random_data_roundtrips() {
+        let data: Vec<u8> = (0..5000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        roundtrip(&data, 128, true);
+        roundtrip(&data, 16, false);
+    }
+
+    #[test]
+    fn text_like_data_roundtrips_with_lazy() {
+        let data = b"the quick brown fox jumps over the lazy dog. \
+                     the quick brown fox jumps over the lazy dog again."
+            .repeat(20);
+        roundtrip(&data, 1024, true);
+        let toks = tokenize(&data, 1024, 258, true);
+        let matched: usize = toks
+            .iter()
+            .map(|t| match t {
+                Token::Match { len, .. } => *len as usize,
+                _ => 0,
+            })
+            .sum();
+        assert!(matched > data.len() / 2, "matched {matched} of {}", data.len());
+    }
+
+    #[test]
+    fn short_inputs() {
+        roundtrip(b"", 128, true);
+        roundtrip(b"a", 128, true);
+        roundtrip(b"ab", 128, true);
+        roundtrip(b"abc", 128, true);
+    }
+
+    #[test]
+    fn match_len_caps_at_max() {
+        let data = vec![b'x'; 1000];
+        assert_eq!(match_len(&data, 0, 1), MAX_MATCH);
+    }
+}

@@ -1,0 +1,198 @@
+//! `std::io` adapters around the gzip codec.
+//!
+//! [`GzipWriter`] wraps any `Write` sink: bytes written to it accumulate
+//! and every `flush_member()` (or the final `finish()`) emits one
+//! complete gzip member. [`GzipReader`] wraps any `Read` source holding
+//! one or more concatenated members and streams the decompressed bytes
+//! out through `Read`. Compression itself is batch-per-member (our
+//! DEFLATE encoder builds per-block Huffman tables over the whole
+//! member), which the adapter documents rather than hides.
+
+use crate::gzip;
+use crate::{Error, Level};
+use std::io::{self, Read, Write};
+
+/// Buffering gzip writer: each flushed member is independently
+/// decodable, and the concatenation is a valid multi-member gzip file.
+pub struct GzipWriter<W: Write> {
+    inner: W,
+    level: Level,
+    buf: Vec<u8>,
+    members: usize,
+}
+
+impl<W: Write> GzipWriter<W> {
+    /// Wraps a sink.
+    pub fn new(inner: W, level: Level) -> Self {
+        Self {
+            inner,
+            level,
+            buf: Vec::new(),
+            members: 0,
+        }
+    }
+
+    /// Compresses everything buffered so far into one gzip member and
+    /// writes it to the sink. No-op on an empty buffer.
+    pub fn flush_member(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let member = gzip::compress(&self.buf, self.level);
+        self.inner.write_all(&member)?;
+        self.buf.clear();
+        self.members += 1;
+        Ok(())
+    }
+
+    /// Members emitted so far.
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// Flushes any remaining buffered bytes and returns the sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.flush_member()?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+impl<W: Write> Write for GzipWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.flush_member()?;
+        self.inner.flush()
+    }
+}
+
+/// Reader over a (possibly multi-member) gzip stream.
+///
+/// The source is drained and decompressed eagerly at construction —
+/// every trailer is verified before the first byte is served.
+pub struct GzipReader {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl GzipReader {
+    /// Reads the whole source and decompresses all members.
+    pub fn new<R: Read>(mut source: R) -> Result<Self, Error> {
+        let mut compressed = Vec::new();
+        source
+            .read_to_end(&mut compressed)
+            .map_err(|_| Error::UnexpectedEof)?;
+        let data = gzip::decompress_multi(&compressed)?;
+        Ok(Self { data, pos: 0 })
+    }
+
+    /// Decompressed length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the stream holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Read for GzipReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = buf.len().min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip_single_member() {
+        let mut w = GzipWriter::new(Vec::new(), Level::Default);
+        w.write_all(b"hello ").unwrap();
+        w.write_all(b"stream").unwrap();
+        let sink = w.finish().unwrap();
+        let mut r = GzipReader::new(&sink[..]).unwrap();
+        let mut out = String::new();
+        r.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "hello stream");
+    }
+
+    #[test]
+    fn flush_member_emits_independent_members() {
+        let mut w = GzipWriter::new(Vec::new(), Level::Default);
+        w.write_all(b"first|").unwrap();
+        w.flush_member().unwrap();
+        w.write_all(b"second").unwrap();
+        let sink = w.finish().unwrap();
+        assert_eq!(w_members(&sink), 2);
+        let mut r = GzipReader::new(&sink[..]).unwrap();
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"first|second");
+    }
+
+    /// Counts gzip magic headers at member boundaries.
+    fn w_members(data: &[u8]) -> usize {
+        let mut rest = data;
+        let mut n = 0;
+        while rest.len() >= 2 && rest[0] == 0x1F && rest[1] == 0x8B {
+            // Walk one member using the multi-member decoder on a prefix
+            // trick: decompress_multi consumes everything, so count by
+            // decoding member-by-member via trial lengths is overkill —
+            // scan for the next magic after a plausible minimum instead.
+            n += 1;
+            // Find next header candidate (works for our deterministic
+            // writer output in tests).
+            if let Some(next) = rest[2..]
+                .windows(2)
+                .position(|w| w == [0x1F, 0x8B])
+            {
+                rest = &rest[next + 2..];
+            } else {
+                break;
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn empty_writer_emits_nothing() {
+        let w = GzipWriter::new(Vec::new(), Level::Default);
+        let sink = w.finish().unwrap();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        assert!(GzipReader::new(&b"not gzip"[..]).is_err());
+    }
+
+    #[test]
+    fn reader_serves_partial_reads() {
+        let mut w = GzipWriter::new(Vec::new(), Level::Fast);
+        w.write_all(&[7u8; 1000]).unwrap();
+        let sink = w.finish().unwrap();
+        let mut r = GzipReader::new(&sink[..]).unwrap();
+        assert_eq!(r.len(), 1000);
+        let mut chunk = [0u8; 64];
+        let mut total = 0;
+        loop {
+            let n = r.read(&mut chunk).unwrap();
+            if n == 0 {
+                break;
+            }
+            assert!(chunk[..n].iter().all(|&b| b == 7));
+            total += n;
+        }
+        assert_eq!(total, 1000);
+    }
+}

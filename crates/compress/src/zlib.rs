@@ -1,0 +1,173 @@
+//! zlib (RFC 1950) framing: the other compression type `TFRecordOptions`
+//! accepts. A 2-byte header, the raw DEFLATE stream, and an Adler-32
+//! trailer.
+
+use crate::{deflate, inflate, Error, Level};
+
+/// Adler-32 checksum (RFC 1950 §8), the zlib trailer.
+#[derive(Debug, Clone, Copy)]
+pub struct Adler32 {
+    a: u32,
+    b: u32,
+}
+
+const MOD_ADLER: u32 = 65521;
+
+impl Default for Adler32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Adler32 {
+    /// Fresh state (checksum of the empty string is 1).
+    pub fn new() -> Self {
+        Self { a: 1, b: 0 }
+    }
+
+    /// Feeds bytes into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        // Process in blocks small enough that the accumulators cannot
+        // overflow before the modulo (5552 is the classic zlib bound).
+        for chunk in data.chunks(5552) {
+            for &byte in chunk {
+                self.a += byte as u32;
+                self.b += self.a;
+            }
+            self.a %= MOD_ADLER;
+            self.b %= MOD_ADLER;
+        }
+    }
+
+    /// Final checksum.
+    pub fn finalize(self) -> u32 {
+        (self.b << 16) | self.a
+    }
+}
+
+/// One-shot Adler-32.
+pub fn adler32(data: &[u8]) -> u32 {
+    let mut a = Adler32::new();
+    a.update(data);
+    a.finalize()
+}
+
+/// Compresses into a zlib stream (deflate method, 32 KiB window).
+pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 3 + 16);
+    // CMF: method 8 (deflate), CINFO 7 (32K window).
+    let cmf: u8 = 0x78;
+    // FLG: level bits + check bits so (CMF<<8 | FLG) % 31 == 0.
+    let flevel: u8 = match level {
+        Level::Fastest => 0,
+        Level::Fast => 1,
+        Level::Default => 2,
+        Level::Best => 3,
+    };
+    let mut flg = flevel << 6;
+    let rem = ((cmf as u16) << 8 | flg as u16) % 31;
+    if rem != 0 {
+        flg += (31 - rem) as u8;
+    }
+    out.push(cmf);
+    out.push(flg);
+    out.extend_from_slice(&deflate::compress(data, level));
+    out.extend_from_slice(&adler32(data).to_be_bytes());
+    out
+}
+
+/// Decompresses a zlib stream, verifying the Adler-32 trailer.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
+    if data.len() < 6 {
+        return Err(Error::UnexpectedEof);
+    }
+    let cmf = data[0];
+    let flg = data[1];
+    if cmf & 0x0F != 8 {
+        return Err(Error::BadHeader("zlib compression method"));
+    }
+    if ((cmf as u16) << 8 | flg as u16) % 31 != 0 {
+        return Err(Error::BadHeader("zlib header check bits"));
+    }
+    if flg & 0x20 != 0 {
+        return Err(Error::BadHeader("preset dictionaries unsupported"));
+    }
+    let body = &data[2..data.len() - 4];
+    let out = inflate::inflate(body)?;
+    let want = u32::from_be_bytes(data[data.len() - 4..].try_into().unwrap());
+    if adler32(&out) != want {
+        return Err(Error::ChecksumMismatch);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adler_known_vectors() {
+        // RFC 1950 reference values.
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E60398);
+        assert_eq!(adler32(b"a"), 0x00620062);
+    }
+
+    #[test]
+    fn adler_incremental_matches_oneshot_on_long_input() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i * 7) as u8).collect();
+        let mut a = Adler32::new();
+        a.update(&data[..33_333]);
+        a.update(&data[33_333..]);
+        assert_eq!(a.finalize(), adler32(&data));
+    }
+
+    #[test]
+    fn roundtrip_all_levels() {
+        let data = b"zlib framing test payload ".repeat(64);
+        for level in [Level::Fastest, Level::Fast, Level::Default, Level::Best] {
+            let z = compress(&data, level);
+            assert_eq!(decompress(&z).unwrap(), data, "{level:?}");
+        }
+    }
+
+    #[test]
+    fn header_passes_the_31_check() {
+        for level in [Level::Fastest, Level::Fast, Level::Default, Level::Best] {
+            let z = compress(b"x", level);
+            assert_eq!(((z[0] as u16) << 8 | z[1] as u16) % 31, 0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_method_and_checksum() {
+        let mut z = compress(b"payload", Level::Default);
+        let mut bad = z.clone();
+        bad[0] = 0x79; // method 9
+        assert!(matches!(decompress(&bad), Err(Error::BadHeader(_))));
+        let n = z.len();
+        z[n - 1] ^= 1;
+        assert_eq!(decompress(&z), Err(Error::ChecksumMismatch));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let z = compress(b"hello zlib", Level::Default);
+        for cut in 0..z.len() {
+            assert!(decompress(&z[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_preset_dictionary() {
+        let mut z = compress(b"x", Level::Default);
+        // Set FDICT and recompute FCHECK from scratch.
+        z[1] = (z[1] & 0xC0) | 0x20;
+        let rem = ((z[0] as u16) << 8 | z[1] as u16) % 31;
+        if rem != 0 {
+            z[1] += (31 - rem) as u8;
+        }
+        assert_eq!(((z[0] as u16) << 8 | z[1] as u16) % 31, 0);
+        assert!(matches!(decompress(&z), Err(Error::BadHeader(_))));
+    }
+}

@@ -1,0 +1,50 @@
+//! `sciml-core` — facade over the preprocessing-pipeline reproduction.
+//!
+//! Re-exports every subsystem and provides the high-level entry points a
+//! downstream user needs:
+//!
+//! * [`api`] — dataset builders (generate + encode in any of the four
+//!   on-disk formats) and pipeline construction helpers;
+//! * [`convergence`] — the Fig. 6 / Fig. 7 experiments: train the
+//!   miniature models on FP32 baseline inputs versus FP16 decoded inputs
+//!   under an identical schedule and compare loss trajectories.
+//!
+//! Subsystem crates (also usable directly):
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`half`] | software binary16 |
+//! | [`compress`] | from-scratch DEFLATE/gzip baseline |
+//! | [`data`] | synthetic CosmoFlow/DeepCAM datasets + containers |
+//! | [`codec`] | the paper's two domain-specific codecs |
+//! | [`gpusim`] | SIMT warp simulator + GPU decode kernels |
+//! | [`pipeline`] | DALI-like prefetching loader |
+//! | [`platform`] | Table-I platform models + epoch simulator |
+//! | [`minidnn`] | miniature DNN framework for convergence runs |
+
+pub use sciml_codec as codec;
+pub use sciml_compress as compress;
+pub use sciml_data as data;
+pub use sciml_gpusim as gpusim;
+pub use sciml_half as half;
+pub use sciml_minidnn as minidnn;
+pub use sciml_pipeline as pipeline;
+pub use sciml_platform as platform;
+
+pub mod api;
+pub mod convergence;
+
+/// Common imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::api::{build_pipeline, DatasetBuilder, EncodedFormat};
+    pub use crate::convergence::{
+        cosmoflow_convergence, deepcam_convergence, ConvergenceConfig, ConvergenceRun,
+    };
+    pub use sciml_codec::{Op, {cosmoflow as cosmo_codec, deepcam as deepcam_codec}};
+    pub use sciml_data::cosmoflow::{CosmoFlowConfig, UniverseGenerator};
+    pub use sciml_data::deepcam::{ClimateGenerator, DeepCamConfig};
+    pub use sciml_gpusim::{Gpu, GpuSpec};
+    pub use sciml_half::F16;
+    pub use sciml_pipeline::{Pipeline, PipelineConfig};
+    pub use sciml_platform::{EpochModel, ExperimentConfig, Format, PlatformSpec, WorkloadProfile};
+}

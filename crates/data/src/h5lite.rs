@@ -1,0 +1,340 @@
+//! `h5lite`: a minimal self-describing binary container standing in for
+//! the HDF5 files of the original DeepCAM dataset.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic "H5LT" | u16 version | u16 dataset count
+//! per dataset: u16 name len | name bytes | u8 dtype | u8 ndim |
+//!              ndim × u64 shape | u64 payload offset | u64 payload len
+//! payload region (offsets relative to start of payload region)
+//! u32 CRC-32 of everything above
+//! ```
+//!
+//! Only the features the pipeline needs are implemented: named n-d
+//! datasets of f32/u16/u8 and whole-dataset reads. That matches how the
+//! benchmarks use HDF5 — one `data` and one `label` dataset per file.
+
+use crate::{DataError, Result};
+use sciml_compress::crc32::crc32;
+
+const MAGIC: &[u8; 4] = b"H5LT";
+const VERSION: u16 = 1;
+
+/// Element type of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DType {
+    /// 32-bit float.
+    F32,
+    /// 16-bit unsigned integer.
+    U16,
+    /// 8-bit unsigned integer.
+    U8,
+}
+
+impl DType {
+    fn code(self) -> u8 {
+        match self {
+            DType::F32 => 0,
+            DType::U16 => 1,
+            DType::U8 => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Self> {
+        match c {
+            0 => Ok(DType::F32),
+            1 => Ok(DType::U16),
+            2 => Ok(DType::U8),
+            _ => Err(DataError::Format("unknown dtype code")),
+        }
+    }
+
+    /// Bytes per element.
+    pub fn size(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::U16 => 2,
+            DType::U8 => 1,
+        }
+    }
+}
+
+/// In-memory dataset description plus raw little-endian payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Dataset name (e.g. `"data"`, `"label"`).
+    pub name: String,
+    /// Element type.
+    pub dtype: DType,
+    /// Shape, slowest dimension first.
+    pub shape: Vec<u64>,
+    /// Raw little-endian element bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Dataset {
+    /// Builds an f32 dataset from values.
+    pub fn from_f32(name: &str, shape: &[u64], values: &[f32]) -> Dataset {
+        let mut payload = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        Dataset {
+            name: name.to_string(),
+            dtype: DType::F32,
+            shape: shape.to_vec(),
+            payload,
+        }
+    }
+
+    /// Builds a u16 dataset from values.
+    pub fn from_u16(name: &str, shape: &[u64], values: &[u16]) -> Dataset {
+        let mut payload = Vec::with_capacity(values.len() * 2);
+        for v in values {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        Dataset {
+            name: name.to_string(),
+            dtype: DType::U16,
+            shape: shape.to_vec(),
+            payload,
+        }
+    }
+
+    /// Builds a u8 dataset from values.
+    pub fn from_u8(name: &str, shape: &[u64], values: &[u8]) -> Dataset {
+        Dataset {
+            name: name.to_string(),
+            dtype: DType::U8,
+            shape: shape.to_vec(),
+            payload: values.to_vec(),
+        }
+    }
+
+    /// Element count implied by the shape.
+    pub fn elements(&self) -> u64 {
+        self.shape.iter().product()
+    }
+
+    /// Decodes the payload as f32 values.
+    pub fn as_f32(&self) -> Result<Vec<f32>> {
+        if self.dtype != DType::F32 || !self.payload.len().is_multiple_of(4) {
+            return Err(DataError::Format("dataset is not f32"));
+        }
+        Ok(self
+            .payload
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Decodes the payload as u16 values.
+    pub fn as_u16(&self) -> Result<Vec<u16>> {
+        if self.dtype != DType::U16 || !self.payload.len().is_multiple_of(2) {
+            return Err(DataError::Format("dataset is not u16"));
+        }
+        Ok(self
+            .payload
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+/// Serializes datasets into an `h5lite` file image.
+pub fn write(datasets: &[Dataset]) -> Result<Vec<u8>> {
+    let mut header = Vec::new();
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.extend_from_slice(&(datasets.len() as u16).to_le_bytes());
+    let mut offset = 0u64;
+    for d in datasets {
+        let expected = d.elements() as usize * d.dtype.size();
+        if expected != d.payload.len() {
+            return Err(DataError::Format("payload does not match shape"));
+        }
+        let name = d.name.as_bytes();
+        if name.len() > u16::MAX as usize {
+            return Err(DataError::Format("dataset name too long"));
+        }
+        header.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        header.extend_from_slice(name);
+        header.push(d.dtype.code());
+        header.push(d.shape.len() as u8);
+        for &s in &d.shape {
+            header.extend_from_slice(&s.to_le_bytes());
+        }
+        header.extend_from_slice(&offset.to_le_bytes());
+        header.extend_from_slice(&(d.payload.len() as u64).to_le_bytes());
+        offset += d.payload.len() as u64;
+    }
+    let mut out = header;
+    for d in datasets {
+        out.extend_from_slice(&d.payload);
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    Ok(out)
+}
+
+/// Parses an `h5lite` file image.
+pub fn read(data: &[u8]) -> Result<Vec<Dataset>> {
+    if data.len() < 12 {
+        return Err(DataError::Format("file too short"));
+    }
+    let (body, crc_bytes) = data.split_at(data.len() - 4);
+    let want = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != want {
+        return Err(DataError::Checksum);
+    }
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+        if *pos + n > body.len() {
+            return Err(DataError::Format("header overruns file"));
+        }
+        let s = &body[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    if take(&mut pos, 4)? != MAGIC {
+        return Err(DataError::Format("bad magic"));
+    }
+    let version = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap());
+    if version != VERSION {
+        return Err(DataError::Format("unsupported version"));
+    }
+    let count = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+
+    struct Entry {
+        name: String,
+        dtype: DType,
+        shape: Vec<u64>,
+        offset: u64,
+        len: u64,
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
+            .map_err(|_| DataError::Format("dataset name not utf-8"))?;
+        let dtype = DType::from_code(take(&mut pos, 1)?[0])?;
+        let ndim = take(&mut pos, 1)?[0] as usize;
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()));
+        }
+        let offset = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        entries.push(Entry {
+            name,
+            dtype,
+            shape,
+            offset,
+            len,
+        });
+    }
+    let payload_region = &body[pos..];
+    entries
+        .into_iter()
+        .map(|e| {
+            let start = e.offset as usize;
+            let end = start
+                .checked_add(e.len as usize)
+                .ok_or(DataError::Format("payload range overflow"))?;
+            if end > payload_region.len() {
+                return Err(DataError::Format("payload out of range"));
+            }
+            let elems: u64 = e.shape.iter().product();
+            if elems as usize * e.dtype.size() != e.len as usize {
+                return Err(DataError::Format("payload does not match shape"));
+            }
+            Ok(Dataset {
+                name: e.name,
+                dtype: e.dtype,
+                shape: e.shape,
+                payload: payload_region[start..end].to_vec(),
+            })
+        })
+        .collect()
+}
+
+/// Finds a dataset by name.
+pub fn find<'a>(datasets: &'a [Dataset], name: &str) -> Result<&'a Dataset> {
+    datasets
+        .iter()
+        .find(|d| d.name == name)
+        .ok_or(DataError::Format("dataset not found"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_file() -> Vec<u8> {
+        let data = Dataset::from_f32("data", &[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let label = Dataset::from_u8("label", &[6], &[0, 1, 2, 0, 1, 2]);
+        write(&[data, label]).unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let bytes = sample_file();
+        let ds = read(&bytes).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(find(&ds, "data").unwrap().as_f32().unwrap(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(find(&ds, "label").unwrap().payload, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn u16_roundtrip() {
+        let d = Dataset::from_u16("counts", &[4], &[0, 1, 65535, 42]);
+        let ds = read(&write(&[d]).unwrap()).unwrap();
+        assert_eq!(ds[0].as_u16().unwrap(), vec![0, 1, 65535, 42]);
+    }
+
+    #[test]
+    fn shape_payload_mismatch_rejected_on_write() {
+        let bad = Dataset {
+            name: "x".into(),
+            dtype: DType::F32,
+            shape: vec![10],
+            payload: vec![0; 8],
+        };
+        assert!(write(&[bad]).is_err());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = sample_file();
+        bytes[20] ^= 0xAA;
+        assert!(matches!(read(&bytes), Err(DataError::Checksum)));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample_file();
+        assert!(read(&bytes[..bytes.len() - 9]).is_err());
+    }
+
+    #[test]
+    fn wrong_dtype_access_fails() {
+        let bytes = sample_file();
+        let ds = read(&bytes).unwrap();
+        assert!(find(&ds, "label").unwrap().as_f32().is_err());
+        assert!(find(&ds, "data").unwrap().as_u16().is_err());
+    }
+
+    #[test]
+    fn missing_dataset() {
+        let bytes = sample_file();
+        let ds = read(&bytes).unwrap();
+        assert!(find(&ds, "nope").is_err());
+    }
+
+    #[test]
+    fn empty_file_list_roundtrips() {
+        let bytes = write(&[]).unwrap();
+        assert!(read(&bytes).unwrap().is_empty());
+    }
+}

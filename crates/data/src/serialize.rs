@@ -1,0 +1,166 @@
+//! Baseline on-disk layouts for both sample types.
+//!
+//! These mirror what the real benchmarks read: CosmoFlow samples as
+//! TFRecord payloads carrying the voxel histogram widened to f32 (the
+//! uncompressed baseline the paper measures against), and DeepCAM samples
+//! as HDF5-style files with a `data` f32 dataset and a `label` mask.
+
+use crate::cosmoflow::{CosmoParams, CosmoSample, N_REDSHIFTS};
+use crate::deepcam::DeepCamSample;
+use crate::h5lite::{self, Dataset};
+use crate::{DataError, Result};
+
+const COSMO_MAGIC: &[u8; 4] = b"CFSM";
+
+/// Serializes a CosmoFlow sample to the baseline TFRecord payload:
+/// magic, grid size, label, then all counts widened to little-endian f32
+/// (channel-major), exactly the tensor the baseline pipeline ships.
+pub fn cosmo_to_payload(sample: &CosmoSample) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20 + sample.counts.len() * 4);
+    out.extend_from_slice(COSMO_MAGIC);
+    out.extend_from_slice(&(sample.grid as u32).to_le_bytes());
+    for v in sample.label.as_array() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for &c in &sample.counts {
+        out.extend_from_slice(&(c as f32).to_le_bytes());
+    }
+    out
+}
+
+/// Parses the baseline CosmoFlow payload back into a sample.
+pub fn cosmo_from_payload(data: &[u8]) -> Result<CosmoSample> {
+    if data.len() < 24 || &data[0..4] != COSMO_MAGIC {
+        return Err(DataError::Format("bad cosmoflow payload header"));
+    }
+    let grid = u32::from_le_bytes(data[4..8].try_into().unwrap()) as usize;
+    let mut label = [0f32; 4];
+    for (i, l) in label.iter_mut().enumerate() {
+        *l = f32::from_le_bytes(data[8 + 4 * i..12 + 4 * i].try_into().unwrap());
+    }
+    let expected = grid
+        .checked_pow(3)
+        .and_then(|v| v.checked_mul(N_REDSHIFTS * 4))
+        .ok_or(DataError::Format("grid size overflow"))?;
+    let body = &data[24..];
+    if body.len() != expected {
+        return Err(DataError::Format("cosmoflow payload length mismatch"));
+    }
+    let counts = body
+        .chunks_exact(4)
+        .map(|c| {
+            let v = f32::from_le_bytes(c.try_into().unwrap());
+            if !(0.0..=u16::MAX as f32).contains(&v) || v.fract() != 0.0 {
+                return Err(DataError::Format("count not a u16 integer"));
+            }
+            Ok(v as u16)
+        })
+        .collect::<Result<Vec<u16>>>()?;
+    Ok(CosmoSample {
+        grid,
+        counts,
+        label: CosmoParams {
+            omega_m: label[0],
+            sigma8: label[1],
+            n_s: label[2],
+            h: label[3],
+        },
+    })
+}
+
+/// Serializes a DeepCAM sample to an `h5lite` file image with `data`
+/// ([C, H, W] f32) and `label` ([H, W] u8) datasets, mirroring the CAM5
+/// HDF5 layout.
+pub fn deepcam_to_h5(sample: &DeepCamSample) -> Result<Vec<u8>> {
+    let data = Dataset::from_f32(
+        "data",
+        &[
+            sample.channels as u64,
+            sample.height as u64,
+            sample.width as u64,
+        ],
+        &sample.data,
+    );
+    let label = Dataset::from_u8(
+        "label",
+        &[sample.height as u64, sample.width as u64],
+        &sample.mask,
+    );
+    h5lite::write(&[data, label])
+}
+
+/// Parses the `h5lite` DeepCAM layout back into a sample.
+pub fn deepcam_from_h5(bytes: &[u8]) -> Result<DeepCamSample> {
+    let ds = h5lite::read(bytes)?;
+    let data = h5lite::find(&ds, "data")?;
+    let label = h5lite::find(&ds, "label")?;
+    if data.shape.len() != 3 || label.shape.len() != 2 {
+        return Err(DataError::Format("unexpected dataset rank"));
+    }
+    let (c, h, w) = (
+        data.shape[0] as usize,
+        data.shape[1] as usize,
+        data.shape[2] as usize,
+    );
+    if label.shape[0] as usize != h || label.shape[1] as usize != w {
+        return Err(DataError::Format("label shape mismatch"));
+    }
+    Ok(DeepCamSample {
+        width: w,
+        height: h,
+        channels: c,
+        data: data.as_f32()?,
+        mask: label.payload.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosmoflow::{CosmoFlowConfig, UniverseGenerator};
+    use crate::deepcam::{ClimateGenerator, DeepCamConfig};
+
+    #[test]
+    fn cosmo_payload_roundtrip() {
+        let s = UniverseGenerator::new(CosmoFlowConfig::test_small()).generate(0);
+        let payload = cosmo_to_payload(&s);
+        assert_eq!(payload.len(), 24 + s.counts.len() * 4);
+        let back = cosmo_from_payload(&payload).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn cosmo_payload_rejects_garbage() {
+        assert!(cosmo_from_payload(b"nope").is_err());
+        let s = UniverseGenerator::new(CosmoFlowConfig::test_small()).generate(1);
+        let mut payload = cosmo_to_payload(&s);
+        payload.truncate(payload.len() - 4);
+        assert!(cosmo_from_payload(&payload).is_err());
+    }
+
+    #[test]
+    fn cosmo_payload_rejects_non_integer_counts() {
+        let s = UniverseGenerator::new(CosmoFlowConfig::test_small()).generate(2);
+        let mut payload = cosmo_to_payload(&s);
+        // Overwrite the first count with 0.5.
+        payload[24..28].copy_from_slice(&0.5f32.to_le_bytes());
+        assert!(cosmo_from_payload(&payload).is_err());
+    }
+
+    #[test]
+    fn deepcam_h5_roundtrip() {
+        let s = ClimateGenerator::new(DeepCamConfig::test_small()).generate(0);
+        let bytes = deepcam_to_h5(&s).unwrap();
+        let back = deepcam_from_h5(&bytes).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn deepcam_h5_detects_corruption() {
+        let s = ClimateGenerator::new(DeepCamConfig::test_small()).generate(0);
+        let mut bytes = deepcam_to_h5(&s).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x55;
+        assert!(deepcam_from_h5(&bytes).is_err());
+    }
+}

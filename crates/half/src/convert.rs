@@ -1,0 +1,228 @@
+//! Bit-level conversions between binary32 and binary16.
+//!
+//! `f32 -> f16` uses round-to-nearest, ties-to-even, the IEEE default mode
+//! and what V100/A100 conversion instructions implement. Subnormal halves
+//! are produced for small magnitudes; overflow saturates to infinity; NaN
+//! payload top bits are preserved and the result is always quiet.
+
+/// Converts an `f32` to binary16 bits with round-to-nearest-even.
+pub fn f16_bits_from_f32(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let man = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf or NaN.
+        return if man == 0 {
+            sign | 0x7C00
+        } else {
+            // Quiet NaN; keep top mantissa bits so distinct payloads are
+            // distinguishable, force the quiet bit to avoid producing inf.
+            sign | 0x7C00 | 0x0200 | ((man >> 13) as u16 & 0x01FF)
+        };
+    }
+
+    // Unbiased exponent of the f32 value.
+    let unbiased = exp - 127;
+    // Half exponent field = unbiased + 15.
+    let half_exp = unbiased + 15;
+
+    if half_exp >= 0x1F {
+        // Overflow: round-to-nearest-even of any value >= 65520 is inf.
+        // Values in (65504, 65520) round down to MAX.
+        let abs = f32::from_bits(bits & 0x7FFF_FFFF);
+        if abs >= 65520.0 {
+            return sign | 0x7C00;
+        }
+        return sign | 0x7BFF;
+    }
+
+    if half_exp <= 0 {
+        // Subnormal half (or zero). The implicit leading 1 (for normal
+        // f32 inputs, i.e. exp != 0) joins the mantissa and the whole
+        // significand is shifted right.
+        if half_exp < -10 {
+            // Too small for even the largest subnormal rounding: underflow
+            // to (signed) zero. half_exp == -10 can still round up to the
+            // smallest subnormal.
+            return sign;
+        }
+        let significand = if exp == 0 {
+            // f32 subnormal: magnitude < 2^-126, far below half subnormal
+            // range; flush to zero (consistent with half_exp < -10 path).
+            return sign;
+        } else {
+            man | 0x0080_0000
+        };
+        // We need to shift the 24-bit significand right by (14 + 10 - ...):
+        // value = significand * 2^(unbiased - 23); half subnormal unit is
+        // 2^-24, so the result mantissa = value / 2^-24
+        //        = significand * 2^(unbiased - 23 + 24)
+        //        = significand >> (13 - (half_exp - 1))  [derived below]
+        // For half_exp in [-10, 0] the shift is 14 - half_exp in [14, 24].
+        let shift = (14 - half_exp) as u32;
+        let mantissa = significand >> shift;
+        let remainder = significand & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let mut m = mantissa as u16;
+        if remainder > halfway || (remainder == halfway && (m & 1) == 1) {
+            m += 1; // may carry into the exponent field: that is correct
+                    // (rounds up to MIN_POSITIVE)
+        }
+        return sign | m;
+    }
+
+    // Normal half. Round the 23-bit mantissa to 10 bits.
+    let mut half = sign | ((half_exp as u16) << 10) | ((man >> 13) as u16);
+    let remainder = man & 0x1FFF;
+    if remainder > 0x1000 || (remainder == 0x1000 && (half & 1) == 1) {
+        half += 1; // carry may roll into exponent; IEEE rounding is exactly
+                   // this bit-increment (may produce inf from MAX, which is
+                   // unreachable here because half_exp < 0x1F pre-rounding
+                   // and mantissa carry gives exp 0x1F|man 0 = inf only via
+                   // values handled in the overflow branch above... except
+                   // values just below 65520 — handled there too).
+    }
+    half
+}
+
+/// Exactly widens binary16 bits to an `f32`.
+pub fn f32_from_f16_bits(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let man = (h & 0x03FF) as u32;
+
+    let bits = if exp == 0 {
+        if man == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal: value = man * 2^-24 with the leading set bit of
+            // `man` at position p, i.e. 1.xxx * 2^(p-24). Normalize by
+            // shifting that leading bit up to f32 mantissa bit 23.
+            let p = 31 - man.leading_zeros(); // 0..=9
+            let exp32 = p + (127 - 24);
+            let shifted = man << (23 - p);
+            sign | (exp32 << 23) | (shifted & 0x007F_FFFF)
+        }
+    } else if exp == 0x1F {
+        if man == 0 {
+            sign | 0x7F80_0000 // infinity
+        } else {
+            sign | 0x7FC0_0000 | (man << 13) // quiet NaN, payload preserved
+        }
+    } else {
+        let exp32 = exp + 127 - 15;
+        sign | (exp32 << 23) | (man << 13)
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference conversion via integer-free arithmetic: parse the half
+    /// fields and reconstruct the value with powers of two.
+    fn reference_to_f32(h: u16) -> f32 {
+        let sign = if h & 0x8000 != 0 { -1.0f64 } else { 1.0 };
+        let exp = ((h >> 10) & 0x1F) as i32;
+        let man = (h & 0x03FF) as f64;
+        let v = if exp == 0 {
+            sign * man * 2f64.powi(-24)
+        } else if exp == 0x1F {
+            if man == 0.0 {
+                sign * f64::INFINITY
+            } else {
+                f64::NAN
+            }
+        } else {
+            sign * (1.0 + man / 1024.0) * 2f64.powi(exp - 15)
+        };
+        v as f32
+    }
+
+    #[test]
+    fn widen_matches_reference_for_all_bit_patterns() {
+        for h in 0..=u16::MAX {
+            let ours = f32_from_f16_bits(h);
+            let reference = reference_to_f32(h);
+            if reference.is_nan() {
+                assert!(ours.is_nan(), "bits {h:#06x}: expected NaN, got {ours}");
+            } else {
+                assert_eq!(ours, reference, "bits {h:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_widen_roundtrip_is_identity_for_all_finite_halves() {
+        for h in 0..=u16::MAX {
+            let f = f32_from_f16_bits(h);
+            if f.is_nan() {
+                assert!(f32_from_f16_bits(f16_bits_from_f32(f)).is_nan());
+                continue;
+            }
+            let back = f16_bits_from_f32(f);
+            // -0.0 and 0.0 keep their signs; everything exact.
+            assert_eq!(back, h, "bits {h:#06x} -> {f} -> {back:#06x}");
+        }
+    }
+
+    #[test]
+    fn rounding_ties_to_even() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 and 1.0+2^-10:
+        // must round to even mantissa (1.0).
+        let halfway = 1.0f32 + 2f32.powi(-11);
+        assert_eq!(f16_bits_from_f32(halfway), 0x3C00);
+        // 1.0 + 3*2^-11 is halfway between m=1 and m=2: rounds to m=2.
+        let halfway_up = 1.0f32 + 3.0 * 2f32.powi(-11);
+        assert_eq!(f16_bits_from_f32(halfway_up), 0x3C02);
+        // Slightly above halfway rounds up.
+        assert_eq!(f16_bits_from_f32(halfway + 1e-7), 0x3C01);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(f16_bits_from_f32(65520.0), 0x7C00);
+        assert_eq!(f16_bits_from_f32(1e30), 0x7C00);
+        assert_eq!(f16_bits_from_f32(-1e30), 0xFC00);
+        // 65519.9 rounds down to MAX
+        assert_eq!(f16_bits_from_f32(65519.0), 0x7BFF);
+        assert_eq!(f16_bits_from_f32(65504.0), 0x7BFF);
+    }
+
+    #[test]
+    fn underflow_and_subnormals() {
+        // 2^-24 is the smallest subnormal.
+        assert_eq!(f16_bits_from_f32(2f32.powi(-24)), 0x0001);
+        // Half of that is a tie with zero: ties-to-even gives zero.
+        assert_eq!(f16_bits_from_f32(2f32.powi(-25)), 0x0000);
+        // Just above the tie rounds up to the smallest subnormal.
+        assert_eq!(f16_bits_from_f32(2f32.powi(-25) * 1.0001), 0x0001);
+        // Far below: signed zero.
+        assert_eq!(f16_bits_from_f32(-1e-30), 0x8000);
+        // Largest subnormal.
+        let largest_sub = 1023.0 * 2f32.powi(-24);
+        assert_eq!(f16_bits_from_f32(largest_sub), 0x03FF);
+        // Rounds up into the normal range.
+        let just_below_min_normal = 2f32.powi(-14) * (1.0 - 2f32.powi(-12));
+        assert_eq!(f16_bits_from_f32(just_below_min_normal), 0x0400);
+    }
+
+    #[test]
+    fn nan_stays_nan_and_infinity_is_preserved() {
+        assert_eq!(f16_bits_from_f32(f32::INFINITY), 0x7C00);
+        assert_eq!(f16_bits_from_f32(f32::NEG_INFINITY), 0xFC00);
+        let n = f16_bits_from_f32(f32::NAN);
+        assert_eq!(n & 0x7C00, 0x7C00);
+        assert_ne!(n & 0x03FF, 0);
+    }
+
+    #[test]
+    fn mantissa_carry_rolls_into_exponent() {
+        // Largest f32 below 2.0 rounds up to exactly 2.0 in half.
+        let v = 2.0f32 - 2f32.powi(-20);
+        assert_eq!(f16_bits_from_f32(v), 0x4000); // 2.0
+    }
+}

@@ -1,0 +1,103 @@
+//! Arithmetic on [`F16`] by widening to `f32`.
+//!
+//! This mirrors the paper's decode arithmetic: "the computation is
+//! conducted in single-precision (FP32) precision" with FP16 emission,
+//! i.e. every operation is `round16(op32(widen(a), widen(b)))`.
+
+use crate::F16;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+macro_rules! widen_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for F16 {
+            type Output = F16;
+            #[inline]
+            fn $method(self, rhs: F16) -> F16 {
+                F16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+    };
+}
+
+widen_binop!(Add, add, +);
+widen_binop!(Sub, sub, -);
+widen_binop!(Mul, mul, *);
+widen_binop!(Div, div, /);
+
+impl Neg for F16 {
+    type Output = F16;
+    #[inline]
+    fn neg(self) -> F16 {
+        F16(self.0 ^ 0x8000)
+    }
+}
+
+impl AddAssign for F16 {
+    #[inline]
+    fn add_assign(&mut self, rhs: F16) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for F16 {
+    /// Accumulates in `f32` and rounds once at the end — the numerically
+    /// sensible reduction for half inputs (and what mixed-precision
+    /// tensor hardware does).
+    fn sum<I: Iterator<Item = F16>>(iter: I) -> F16 {
+        F16::from_f32(iter.map(F16::to_f32).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_rounds_to_half() {
+        let a = F16::from_f32(1.0);
+        let b = F16::from_f32(2f32.powi(-12)); // below half epsilon at 1.0
+        assert_eq!(a + b, a); // absorbed by rounding
+        let c = F16::from_f32(2f32.powi(-10));
+        assert_eq!((a + c).to_f32(), 1.0 + 2f32.powi(-10));
+    }
+
+    #[test]
+    fn mul_div_roundtrip() {
+        let a = F16::from_f32(3.5);
+        let b = F16::from_f32(2.0);
+        assert_eq!((a * b).to_f32(), 7.0);
+        assert_eq!((a / b).to_f32(), 1.75);
+    }
+
+    #[test]
+    fn neg_is_sign_flip() {
+        assert_eq!((-F16::ONE).to_f32(), -1.0);
+        assert_eq!((-F16::ZERO).to_bits(), 0x8000);
+        assert!((-F16::NAN).is_nan());
+    }
+
+    #[test]
+    fn sum_accumulates_in_f32() {
+        // 4096 copies of 1.0 sum exactly to 4096 when accumulated in f32;
+        // a naive half accumulator would stall at 2048 (where +1 is
+        // absorbed by rounding).
+        let v = vec![F16::ONE; 4096];
+        assert_eq!(v.into_iter().sum::<F16>().to_f32(), 4096.0);
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let mut a = F16::from_f32(1.5);
+        a += F16::from_f32(0.25);
+        assert_eq!(a.to_f32(), 1.75);
+    }
+
+    #[test]
+    fn inf_and_nan_propagate() {
+        assert!((F16::INFINITY - F16::INFINITY).is_nan());
+        assert_eq!(F16::INFINITY + F16::ONE, F16::INFINITY);
+        assert!((F16::NAN * F16::ONE).is_nan());
+        assert_eq!(F16::MAX + F16::MAX, F16::INFINITY);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the binary16 implementation.
+
+use proptest::prelude::*;
+use sciml_half::{f16_bits_from_f32, f32_from_f16_bits, relative_error, F16};
+
+proptest! {
+    /// Widening then narrowing any half bit pattern is the identity
+    /// (modulo NaN payload quieting).
+    #[test]
+    fn widen_narrow_identity(bits in any::<u16>()) {
+        let f = f32_from_f16_bits(bits);
+        if f.is_nan() {
+            prop_assert!(f32_from_f16_bits(f16_bits_from_f32(f)).is_nan());
+        } else {
+            prop_assert_eq!(f16_bits_from_f32(f), bits);
+        }
+    }
+
+    /// Narrowing is monotone: a <= b implies narrow(a) <= narrow(b).
+    #[test]
+    fn narrowing_is_monotone(a in -1e5f32..1e5, b in -1e5f32..1e5) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let l = F16::from_f32(lo).to_f32();
+        let h = F16::from_f32(hi).to_f32();
+        prop_assert!(l <= h, "{lo} -> {l}, {hi} -> {h}");
+    }
+
+    /// Conversion error is within half a ULP for the normal range
+    /// (relative error bounded by 2^-11).
+    #[test]
+    fn conversion_error_bound(mag in 6.2e-5f32..65504.0, negate in any::<bool>()) {
+        let v = if negate { -mag } else { mag };
+        let h = F16::from_f32(v);
+        prop_assert!(relative_error(h.to_f32(), v) <= 2f32.powi(-11) * 1.0001,
+            "{v} -> {h:?}");
+    }
+
+    /// Narrowing never produces NaN from a finite input.
+    #[test]
+    fn finite_in_never_nan_out(v in any::<f32>()) {
+        prop_assume!(v.is_finite());
+        prop_assert!(!F16::from_f32(v).is_nan());
+    }
+
+    /// Sign is always preserved exactly.
+    #[test]
+    fn sign_preserved(v in any::<f32>()) {
+        prop_assume!(!v.is_nan());
+        prop_assert_eq!(F16::from_f32(v).is_sign_negative(), v.is_sign_negative());
+    }
+
+    /// Widened addition then rounding equals F16 Add operator.
+    #[test]
+    fn add_matches_widen_scheme(a in -1e3f32..1e3, b in -1e3f32..1e3) {
+        let ha = F16::from_f32(a);
+        let hb = F16::from_f32(b);
+        let expect = F16::from_f32(ha.to_f32() + hb.to_f32());
+        prop_assert_eq!(ha + hb, expect);
+    }
+
+    /// Byte serialization round-trips arbitrary half vectors.
+    #[test]
+    fn slice_byte_roundtrip(vals in prop::collection::vec(any::<u16>(), 0..256)) {
+        let halves: Vec<F16> = vals.iter().map(|&b| F16::from_bits(b)).collect();
+        let bytes = sciml_half::slice::to_le_bytes(&halves);
+        prop_assert_eq!(sciml_half::slice::from_le_bytes(&bytes).unwrap(), halves);
+    }
+}

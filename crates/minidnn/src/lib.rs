@@ -1,0 +1,43 @@
+//! Minimal CPU deep-learning framework for the convergence experiments.
+//!
+//! The paper's Figs. 6–7 compare training-loss trajectories when the
+//! model is fed FP32 baseline samples versus FP16 decoded samples. The
+//! claim under test is *statistical*: the decoders preserve convergence.
+//! Reproducing it does not require TensorFlow — it requires training the
+//! same optimizer on the same schedule over both input paths. This crate
+//! provides exactly that at laptop scale:
+//!
+//! * [`tensor`] — shaped f32 buffers with the few ops training needs;
+//! * [`layers`] — Dense, Conv2d, Conv3d, ReLU, MaxPool, Flatten with
+//!   hand-written backprop, and [`layers::Sequential`] to compose them;
+//! * [`loss`] — MSE (CosmoFlow's parameter regression) and softmax
+//!   cross-entropy over pixels (DeepCAM's segmentation);
+//! * [`optim`] — SGD with momentum and Adam;
+//! * [`models`] — the scaled-down CosmoFlow and DeepCAM networks;
+//! * [`train`] — the training loop with a fixed learning schedule and
+//!   FP32/FP16 input paths.
+//!
+//! Determinism: every weight init and shuffle takes an explicit seed, so
+//! base-vs-decoded runs differ *only* in their input bytes.
+
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod models;
+pub mod optim;
+pub mod schedule;
+pub mod tensor;
+pub mod train;
+
+pub use tensor::Tensor;
+
+/// Input numeric path: the baseline feeds FP32 samples, the decoded path
+/// feeds FP16 (widened at the framework boundary, as mixed-precision
+/// engines do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputPath {
+    /// FP32 samples straight from storage.
+    Fp32Base,
+    /// FP16 samples produced by a decoder plugin.
+    Fp16Decoded,
+}

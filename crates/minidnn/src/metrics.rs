@@ -1,0 +1,148 @@
+//! Quality metrics beyond the loss: mean absolute error for the
+//! CosmoFlow regression and per-class intersection-over-union for the
+//! DeepCAM segmentation (the benchmark's target metric).
+
+use crate::layers::Sequential;
+use crate::tensor::Tensor;
+
+/// Mean absolute error per regression target dimension.
+pub fn regression_mae(
+    net: &mut Sequential,
+    samples: &[Vec<f32>],
+    input_shape: &[usize],
+    labels: &[[f32; 4]],
+) -> [f32; 4] {
+    let mut sums = [0f64; 4];
+    for (x, y) in samples.iter().zip(labels) {
+        let mut shape = vec![1usize];
+        shape.extend_from_slice(input_shape);
+        let pred = net.forward(&Tensor::from_vec(&shape, x.clone()));
+        for d in 0..4 {
+            sums[d] += (pred.data[d] - y[d]).abs() as f64;
+        }
+    }
+    let n = samples.len().max(1) as f64;
+    [
+        (sums[0] / n) as f32,
+        (sums[1] / n) as f32,
+        (sums[2] / n) as f32,
+        (sums[3] / n) as f32,
+    ]
+}
+
+/// Argmax class per pixel from `[B, classes, P]` logits.
+pub fn predict_classes(logits: &Tensor, classes: usize) -> Vec<u8> {
+    let b = logits.shape[0];
+    let p = logits.len() / (b * classes);
+    let mut out = Vec::with_capacity(b * p);
+    for bi in 0..b {
+        for pi in 0..p {
+            let mut best = 0usize;
+            let mut best_v = f32::NEG_INFINITY;
+            for c in 0..classes {
+                let v = logits.data[(bi * classes + c) * p + pi];
+                if v > best_v {
+                    best_v = v;
+                    best = c;
+                }
+            }
+            out.push(best as u8);
+        }
+    }
+    out
+}
+
+/// Per-class IoU between predictions and ground truth.
+///
+/// Classes absent from both prediction and truth get IoU = NaN (skip in
+/// means); the DeepCAM benchmark reports the mean over present classes.
+pub fn iou_per_class(pred: &[u8], truth: &[u8], classes: usize) -> Vec<f32> {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    let mut inter = vec![0u64; classes];
+    let mut union = vec![0u64; classes];
+    for (&p, &t) in pred.iter().zip(truth) {
+        let (p, t) = (p as usize, t as usize);
+        if p == t {
+            inter[p] += 1;
+            union[p] += 1;
+        } else {
+            union[p] += 1;
+            union[t] += 1;
+        }
+    }
+    (0..classes)
+        .map(|c| {
+            if union[c] == 0 {
+                f32::NAN
+            } else {
+                inter[c] as f32 / union[c] as f32
+            }
+        })
+        .collect()
+}
+
+/// Mean IoU over classes present in prediction or truth.
+pub fn mean_iou(pred: &[u8], truth: &[u8], classes: usize) -> f32 {
+    let per = iou_per_class(pred, truth, classes);
+    let present: Vec<f32> = per.into_iter().filter(|v| !v.is_nan()).collect();
+    if present.is_empty() {
+        f32::NAN
+    } else {
+        present.iter().sum::<f32>() / present.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+
+    #[test]
+    fn perfect_prediction_gives_iou_one() {
+        let truth = vec![0u8, 1, 2, 1, 0];
+        assert_eq!(iou_per_class(&truth, &truth, 3), vec![1.0, 1.0, 1.0]);
+        assert_eq!(mean_iou(&truth, &truth, 3), 1.0);
+    }
+
+    #[test]
+    fn disjoint_prediction_gives_iou_zero() {
+        let pred = vec![0u8; 4];
+        let truth = vec![1u8; 4];
+        let per = iou_per_class(&pred, &truth, 3);
+        assert_eq!(per[0], 0.0);
+        assert_eq!(per[1], 0.0);
+        assert!(per[2].is_nan());
+        assert_eq!(mean_iou(&pred, &truth, 3), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // class 0: pred {0,1}, truth {0,2} -> inter {0}, union {0,1,2} = 1/3.
+        let pred = vec![0u8, 0, 1];
+        let truth = vec![0u8, 1, 0];
+        let per = iou_per_class(&pred, &truth, 2);
+        assert!((per[0] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((per[1] - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn predict_classes_takes_argmax() {
+        // 2 classes, 3 pixels.
+        let logits = Tensor::from_vec(&[1, 2, 3], vec![1.0, -1.0, 0.0, 0.0, 2.0, 0.5]);
+        assert_eq!(predict_classes(&logits, 2), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn regression_mae_zero_for_identity_fit() {
+        // A 4->4 identity-ish check: with a zero network the MAE equals
+        // the mean |label|.
+        let mut rng = Tensor::rng(1);
+        let mut net = Sequential::new(vec![Box::new(Dense::new(4, 4, &mut rng))]);
+        // Zero all params: predictions are 0.
+        net.visit_params(&mut |p, _| p.zero());
+        let samples = vec![vec![1.0, 2.0, 3.0, 4.0]];
+        let labels = vec![[0.5f32, -0.5, 1.0, 0.0]];
+        let mae = regression_mae(&mut net, &samples, &[4], &labels);
+        assert_eq!(mae, [0.5, 0.5, 1.0, 0.0]);
+    }
+}

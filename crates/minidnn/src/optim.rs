@@ -1,0 +1,191 @@
+//! Optimizers: SGD with momentum, and Adam.
+
+use crate::layers::Sequential;
+use crate::tensor::Tensor;
+
+/// Optimizer interface: applies accumulated gradients and zeroes them.
+pub trait Optimizer {
+    /// One update step over every parameter of the network.
+    fn step(&mut self, net: &mut Sequential);
+
+    /// Current learning rate (after schedule adjustments).
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by warmup/decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// SGD with classical momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// New SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut Sequential) {
+        let mut i = 0;
+        let lr = self.lr;
+        let mu = self.momentum;
+        let velocity = &mut self.velocity;
+        net.visit_params(&mut |p, g| {
+            if velocity.len() == i {
+                velocity.push(Tensor::zeros(&p.shape));
+            }
+            let v = &mut velocity[i];
+            for ((vv, pv), gv) in v.data.iter_mut().zip(&mut p.data).zip(&g.data) {
+                *vv = mu * *vv - lr * gv;
+                *pv += *vv;
+            }
+            g.zero();
+            i += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (the CosmoFlow reference uses SGD; Adam is provided
+/// for the DeepCAM-style schedule and ablations).
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// New Adam optimizer with standard betas.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut Sequential) {
+        self.t += 1;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let lr = self.lr;
+        let eps = self.eps;
+        let mut i = 0;
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        net.visit_params(&mut |p, g| {
+            if ms.len() == i {
+                ms.push(Tensor::zeros(&p.shape));
+                vs.push(Tensor::zeros(&p.shape));
+            }
+            let m = &mut ms[i];
+            let v = &mut vs[i];
+            for (((mv, vv), pv), gv) in m
+                .data
+                .iter_mut()
+                .zip(&mut v.data)
+                .zip(&mut p.data)
+                .zip(&g.data)
+            {
+                *mv = b1 * *mv + (1.0 - b1) * gv;
+                *vv = b2 * *vv + (1.0 - b2) * gv * gv;
+                let mhat = *mv / bc1;
+                let vhat = *vv / bc2;
+                *pv -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            g.zero();
+            i += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Sequential};
+    use crate::loss::mse;
+
+    fn quadratic_fit(optimizer: &mut dyn Optimizer) -> f32 {
+        // Fit y = 2x with a single linear unit.
+        let mut rng = Tensor::rng(1);
+        let mut net = Sequential::new(vec![Box::new(Dense::new(1, 1, &mut rng))]);
+        let x = Tensor::from_vec(&[4, 1], vec![-1.0, 0.0, 1.0, 2.0]);
+        let y = Tensor::from_vec(&[4, 1], vec![-2.0, 0.0, 2.0, 4.0]);
+        let mut last = f32::MAX;
+        for _ in 0..200 {
+            let pred = net.forward(&x);
+            let (l, g) = mse(&pred, &y);
+            net.backward(&g);
+            optimizer.step(&mut net);
+            last = l;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_problem() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        assert!(quadratic_fit(&mut opt) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_linear_problem() {
+        let mut opt = Adam::new(0.05);
+        assert!(quadratic_fit(&mut opt) < 1e-3);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut rng = Tensor::rng(2);
+        let mut net = Sequential::new(vec![Box::new(Dense::new(2, 1, &mut rng))]);
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]);
+        let pred = net.forward(&x);
+        let (_, g) = mse(&pred, &Tensor::zeros(&pred.shape));
+        net.backward(&g);
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut net);
+        net.visit_params(&mut |_, g| assert!(g.data.iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn learning_rate_is_settable() {
+        let mut opt = Sgd::new(0.1, 0.9);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

@@ -1,0 +1,205 @@
+//! Learning-rate schedules.
+//!
+//! The paper holds "the learning schedule (warmup, learning rate change
+//! with rank count and phases, etc.)" fixed between the base and decoded
+//! runs; this module provides the schedule family those references use:
+//! linear warmup composed with constant, step-decay, or cosine phases,
+//! plus the linear rank scaling of distributed training.
+
+/// A learning-rate schedule: step number → learning rate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Schedule {
+    /// Constant rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Linear warmup from 0 to `lr` over `warmup_steps`, then constant.
+    WarmupConstant {
+        /// Peak rate.
+        lr: f32,
+        /// Warmup length in steps.
+        warmup_steps: usize,
+    },
+    /// Warmup, then multiply by `gamma` at each milestone step.
+    WarmupStepDecay {
+        /// Peak rate.
+        lr: f32,
+        /// Warmup length in steps.
+        warmup_steps: usize,
+        /// Steps at which the rate decays.
+        milestones: Vec<usize>,
+        /// Multiplicative decay per milestone.
+        gamma: f32,
+    },
+    /// Warmup, then cosine annealing to `min_lr` at `total_steps`.
+    WarmupCosine {
+        /// Peak rate.
+        lr: f32,
+        /// Warmup length in steps.
+        warmup_steps: usize,
+        /// Horizon of the anneal.
+        total_steps: usize,
+        /// Floor rate.
+        min_lr: f32,
+    },
+}
+
+impl Schedule {
+    /// The learning rate at optimizer step `step` (0-based).
+    pub fn at(&self, step: usize) -> f32 {
+        match self {
+            Schedule::Constant { lr } => *lr,
+            Schedule::WarmupConstant { lr, warmup_steps } => warmup(*lr, *warmup_steps, step)
+                .unwrap_or(*lr),
+            Schedule::WarmupStepDecay {
+                lr,
+                warmup_steps,
+                milestones,
+                gamma,
+            } => {
+                if let Some(w) = warmup(*lr, *warmup_steps, step) {
+                    return w;
+                }
+                let decays = milestones.iter().filter(|&&m| step >= m).count() as i32;
+                lr * gamma.powi(decays)
+            }
+            Schedule::WarmupCosine {
+                lr,
+                warmup_steps,
+                total_steps,
+                min_lr,
+            } => {
+                if let Some(w) = warmup(*lr, *warmup_steps, step) {
+                    return w;
+                }
+                let t = (step - warmup_steps) as f32
+                    / (total_steps.saturating_sub(*warmup_steps)).max(1) as f32;
+                let t = t.min(1.0);
+                min_lr + 0.5 * (lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+
+    /// Scales the peak rate linearly with the number of ranks — the
+    /// standard large-batch rule the paper's "learning rate change with
+    /// rank count" refers to.
+    pub fn scaled_by_ranks(self, ranks: usize) -> Schedule {
+        let f = ranks.max(1) as f32;
+        match self {
+            Schedule::Constant { lr } => Schedule::Constant { lr: lr * f },
+            Schedule::WarmupConstant { lr, warmup_steps } => Schedule::WarmupConstant {
+                lr: lr * f,
+                warmup_steps,
+            },
+            Schedule::WarmupStepDecay {
+                lr,
+                warmup_steps,
+                milestones,
+                gamma,
+            } => Schedule::WarmupStepDecay {
+                lr: lr * f,
+                warmup_steps,
+                milestones,
+                gamma,
+            },
+            Schedule::WarmupCosine {
+                lr,
+                warmup_steps,
+                total_steps,
+                min_lr,
+            } => Schedule::WarmupCosine {
+                lr: lr * f,
+                warmup_steps,
+                total_steps,
+                min_lr: min_lr * f,
+            },
+        }
+    }
+}
+
+fn warmup(lr: f32, warmup_steps: usize, step: usize) -> Option<f32> {
+    if step < warmup_steps {
+        Some(lr * (step + 1) as f32 / warmup_steps as f32)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = Schedule::Constant { lr: 0.1 };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(10_000), 0.1);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = Schedule::WarmupConstant {
+            lr: 1.0,
+            warmup_steps: 4,
+        };
+        assert_eq!(s.at(0), 0.25);
+        assert_eq!(s.at(1), 0.5);
+        assert_eq!(s.at(3), 1.0);
+        assert_eq!(s.at(100), 1.0);
+    }
+
+    #[test]
+    fn step_decay_applies_at_milestones() {
+        let s = Schedule::WarmupStepDecay {
+            lr: 1.0,
+            warmup_steps: 0,
+            milestones: vec![10, 20],
+            gamma: 0.1,
+        };
+        assert_eq!(s.at(5), 1.0);
+        assert!((s.at(10) - 0.1).abs() < 1e-7);
+        assert!((s.at(25) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cosine_anneals_to_floor() {
+        let s = Schedule::WarmupCosine {
+            lr: 1.0,
+            warmup_steps: 2,
+            total_steps: 102,
+            min_lr: 0.01,
+        };
+        assert_eq!(s.at(1), 1.0); // end of warmup
+        assert!((s.at(2) - 1.0).abs() < 1e-6); // anneal start at peak
+        let mid = s.at(52);
+        assert!((mid - 0.505).abs() < 0.01, "{mid}");
+        assert!((s.at(102) - 0.01).abs() < 1e-6);
+        assert!((s.at(1000) - 0.01).abs() < 1e-6); // clamped past horizon
+    }
+
+    #[test]
+    fn cosine_is_monotone_after_warmup() {
+        let s = Schedule::WarmupCosine {
+            lr: 1.0,
+            warmup_steps: 5,
+            total_steps: 50,
+            min_lr: 0.0,
+        };
+        for step in 5..49 {
+            assert!(s.at(step + 1) <= s.at(step) + 1e-7, "step {step}");
+        }
+    }
+
+    #[test]
+    fn rank_scaling_multiplies_peak() {
+        let s = Schedule::WarmupConstant {
+            lr: 0.1,
+            warmup_steps: 2,
+        }
+        .scaled_by_ranks(8);
+        assert!((s.at(100) - 0.8).abs() < 1e-6);
+        // Warmup still ramps from zero-ish.
+        assert!(s.at(0) < s.at(100));
+    }
+}

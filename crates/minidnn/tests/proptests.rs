@@ -1,0 +1,121 @@
+//! Property tests: every layer's analytic input gradient must match the
+//! numerical gradient on random inputs, and training must be invariant
+//! to things that shouldn't matter.
+
+use proptest::prelude::*;
+use sciml_minidnn::layers::{Conv2d, Conv3d, Dense, Layer, MaxPool, Relu};
+use sciml_minidnn::loss::{mse, softmax_cross_entropy};
+use sciml_minidnn::Tensor;
+
+/// Numerical gradient check against `loss = sum(forward(x))`.
+fn grad_matches(layer: &mut dyn Layer, input: &Tensor, probes: &[usize], tol: f32) -> bool {
+    let out = layer.forward(input);
+    let ones = Tensor::from_vec(&out.shape, vec![1.0; out.len()]);
+    let gin = layer.backward(&ones);
+    let eps = 1e-2f32;
+    for &p in probes {
+        let p = p % input.len();
+        let mut plus = input.clone();
+        plus.data[p] += eps;
+        let mut minus = input.clone();
+        minus.data[p] -= eps;
+        let lp: f32 = layer.forward(&plus).data.iter().sum();
+        layer.backward(&ones);
+        let lm: f32 = layer.forward(&minus).data.iter().sum();
+        layer.backward(&ones);
+        let num = (lp - lm) / (2.0 * eps);
+        if (num - gin.data[p]).abs() > tol * (1.0 + num.abs()) {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dense_gradients_are_correct(seed in any::<u64>(), probe in any::<usize>()) {
+        let mut rng = Tensor::rng(seed);
+        let mut layer = Dense::new(5, 3, &mut rng);
+        let x = Tensor::kaiming(&[2, 5], 5, &mut rng);
+        prop_assert!(grad_matches(&mut layer, &x, &[probe, probe / 3 + 1], 2e-2));
+    }
+
+    #[test]
+    fn conv2d_gradients_are_correct(seed in any::<u64>(), probe in any::<usize>()) {
+        let mut rng = Tensor::rng(seed);
+        let mut layer = Conv2d::new(2, 2, 3, &mut rng);
+        let x = Tensor::kaiming(&[1, 2, 5, 5], 4, &mut rng);
+        prop_assert!(grad_matches(&mut layer, &x, &[probe], 3e-2));
+    }
+
+    #[test]
+    fn conv3d_gradients_are_correct(seed in any::<u64>(), probe in any::<usize>()) {
+        let mut rng = Tensor::rng(seed);
+        let mut layer = Conv3d::new(1, 2, 2, &mut rng);
+        let x = Tensor::kaiming(&[1, 1, 4, 4, 4], 4, &mut rng);
+        prop_assert!(grad_matches(&mut layer, &x, &[probe], 3e-2));
+    }
+
+    #[test]
+    fn relu_and_maxpool_gradients_route_correctly(seed in any::<u64>()) {
+        // ReLU and MaxPool are non-differentiable at kinks/ties, where a
+        // finite-difference probe flips the active branch. Use values
+        // spaced far apart relative to eps (1e-2) and away from zero so
+        // every probe stays on one branch.
+        use rand::seq::SliceRandom;
+        let mut rng = Tensor::rng(seed);
+        let mut vals: Vec<f32> = (0..32)
+            .map(|i| (i as f32 - 15.6) * 0.31) // distinct, |v| >= 0.06
+            .collect();
+        vals.shuffle(&mut rng);
+        let x = Tensor::from_vec(&[1, 2, 4, 4], vals);
+        let mut relu = Relu::new();
+        prop_assert!(grad_matches(&mut relu, &x, &[0, 7, 13], 1e-3));
+        let mut pool = MaxPool::<2>::new();
+        prop_assert!(grad_matches(&mut pool, &x, &[0, 9, 21], 1e-3));
+    }
+
+    /// MSE is non-negative, zero exactly at equality, symmetric.
+    #[test]
+    fn mse_properties(vals in prop::collection::vec(-10f32..10.0, 4..16)) {
+        let n = vals.len();
+        let a = Tensor::from_vec(&[1, n], vals.clone());
+        let b = Tensor::from_vec(&[1, n], vals.iter().map(|v| v + 1.0).collect());
+        let (zero, _) = mse(&a, &a);
+        prop_assert_eq!(zero, 0.0);
+        let (lab, _) = mse(&a, &b);
+        let (lba, _) = mse(&b, &a);
+        prop_assert!((lab - lba).abs() < 1e-5);
+        prop_assert!(lab > 0.0);
+    }
+
+    /// Cross-entropy is minimized by the true label and its gradient
+    /// sums to ~0 across classes at every pixel.
+    #[test]
+    fn cross_entropy_properties(
+        logits in prop::collection::vec(-3f32..3.0, 6..=6),
+        label in 0u8..3,
+    ) {
+        let t = Tensor::from_vec(&[1, 3, 2], logits);
+        let labels = vec![label, (label + 1) % 3];
+        let (l, g) = softmax_cross_entropy(&t, &labels, 3);
+        prop_assert!(l >= 0.0);
+        for pi in 0..2 {
+            let col_sum: f32 = (0..3).map(|c| g.data[c * 2 + pi]).sum();
+            prop_assert!(col_sum.abs() < 1e-5, "{col_sum}");
+        }
+    }
+
+    /// Softmax-CE loss decreases when the true logit is raised.
+    #[test]
+    fn raising_true_logit_lowers_loss(base in -2f32..2.0) {
+        let mk = |boost: f32| {
+            Tensor::from_vec(&[1, 3, 1], vec![base + boost, 0.0, 0.0])
+        };
+        let (l0, _) = softmax_cross_entropy(&mk(0.0), &[0], 3);
+        let (l1, _) = softmax_cross_entropy(&mk(1.0), &[0], 3);
+        prop_assert!(l1 < l0);
+    }
+}

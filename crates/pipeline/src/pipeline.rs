@@ -1,0 +1,450 @@
+//! The prefetching pipeline: readers → decode pool → batcher → consumer.
+
+use crate::batch::Batch;
+use crate::decoder::{DecodedSample, DecoderPlugin};
+use crate::source::SampleSource;
+use crate::stats::PipelineStats;
+use crate::{PipelineError, Result};
+use crossbeam_channel as channel;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Samples per batch.
+    pub batch_size: usize,
+    /// Reader threads pulling from the source.
+    pub reader_threads: usize,
+    /// Decoder threads running the plugin.
+    pub decode_threads: usize,
+    /// Bounded queue depth between stages (prefetch window).
+    pub prefetch: usize,
+    /// Epochs to run.
+    pub epochs: usize,
+    /// Shuffle seed; shuffling is per epoch (seed + epoch).
+    pub seed: u64,
+    /// Drop the final incomplete batch of an epoch (the frameworks'
+    /// `drop_remainder` behaviour). When false, a short batch is emitted.
+    pub drop_remainder: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 4,
+            reader_threads: 2,
+            decode_threads: 2,
+            prefetch: 8,
+            epochs: 1,
+            seed: 0,
+            drop_remainder: false,
+        }
+    }
+}
+
+/// A running pipeline: iterate [`Pipeline::next_batch`] until `None`.
+pub struct Pipeline {
+    rx: Option<channel::Receiver<Result<Batch>>>,
+    stats: Arc<PipelineStats>,
+    workers: Vec<JoinHandle<()>>,
+    finished: bool,
+}
+
+impl Pipeline {
+    /// Launches the worker threads over a source and a decoder plugin.
+    pub fn launch(
+        source: Arc<dyn SampleSource>,
+        plugin: Arc<dyn DecoderPlugin>,
+        cfg: PipelineConfig,
+    ) -> Result<Self> {
+        if cfg.batch_size == 0 {
+            return Err(PipelineError::Config("batch_size must be positive"));
+        }
+        if cfg.reader_threads == 0 || cfg.decode_threads == 0 {
+            return Err(PipelineError::Config("need at least one thread per stage"));
+        }
+        let stats = PipelineStats::new();
+        let n = source.len();
+
+        // Stage 1: index generator -> (epoch, index) work items.
+        let (idx_tx, idx_rx) = channel::bounded::<(usize, usize)>(cfg.prefetch.max(1));
+        // Stage 2: fetched bytes, tagged with sequence for ordering.
+        let (raw_tx, raw_rx) = channel::bounded::<(u64, usize, usize, Vec<u8>)>(cfg.prefetch.max(1));
+        // Stage 3: decoded samples.
+        let (dec_tx, dec_rx) =
+            channel::bounded::<(u64, usize, usize, Result<DecodedSample>)>(cfg.prefetch.max(1));
+        // Stage 4: batches to the consumer.
+        let (batch_tx, batch_rx) = channel::bounded::<Result<Batch>>(cfg.prefetch.max(1));
+
+        let mut workers = Vec::new();
+
+        // Index generator thread: shuffled order, exactly once per epoch.
+        {
+            let cfg = cfg.clone();
+            workers.push(std::thread::spawn(move || {
+                for epoch in 0..cfg.epochs {
+                    let mut order: Vec<usize> = (0..n).collect();
+                    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(epoch as u64));
+                    order.shuffle(&mut rng);
+                    for idx in order {
+                        if idx_tx.send((epoch, idx)).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }));
+        }
+
+        // Reader threads: fetch bytes. A shared sequence counter stamps
+        // work items so the batcher can reassemble epoch order.
+        let seq = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        for _ in 0..cfg.reader_threads {
+            let idx_rx = idx_rx.clone();
+            let raw_tx = raw_tx.clone();
+            let source = Arc::clone(&source);
+            let stats = Arc::clone(&stats);
+            let seq = Arc::clone(&seq);
+            workers.push(std::thread::spawn(move || {
+                while let Ok((epoch, idx)) = idx_rx.recv() {
+                    let s = seq.fetch_add(1, Ordering::Relaxed);
+                    let bytes = PipelineStats::timed(&stats.fetch_ns, || source.fetch(idx));
+                    match bytes {
+                        Ok(b) => {
+                            stats.bytes.fetch_add(b.len() as u64, Ordering::Relaxed);
+                            stats.samples.fetch_add(1, Ordering::Relaxed);
+                            if raw_tx.send((s, epoch, idx, b)).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) => {
+                            // Surface the error as a poisoned decode item.
+                            let _ = raw_tx.send((s, epoch, idx, Vec::new()));
+                            drop(e);
+                            return;
+                        }
+                    }
+                }
+            }));
+        }
+        drop(idx_rx);
+        drop(raw_tx);
+
+        // Decoder threads.
+        for _ in 0..cfg.decode_threads {
+            let raw_rx = raw_rx.clone();
+            let dec_tx = dec_tx.clone();
+            let plugin = Arc::clone(&plugin);
+            let stats = Arc::clone(&stats);
+            workers.push(std::thread::spawn(move || {
+                while let Ok((s, epoch, idx, bytes)) = raw_rx.recv() {
+                    let decoded =
+                        PipelineStats::timed(&stats.decode_ns, || plugin.decode(&bytes));
+                    if dec_tx.send((s, epoch, idx, decoded)).is_err() {
+                        return;
+                    }
+                }
+            }));
+        }
+        drop(raw_rx);
+        drop(dec_tx);
+
+        // Batcher thread: group per epoch (out-of-order arrival within an
+        // epoch is fine; epochs are batched independently).
+        {
+            let cfg = cfg.clone();
+            let stats = Arc::clone(&stats);
+            workers.push(std::thread::spawn(move || {
+                let mut pending: Vec<(usize, Vec<(usize, DecodedSample)>)> = Vec::new();
+                let flush = |epoch: usize,
+                             items: &mut Vec<(usize, DecodedSample)>,
+                             tx: &channel::Sender<Result<Batch>>,
+                             stats: &PipelineStats|
+                 -> bool {
+                    if items.is_empty() {
+                        return true;
+                    }
+                    let sample_len = items[0].1.data.len();
+                    let mut data = Vec::with_capacity(sample_len * items.len());
+                    let mut labels = Vec::with_capacity(items.len());
+                    let mut indices = Vec::with_capacity(items.len());
+                    for (idx, s) in items.drain(..) {
+                        data.extend_from_slice(&s.data);
+                        labels.push(s.label);
+                        indices.push(idx);
+                    }
+                    stats.batches.fetch_add(1, Ordering::Relaxed);
+                    tx.send(Ok(Batch {
+                        data,
+                        sample_len,
+                        labels,
+                        indices,
+                        epoch,
+                    }))
+                    .is_ok()
+                };
+
+                while let Ok((_s, epoch, idx, decoded)) = dec_rx.recv() {
+                    let sample = match decoded {
+                        Ok(s) => s,
+                        Err(e) => {
+                            let _ = batch_tx.send(Err(e));
+                            return;
+                        }
+                    };
+                    let slot = match pending.iter_mut().find(|(e, _)| *e == epoch) {
+                        Some((_, items)) => items,
+                        None => {
+                            pending.push((epoch, Vec::new()));
+                            &mut pending.last_mut().expect("just pushed").1
+                        }
+                    };
+                    slot.push((idx, sample));
+                    if slot.len() == cfg.batch_size {
+                        let (e_id, mut items) = {
+                            let pos = pending.iter().position(|(e, _)| *e == epoch).unwrap();
+                            pending.remove(pos)
+                        };
+                        if !flush(e_id, &mut items, &batch_tx, &stats) {
+                            return;
+                        }
+                    }
+                }
+                // Tail batches.
+                if !cfg.drop_remainder {
+                    for (epoch, mut items) in pending {
+                        if !flush(epoch, &mut items, &batch_tx, &stats) {
+                            return;
+                        }
+                    }
+                }
+            }));
+        }
+
+        Ok(Self {
+            rx: Some(batch_rx),
+            stats,
+            workers,
+            finished: false,
+        })
+    }
+
+    /// Blocks for the next batch; `Ok(None)` when the run is complete.
+    pub fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if self.finished {
+            return Ok(None);
+        }
+        let rx = self.rx.as_ref().expect("receiver alive until drop");
+        let got = PipelineStats::timed(&self.stats.wait_ns, || rx.recv());
+        match got {
+            Ok(Ok(b)) => Ok(Some(b)),
+            Ok(Err(e)) => {
+                self.finished = true;
+                Err(e)
+            }
+            Err(_) => {
+                self.finished = true;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Collects every batch of the run (convenience for tests/benches).
+    pub fn collect_all(mut self) -> Result<(Vec<Batch>, Arc<PipelineStats>)> {
+        let mut out = Vec::new();
+        while let Some(b) = self.next_batch()? {
+            out.push(b);
+        }
+        let stats = Arc::clone(&self.stats);
+        Ok((out, stats))
+    }
+
+    /// Shared stats handle.
+    pub fn stats(&self) -> Arc<PipelineStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+impl Drop for Pipeline {
+    fn drop(&mut self) {
+        // Disconnect the consumer side so every worker sees a closed
+        // channel and exits (a blocked `send` returns Err once the
+        // receiver is gone), then join them.
+        self.finished = true;
+        drop(self.rx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::CosmoPluginCpu;
+    use crate::source::VecSource;
+    use sciml_codec::cosmoflow as cf;
+    use sciml_codec::Op;
+    use sciml_data::cosmoflow::{CosmoFlowConfig, UniverseGenerator};
+
+    fn tiny_dataset(n: usize) -> Arc<VecSource> {
+        let mut cfg = CosmoFlowConfig::test_small();
+        cfg.grid = 8;
+        cfg.halos = 4;
+        let g = UniverseGenerator::new(cfg);
+        let blobs: Vec<Vec<u8>> = (0..n as u64)
+            .map(|i| cf::encode(&g.generate(i)).to_bytes())
+            .collect();
+        Arc::new(VecSource::new(blobs))
+    }
+
+    fn run(n: usize, cfg: PipelineConfig) -> (Vec<Batch>, Arc<PipelineStats>) {
+        let p = Pipeline::launch(
+            tiny_dataset(n),
+            Arc::new(CosmoPluginCpu { op: Op::Log1p }),
+            cfg,
+        )
+        .unwrap();
+        p.collect_all().unwrap()
+    }
+
+    #[test]
+    fn delivers_every_sample_exactly_once_per_epoch() {
+        let cfg = PipelineConfig {
+            batch_size: 3,
+            epochs: 2,
+            ..Default::default()
+        };
+        let (batches, stats) = run(10, cfg);
+        assert_eq!(stats.sample_count(), 20);
+        for epoch in 0..2 {
+            let mut seen: Vec<usize> = batches
+                .iter()
+                .filter(|b| b.epoch == epoch)
+                .flat_map(|b| b.indices.iter().copied())
+                .collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..10).collect::<Vec<_>>(), "epoch {epoch}");
+        }
+    }
+
+    #[test]
+    fn batch_sizes_respected_with_tail() {
+        let cfg = PipelineConfig {
+            batch_size: 4,
+            epochs: 1,
+            ..Default::default()
+        };
+        let (batches, _) = run(10, cfg);
+        let mut sizes: Vec<usize> = batches.iter().map(|b| b.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 4, 4]);
+    }
+
+    #[test]
+    fn drop_remainder_drops_tail() {
+        let cfg = PipelineConfig {
+            batch_size: 4,
+            epochs: 1,
+            drop_remainder: true,
+            ..Default::default()
+        };
+        let (batches, _) = run(10, cfg);
+        assert!(batches.iter().all(|b| b.len() == 4));
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn shuffling_differs_between_epochs_and_is_seeded() {
+        let cfg = PipelineConfig {
+            batch_size: 16,
+            epochs: 2,
+            reader_threads: 1,
+            decode_threads: 1,
+            seed: 42,
+            ..Default::default()
+        };
+        let (batches, _) = run(16, cfg.clone());
+        let e0: Vec<usize> = batches[0].indices.clone();
+        let e1: Vec<usize> = batches[1].indices.clone();
+        assert_ne!(e0, e1, "epoch shuffles must differ");
+        // Same seed reproduces the same order with single-threaded stages.
+        let (batches2, _) = run(16, cfg);
+        assert_eq!(batches2[0].indices, e0);
+    }
+
+    #[test]
+    fn many_threads_still_exactly_once() {
+        let cfg = PipelineConfig {
+            batch_size: 5,
+            epochs: 3,
+            reader_threads: 4,
+            decode_threads: 4,
+            prefetch: 2,
+            ..Default::default()
+        };
+        let (batches, stats) = run(17, cfg);
+        assert_eq!(stats.sample_count(), 51);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 51);
+    }
+
+    #[test]
+    fn decode_error_surfaces() {
+        let src = Arc::new(VecSource::new(vec![b"garbage".to_vec()]));
+        let mut p = Pipeline::launch(
+            src,
+            Arc::new(CosmoPluginCpu { op: Op::Log1p }),
+            PipelineConfig::default(),
+        )
+        .unwrap();
+        assert!(p.next_batch().is_err());
+        // Subsequent calls return None, not hang.
+        assert!(p.next_batch().unwrap().is_none());
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        let src = tiny_dataset(1);
+        let r = Pipeline::launch(
+            src,
+            Arc::new(CosmoPluginCpu { op: Op::Log1p }),
+            PipelineConfig {
+                batch_size: 0,
+                ..Default::default()
+            },
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn stats_populate() {
+        let cfg = PipelineConfig::default();
+        let (_, stats) = run(8, cfg);
+        assert!(stats.byte_count() > 0);
+        assert!(stats.decode_seconds() >= 0.0);
+        assert!(stats.batch_count() >= 2);
+    }
+
+    #[test]
+    fn early_drop_does_not_deadlock() {
+        let mut p = Pipeline::launch(
+            tiny_dataset(64),
+            Arc::new(CosmoPluginCpu { op: Op::Log1p }),
+            PipelineConfig {
+                epochs: 4,
+                prefetch: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Take one batch, then drop the pipeline mid-run.
+        let _ = p.next_batch().unwrap();
+        drop(p);
+    }
+}

@@ -1,0 +1,422 @@
+//! Sample byte sources and the staging wrapper.
+
+use crate::Result;
+use parking_lot::Mutex;
+use sciml_data::DataError;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where encoded sample bytes come from.
+///
+/// Implementations must be thread-safe: reader threads call `fetch`
+/// concurrently.
+pub trait SampleSource: Send + Sync {
+    /// Number of samples available.
+    fn len(&self) -> usize;
+
+    /// True when the source holds no samples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetches the raw bytes of sample `idx`.
+    fn fetch(&self, idx: usize) -> Result<Vec<u8>>;
+
+    /// Total bytes read so far (for data-movement accounting).
+    fn bytes_read(&self) -> u64;
+}
+
+/// In-memory source: one byte blob per sample.
+#[derive(Debug, Default)]
+pub struct VecSource {
+    samples: Vec<Vec<u8>>,
+    read: AtomicU64,
+}
+
+impl VecSource {
+    /// Wraps pre-encoded sample blobs.
+    pub fn new(samples: Vec<Vec<u8>>) -> Self {
+        Self {
+            samples,
+            read: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SampleSource for VecSource {
+    fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    fn fetch(&self, idx: usize) -> Result<Vec<u8>> {
+        let s = self
+            .samples
+            .get(idx)
+            .ok_or(DataError::Format("sample index out of range"))?;
+        self.read.fetch_add(s.len() as u64, Ordering::Relaxed);
+        Ok(s.clone())
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.read.load(Ordering::Relaxed)
+    }
+}
+
+/// Directory source: `sample_%06d.bin` files under a root directory,
+/// standing in for the shared parallel file system.
+#[derive(Debug)]
+pub struct DirSource {
+    root: PathBuf,
+    count: usize,
+    read: AtomicU64,
+}
+
+impl DirSource {
+    /// Opens a directory of numbered sample files.
+    pub fn open(root: impl Into<PathBuf>, count: usize) -> Self {
+        Self {
+            root: root.into(),
+            count,
+            read: AtomicU64::new(0),
+        }
+    }
+
+    /// File path of sample `idx`.
+    pub fn path(&self, idx: usize) -> PathBuf {
+        self.root.join(format!("sample_{idx:06}.bin"))
+    }
+
+    /// Writes sample files into a directory (dataset preparation).
+    pub fn write_all(root: impl Into<PathBuf>, samples: &[Vec<u8>]) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(DataError::Io)?;
+        let src = Self::open(root, samples.len());
+        for (i, s) in samples.iter().enumerate() {
+            fs::write(src.path(i), s).map_err(DataError::Io)?;
+        }
+        Ok(src)
+    }
+}
+
+impl SampleSource for DirSource {
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    fn fetch(&self, idx: usize) -> Result<Vec<u8>> {
+        if idx >= self.count {
+            return Err(DataError::Format("sample index out of range").into());
+        }
+        let bytes = fs::read(self.path(idx)).map_err(DataError::Io)?;
+        self.read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        Ok(bytes)
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.read.load(Ordering::Relaxed)
+    }
+}
+
+/// Staging wrapper: first access copies a sample from the (slow, shared)
+/// inner source into a local cache — node-local NVMe in the paper's
+/// *staged* experiments; repeat epochs then hit the cache.
+pub struct StagedSource<S> {
+    inner: S,
+    cache: Mutex<Vec<Option<Arc<Vec<u8>>>>>,
+    /// Fetches served from the staging cache.
+    hits: AtomicU64,
+    /// Fetches that had to go to the inner source.
+    misses: AtomicU64,
+    read: AtomicU64,
+    capacity_bytes: u64,
+    cached_bytes: AtomicU64,
+}
+
+impl<S: SampleSource> StagedSource<S> {
+    /// Wraps `inner` with a staging cache of `capacity_bytes` (the NVMe
+    /// capacity; evictions are not modeled — over-capacity samples
+    /// simply keep streaming from the inner source, matching how the
+    /// benchmarks size their staged datasets to fit).
+    pub fn new(inner: S, capacity_bytes: u64) -> Self {
+        let n = inner.len();
+        Self {
+            inner,
+            cache: Mutex::new(vec![None; n]),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            read: AtomicU64::new(0),
+            capacity_bytes,
+            cached_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl<S: SampleSource> SampleSource for StagedSource<S> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn fetch(&self, idx: usize) -> Result<Vec<u8>> {
+        if let Some(hit) = self.cache.lock().get(idx).and_then(|e| e.clone()) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.read.fetch_add(hit.len() as u64, Ordering::Relaxed);
+            return Ok(hit.as_ref().clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let bytes = self.inner.fetch(idx)?;
+        self.read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let new_total = self.cached_bytes.load(Ordering::Relaxed) + bytes.len() as u64;
+        if new_total <= self.capacity_bytes {
+            self.cached_bytes.store(new_total, Ordering::Relaxed);
+            self.cache.lock()[idx] = Some(Arc::new(bytes.clone()));
+        }
+        Ok(bytes)
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.read.load(Ordering::Relaxed)
+    }
+}
+
+/// Host-memory LRU cache above any source — the top tier of the paper's
+/// hierarchy (shared FS → node NVMe → host DRAM). Unlike
+/// [`StagedSource`], which never evicts (NVMe staging is
+/// write-once-per-job), this cache evicts least-recently-used samples
+/// when `capacity_bytes` is exceeded, modelling host-RAM pressure.
+pub struct MemoryCacheSource<S> {
+    inner: S,
+    state: Mutex<LruState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    read: AtomicU64,
+    capacity_bytes: u64,
+}
+
+struct LruState {
+    entries: Vec<Option<Arc<Vec<u8>>>>,
+    /// Most-recent at the back.
+    order: Vec<usize>,
+    bytes: u64,
+}
+
+impl<S: SampleSource> MemoryCacheSource<S> {
+    /// Wraps `inner` with an LRU cache of `capacity_bytes`.
+    pub fn new(inner: S, capacity_bytes: u64) -> Self {
+        let n = inner.len();
+        Self {
+            inner,
+            state: Mutex::new(LruState {
+                entries: vec![None; n],
+                order: Vec::new(),
+                bytes: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            read: AtomicU64::new(0),
+            capacity_bytes,
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently resident in the cache.
+    pub fn resident_bytes(&self) -> u64 {
+        self.state.lock().bytes
+    }
+}
+
+impl<S: SampleSource> SampleSource for MemoryCacheSource<S> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn fetch(&self, idx: usize) -> Result<Vec<u8>> {
+        {
+            let mut st = self.state.lock();
+            if idx < st.entries.len() {
+                if let Some(hit) = st.entries[idx].clone() {
+                    // Refresh recency.
+                    if let Some(pos) = st.order.iter().position(|&o| o == idx) {
+                        st.order.remove(pos);
+                    }
+                    st.order.push(idx);
+                    drop(st);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.read.fetch_add(hit.len() as u64, Ordering::Relaxed);
+                    return Ok(hit.as_ref().clone());
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let bytes = self.inner.fetch(idx)?;
+        self.read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let mut st = self.state.lock();
+        if idx < st.entries.len() && (bytes.len() as u64) <= self.capacity_bytes {
+            // Evict LRU entries until the new sample fits.
+            while st.bytes + bytes.len() as u64 > self.capacity_bytes {
+                let Some(victim) = st.order.first().copied() else {
+                    break;
+                };
+                st.order.remove(0);
+                if let Some(old) = st.entries[victim].take() {
+                    st.bytes -= old.len() as u64;
+                }
+            }
+            if st.bytes + bytes.len() as u64 <= self.capacity_bytes {
+                st.bytes += bytes.len() as u64;
+                st.entries[idx] = Some(Arc::new(bytes.clone()));
+                st.order.push(idx);
+            }
+        }
+        Ok(bytes)
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.read.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<u8>> {
+        (0..5u8).map(|i| vec![i; (i as usize + 1) * 10]).collect()
+    }
+
+    #[test]
+    fn vec_source_fetches_and_counts() {
+        let s = VecSource::new(blobs());
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.fetch(2).unwrap(), vec![2u8; 30]);
+        assert_eq!(s.bytes_read(), 30);
+        assert!(s.fetch(5).is_err());
+    }
+
+    #[test]
+    fn dir_source_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("sciml_dirsrc_{}", std::process::id()));
+        let s = DirSource::write_all(&dir, &blobs()).unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.fetch(3).unwrap(), vec![3u8; 40]);
+        assert!(s.fetch(9).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn staged_source_hits_after_first_epoch() {
+        let inner = VecSource::new(blobs());
+        let s = StagedSource::new(inner, u64::MAX);
+        for i in 0..5 {
+            s.fetch(i).unwrap();
+        }
+        assert_eq!(s.misses(), 5);
+        assert_eq!(s.hits(), 0);
+        for i in 0..5 {
+            s.fetch(i).unwrap();
+        }
+        assert_eq!(s.hits(), 5);
+        // Inner source was only read once per sample.
+        assert_eq!(s.inner.bytes_read(), 10 + 20 + 30 + 40 + 50);
+    }
+
+    #[test]
+    fn memory_cache_hits_within_capacity() {
+        let c = MemoryCacheSource::new(VecSource::new(blobs()), u64::MAX);
+        for _ in 0..3 {
+            for i in 0..5 {
+                c.fetch(i).unwrap();
+            }
+        }
+        assert_eq!(c.misses(), 5);
+        assert_eq!(c.hits(), 10);
+        assert_eq!(c.resident_bytes(), 150);
+    }
+
+    #[test]
+    fn memory_cache_evicts_lru() {
+        // Samples are 10,20,30,40,50 bytes; capacity 60.
+        let c = MemoryCacheSource::new(VecSource::new(blobs()), 60);
+        c.fetch(0).unwrap(); // cache {0:10}
+        c.fetch(1).unwrap(); // {0,1} = 30
+        c.fetch(2).unwrap(); // {0,1,2} = 60
+        assert_eq!(c.resident_bytes(), 60);
+        c.fetch(3).unwrap(); // 40 bytes: evict 0 (10) and 1 (20) -> {2,3}=70? no: evict until fits: 60+40>60 evict 0 -> 50+40>60 evict 1 -> 30+40>60 evict 2 -> 0+40 ok
+        assert_eq!(c.resident_bytes(), 40);
+        // 3 is now cached, 0..2 are not.
+        c.fetch(3).unwrap();
+        assert_eq!(c.hits(), 1);
+        c.fetch(0).unwrap();
+        assert_eq!(c.misses(), 5);
+    }
+
+    #[test]
+    fn memory_cache_skips_oversized_samples() {
+        let c = MemoryCacheSource::new(VecSource::new(blobs()), 15);
+        // Sample 4 is 50 bytes > 15: served but never cached.
+        c.fetch(4).unwrap();
+        c.fetch(4).unwrap();
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 2);
+        // Sample 0 (10 bytes) caches fine.
+        c.fetch(0).unwrap();
+        c.fetch(0).unwrap();
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn tiered_stack_memory_over_nvme_over_fs() {
+        // The full hierarchy as real code: FS (VecSource) under NVMe
+        // staging under a host-RAM LRU.
+        let fs = VecSource::new(blobs());
+        let nvme = StagedSource::new(fs, u64::MAX);
+        let ram = MemoryCacheSource::new(nvme, 35); // fits samples 0+1 only
+        // A cyclic scan over a working set larger than the LRU capacity
+        // thrashes RAM (no hits) but the NVMe stage absorbs re-reads.
+        for _ in 0..2 {
+            for i in 0..5 {
+                ram.fetch(i).unwrap();
+            }
+        }
+        assert_eq!(ram.hits(), 0, "LRU thrash under cyclic scan");
+        // Re-referencing a just-fetched (cacheable) sample hits RAM.
+        ram.fetch(0).unwrap();
+        ram.fetch(0).unwrap();
+        assert!(ram.hits() >= 1);
+    }
+
+    #[test]
+    fn staged_source_respects_capacity() {
+        let inner = VecSource::new(blobs());
+        // Only the first two samples (10+20 bytes) fit.
+        let s = StagedSource::new(inner, 30);
+        for i in 0..5 {
+            s.fetch(i).unwrap();
+        }
+        for i in 0..5 {
+            s.fetch(i).unwrap();
+        }
+        assert_eq!(s.hits(), 2);
+        assert_eq!(s.misses(), 8);
+    }
+}

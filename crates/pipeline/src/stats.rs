@@ -1,0 +1,91 @@
+//! Per-stage instrumentation of the loading pipeline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cumulative wall-time per pipeline stage plus counters, shared across
+/// worker threads.
+#[derive(Debug, Default)]
+pub struct PipelineStats {
+    /// Nanoseconds spent fetching bytes from the source.
+    pub fetch_ns: AtomicU64,
+    /// Nanoseconds spent in the decoder plugin.
+    pub decode_ns: AtomicU64,
+    /// Nanoseconds the consumer waited for a batch.
+    pub wait_ns: AtomicU64,
+    /// Samples fetched.
+    pub samples: AtomicU64,
+    /// Batches delivered.
+    pub batches: AtomicU64,
+    /// Bytes fetched from the source.
+    pub bytes: AtomicU64,
+}
+
+impl PipelineStats {
+    /// Fresh shared stats handle.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Times `f`, adding the elapsed nanoseconds to `counter`.
+    pub fn timed<T>(counter: &AtomicU64, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        counter.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Seconds spent fetching.
+    pub fn fetch_seconds(&self) -> f64 {
+        self.fetch_ns.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Seconds spent decoding.
+    pub fn decode_seconds(&self) -> f64 {
+        self.decode_ns.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Seconds the consumer spent blocked on the pipeline.
+    pub fn wait_seconds(&self) -> f64 {
+        self.wait_ns.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Samples delivered.
+    pub fn sample_count(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    /// Batches delivered.
+    pub fn batch_count(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Bytes fetched from the source.
+    pub fn byte_count(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_accumulates() {
+        let c = AtomicU64::new(0);
+        let v = PipelineStats::timed(&c, || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(c.load(Ordering::Relaxed) >= 1_000_000);
+    }
+
+    #[test]
+    fn second_conversions() {
+        let s = PipelineStats::default();
+        s.fetch_ns.store(2_500_000_000, Ordering::Relaxed);
+        assert!((s.fetch_seconds() - 2.5).abs() < 1e-9);
+    }
+}

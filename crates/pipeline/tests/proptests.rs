@@ -1,0 +1,120 @@
+//! Property tests for the loading pipeline: exactly-once delivery and
+//! correct batching must hold for arbitrary thread counts, batch sizes,
+//! prefetch depths and epoch counts.
+
+use proptest::prelude::*;
+use sciml_codec::cosmoflow as cf;
+use sciml_codec::Op;
+use sciml_data::cosmoflow::{CosmoFlowConfig, UniverseGenerator};
+use sciml_pipeline::decoder::CosmoPluginCpu;
+use sciml_pipeline::source::VecSource;
+use sciml_pipeline::{Pipeline, PipelineConfig};
+use std::sync::Arc;
+
+fn tiny_blobs(n: usize) -> Vec<Vec<u8>> {
+    let cfg = CosmoFlowConfig {
+        grid: 6,
+        halos: 3,
+        mass_scale: 30.0,
+        background: 1,
+        seed: 5,
+    };
+    let g = UniverseGenerator::new(cfg);
+    (0..n as u64).map(|i| cf::encode(&g.generate(i)).to_bytes()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exactly_once_under_arbitrary_configs(
+        n in 1usize..20,
+        batch in 1usize..7,
+        readers in 1usize..5,
+        decoders in 1usize..5,
+        prefetch in 1usize..6,
+        epochs in 1usize..4,
+        drop_remainder in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let p = Pipeline::launch(
+            Arc::new(VecSource::new(tiny_blobs(n))),
+            Arc::new(CosmoPluginCpu { op: Op::Log1p }),
+            PipelineConfig {
+                batch_size: batch,
+                reader_threads: readers,
+                decode_threads: decoders,
+                prefetch,
+                epochs,
+                seed,
+                drop_remainder,
+            },
+        )
+        .unwrap();
+        let (batches, stats) = p.collect_all().unwrap();
+
+        // Every fetched sample was fetched exactly once per epoch.
+        prop_assert_eq!(stats.sample_count() as usize, n * epochs);
+
+        for epoch in 0..epochs {
+            let mut seen: Vec<usize> = batches
+                .iter()
+                .filter(|b| b.epoch == epoch)
+                .flat_map(|b| b.indices.iter().copied())
+                .collect();
+            seen.sort_unstable();
+            if drop_remainder {
+                // Only full batches are delivered; each index at most once.
+                prop_assert!(seen.len() <= n);
+                prop_assert!(seen.windows(2).all(|w| w[0] != w[1]));
+                prop_assert_eq!(seen.len() % batch, 0);
+            } else {
+                prop_assert_eq!(&seen, &(0..n).collect::<Vec<_>>());
+            }
+        }
+
+        // Every batch is internally consistent.
+        for b in &batches {
+            prop_assert!(b.len() <= batch);
+            prop_assert_eq!(b.data.len(), b.len() * b.sample_len);
+            prop_assert_eq!(b.indices.len(), b.len());
+            prop_assert_eq!(b.labels.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn sample_payloads_are_correct_regardless_of_arrival_order(
+        readers in 1usize..5,
+        decoders in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let n = 8;
+        let blobs = tiny_blobs(n);
+        // Ground truth decodes.
+        let expect: Vec<Vec<sciml_half::F16>> = blobs
+            .iter()
+            .map(|b| {
+                let enc = cf::EncodedCosmo::from_bytes(b).unwrap();
+                cf::decode(&enc, Op::Log1p).unwrap()
+            })
+            .collect();
+        let p = Pipeline::launch(
+            Arc::new(VecSource::new(blobs)),
+            Arc::new(CosmoPluginCpu { op: Op::Log1p }),
+            PipelineConfig {
+                batch_size: 3,
+                reader_threads: readers,
+                decode_threads: decoders,
+                seed,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (batches, _) = p.collect_all().unwrap();
+        for b in &batches {
+            for (i, &idx) in b.indices.iter().enumerate() {
+                prop_assert_eq!(b.sample(i), &expect[idx][..], "sample {}", idx);
+            }
+        }
+    }
+}

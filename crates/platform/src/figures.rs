@@ -1,0 +1,283 @@
+//! Figure/table series generators.
+//!
+//! One function per paper figure; each returns structured rows so the
+//! `figures` binary can print them and tests can assert their shape.
+
+use crate::epoch::{EpochModel, ExperimentConfig, StageBreakdown};
+use crate::spec::PlatformSpec;
+use crate::workload::{Format, WorkloadProfile};
+
+/// One throughput bar of Figs. 8, 10, 11.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Platform name.
+    pub platform: &'static str,
+    /// Dataset size label ("small"/"large").
+    pub dataset: &'static str,
+    /// Staged to NVMe?
+    pub staged: bool,
+    /// Local batch size.
+    pub batch: usize,
+    /// Pipeline variant.
+    pub format: Format,
+    /// Samples/s for the full node.
+    pub node_throughput: f64,
+    /// Storage tier serving reads in steady state.
+    pub tier: &'static str,
+}
+
+/// One stage bar of Figs. 9, 12.
+#[derive(Debug, Clone)]
+pub struct BreakdownRow {
+    /// Platform name.
+    pub platform: &'static str,
+    /// Pipeline variant.
+    pub format: Format,
+    /// Per-sample stage times.
+    pub breakdown: StageBreakdown,
+}
+
+fn eval(
+    platform: &PlatformSpec,
+    workload: &WorkloadProfile,
+    format: Format,
+    samples_per_node: u64,
+    staged: bool,
+    batch: usize,
+) -> (f64, &'static str, StageBreakdown) {
+    let r = EpochModel::evaluate(&ExperimentConfig {
+        platform: platform.clone(),
+        workload: workload.clone(),
+        format,
+        samples_per_node,
+        staged,
+        batch,
+    });
+    (r.node_throughput, r.tier.label(), r.breakdown)
+}
+
+/// Fig. 8: DeepCAM node throughput across platforms × dataset size ×
+/// staging × batch × pipeline variant (no gzip bars, as in the paper).
+pub fn fig8() -> Vec<ThroughputRow> {
+    let w = WorkloadProfile::deepcam();
+    let mut rows = Vec::new();
+    for p in PlatformSpec::all() {
+        for (dataset, samples) in [("small", 1536u64), ("large", 12288)] {
+            for staged in [true, false] {
+                for batch in [1usize, 2, 4, 8] {
+                    for format in [Format::Base, Format::PluginCpu, Format::PluginGpu] {
+                        let (t, tier, b) = eval(&p, &w, format, samples, staged, batch);
+                        let _ = b;
+                        rows.push(ThroughputRow {
+                            platform: p.name,
+                            dataset,
+                            staged,
+                            batch,
+                            format,
+                            node_throughput: t,
+                            tier,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Fig. 9: DeepCAM stage breakdown on Cori V100/A100, small set, batch 4.
+pub fn fig9() -> Vec<BreakdownRow> {
+    let w = WorkloadProfile::deepcam();
+    let mut rows = Vec::new();
+    for p in [PlatformSpec::cori_v100(), PlatformSpec::cori_a100()] {
+        for format in [Format::Base, Format::PluginCpu, Format::PluginGpu] {
+            let (_, _, b) = eval(&p, &w, format, 1536, true, 4);
+            rows.push(BreakdownRow {
+                platform: p.name,
+                format,
+                breakdown: b,
+            });
+        }
+    }
+    rows
+}
+
+/// Fig. 10: CosmoFlow node throughput, small set (128 samples/GPU),
+/// base vs gzip vs GPU plugin, batches 1–8.
+pub fn fig10() -> Vec<ThroughputRow> {
+    cosmo_throughput(128, "small")
+}
+
+/// Fig. 11: CosmoFlow node throughput, large set (2048 samples/GPU).
+pub fn fig11() -> Vec<ThroughputRow> {
+    cosmo_throughput(2048, "large")
+}
+
+fn cosmo_throughput(samples_per_gpu: u64, dataset: &'static str) -> Vec<ThroughputRow> {
+    let w = WorkloadProfile::cosmoflow();
+    let mut rows = Vec::new();
+    for p in PlatformSpec::all() {
+        let samples = samples_per_gpu * p.gpus_per_node as u64;
+        for staged in [true, false] {
+            for batch in [1usize, 2, 4, 8] {
+                for format in [Format::Base, Format::Gzip, Format::PluginGpu] {
+                    let (t, tier, _) = eval(&p, &w, format, samples, staged, batch);
+                    rows.push(ThroughputRow {
+                        platform: p.name,
+                        dataset,
+                        staged,
+                        batch,
+                        format,
+                        node_throughput: t,
+                        tier,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Fig. 12: CosmoFlow stage breakdown on Summit and Cori-V100, small
+/// set, batch 4 (base, gzip, plugin).
+pub fn fig12() -> Vec<BreakdownRow> {
+    let w = WorkloadProfile::cosmoflow();
+    let mut rows = Vec::new();
+    for p in [PlatformSpec::summit(), PlatformSpec::cori_v100()] {
+        let samples = 128 * p.gpus_per_node as u64;
+        for format in [Format::Base, Format::Gzip, Format::PluginGpu] {
+            let (_, _, b) = eval(&p, &w, format, samples, true, 4);
+            rows.push(BreakdownRow {
+                platform: p.name,
+                format,
+                breakdown: b,
+            });
+        }
+    }
+    rows
+}
+
+/// Table I rendered from the specs.
+pub fn table1() -> String {
+    let ps = PlatformSpec::all();
+    let mut s = String::new();
+    let row = |label: &str, f: &dyn Fn(&PlatformSpec) -> String| {
+        let mut line = format!("{label:<26}");
+        for p in &ps {
+            line.push_str(&format!("{:>14}", f(p)));
+        }
+        line.push('\n');
+        line
+    };
+    s.push_str(&row("System", &|p| p.name.to_string()));
+    s.push_str(&row("GPUs per node", &|p| p.gpus_per_node.to_string()));
+    s.push_str(&row("GPU", &|p| p.gpu.name.to_string()));
+    s.push_str(&row("CPU freq (GHz)", &|p| format!("{:.2}", p.cpu_freq_ghz)));
+    s.push_str(&row("Host memory (GB)", &|p| {
+        format!("{:.0}", p.host_memory as f64 / 1e9)
+    }));
+    s.push_str(&row("GPU mem capacity (GB)", &|p| {
+        format!("{:.0}", p.gpu.mem_capacity as f64 / 1e9)
+    }));
+    s.push_str(&row("GPU mem BW (TB/s)", &|p| {
+        format!("{:.1}", p.gpu.mem_bw / 1e12)
+    }));
+    s.push_str(&row("SMs", &|p| p.gpu.sm_count.to_string()));
+    s.push_str(&row("L2 (MB)", &|p| {
+        format!("{:.0}", p.gpu.l2_bytes as f64 / 1e6)
+    }));
+    s.push_str(&row("FP32 TF/s", &|p| format!("{:.1}", p.gpu.fp32_tflops / 1e12)));
+    s.push_str(&row("Tensor TF/s", &|p| {
+        format!("{:.0}", p.gpu.tensor_tflops / 1e12)
+    }));
+    s.push_str(&row("NVMe capacity (TB)", &|p| {
+        format!("{:.1}", p.nvme_capacity as f64 / 1e12)
+    }));
+    s.push_str(&row("NVMe read BW (GB/s)", &|p| {
+        format!("{:.1}", p.nvme_read_bw / 1e9)
+    }));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_has_full_grid() {
+        let rows = fig8();
+        // 3 platforms × 2 datasets × 2 staging × 4 batches × 3 formats.
+        assert_eq!(rows.len(), 3 * 2 * 2 * 4 * 3);
+        assert!(rows.iter().all(|r| r.node_throughput > 0.0));
+    }
+
+    #[test]
+    fn fig10_and_11_have_full_grids() {
+        assert_eq!(fig10().len(), 3 * 2 * 4 * 3);
+        assert_eq!(fig11().len(), 3 * 2 * 4 * 3);
+    }
+
+    #[test]
+    fn fig9_breakdowns_show_plugin_reducing_host_time() {
+        let rows = fig9();
+        let host = |fmt: Format, platform: &str| {
+            rows.iter()
+                .find(|r| r.format == fmt && r.platform == platform)
+                .unwrap()
+                .breakdown
+                .host_s
+        };
+        for p in ["Cori-V100", "Cori-A100"] {
+            assert!(host(Format::PluginGpu, p) < host(Format::Base, p) / 5.0);
+        }
+    }
+
+    #[test]
+    fn fig12_baseline_underutilizes_gpu() {
+        for r in fig12() {
+            match r.format {
+                Format::Base | Format::Gzip => {
+                    assert!(r.breakdown.input_bound(), "{:?} {}", r.format, r.platform)
+                }
+                Format::PluginGpu => {
+                    assert!(!r.breakdown.input_bound(), "{}", r.platform)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn table1_mentions_all_platforms() {
+        let t = table1();
+        for name in ["Summit", "Cori-V100", "Cori-A100"] {
+            assert!(t.contains(name));
+        }
+        assert!(t.contains("NVMe"));
+    }
+
+    #[test]
+    fn fig11_contains_order_of_magnitude_speedup() {
+        let rows = fig11();
+        let mut best = 0.0f64;
+        for p in ["Summit", "Cori-V100", "Cori-A100"] {
+            for staged in [true, false] {
+                for batch in [1usize, 2, 4, 8] {
+                    let get = |f: Format| {
+                        rows.iter()
+                            .find(|r| {
+                                r.platform == p
+                                    && r.staged == staged
+                                    && r.batch == batch
+                                    && r.format == f
+                            })
+                            .unwrap()
+                            .node_throughput
+                    };
+                    best = best.max(get(Format::PluginGpu) / get(Format::Base));
+                }
+            }
+        }
+        assert!(best >= 8.0, "best large-set speedup {best}");
+    }
+}

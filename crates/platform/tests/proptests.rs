@@ -1,0 +1,178 @@
+//! Property tests for the performance model: physical monotonicities
+//! that must hold over the whole configuration space.
+
+use proptest::prelude::*;
+use sciml_platform::{
+    EpochModel, ExperimentConfig, Format, Interconnect, PlatformSpec, WorkloadProfile,
+};
+
+fn platforms() -> impl Strategy<Value = PlatformSpec> {
+    prop_oneof![
+        Just(PlatformSpec::summit()),
+        Just(PlatformSpec::cori_v100()),
+        Just(PlatformSpec::cori_a100()),
+    ]
+}
+
+fn workloads() -> impl Strategy<Value = WorkloadProfile> {
+    prop_oneof![
+        Just(WorkloadProfile::cosmoflow()),
+        Just(WorkloadProfile::deepcam()),
+    ]
+}
+
+fn formats() -> impl Strategy<Value = Format> {
+    prop_oneof![
+        Just(Format::Base),
+        Just(Format::Gzip),
+        Just(Format::PluginCpu),
+        Just(Format::PluginGpu),
+    ]
+}
+
+fn eval(
+    p: &PlatformSpec,
+    w: &WorkloadProfile,
+    f: Format,
+    samples: u64,
+    staged: bool,
+    batch: usize,
+) -> f64 {
+    EpochModel::evaluate(&ExperimentConfig {
+        platform: p.clone(),
+        workload: w.clone(),
+        format: f,
+        samples_per_node: samples,
+        staged,
+        batch,
+    })
+    .node_throughput
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Throughput is always finite and positive.
+    #[test]
+    fn throughput_is_finite_positive(
+        p in platforms(),
+        w in workloads(),
+        f in formats(),
+        samples in 1u64..1_000_000,
+        staged in any::<bool>(),
+        batch in 1usize..16,
+    ) {
+        let t = eval(&p, &w, f, samples, staged, batch);
+        prop_assert!(t.is_finite() && t > 0.0);
+    }
+
+    /// Staging never hurts: NVMe is only used when it beats the tier the
+    /// unstaged run would fall to.
+    #[test]
+    fn staging_never_hurts(
+        p in platforms(),
+        w in workloads(),
+        f in formats(),
+        samples in 1u64..1_000_000,
+        batch in 1usize..16,
+    ) {
+        let staged = eval(&p, &w, f, samples, true, batch);
+        let unstaged = eval(&p, &w, f, samples, false, batch);
+        prop_assert!(staged >= unstaged * 0.999, "{staged} vs {unstaged}");
+    }
+
+    /// A smaller dataset never loses throughput (it can only move into a
+    /// faster tier).
+    #[test]
+    fn smaller_dataset_never_slower(
+        p in platforms(),
+        w in workloads(),
+        f in formats(),
+        samples in 2u64..1_000_000,
+        staged in any::<bool>(),
+        batch in 1usize..16,
+    ) {
+        let small = eval(&p, &w, f, samples / 2, staged, batch);
+        let large = eval(&p, &w, f, samples, staged, batch);
+        prop_assert!(small >= large * 0.999, "{small} vs {large}");
+    }
+
+    /// The GPU plugin never loses to the gzip path when both read from
+    /// the same storage tier (it moves fewer bytes and does
+    /// asymptotically less host work). The one legitimate exception the
+    /// model captures: gzip's slightly smaller files can squeeze into a
+    /// memory tier the custom encoding just misses (§V-B: gzip is ≈75 %
+    /// of the encoded size), so the comparison is tier-conditional.
+    #[test]
+    fn gpu_plugin_never_loses_to_gzip_on_equal_tier(
+        p in platforms(),
+        w in workloads(),
+        samples in 1u64..1_000_000,
+        staged in any::<bool>(),
+        batch in 1usize..16,
+    ) {
+        let run = |f: Format| {
+            EpochModel::evaluate(&ExperimentConfig {
+                platform: p.clone(),
+                workload: w.clone(),
+                format: f,
+                samples_per_node: samples,
+                staged,
+                batch,
+            })
+        };
+        let plugin = run(Format::PluginGpu);
+        let gzip = run(Format::Gzip);
+        // Memory-resident regime (all of the paper's plugin wins): the
+        // plugin must dominate. In purely read-bound regimes the smaller
+        // gzip files can legitimately stream faster — a trade-off the
+        // paper sidesteps because its encoded datasets always reach a
+        // cached tier.
+        if plugin.tier == sciml_platform::StorageTier::HostMemory
+            && gzip.tier == sciml_platform::StorageTier::HostMemory
+        {
+            prop_assert!(
+                plugin.node_throughput >= gzip.node_throughput * 0.999,
+                "{} vs {}",
+                plugin.node_throughput,
+                gzip.node_throughput
+            );
+        }
+    }
+
+    /// Ring allreduce time is monotone in node count and in bytes.
+    #[test]
+    fn allreduce_monotone(bytes in 1e3f64..1e10, n1 in 2u32..512, n2 in 2u32..512) {
+        let ic = Interconnect::EDR;
+        let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        prop_assert!(ic.ring_allreduce_s(bytes, lo) <= ic.ring_allreduce_s(bytes, hi) + 1e-12);
+        prop_assert!(ic.ring_allreduce_s(bytes, lo) <= ic.ring_allreduce_s(bytes * 2.0, lo));
+    }
+
+    /// Breakdown components are non-negative and the bottleneck is at
+    /// least each device component.
+    #[test]
+    fn breakdown_is_physical(
+        p in platforms(),
+        w in workloads(),
+        f in formats(),
+        samples in 1u64..1_000_000,
+        staged in any::<bool>(),
+        batch in 1usize..16,
+    ) {
+        let r = EpochModel::evaluate(&ExperimentConfig {
+            platform: p,
+            workload: w,
+            format: f,
+            samples_per_node: samples,
+            staged,
+            batch,
+        });
+        let b = r.breakdown;
+        for v in [b.read_s, b.host_s, b.h2d_s, b.gpu_decode_s, b.step_s, b.allreduce_s] {
+            prop_assert!(v >= 0.0 && v.is_finite());
+        }
+        prop_assert!(b.bottleneck_s() >= b.step_s);
+        prop_assert!(b.bottleneck_s() >= b.read_s.max(b.host_s).max(b.h2d_s));
+    }
+}

@@ -1,0 +1,5 @@
+//! Workspace-level facade for integration tests and examples.
+//!
+//! All functionality lives in the `sciml-*` crates; this crate only exists
+//! so the repository root can host `examples/` and `tests/`.
+pub use sciml_core as core;
