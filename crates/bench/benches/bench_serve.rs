@@ -1,0 +1,77 @@
+//! Loopback serving benchmarks: what the disaggregated tier costs on
+//! localhost TCP, with and without the server-side DRAM hot cache, at
+//! different fetch batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sciml_core::api::{DatasetBuilder, EncodedFormat};
+use sciml_data::cosmoflow::CosmoFlowConfig;
+use sciml_pipeline::source::VecSource;
+use sciml_pipeline::SampleSource;
+use sciml_serve::{RemoteSource, ServeBuilder, ServerConfig};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut gen_cfg = CosmoFlowConfig::test_small();
+    gen_cfg.grid = 24;
+    let n = 16usize;
+    let blobs = DatasetBuilder::cosmoflow(gen_cfg).build(n, EncodedFormat::Custom);
+    let sample_bytes: u64 = blobs.iter().map(|b| b.len() as u64).sum();
+
+    let server = ServeBuilder::new()
+        .config(ServerConfig {
+            cache_bytes: 1 << 30,
+            ..ServerConfig::default()
+        })
+        .dataset(
+            "bench",
+            Arc::new(VecSource::new(blobs.clone())) as Arc<dyn SampleSource>,
+        )
+        .bind("127.0.0.1:0")
+        .expect("bind loopback");
+    let remote = RemoteSource::connect(server.local_addr().to_string(), "bench").expect("connect");
+    // Prime the hot cache so steady-state epochs measure the cached path.
+    remote
+        .fetch_batch(&(0..n as u64).collect::<Vec<_>>())
+        .expect("prime");
+
+    let mut g = c.benchmark_group("serve_loopback");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(sample_bytes));
+    for batch in [1usize, 4, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("epoch_batched", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let mut got = 0usize;
+                    for chunk in (0..n as u64).collect::<Vec<_>>().chunks(batch) {
+                        got += remote.fetch_batch(chunk).expect("fetch").len();
+                    }
+                    assert_eq!(got, n);
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // Local baseline for the same access pattern, to read the network
+    // tier's overhead directly off the two numbers.
+    let local = VecSource::new(blobs);
+    let mut g = c.benchmark_group("serve_local_baseline");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(sample_bytes));
+    g.bench_function("epoch", |b| {
+        b.iter(|| {
+            for i in 0..n {
+                local.fetch(i).expect("fetch");
+            }
+        })
+    });
+    g.finish();
+
+    drop(remote);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

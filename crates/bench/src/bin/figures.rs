@@ -16,9 +16,7 @@ use sciml_codec::cosmoflow as cf;
 use sciml_codec::deepcam as dc;
 use sciml_codec::ops::OpCounter;
 use sciml_codec::{ErrorStats, Op};
-use sciml_core::convergence::{
-    cosmoflow_convergence, deepcam_convergence, ConvergenceConfig,
-};
+use sciml_core::convergence::{cosmoflow_convergence, deepcam_convergence, ConvergenceConfig};
 use sciml_data::cosmoflow::{sample_stats, CosmoFlowConfig, UniverseGenerator};
 use sciml_data::deepcam::{ClimateGenerator, DeepCamConfig};
 use sciml_data::serialize;
@@ -129,7 +127,10 @@ fn fig5(full: bool) {
     // (a) value frequency distribution of one sample (power-law shape).
     let s0 = g.generate(0);
     let st0 = sample_stats(&s0);
-    println!("(a) value-frequency distribution, sample 0 (top 15 of {}):", st0.unique_values);
+    println!(
+        "(a) value-frequency distribution, sample 0 (top 15 of {}):",
+        st0.unique_values
+    );
     println!("{:>8} {:>12}", "value", "frequency");
     for (v, f) in st0.value_frequencies.iter().take(15) {
         println!("{v:>8} {f:>12}");
@@ -138,7 +139,10 @@ fn fig5(full: bool) {
         st0.value_frequencies[0].1 as f64,
         st0.value_frequencies[st0.value_frequencies.len() / 2].1 as f64,
     );
-    println!("head/median frequency ratio: {:.0} (heavy tail)", top_f / mid_f);
+    println!(
+        "head/median frequency ratio: {:.0} (heavy tail)",
+        top_f / mid_f
+    );
 
     // (b) unique values across samples.
     println!("\n(b) unique values per sample:");
@@ -152,12 +156,12 @@ fn fig5(full: bool) {
 
     // (c) unique groups vs the permutation bound.
     println!("\n(c) unique 4-redshift groups vs permutation bound:");
-    println!("{:>7} {:>14} {:>14} {:>16}", "sample", "unique values", "unique groups", "perm bound");
+    println!(
+        "{:>7} {:>14} {:>14} {:>16}",
+        "sample", "unique values", "unique groups", "perm bound"
+    );
     for (i, uv, ug) in group_rows {
-        println!(
-            "{i:>7} {uv:>14} {ug:>14} {:>16.3e}",
-            (uv as f64).powi(4)
-        );
+        println!("{i:>7} {uv:>14} {ug:>14} {:>16.3e}", (uv as f64).powi(4));
     }
     println!("(groups index with 16-bit keys when <= 65536)");
 }
@@ -235,9 +239,7 @@ fn fig7(full: bool) {
     for e in 0..cfg.epochs {
         let (bm, bl, bh) = summarize(&base_runs, e);
         let (dm, dl, dh) = summarize(&dec_runs, e);
-        println!(
-            "{e:>6} {bm:>12.5} [{bl:.5},{bh:.5}] {dm:>12.5} [{dl:.5},{dh:.5}]"
-        );
+        println!("{e:>6} {bm:>12.5} [{bl:.5},{bh:.5}] {dm:>12.5} [{dl:.5},{dh:.5}]");
     }
     let (bm, _, _) = summarize(&base_runs, cfg.epochs - 1);
     let (dm, _, _) = summarize(&dec_runs, cfg.epochs - 1);
@@ -266,7 +268,10 @@ fn print_throughput(rows: &[pfig::ThroughputRow]) {
 fn speedup_summary(rows: &[pfig::ThroughputRow], base: Format, plugin: Format) {
     for platform in ["Summit", "Cori-V100", "Cori-A100"] {
         let mut best = 0.0f64;
-        for r in rows.iter().filter(|r| r.platform == platform && r.format == plugin) {
+        for r in rows
+            .iter()
+            .filter(|r| r.platform == platform && r.format == plugin)
+        {
             if let Some(b) = rows.iter().find(|b| {
                 b.platform == r.platform
                     && b.dataset == r.dataset
@@ -277,7 +282,11 @@ fn speedup_summary(rows: &[pfig::ThroughputRow], base: Format, plugin: Format) {
                 best = best.max(r.node_throughput / b.node_throughput);
             }
         }
-        println!("  max {}/{} speedup on {platform}: {best:.2}x", plugin.label(), base.label());
+        println!(
+            "  max {}/{} speedup on {platform}: {best:.2}x",
+            plugin.label(),
+            base.label()
+        );
     }
 }
 
@@ -292,7 +301,15 @@ fn fig8() {
 fn print_breakdown(rows: &[pfig::BreakdownRow]) {
     println!(
         "{:<10} {:<11} {:>9} {:>9} {:>9} {:>10} {:>9} {:>10} {:>7}",
-        "platform", "variant", "read ms", "host ms", "h2d ms", "gpudec ms", "step ms", "allred ms", "bound"
+        "platform",
+        "variant",
+        "read ms",
+        "host ms",
+        "h2d ms",
+        "gpudec ms",
+        "step ms",
+        "allred ms",
+        "bound"
     );
     for r in rows {
         let b = &r.breakdown;
@@ -402,7 +419,10 @@ fn errors(full: bool) {
         "of those, near-zero references: {:.1}%",
         100.0 * stats.small_value_share()
     );
-    println!("error histogram buckets {:?}:", sciml_codec::error_stats::BUCKETS);
+    println!(
+        "error histogram buckets {:?}:",
+        sciml_codec::error_stats::BUCKETS
+    );
     println!("{:?}", stats.buckets);
 }
 
@@ -459,7 +479,10 @@ fn ratios(full: bool) {
     };
     let cam = ClimateGenerator::new(cam_cfg).generate(0);
     let (enc, st) = dc::encode(&cam, &dc::EncoderConfig::default());
-    println!("\nDeepCAM sample ({}x{}x{}):", cam.channels, cam.height, cam.width);
+    println!(
+        "\nDeepCAM sample ({}x{}x{}):",
+        cam.channels, cam.height, cam.width
+    );
     println!("  raw f32: {:>12} bytes", cam.raw_f32_bytes());
     println!(
         "  encoded: {:>12} bytes (ratio {:.2}x)",

@@ -7,6 +7,8 @@
 //! sciml verify FILE...             # parse + decode + integrity / error report
 //! sciml transcode FILE --out FILE  # baseline payload -> custom encoding
 //! sciml bench-decode FILE [--iters K]
+//! sciml serve --dir DIR --n N [--addr HOST:PORT] [--name NAME] [--cache-mb M]
+//! sciml fetch --addr HOST:PORT [--name NAME] [--indices I,J,K | --all] [--stats] [--shutdown]
 //! ```
 
 use sciml_codec::cosmoflow as cf;
@@ -17,8 +19,12 @@ use sciml_data::cosmoflow::CosmoFlowConfig;
 use sciml_data::deepcam::DeepCamConfig;
 use sciml_data::serialize;
 use sciml_half::slice::widen;
+use sciml_pipeline::source::DirSource;
+use sciml_pipeline::SampleSource;
+use sciml_serve::{RemoteSource, ServeBuilder, ServerConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() -> ExitCode {
@@ -39,6 +45,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("verify") => for_each_file(&args[1..], verify),
         Some("transcode") => transcode(&args[1..]),
         Some("bench-decode") => bench_decode(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("fetch") => fetch(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -55,7 +63,9 @@ fn print_usage() {
          inspect FILE...                               identify and summarize files\n  \
          verify FILE...                                decode + integrity report\n  \
          transcode FILE --out FILE                     baseline payload -> custom encoding\n  \
-         bench-decode FILE [--iters K]                 time repeated decodes"
+         bench-decode FILE [--iters K]                 time repeated decodes\n  \
+         serve --dir DIR --n N [--addr A] [--name D]   serve an encoded dataset over TCP\n  \
+         fetch --addr A [--name D] [--indices I,J]     fetch samples / stats from a server"
     );
 }
 
@@ -233,7 +243,11 @@ fn inspect(path: &Path) -> Result<(), String> {
                 .iter()
                 .map(|d| format!("{} {:?} {:?}", d.name, d.dtype, d.shape))
                 .collect();
-            println!("h5lite container — {} dataset(s): {}", ds.len(), names.join(", "));
+            println!(
+                "h5lite container — {} dataset(s): {}",
+                ds.len(),
+                names.join(", ")
+            );
         }
         Kind::Gzip => {
             let inner = sciml_compress::gzip_decompress(&bytes).map_err(|e| e.to_string())?;
@@ -277,7 +291,11 @@ fn verify(path: &Path) -> Result<(), String> {
         }
         Kind::CosmoBase => {
             let s = serialize::cosmo_from_payload(&bytes).map_err(|e| e.to_string())?;
-            println!("{}: OK — baseline payload, {} counts", path.display(), s.counts.len());
+            println!(
+                "{}: OK — baseline payload, {} counts",
+                path.display(),
+                s.counts.len()
+            );
         }
         Kind::H5Lite => {
             let s = serialize::deepcam_from_h5(&bytes).map_err(|e| e.to_string())?;
@@ -290,7 +308,11 @@ fn verify(path: &Path) -> Result<(), String> {
         }
         Kind::Gzip => {
             let inner = sciml_compress::gzip_decompress(&bytes).map_err(|e| e.to_string())?;
-            println!("{}: OK — gzip CRC verified ({} bytes)", path.display(), inner.len());
+            println!(
+                "{}: OK — gzip CRC verified ({} bytes)",
+                path.display(),
+                inner.len()
+            );
         }
         Kind::Unknown => return Err(format!("{}: unknown format", path.display())),
     }
@@ -372,6 +394,116 @@ fn bench_decode(args: &[String]) -> Result<(), String> {
         values as f64 / dt / 1e6,
         iters
     );
+    Ok(())
+}
+
+// -------------------------------------------------------------------
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let dir = flag(args, "--dir").ok_or("--dir DIR required")?;
+    let n: usize = flag_parse(args, "--n", 0)?;
+    if n == 0 {
+        return Err("--n N (number of samples in DIR) required".into());
+    }
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    let name = flag(args, "--name").unwrap_or_else(|| "default".into());
+    let cache_mb: u64 = flag_parse(args, "--cache-mb", 256)?;
+    let workers: usize = flag_parse(args, "--workers", 4)?;
+
+    let source = DirSource::open(&dir, n);
+    // Fail early on an unreadable dataset rather than at first fetch.
+    source
+        .fetch(0)
+        .map_err(|e| format!("cannot read sample 0 from {dir}: {e}"))?;
+
+    let handle = ServeBuilder::new()
+        .config(ServerConfig {
+            workers,
+            cache_bytes: cache_mb << 20,
+            ..ServerConfig::default()
+        })
+        .dataset(&name, Arc::new(source) as Arc<dyn SampleSource>)
+        .bind(addr)
+        .map_err(|e| format!("bind: {e}"))?;
+    println!(
+        "serving '{name}' ({n} samples from {dir}) on {} — {workers} workers, {cache_mb} MiB hot cache",
+        handle.local_addr()
+    );
+    println!(
+        "stop with: sciml fetch --addr {} --shutdown",
+        handle.local_addr()
+    );
+    handle.join();
+    println!("server stopped");
+    Ok(())
+}
+
+fn fetch(args: &[String]) -> Result<(), String> {
+    let addr = flag(args, "--addr").ok_or("--addr HOST:PORT required")?;
+
+    // Shutdown needs no dataset, so don't demand a valid --name for it.
+    if args.iter().any(|a| a == "--shutdown") {
+        let stats = RemoteSource::shutdown_at(&addr).map_err(|e| e.to_string())?;
+        println!(
+            "server shut down after {} requests, {} samples, {} bytes",
+            stats.requests, stats.samples_served, stats.bytes_sent
+        );
+        return Ok(());
+    }
+
+    let name = flag(args, "--name").unwrap_or_else(|| "default".into());
+    let src = RemoteSource::connect(&addr, &name).map_err(|e| e.to_string())?;
+
+    let indices: Vec<u64> = if args.iter().any(|a| a == "--all") {
+        (0..src.len() as u64).collect()
+    } else if let Some(list) = flag(args, "--indices") {
+        list.split(',')
+            .map(|s| s.trim().parse().map_err(|_| format!("bad index: {s}")))
+            .collect::<Result<_, _>>()?
+    } else {
+        Vec::new()
+    };
+
+    println!("'{name}' on {addr}: {} samples", src.len());
+    if !indices.is_empty() {
+        let t0 = Instant::now();
+        let samples = src.fetch_batch(&indices).map_err(|e| e.to_string())?;
+        let dt = t0.elapsed();
+        let bytes: usize = samples.iter().map(Vec::len).sum();
+        println!(
+            "fetched {} samples ({bytes} bytes) in {:.2} ms — {:.1} MiB/s",
+            samples.len(),
+            dt.as_secs_f64() * 1e3,
+            bytes as f64 / dt.as_secs_f64() / (1024.0 * 1024.0)
+        );
+        if let Some(out) = flag(args, "--out") {
+            std::fs::create_dir_all(&out).map_err(|e| format!("create {out}: {e}"))?;
+            for (idx, sample) in indices.iter().zip(&samples) {
+                let path = Path::new(&out).join(format!("sample_{idx:06}.bin"));
+                std::fs::write(&path, sample).map_err(|e| format!("write {path:?}: {e}"))?;
+            }
+            println!("wrote {} files to {out}", samples.len());
+        }
+    }
+    if args.iter().any(|a| a == "--stats") {
+        let s = src.server_stats().map_err(|e| e.to_string())?;
+        let mean_us = if s.requests > 0 {
+            s.request_ns as f64 / s.requests as f64 / 1e3
+        } else {
+            0.0
+        };
+        println!(
+            "server stats: {} requests (mean {mean_us:.1} µs), {} samples, {} bytes sent,\n  \
+             hot cache {} hits / {} misses / {} evictions, {} rejected connections",
+            s.requests,
+            s.samples_served,
+            s.bytes_sent,
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_evictions,
+            s.rejected_connections
+        );
+    }
     Ok(())
 }
 

@@ -90,7 +90,9 @@ fn decode_impl(
         }
         for v in 0..n {
             let k = chunk.key(v);
-            let row = lut.get(k).ok_or(CodecError::Corrupt("key out of table range"))?;
+            let row = lut
+                .get(k)
+                .ok_or(CodecError::Corrupt("key out of table range"))?;
             for (z, chan) in chans.iter_mut().enumerate() {
                 chan[start + v] = row[z];
             }
@@ -182,8 +184,14 @@ mod tests {
         for op in [
             Op::Identity,
             Op::Log1p,
-            Op::Normalize { scale: 0.2, offset: 1.0 },
-            Op::Log1pNormalize { scale: 0.5, offset: 2.0 },
+            Op::Normalize {
+                scale: 0.2,
+                offset: 1.0,
+            },
+            Op::Log1pNormalize {
+                scale: 0.5,
+                offset: 2.0,
+            },
         ] {
             let fused = decode(&e, op).unwrap();
             let base = baseline_preprocess(&s, op);

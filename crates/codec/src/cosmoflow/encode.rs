@@ -96,7 +96,11 @@ pub fn baseline_preprocess(sample: &CosmoSample, op: Op) -> Vec<F16> {
 
 /// Baseline preprocessing with operator-invocation counting (used to
 /// demonstrate the unique-value fusion advantage).
-pub fn baseline_preprocess_with_counter(sample: &CosmoSample, op: Op, counter: &OpCounter) -> Vec<F16> {
+pub fn baseline_preprocess_with_counter(
+    sample: &CosmoSample,
+    op: Op,
+    counter: &OpCounter,
+) -> Vec<F16> {
     sample
         .counts
         .iter()

@@ -83,9 +83,7 @@ impl CosmoChunk {
     pub fn key(&self, i: usize) -> usize {
         match self.key_width {
             KeyWidth::U8 => self.keys[i] as usize,
-            KeyWidth::U16 => {
-                u16::from_le_bytes([self.keys[2 * i], self.keys[2 * i + 1]]) as usize
-            }
+            KeyWidth::U16 => u16::from_le_bytes([self.keys[2 * i], self.keys[2 * i + 1]]) as usize,
         }
     }
 
@@ -269,7 +267,10 @@ mod tests {
         let s = UniverseGenerator::new(CosmoFlowConfig::test_small()).generate(1);
         let bytes = encode(&s).to_bytes();
         for cut in (0..bytes.len()).step_by(101) {
-            assert!(EncodedCosmo::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+            assert!(
+                EncodedCosmo::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
         }
     }
 

@@ -71,7 +71,12 @@ pub fn decode_line_into(
 
 /// Walks a delta line payload: segment headers, then codes, then the
 /// literal side array.
-fn decode_delta_line(payload: &[u8], width: usize, op: Op, dst: &mut [F16]) -> Result<(), CodecError> {
+fn decode_delta_line(
+    payload: &[u8],
+    width: usize,
+    op: Op,
+    dst: &mut [F16],
+) -> Result<(), CodecError> {
     if payload.len() < 4 {
         return Err(CodecError::Corrupt("delta line header"));
     }
@@ -126,9 +131,8 @@ fn decode_delta_line(payload: &[u8], width: usize, op: Op, dst: &mut [F16]) -> R
                     if li >= n_literals {
                         return Err(CodecError::Corrupt("literal index out of range"));
                     }
-                    let l = f32::from_le_bytes(
-                        literal_bytes[li * 4..li * 4 + 4].try_into().unwrap(),
-                    );
+                    let l =
+                        f32::from_le_bytes(literal_bytes[li * 4..li * 4 + 4].try_into().unwrap());
                     li += 1;
                     l
                 }

@@ -86,7 +86,10 @@ pub fn encode(sample: &DeepCamSample, cfg: &EncoderConfig) -> (EncodedDeepCam, E
 /// Encodes a sample with one rayon task per line. Lines are independent
 /// for encoding just as for decoding; per-line payloads are stitched
 /// together afterwards, so output is byte-identical to [`encode`].
-pub fn encode_parallel(sample: &DeepCamSample, cfg: &EncoderConfig) -> (EncodedDeepCam, EncodeStats) {
+pub fn encode_parallel(
+    sample: &DeepCamSample,
+    cfg: &EncoderConfig,
+) -> (EncodedDeepCam, EncodeStats) {
     let n_lines = sample.channels * sample.height;
     let per_line: Vec<(Vec<u8>, LineMode, EncodeStats)> = (0..n_lines)
         .into_par_iter()
@@ -451,7 +454,10 @@ mod tests {
             let denom = x.abs().max(cfg.abs_floor);
             let rel = ((h.to_f32() - x) / denom).abs();
             // Escape tolerance plus the final f16 rounding.
-            assert!(rel <= cfg.escape_rel_tol + 2e-3, "x={x} got {h:?} rel={rel}");
+            assert!(
+                rel <= cfg.escape_rel_tol + 2e-3,
+                "x={x} got {h:?} rel={rel}"
+            );
         }
     }
 

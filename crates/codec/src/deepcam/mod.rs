@@ -140,7 +140,8 @@ impl EncodedDeepCam {
 
     /// Serializes to the wire format.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(32 + self.lines.len() * 9 + self.payload.len() + self.mask.len());
+        let mut out =
+            Vec::with_capacity(32 + self.lines.len() * 9 + self.payload.len() + self.mask.len());
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&self.width.to_le_bytes());
@@ -311,7 +312,10 @@ mod tests {
         let bytes = e.to_bytes();
         assert_eq!(EncodedDeepCam::from_bytes(&bytes).unwrap(), e);
         for cut in 0..bytes.len() {
-            assert!(EncodedDeepCam::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+            assert!(
+                EncodedDeepCam::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
         }
         let mut bad = bytes.clone();
         bad[0] = b'X';

@@ -127,9 +127,17 @@ mod tests {
     #[test]
     fn affinity_classification() {
         assert!(Op::Identity.is_affine());
-        assert!(Op::Normalize { scale: 1.0, offset: 0.0 }.is_affine());
+        assert!(Op::Normalize {
+            scale: 1.0,
+            offset: 0.0
+        }
+        .is_affine());
         assert!(!Op::Log1p.is_affine());
-        assert!(!Op::Log1pNormalize { scale: 1.0, offset: 0.0 }.is_affine());
+        assert!(!Op::Log1pNormalize {
+            scale: 1.0,
+            offset: 0.0
+        }
+        .is_affine());
     }
 
     #[test]

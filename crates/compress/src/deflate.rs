@@ -8,31 +8,69 @@ use crate::Level;
 
 /// (base length, extra bits) for length codes 257..=285.
 pub(crate) const LENGTH_CODES: [(u16, u8); 29] = [
-    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
-    (11, 1), (13, 1), (15, 1), (17, 1),
-    (19, 2), (23, 2), (27, 2), (31, 2),
-    (35, 3), (43, 3), (51, 3), (59, 3),
-    (67, 4), (83, 4), (99, 4), (115, 4),
-    (131, 5), (163, 5), (195, 5), (227, 5),
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
     (258, 0),
 ];
 
 /// (base distance, extra bits) for distance codes 0..=29.
 pub(crate) const DIST_CODES: [(u16, u8); 30] = [
-    (1, 0), (2, 0), (3, 0), (4, 0),
-    (5, 1), (7, 1),
-    (9, 2), (13, 2),
-    (17, 3), (25, 3),
-    (33, 4), (49, 4),
-    (65, 5), (97, 5),
-    (129, 6), (193, 6),
-    (257, 7), (385, 7),
-    (513, 8), (769, 8),
-    (1025, 9), (1537, 9),
-    (2049, 10), (3073, 10),
-    (4097, 11), (6145, 11),
-    (8193, 12), (12289, 12),
-    (16385, 13), (24577, 13),
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
 ];
 
 /// Order in which code-length-code lengths are stored in the header.
@@ -169,9 +207,7 @@ fn write_best_block(w: &mut BitWriter, tokens: &[Token], raw: &[u8], final_block
         + 3 * clc_count(&clc_lens)
         + clc_stream
             .iter()
-            .map(|&(sym, _len_of_extra, extra_bits)| {
-                clc_lens[sym] as usize + extra_bits as usize
-            })
+            .map(|&(sym, _len_of_extra, extra_bits)| clc_lens[sym] as usize + extra_bits as usize)
             .sum::<usize>();
     let dynamic_bits = 3 + header_bits + body_cost(tokens, &dyn_lit_lens, &dyn_dist_lens);
 
@@ -215,7 +251,10 @@ fn clc_count(clc_lens: &[u8; 19]) -> usize {
 /// 16/17/18 repeat codes. Returns (stream of (symbol, extra_value,
 /// extra_bits), clc lengths, hlit, hdist).
 #[allow(clippy::type_complexity)]
-fn build_header(lit_lens: &[u8], dist_lens: &[u8]) -> (Vec<(usize, u16, u8)>, [u8; 19], usize, usize) {
+fn build_header(
+    lit_lens: &[u8],
+    dist_lens: &[u8],
+) -> (Vec<(usize, u16, u8)>, [u8; 19], usize, usize) {
     let mut hlit = 286;
     while hlit > 257 && lit_lens[hlit - 1] == 0 {
         hlit -= 1;

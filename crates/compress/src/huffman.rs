@@ -34,7 +34,10 @@ pub fn code_lengths(freqs: &[u32], max_len: u8) -> Vec<u8> {
         lens[active[0].1] = 1;
         return lens;
     }
-    assert!(max_len >= 1 && n <= (1usize << max_len.min(31)), "code over-full");
+    assert!(
+        max_len >= 1 && n <= (1usize << max_len.min(31)),
+        "code over-full"
+    );
 
     active.sort_unstable();
 
@@ -65,8 +68,7 @@ pub fn code_lengths(freqs: &[u32], max_len: u8) -> Vec<u8> {
         let mut merged = Vec::with_capacity(leaves.len() + paired.len());
         let (mut i, mut j) = (0, 0);
         while i < leaves.len() || j < paired.len() {
-            let take_leaf = j >= paired.len()
-                || (i < leaves.len() && leaves[i].w <= paired[j].w);
+            let take_leaf = j >= paired.len() || (i < leaves.len() && leaves[i].w <= paired[j].w);
             if take_leaf {
                 merged.push(leaves[i].clone());
                 i += 1;
@@ -258,7 +260,10 @@ mod tests {
         // RFC 1951 example: lengths (3,3,3,3,3,2,4,4) for symbols A..H.
         let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
         let codes = canonical_codes(&lengths);
-        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+        assert_eq!(
+            codes,
+            vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]
+        );
     }
 
     #[test]

@@ -75,7 +75,9 @@ fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), Erro
         match sym {
             0..=15 => all.push(sym as u8),
             16 => {
-                let &last = all.last().ok_or(Error::Corrupt("repeat with no prior length"))?;
+                let &last = all
+                    .last()
+                    .ok_or(Error::Corrupt("repeat with no prior length"))?;
                 let n = 3 + r.read_bits(2)? as usize;
                 all.extend(std::iter::repeat_n(last, n));
             }
@@ -189,7 +191,11 @@ mod tests {
     fn decodes_multiblock_streams() {
         let mut data = Vec::new();
         for i in 0..400_000u64 {
-            data.push((i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) >> 33) as u8);
+            data.push(
+                (i.wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407)
+                    >> 33) as u8,
+            );
         }
         let c = deflate_compress(&data, Level::Fast);
         assert_eq!(inflate(&c).unwrap(), data);
@@ -210,8 +216,8 @@ mod tests {
         w.write_bits(0, 3); // len(17) = 0
         w.write_bits(0, 3); // len(18) = 0
         w.write_bits(1, 3); // len(0) = 1
-        // CLC codes: sym 0 -> 0 or 1, sym 16 -> the other; canonical:
-        // sym 0 gets code 0, sym 16 gets code 1.
+                            // CLC codes: sym 0 -> 0 or 1, sym 16 -> the other; canonical:
+                            // sym 0 gets code 0, sym 16 gets code 1.
         w.write_code(1, 1); // symbol 16 first: invalid repeat
         let bytes = w.finish();
         assert!(matches!(inflate(&bytes), Err(Error::Corrupt(_))));

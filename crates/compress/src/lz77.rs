@@ -197,7 +197,11 @@ mod tests {
         let data = vec![b'a'; 300];
         let toks = tokenize(&data, 128, 258, false);
         assert_eq!(expand(&toks), data);
-        assert!(matches!(toks[1], Token::Match { dist: 1, .. }), "{:?}", &toks[..3]);
+        assert!(
+            matches!(toks[1], Token::Match { dist: 1, .. }),
+            "{:?}",
+            &toks[..3]
+        );
     }
 
     #[test]
@@ -223,7 +227,11 @@ mod tests {
                 _ => 0,
             })
             .sum();
-        assert!(matched > data.len() / 2, "matched {matched} of {}", data.len());
+        assert!(
+            matched > data.len() / 2,
+            "matched {matched} of {}",
+            data.len()
+        );
     }
 
     #[test]

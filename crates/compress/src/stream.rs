@@ -152,10 +152,7 @@ mod tests {
             n += 1;
             // Find next header candidate (works for our deterministic
             // writer output in tests).
-            if let Some(next) = rest[2..]
-                .windows(2)
-                .position(|w| w == [0x1F, 0x8B])
-            {
+            if let Some(next) = rest[2..].windows(2).position(|w| w == [0x1F, 0x8B]) {
                 rest = &rest[next + 2..];
             } else {
                 break;

@@ -86,7 +86,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
     if cmf & 0x0F != 8 {
         return Err(Error::BadHeader("zlib compression method"));
     }
-    if ((cmf as u16) << 8 | flg as u16) % 31 != 0 {
+    if !((cmf as u16) << 8 | flg as u16).is_multiple_of(31) {
         return Err(Error::BadHeader("zlib header check bits"));
     }
     if flg & 0x20 != 0 {

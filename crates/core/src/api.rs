@@ -118,17 +118,13 @@ impl DatasetBuilder {
         match (self.workload, format, gpu) {
             (Workload::CosmoFlow, EncodedFormat::Base, _) => Arc::new(CosmoBaseline { op }),
             (Workload::CosmoFlow, EncodedFormat::Gzip, _) => Arc::new(CosmoGzip { op }),
-            (Workload::CosmoFlow, EncodedFormat::Custom, None) => {
-                Arc::new(CosmoPluginCpu { op })
-            }
+            (Workload::CosmoFlow, EncodedFormat::Custom, None) => Arc::new(CosmoPluginCpu { op }),
             (Workload::CosmoFlow, EncodedFormat::Custom, Some(spec)) => {
                 Arc::new(CosmoPluginGpu::new(Gpu::new(spec), op))
             }
             (Workload::DeepCam, EncodedFormat::Base, _) => Arc::new(DeepCamBaseline { op }),
             (Workload::DeepCam, EncodedFormat::Gzip, _) => Arc::new(DeepCamGzip { op }),
-            (Workload::DeepCam, EncodedFormat::Custom, None) => {
-                Arc::new(DeepCamPluginCpu { op })
-            }
+            (Workload::DeepCam, EncodedFormat::Custom, None) => Arc::new(DeepCamPluginCpu { op }),
             (Workload::DeepCam, EncodedFormat::Custom, Some(spec)) => {
                 Arc::new(DeepCamPluginGpu::new(Gpu::new(spec), op))
             }
@@ -152,7 +148,11 @@ mod tests {
     #[test]
     fn cosmo_dataset_builds_in_all_formats_and_decodes() {
         let b = DatasetBuilder::cosmoflow(CosmoFlowConfig::test_small());
-        for format in [EncodedFormat::Base, EncodedFormat::Gzip, EncodedFormat::Custom] {
+        for format in [
+            EncodedFormat::Base,
+            EncodedFormat::Gzip,
+            EncodedFormat::Custom,
+        ] {
             let blobs = b.build(2, format);
             assert_eq!(blobs.len(), 2);
             let plugin = b.plugin(format, None, Op::Log1p);

@@ -11,9 +11,7 @@
 
 use crate::minidnn::models::{cosmoflow_mini, crop_mask, deepcam_mini};
 use crate::minidnn::optim::Sgd;
-use crate::minidnn::train::{
-    train_regression_val, train_segmentation_val, History, TrainConfig,
-};
+use crate::minidnn::train::{train_regression_val, train_segmentation_val, History, TrainConfig};
 use sciml_codec::cosmoflow as cf;
 use sciml_codec::deepcam as dc;
 use sciml_codec::Op;
@@ -112,7 +110,12 @@ pub fn cosmoflow_convergence(cfg: &ConvergenceConfig, seed: u64) -> ConvergenceR
         let s = g.generate(i);
         labels.push(s.label.as_array());
         // Base: per-voxel op in FP32, no rounding.
-        base_inputs.push(s.counts.iter().map(|&c| (c as f32).ln_1p()).collect::<Vec<f32>>());
+        base_inputs.push(
+            s.counts
+                .iter()
+                .map(|&c| (c as f32).ln_1p())
+                .collect::<Vec<f32>>(),
+        );
         // Decoded: the real fused FP16 path.
         let enc = cf::encode(&s);
         decoded_inputs.push(widen(&cf::decode(&enc, Op::Log1p).expect("decode")));

@@ -21,6 +21,7 @@
 //! | [`pipeline`] | DALI-like prefetching loader |
 //! | [`platform`] | Table-I platform models + epoch simulator |
 //! | [`minidnn`] | miniature DNN framework for convergence runs |
+//! | [`serve`] | disaggregated dataset server + remote source |
 
 pub use sciml_codec as codec;
 pub use sciml_compress as compress;
@@ -30,6 +31,7 @@ pub use sciml_half as half;
 pub use sciml_minidnn as minidnn;
 pub use sciml_pipeline as pipeline;
 pub use sciml_platform as platform;
+pub use sciml_serve as serve;
 
 pub mod api;
 pub mod convergence;
@@ -40,11 +42,14 @@ pub mod prelude {
     pub use crate::convergence::{
         cosmoflow_convergence, deepcam_convergence, ConvergenceConfig, ConvergenceRun,
     };
-    pub use sciml_codec::{Op, {cosmoflow as cosmo_codec, deepcam as deepcam_codec}};
+    pub use sciml_codec::{
+        Op, {cosmoflow as cosmo_codec, deepcam as deepcam_codec},
+    };
     pub use sciml_data::cosmoflow::{CosmoFlowConfig, UniverseGenerator};
     pub use sciml_data::deepcam::{ClimateGenerator, DeepCamConfig};
     pub use sciml_gpusim::{Gpu, GpuSpec};
     pub use sciml_half::F16;
     pub use sciml_pipeline::{Pipeline, PipelineConfig};
     pub use sciml_platform::{EpochModel, ExperimentConfig, Format, PlatformSpec, WorkloadProfile};
+    pub use sciml_serve::{RemoteSource, ServeBuilder, ServerConfig};
 }

@@ -20,11 +20,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// The four cosmological parameters used as regression labels
 /// (Ωm, σ8, n_s, H0-scaled), each varied uniformly over ±30 % of its mean.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CosmoParams {
     /// Matter density parameter (mean 0.30).
     pub omega_m: f32,
@@ -71,7 +70,7 @@ pub const N_REDSHIFTS: usize = 4;
 pub const REDSHIFTS: [f32; N_REDSHIFTS] = [3.0, 1.5, 0.5, 0.0];
 
 /// Configuration of the synthetic universe generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CosmoFlowConfig {
     /// Grid edge length (the paper uses 128 sub-volumes of a 512 grid;
     /// tests use 32).
@@ -190,7 +189,8 @@ impl UniverseGenerator {
 
     /// Generates universe number `index` deterministically.
     pub fn generate(&self, index: u64) -> CosmoSample {
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.cfg.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let label = CosmoParams::sample(&mut rng);
         let g = self.cfg.grid;
         let voxels = self.cfg.voxels();
@@ -338,7 +338,8 @@ pub fn sample_stats(sample: &CosmoSample) -> SampleStats {
     for v in 0..sample.voxels() {
         *groups.entry(sample.group(v)).or_insert(0) += 1;
     }
-    let mut value_frequencies: Vec<(u16, usize)> = value_freq.iter().map(|(&v, &f)| (v, f)).collect();
+    let mut value_frequencies: Vec<(u16, usize)> =
+        value_freq.iter().map(|(&v, &f)| (v, f)).collect();
     value_frequencies.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     SampleStats {
         unique_values: value_freq.len(),
@@ -387,7 +388,12 @@ mod tests {
         let s = small_sample();
         let stats = sample_stats(&s);
         let bound = (stats.unique_values as u64).pow(4);
-        assert!((stats.unique_groups as u64) < bound / 100, "{} vs bound {}", stats.unique_groups, bound);
+        assert!(
+            (stats.unique_groups as u64) < bound / 100,
+            "{} vs bound {}",
+            stats.unique_groups,
+            bound
+        );
         // And below the voxel count too (coupling, not saturation).
         assert!(stats.unique_groups < s.voxels());
     }
@@ -397,7 +403,12 @@ mod tests {
         let s = small_sample();
         let stats = sample_stats(&s);
         // The most frequent values (void counts 0..=3) dominate.
-        let top4: usize = stats.value_frequencies.iter().take(4).map(|&(_, f)| f).sum();
+        let top4: usize = stats
+            .value_frequencies
+            .iter()
+            .take(4)
+            .map(|&(_, f)| f)
+            .sum();
         let total: usize = stats.value_frequencies.iter().map(|&(_, f)| f).sum();
         assert!(top4 * 2 > total, "top4 {top4} of {total}");
         // And the frequencies decay fast: the 10th most frequent value

@@ -19,7 +19,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Segmentation classes used by the DeepCAM benchmark.
 pub const CLASS_BACKGROUND: u8 = 0;
@@ -29,7 +28,7 @@ pub const CLASS_CYCLONE: u8 = 1;
 pub const CLASS_RIVER: u8 = 2;
 
 /// Configuration of the synthetic climate generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DeepCamConfig {
     /// Image width (longitude; the real data uses 1152).
     pub width: usize,
@@ -223,7 +222,8 @@ impl ClimateGenerator {
                     let fx = x as f32;
                     let mut v = base + lat_grad * (fy / h - 0.5);
                     for &(kx, ky, phase, a, tilt) in &waves {
-                        v += amp * a * 0.25 * (kx * fx + ky * fy * (1.0 + tilt * 0.1) + phase).sin();
+                        v +=
+                            amp * a * 0.25 * (kx * fx + ky * fy * (1.0 + tilt * 0.1) + phase).sin();
                     }
                     // Sharp anomalies.
                     for cy in &cyclones {
@@ -240,7 +240,8 @@ impl ClimateGenerator {
                         }
                     }
                     for rv in &rivers {
-                        let band_y = rv.y0 + rv.amp * (std::f32::consts::TAU * fx / rv.wavelength).sin();
+                        let band_y =
+                            rv.y0 + rv.amp * (std::f32::consts::TAU * fx / rv.wavelength).sin();
                         let d = (fy - band_y).abs();
                         if d < 4.0 * rv.halfwidth {
                             v += anomaly_scale * rv.strength * (-(d / rv.halfwidth).powi(2)).exp();
@@ -269,7 +270,8 @@ impl ClimateGenerator {
                 }
                 if mask[idx] == CLASS_BACKGROUND {
                     for rv in &rivers {
-                        let band_y = rv.y0 + rv.amp * (std::f32::consts::TAU * fx / rv.wavelength).sin();
+                        let band_y =
+                            rv.y0 + rv.amp * (std::f32::consts::TAU * fx / rv.wavelength).sin();
                         if (fy - band_y).abs() < 2.0 * rv.halfwidth {
                             mask[idx] = CLASS_RIVER;
                         }
@@ -289,7 +291,9 @@ impl ClimateGenerator {
 
     /// Generates `count` samples starting at `first`.
     pub fn generate_batch(&self, first: u64, count: usize) -> Vec<DeepCamSample> {
-        (0..count as u64).map(|i| self.generate(first + i)).collect()
+        (0..count as u64)
+            .map(|i| self.generate(first + i))
+            .collect()
     }
 }
 

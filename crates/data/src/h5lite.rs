@@ -282,7 +282,10 @@ mod tests {
         let bytes = sample_file();
         let ds = read(&bytes).unwrap();
         assert_eq!(ds.len(), 2);
-        assert_eq!(find(&ds, "data").unwrap().as_f32().unwrap(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(
+            find(&ds, "data").unwrap().as_f32().unwrap(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        );
         assert_eq!(find(&ds, "label").unwrap().payload, vec![0, 1, 2, 0, 1, 2]);
     }
 

@@ -75,7 +75,9 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(DataError::Checksum.to_string().contains("checksum"));
-        assert!(DataError::Format("bad magic").to_string().contains("bad magic"));
+        assert!(DataError::Format("bad magic")
+            .to_string()
+            .contains("bad magic"));
         let io_err: DataError = io::Error::new(io::ErrorKind::NotFound, "nope").into();
         assert!(io_err.to_string().contains("nope"));
     }

@@ -44,9 +44,11 @@ impl TfRecordWriter {
         let len = payload.len() as u64;
         let len_bytes = len.to_le_bytes();
         self.buf.extend_from_slice(&len_bytes);
-        self.buf.extend_from_slice(&masked_crc32(&len_bytes).to_le_bytes());
+        self.buf
+            .extend_from_slice(&masked_crc32(&len_bytes).to_le_bytes());
         self.buf.extend_from_slice(payload);
-        self.buf.extend_from_slice(&masked_crc32(payload).to_le_bytes());
+        self.buf
+            .extend_from_slice(&masked_crc32(payload).to_le_bytes());
     }
 
     /// Finalizes the stream with the chosen compression.
@@ -91,7 +93,8 @@ impl TfRecordReader {
             return Err(DataError::Format("truncated record header"));
         }
         let len_bytes: [u8; 8] = self.data[self.pos..self.pos + 8].try_into().unwrap();
-        let len_crc = u32::from_le_bytes(self.data[self.pos + 8..self.pos + 12].try_into().unwrap());
+        let len_crc =
+            u32::from_le_bytes(self.data[self.pos + 8..self.pos + 12].try_into().unwrap());
         if masked_crc32(&len_bytes) != len_crc {
             return Err(DataError::Checksum);
         }
@@ -101,8 +104,11 @@ impl TfRecordReader {
             return Err(DataError::Format("truncated record body"));
         }
         let payload = self.data[body_start..body_start + len].to_vec();
-        let data_crc =
-            u32::from_le_bytes(self.data[body_start + len..body_start + len + 4].try_into().unwrap());
+        let data_crc = u32::from_le_bytes(
+            self.data[body_start + len..body_start + len + 4]
+                .try_into()
+                .unwrap(),
+        );
         if masked_crc32(&payload) != data_crc {
             return Err(DataError::Checksum);
         }

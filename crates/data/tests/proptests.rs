@@ -21,17 +21,25 @@ fn cosmo_cfgs() -> impl Strategy<Value = CosmoFlowConfig> {
 }
 
 fn cam_cfgs() -> impl Strategy<Value = DeepCamConfig> {
-    (16usize..64, 8usize..32, 1usize..4, 0usize..3, 0usize..2, any::<u64>()).prop_map(
-        |(width, height, channels, cyclones, rivers, seed)| DeepCamConfig {
-            width,
-            height,
-            channels,
-            cyclones,
-            rivers,
-            noise: 2.5e-3,
-            seed,
-        },
+    (
+        16usize..64,
+        8usize..32,
+        1usize..4,
+        0usize..3,
+        0usize..2,
+        any::<u64>(),
     )
+        .prop_map(
+            |(width, height, channels, cyclones, rivers, seed)| DeepCamConfig {
+                width,
+                height,
+                channels,
+                cyclones,
+                rivers,
+                noise: 2.5e-3,
+                seed,
+            },
+        )
 }
 
 proptest! {

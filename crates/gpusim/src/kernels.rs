@@ -93,7 +93,7 @@ pub fn decode_cosmo(
             }
             ctx.access(&row_addrs, table_space);
             ctx.alu(1); // unpack/select
-            // Four coalesced channel stores + the functional writes.
+                        // Four coalesced channel stores + the functional writes.
             let out_base = 0x4000_0000u64;
             for z in 0..N_REDSHIFTS {
                 let store_addrs: Vec<u64> = (0..lanes as u64)
@@ -168,9 +168,7 @@ pub fn decode_deepcam(
                 // Payload streaming: headers + codes, coalesced.
                 let payload_sectors = (payload.len() as u64).div_ceil(32).max(1);
                 for _ in 0..payload_sectors {
-                    let addrs: Vec<u64> = (0..WARP_SIZE as u64)
-                        .map(|i| 0x8000_0000 + i)
-                        .collect();
+                    let addrs: Vec<u64> = (0..WARP_SIZE as u64).map(|i| 0x8000_0000 + i).collect();
                     ctx.access(&addrs, MemSpace::Dram);
                 }
                 // The segment walks are loop-carried: each non-head value

@@ -350,8 +350,8 @@ impl Layer for Conv2d {
                     dst.fill(bias);
                     for ic in 0..c {
                         let src = &xb[ic * in_plane..(ic + 1) * in_plane];
-                        let ker = &self.w.data
-                            [((oc * c + ic) * k * k)..((oc * c + ic + 1) * k * k)];
+                        let ker =
+                            &self.w.data[((oc * c + ic) * k * k)..((oc * c + ic + 1) * k * k)];
                         for oy in 0..oh {
                             for ox in 0..ow {
                                 let mut acc = 0.0;
@@ -486,7 +486,8 @@ impl Layer for Conv3d {
                                     for kz in 0..k {
                                         for ky in 0..k {
                                             let base = ((oz + kz) * h + oy + ky) * w + ox;
-                                            let krow = &ker[(kz * k + ky) * k..(kz * k + ky) * k + k];
+                                            let krow =
+                                                &ker[(kz * k + ky) * k..(kz * k + ky) * k + k];
                                             let srow = &src[base..base + k];
                                             for (s, kv) in srow.iter().zip(krow) {
                                                 acc += s * kv;
@@ -749,10 +750,7 @@ mod tests {
     #[test]
     fn maxpool2_forward_and_routing() {
         let mut p = MaxPool::<2>::new();
-        let x = Tensor::from_vec(
-            &[1, 1, 2, 4],
-            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 9.0],
-        );
+        let x = Tensor::from_vec(&[1, 1, 2, 4], vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 9.0]);
         let y = p.forward(&x);
         assert_eq!(y.shape, vec![1, 1, 1, 2]);
         assert_eq!(y.data, vec![5.0, 9.0]);
@@ -777,8 +775,8 @@ mod tests {
         let y = d.forward(&x);
         // Inverted dropout: survivors are scaled by 1/keep = 2.0.
         assert!(y.data.iter().all(|&v| v == 0.0 || v == 2.0));
-        assert!(y.data.iter().any(|&v| v == 0.0));
-        assert!(y.data.iter().any(|&v| v == 2.0));
+        assert!(y.data.contains(&0.0));
+        assert!(y.data.contains(&2.0));
         // Gradient routes through the same mask.
         let g = d.backward(&Tensor::from_vec(&[1, 8], vec![1.0; 8]));
         assert_eq!(g.data, y.data);

@@ -113,7 +113,11 @@ mod tests {
             let (vp, _) = softmax_cross_entropy(&lp, &labels, 3);
             let (vm, _) = softmax_cross_entropy(&lm, &labels, 3);
             let num = (vp - vm) / (2.0 * eps);
-            assert!((num - g.data[i]).abs() < 1e-3, "i={i}: {num} vs {}", g.data[i]);
+            assert!(
+                (num - g.data[i]).abs() < 1e-3,
+                "i={i}: {num} vs {}",
+                g.data[i]
+            );
         }
     }
 }

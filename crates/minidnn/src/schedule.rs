@@ -50,8 +50,9 @@ impl Schedule {
     pub fn at(&self, step: usize) -> f32 {
         match self {
             Schedule::Constant { lr } => *lr,
-            Schedule::WarmupConstant { lr, warmup_steps } => warmup(*lr, *warmup_steps, step)
-                .unwrap_or(*lr),
+            Schedule::WarmupConstant { lr, warmup_steps } => {
+                warmup(*lr, *warmup_steps, step).unwrap_or(*lr)
+            }
             Schedule::WarmupStepDecay {
                 lr,
                 warmup_steps,

@@ -278,7 +278,9 @@ mod tests {
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for _ in 0..n {
-            let x: Vec<f32> = (0..4 * 12 * 12 * 12).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let x: Vec<f32> = (0..4 * 12 * 12 * 12)
+                .map(|_| rng.gen_range(0.0..1.0))
+                .collect();
             let m = x.iter().sum::<f32>() / x.len() as f32;
             ys.push([m, m * 0.5, 0.3, 0.1]);
             xs.push(x);
@@ -368,11 +370,7 @@ mod tests {
         );
         assert_eq!(h.val_losses.len(), 5);
         // Validation loss on the same distribution should also fall.
-        assert!(
-            h.final_val_loss() < h.val_losses[0],
-            "{:?}",
-            h.val_losses
-        );
+        assert!(h.final_val_loss() < h.val_losses[0], "{:?}", h.val_losses);
     }
 
     #[test]
@@ -380,7 +378,14 @@ mod tests {
         let (xs, ys) = toy_regression_data(4);
         let mut net = cosmoflow_mini(12, 0);
         let mut opt = Sgd::new(1e-3, 0.9);
-        let h = train_regression(&mut net, &mut opt, &xs, &[4, 12, 12, 12], &ys, &TrainConfig::default());
+        let h = train_regression(
+            &mut net,
+            &mut opt,
+            &xs,
+            &[4, 12, 12, 12],
+            &ys,
+            &TrainConfig::default(),
+        );
         assert!(h.val_losses.is_empty());
     }
 

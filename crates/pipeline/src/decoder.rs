@@ -299,7 +299,10 @@ mod tests {
             .decode(&enc)
             .unwrap();
         assert_eq!(base, gzip);
-        assert_eq!(base.data, cpu.data, "fused CPU plugin must be bit-identical");
+        assert_eq!(
+            base.data, cpu.data,
+            "fused CPU plugin must be bit-identical"
+        );
         assert_eq!(base.data, gpu.data, "GPU plugin must be bit-identical");
         assert_eq!(base.label, cpu.label);
     }
@@ -307,7 +310,12 @@ mod tests {
     #[test]
     fn cosmo_encoded_is_smaller_than_raw_and_gzip_decodes_on_cpu_only() {
         let (raw, gz, enc) = cosmo_payloads();
-        assert!(enc.len() * 3 < raw.len(), "enc {} raw {}", enc.len(), raw.len());
+        assert!(
+            enc.len() * 3 < raw.len(),
+            "enc {} raw {}",
+            enc.len(),
+            raw.len()
+        );
         // gzip is also smaller but must round-trip through the CPU path.
         assert!(gz.len() < raw.len());
     }
@@ -348,7 +356,11 @@ mod tests {
         assert!(CosmoBaseline { op: Op::Log1p }.decode(b"junk").is_err());
         assert!(CosmoGzip { op: Op::Log1p }.decode(b"junk").is_err());
         assert!(CosmoPluginCpu { op: Op::Log1p }.decode(b"junk").is_err());
-        assert!(DeepCamBaseline { op: Op::Identity }.decode(b"junk").is_err());
-        assert!(DeepCamPluginCpu { op: Op::Identity }.decode(b"junk").is_err());
+        assert!(DeepCamBaseline { op: Op::Identity }
+            .decode(b"junk")
+            .is_err());
+        assert!(DeepCamPluginCpu { op: Op::Identity }
+            .decode(b"junk")
+            .is_err());
     }
 }

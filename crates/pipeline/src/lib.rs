@@ -47,6 +47,11 @@ pub enum PipelineError {
     Config(&'static str),
     /// A worker thread disappeared (channel closed early).
     WorkerLost,
+    /// A remote sample source failed (wire protocol, server error, or
+    /// an exhausted retry budget).
+    Remote(Box<dyn std::error::Error + Send + Sync>),
+    /// A remote operation exceeded its deadline.
+    Timeout(&'static str),
 }
 
 impl fmt::Display for PipelineError {
@@ -57,11 +62,25 @@ impl fmt::Display for PipelineError {
             PipelineError::Compression(e) => write!(f, "decompress error: {e}"),
             PipelineError::Config(w) => write!(f, "pipeline config error: {w}"),
             PipelineError::WorkerLost => write!(f, "pipeline worker lost"),
+            PipelineError::Remote(e) => write!(f, "remote source error: {e}"),
+            PipelineError::Timeout(what) => write!(f, "remote operation timed out: {what}"),
         }
     }
 }
 
-impl std::error::Error for PipelineError {}
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Source(e) => Some(e),
+            PipelineError::Decode(e) => Some(e),
+            PipelineError::Compression(e) => Some(e),
+            PipelineError::Remote(e) => Some(e.as_ref()),
+            PipelineError::Config(_) | PipelineError::WorkerLost | PipelineError::Timeout(_) => {
+                None
+            }
+        }
+    }
+}
 
 impl From<sciml_data::DataError> for PipelineError {
     fn from(e: sciml_data::DataError) -> Self {
@@ -92,5 +111,30 @@ mod tests {
     fn error_display() {
         assert!(PipelineError::WorkerLost.to_string().contains("worker"));
         assert!(PipelineError::Config("bad").to_string().contains("bad"));
+        assert!(PipelineError::Timeout("fetch")
+            .to_string()
+            .contains("fetch"));
+    }
+
+    #[test]
+    fn error_source_chain() {
+        use std::error::Error as _;
+        let e = PipelineError::Source(sciml_data::DataError::Format("bad magic"));
+        assert!(e
+            .source()
+            .expect("has cause")
+            .to_string()
+            .contains("bad magic"));
+
+        let inner: Box<dyn std::error::Error + Send + Sync> = "link down".into();
+        let e = PipelineError::Remote(inner);
+        assert!(e
+            .source()
+            .expect("has cause")
+            .to_string()
+            .contains("link down"));
+
+        assert!(PipelineError::WorkerLost.source().is_none());
+        assert!(PipelineError::Timeout("x").source().is_none());
     }
 }

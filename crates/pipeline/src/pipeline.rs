@@ -74,7 +74,8 @@ impl Pipeline {
         // Stage 1: index generator -> (epoch, index) work items.
         let (idx_tx, idx_rx) = channel::bounded::<(usize, usize)>(cfg.prefetch.max(1));
         // Stage 2: fetched bytes, tagged with sequence for ordering.
-        let (raw_tx, raw_rx) = channel::bounded::<(u64, usize, usize, Vec<u8>)>(cfg.prefetch.max(1));
+        let (raw_tx, raw_rx) =
+            channel::bounded::<(u64, usize, usize, Vec<u8>)>(cfg.prefetch.max(1));
         // Stage 3: decoded samples.
         let (dec_tx, dec_rx) =
             channel::bounded::<(u64, usize, usize, Result<DecodedSample>)>(cfg.prefetch.max(1));
@@ -142,8 +143,7 @@ impl Pipeline {
             let stats = Arc::clone(&stats);
             workers.push(std::thread::spawn(move || {
                 while let Ok((s, epoch, idx, bytes)) = raw_rx.recv() {
-                    let decoded =
-                        PipelineStats::timed(&stats.decode_ns, || plugin.decode(&bytes));
+                    let decoded = PipelineStats::timed(&stats.decode_ns, || plugin.decode(&bytes));
                     if dec_tx.send((s, epoch, idx, decoded)).is_err() {
                         return;
                     }

@@ -20,7 +20,9 @@ fn tiny_blobs(n: usize) -> Vec<Vec<u8>> {
         seed: 5,
     };
     let g = UniverseGenerator::new(cfg);
-    (0..n as u64).map(|i| cf::encode(&g.generate(i)).to_bytes()).collect()
+    (0..n as u64)
+        .map(|i| cf::encode(&g.generate(i)).to_bytes())
+        .collect()
 }
 
 proptest! {

@@ -228,8 +228,22 @@ mod tests {
     fn cosmo_plugin_speedup_3_to_4x_on_cori_small_set() {
         for p in [PlatformSpec::cori_v100(), PlatformSpec::cori_a100()] {
             let n = 128 * p.gpus_per_node as u64;
-            let base = tput(&cfg(p.clone(), WorkloadProfile::cosmoflow(), Format::Base, n, true, 4));
-            let plug = tput(&cfg(p.clone(), WorkloadProfile::cosmoflow(), Format::PluginGpu, n, true, 4));
+            let base = tput(&cfg(
+                p.clone(),
+                WorkloadProfile::cosmoflow(),
+                Format::Base,
+                n,
+                true,
+                4,
+            ));
+            let plug = tput(&cfg(
+                p.clone(),
+                WorkloadProfile::cosmoflow(),
+                Format::PluginGpu,
+                n,
+                true,
+                4,
+            ));
             let speedup = plug / base;
             assert!((2.0..6.0).contains(&speedup), "{}: {speedup}", p.name);
         }
@@ -239,8 +253,22 @@ mod tests {
     fn cosmo_plugin_speedup_5_to_8x_on_summit_small_set() {
         let p = PlatformSpec::summit();
         let n = 128 * 6;
-        let base = tput(&cfg(p.clone(), WorkloadProfile::cosmoflow(), Format::Base, n, true, 1));
-        let plug = tput(&cfg(p, WorkloadProfile::cosmoflow(), Format::PluginGpu, n, true, 1));
+        let base = tput(&cfg(
+            p.clone(),
+            WorkloadProfile::cosmoflow(),
+            Format::Base,
+            n,
+            true,
+            1,
+        ));
+        let plug = tput(&cfg(
+            p,
+            WorkloadProfile::cosmoflow(),
+            Format::PluginGpu,
+            n,
+            true,
+            1,
+        ));
         let speedup = plug / base;
         assert!((4.0..10.0).contains(&speedup), "{speedup}");
     }
@@ -279,8 +307,22 @@ mod tests {
         // to 1.5×".
         for p in PlatformSpec::all() {
             let n = 128 * p.gpus_per_node as u64;
-            let base = tput(&cfg(p.clone(), WorkloadProfile::cosmoflow(), Format::Base, n, true, 4));
-            let gz = tput(&cfg(p.clone(), WorkloadProfile::cosmoflow(), Format::Gzip, n, true, 4));
+            let base = tput(&cfg(
+                p.clone(),
+                WorkloadProfile::cosmoflow(),
+                Format::Base,
+                n,
+                true,
+                4,
+            ));
+            let gz = tput(&cfg(
+                p.clone(),
+                WorkloadProfile::cosmoflow(),
+                Format::Gzip,
+                n,
+                true,
+                4,
+            ));
             let slowdown = base / gz;
             assert!((1.0..1.8).contains(&slowdown), "{}: {slowdown}", p.name);
         }
@@ -310,8 +352,22 @@ mod tests {
         // batch size" (it is host/IO bound).
         let p = PlatformSpec::cori_v100();
         let n = 128 * 8;
-        let b1 = tput(&cfg(p.clone(), WorkloadProfile::cosmoflow(), Format::Base, n, true, 1));
-        let b8 = tput(&cfg(p, WorkloadProfile::cosmoflow(), Format::Base, n, true, 8));
+        let b1 = tput(&cfg(
+            p.clone(),
+            WorkloadProfile::cosmoflow(),
+            Format::Base,
+            n,
+            true,
+            1,
+        ));
+        let b8 = tput(&cfg(
+            p,
+            WorkloadProfile::cosmoflow(),
+            Format::Base,
+            n,
+            true,
+            8,
+        ));
         assert!((b8 / b1 - 1.0).abs() < 0.25, "{}", b8 / b1);
     }
 
@@ -320,8 +376,22 @@ mod tests {
     #[test]
     fn deepcam_large_set_slows_baseline_1_2_to_2_4x() {
         let p = PlatformSpec::cori_v100();
-        let small = tput(&cfg(p.clone(), WorkloadProfile::deepcam(), Format::Base, 1536, true, 4));
-        let large = tput(&cfg(p, WorkloadProfile::deepcam(), Format::Base, 12288, true, 4));
+        let small = tput(&cfg(
+            p.clone(),
+            WorkloadProfile::deepcam(),
+            Format::Base,
+            1536,
+            true,
+            4,
+        ));
+        let large = tput(&cfg(
+            p,
+            WorkloadProfile::deepcam(),
+            Format::Base,
+            12288,
+            true,
+            4,
+        ));
         let slowdown = small / large;
         assert!((1.2..2.6).contains(&slowdown), "{slowdown}");
     }
@@ -336,8 +406,22 @@ mod tests {
             (12288, true, 8),
             (12288, false, 8),
         ] {
-            let base = tput(&cfg(p.clone(), WorkloadProfile::deepcam(), Format::Base, n, staged, batch));
-            let plug = tput(&cfg(p.clone(), WorkloadProfile::deepcam(), Format::PluginGpu, n, staged, batch));
+            let base = tput(&cfg(
+                p.clone(),
+                WorkloadProfile::deepcam(),
+                Format::Base,
+                n,
+                staged,
+                batch,
+            ));
+            let plug = tput(&cfg(
+                p.clone(),
+                WorkloadProfile::deepcam(),
+                Format::PluginGpu,
+                n,
+                staged,
+                batch,
+            ));
             best = best.max(plug / base);
         }
         assert!((2.5..4.0).contains(&best), "{best}");
@@ -347,8 +431,22 @@ mod tests {
     fn deepcam_summit_baseline_beats_cori_v100_node_at_batch_4() {
         // §IX-A: "At batch size of 4, the 6-V100 Summit node outperforms
         // an 8-V100 Cori node" for the baseline (NVLink + fast NVMe).
-        let s = tput(&cfg(PlatformSpec::summit(), WorkloadProfile::deepcam(), Format::Base, 12288, true, 4));
-        let c = tput(&cfg(PlatformSpec::cori_v100(), WorkloadProfile::deepcam(), Format::Base, 12288, true, 4));
+        let s = tput(&cfg(
+            PlatformSpec::summit(),
+            WorkloadProfile::deepcam(),
+            Format::Base,
+            12288,
+            true,
+            4,
+        ));
+        let c = tput(&cfg(
+            PlatformSpec::cori_v100(),
+            WorkloadProfile::deepcam(),
+            Format::Base,
+            12288,
+            true,
+            4,
+        ));
         assert!(s > c, "summit {s} vs cori {c}");
     }
 
@@ -358,8 +456,22 @@ mod tests {
         let p = PlatformSpec::summit();
         let mut worst = 1.0f64;
         for (n, staged) in [(1536u64, true), (12288, true)] {
-            let base = tput(&cfg(p.clone(), WorkloadProfile::deepcam(), Format::Base, n, staged, 4));
-            let plug = tput(&cfg(p.clone(), WorkloadProfile::deepcam(), Format::PluginGpu, n, staged, 4));
+            let base = tput(&cfg(
+                p.clone(),
+                WorkloadProfile::deepcam(),
+                Format::Base,
+                n,
+                staged,
+                4,
+            ));
+            let plug = tput(&cfg(
+                p.clone(),
+                WorkloadProfile::deepcam(),
+                Format::PluginGpu,
+                n,
+                staged,
+                4,
+            ));
             worst = worst.max(plug / base);
         }
         assert!(worst < 1.6, "{worst}");
@@ -370,8 +482,22 @@ mod tests {
         // §IX-A: "the GPU plugin is up to 1.5× faster than the CPU for
         // unstaged data".
         let p = PlatformSpec::cori_v100();
-        let cpu = tput(&cfg(p.clone(), WorkloadProfile::deepcam(), Format::PluginCpu, 12288, false, 4));
-        let gpu = tput(&cfg(p, WorkloadProfile::deepcam(), Format::PluginGpu, 12288, false, 4));
+        let cpu = tput(&cfg(
+            p.clone(),
+            WorkloadProfile::deepcam(),
+            Format::PluginCpu,
+            12288,
+            false,
+            4,
+        ));
+        let gpu = tput(&cfg(
+            p,
+            WorkloadProfile::deepcam(),
+            Format::PluginGpu,
+            12288,
+            false,
+            4,
+        ));
         assert!(gpu >= cpu, "gpu {gpu} vs cpu {cpu}");
     }
 
@@ -382,8 +508,22 @@ mod tests {
         // the input-side bottleneck (host workers, CPU-GPU transfers) is
         // essentially identical on both nodes. Checked per GPU on the
         // memory-resident small set where the effect is purest.
-        let v = tput(&cfg(PlatformSpec::cori_v100(), WorkloadProfile::deepcam(), Format::Base, 1536, true, 4));
-        let a = tput(&cfg(PlatformSpec::cori_a100(), WorkloadProfile::deepcam(), Format::Base, 1536, true, 4));
+        let v = tput(&cfg(
+            PlatformSpec::cori_v100(),
+            WorkloadProfile::deepcam(),
+            Format::Base,
+            1536,
+            true,
+            4,
+        ));
+        let a = tput(&cfg(
+            PlatformSpec::cori_a100(),
+            WorkloadProfile::deepcam(),
+            Format::Base,
+            1536,
+            true,
+            4,
+        ));
         let ratio = a / v;
         assert!((0.7..1.3).contains(&ratio), "{ratio}");
     }
@@ -392,8 +532,22 @@ mod tests {
     fn deepcam_plugin_leverages_a100_over_v100() {
         // §IX-A: "our plugin also leverages the increased capability of
         // the A100, resulting in a speedup of up to 2.2×".
-        let v = tput(&cfg(PlatformSpec::cori_v100(), WorkloadProfile::deepcam(), Format::PluginGpu, 1536, true, 4));
-        let a = tput(&cfg(PlatformSpec::cori_a100(), WorkloadProfile::deepcam(), Format::PluginGpu, 1536, true, 4));
+        let v = tput(&cfg(
+            PlatformSpec::cori_v100(),
+            WorkloadProfile::deepcam(),
+            Format::PluginGpu,
+            1536,
+            true,
+            4,
+        ));
+        let a = tput(&cfg(
+            PlatformSpec::cori_a100(),
+            WorkloadProfile::deepcam(),
+            Format::PluginGpu,
+            1536,
+            true,
+            4,
+        ));
         let ratio = a / v;
         assert!((1.5..2.5).contains(&ratio), "{ratio}");
     }
@@ -404,8 +558,22 @@ mod tests {
         // bound); the plugin flips it to compute bound.
         let p = PlatformSpec::cori_v100();
         let n = 128 * 8;
-        let base = EpochModel::evaluate(&cfg(p.clone(), WorkloadProfile::cosmoflow(), Format::Base, n, true, 4));
-        let plug = EpochModel::evaluate(&cfg(p, WorkloadProfile::cosmoflow(), Format::PluginGpu, n, true, 4));
+        let base = EpochModel::evaluate(&cfg(
+            p.clone(),
+            WorkloadProfile::cosmoflow(),
+            Format::Base,
+            n,
+            true,
+            4,
+        ));
+        let plug = EpochModel::evaluate(&cfg(
+            p,
+            WorkloadProfile::cosmoflow(),
+            Format::PluginGpu,
+            n,
+            true,
+            4,
+        ));
         assert!(base.breakdown.input_bound());
         assert!(!plug.breakdown.input_bound());
         // Jitter shrinks when not starved.

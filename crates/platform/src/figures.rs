@@ -172,7 +172,9 @@ pub fn table1() -> String {
     s.push_str(&row("System", &|p| p.name.to_string()));
     s.push_str(&row("GPUs per node", &|p| p.gpus_per_node.to_string()));
     s.push_str(&row("GPU", &|p| p.gpu.name.to_string()));
-    s.push_str(&row("CPU freq (GHz)", &|p| format!("{:.2}", p.cpu_freq_ghz)));
+    s.push_str(&row("CPU freq (GHz)", &|p| {
+        format!("{:.2}", p.cpu_freq_ghz)
+    }));
     s.push_str(&row("Host memory (GB)", &|p| {
         format!("{:.0}", p.host_memory as f64 / 1e9)
     }));
@@ -186,7 +188,9 @@ pub fn table1() -> String {
     s.push_str(&row("L2 (MB)", &|p| {
         format!("{:.0}", p.gpu.l2_bytes as f64 / 1e6)
     }));
-    s.push_str(&row("FP32 TF/s", &|p| format!("{:.1}", p.gpu.fp32_tflops / 1e12)));
+    s.push_str(&row("FP32 TF/s", &|p| {
+        format!("{:.1}", p.gpu.fp32_tflops / 1e12)
+    }));
     s.push_str(&row("Tensor TF/s", &|p| {
         format!("{:.0}", p.gpu.tensor_tflops / 1e12)
     }));

@@ -73,6 +73,7 @@ pub struct ScalingPoint {
 }
 
 /// Sweeps node counts for a fixed global dataset.
+#[allow(clippy::too_many_arguments)]
 pub fn scale(
     platform: &PlatformSpec,
     workload: &WorkloadProfile,
@@ -153,7 +154,9 @@ mod tests {
     #[test]
     fn shards_shrink_and_tier_improves_with_node_count() {
         let pts = sweep(Format::Base);
-        assert!(pts.windows(2).all(|w| w[1].samples_per_node <= w[0].samples_per_node));
+        assert!(pts
+            .windows(2)
+            .all(|w| w[1].samples_per_node <= w[0].samples_per_node));
         // At low node counts the raw shard streams from NVMe/FS; at high
         // counts it fits host memory.
         assert_ne!(pts.first().unwrap().tier, "host-mem");
@@ -225,7 +228,11 @@ mod tests {
         // jumps: global scaling beats linear around the cliff.
         let pts = sweep(Format::Base);
         let linear_64 = pts[0].global_throughput * 64.0;
-        let actual_64 = pts.iter().find(|p| p.nodes == 64).unwrap().global_throughput;
+        let actual_64 = pts
+            .iter()
+            .find(|p| p.nodes == 64)
+            .unwrap()
+            .global_throughput;
         assert!(actual_64 > linear_64, "{actual_64} vs linear {linear_64}");
     }
 }

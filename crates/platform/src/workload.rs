@@ -31,7 +31,12 @@ pub enum Format {
 impl Format {
     /// All variants in presentation order.
     pub fn all() -> [Format; 4] {
-        [Format::Base, Format::Gzip, Format::PluginCpu, Format::PluginGpu]
+        [
+            Format::Base,
+            Format::Gzip,
+            Format::PluginCpu,
+            Format::PluginGpu,
+        ]
     }
 
     /// Label used in figure output.

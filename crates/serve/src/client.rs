@@ -1,0 +1,400 @@
+//! Remote dataset client: a [`SampleSource`] backed by a dataset
+//! server, so a training pipeline consumes network-served samples
+//! through the exact same trait as local files.
+//!
+//! Connections are pooled per source (reader threads check one out,
+//! use it, and return it), every socket carries read/write timeouts,
+//! and transient failures — dropped connections, timeouts, `Busy`
+//! rejections — are retried with exponential backoff up to a bounded
+//! attempt budget before surfacing as
+//! [`PipelineError::Remote`]/[`PipelineError::Timeout`].
+
+use crate::protocol::{
+    read_message, write_message, DatasetEntry, ErrorCode, Message, ProtocolError, StatsSnapshot,
+    PROTOCOL_VERSION,
+};
+use sciml_pipeline::{PipelineError, SampleSource};
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Socket read timeout per response.
+    pub read_timeout: Duration,
+    /// Socket write timeout per request.
+    pub write_timeout: Duration,
+    /// Connect timeout is approximated by the OS default; failed
+    /// connects consume retry attempts like any other failure.
+    /// Total attempts per operation (1 initial + retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub initial_backoff: Duration,
+    /// Idle pooled connections kept per source.
+    pub pool_size: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_attempts: 4,
+            initial_backoff: Duration::from_millis(20),
+            pool_size: 8,
+        }
+    }
+}
+
+/// One pooled, version-negotiated connection.
+struct Conn {
+    stream: TcpStream,
+}
+
+impl Conn {
+    fn open(addr: &str, cfg: &ClientConfig) -> Result<Self, PipelineError> {
+        let stream = TcpStream::connect(addr).map_err(io_to_pipeline)?;
+        stream
+            .set_read_timeout(Some(cfg.read_timeout))
+            .map_err(io_to_pipeline)?;
+        stream
+            .set_write_timeout(Some(cfg.write_timeout))
+            .map_err(io_to_pipeline)?;
+        let _ = stream.set_nodelay(true);
+        let mut conn = Self { stream };
+        conn.send(&Message::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match conn.recv()? {
+            Message::HelloAck { .. } => Ok(conn),
+            Message::Error { code, detail } => Err(server_error(code, detail)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    fn send(&mut self, msg: &Message) -> Result<(), PipelineError> {
+        write_message(&mut self.stream, msg).map_err(protocol_to_pipeline)
+    }
+
+    fn recv(&mut self) -> Result<Message, PipelineError> {
+        read_message(&mut self.stream).map_err(protocol_to_pipeline)
+    }
+
+    /// One request/response exchange.
+    fn call(&mut self, msg: &Message) -> Result<Message, PipelineError> {
+        self.send(msg)?;
+        self.recv()
+    }
+}
+
+fn io_to_pipeline(e: io::Error) -> PipelineError {
+    match e.kind() {
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => {
+            PipelineError::Timeout("socket operation")
+        }
+        _ => PipelineError::Remote(Box::new(e)),
+    }
+}
+
+fn protocol_to_pipeline(e: ProtocolError) -> PipelineError {
+    match e {
+        ProtocolError::Io(io_err) => io_to_pipeline(io_err),
+        other => PipelineError::Remote(Box::new(other)),
+    }
+}
+
+fn server_error(code: ErrorCode, detail: String) -> PipelineError {
+    PipelineError::Remote(format!("server error ({code:?}): {detail}").into())
+}
+
+fn unexpected_reply(msg: &Message) -> PipelineError {
+    PipelineError::Remote(format!("unexpected server reply: {msg:?}").into())
+}
+
+/// Is this failure worth a retry on a fresh connection?
+fn is_transient(e: &PipelineError) -> bool {
+    match e {
+        PipelineError::Timeout(_) => true,
+        PipelineError::Remote(inner) => {
+            let text = inner.to_string();
+            // Busy rejections clear once in-flight connections finish;
+            // wire-level failures may be a dropped/poisoned connection.
+            text.contains("Busy") || !text.starts_with("server error")
+        }
+        _ => false,
+    }
+}
+
+/// A [`SampleSource`] served over the wire.
+pub struct RemoteSource {
+    addr: String,
+    name: String,
+    len: usize,
+    cfg: ClientConfig,
+    pool: Mutex<Vec<Conn>>,
+    read: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl RemoteSource {
+    /// Connects to `addr`, validates that `dataset` exists, and caches
+    /// its length.
+    pub fn connect(
+        addr: impl Into<String>,
+        dataset: impl Into<String>,
+    ) -> Result<Self, PipelineError> {
+        Self::connect_with(addr, dataset, ClientConfig::default())
+    }
+
+    /// [`RemoteSource::connect`] with explicit tuning.
+    pub fn connect_with(
+        addr: impl Into<String>,
+        dataset: impl Into<String>,
+        cfg: ClientConfig,
+    ) -> Result<Self, PipelineError> {
+        let mut source = Self {
+            addr: addr.into(),
+            name: dataset.into(),
+            len: 0,
+            cfg,
+            pool: Mutex::new(Vec::new()),
+            read: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        };
+        let reply = source.call(&Message::Manifest {
+            name: source.name.clone(),
+        })?;
+        match reply {
+            Message::ManifestReply { len } => {
+                source.len = len as usize;
+                Ok(source)
+            }
+            Message::Error { code, detail } => Err(server_error(code, detail)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Dataset name this source fetches from.
+    pub fn dataset(&self) -> &str {
+        &self.name
+    }
+
+    /// Retries performed so far (transient-failure recoveries).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Lists all datasets registered on the server.
+    pub fn list(&self) -> Result<Vec<DatasetEntry>, PipelineError> {
+        match self.call(&Message::ListDatasets)? {
+            Message::DatasetList(entries) => Ok(entries),
+            Message::Error { code, detail } => Err(server_error(code, detail)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Fetches the server-side stats snapshot.
+    pub fn server_stats(&self) -> Result<StatsSnapshot, PipelineError> {
+        match self.call(&Message::Stats)? {
+            Message::StatsReply(s) => Ok(s),
+            Message::Error { code, detail } => Err(server_error(code, detail)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Asks the server to shut down; returns its final stats.
+    pub fn shutdown_server(&self) -> Result<StatsSnapshot, PipelineError> {
+        match self.call(&Message::Shutdown)? {
+            Message::StatsReply(s) => Ok(s),
+            Message::Error { code, detail } => Err(server_error(code, detail)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Shuts down the server at `addr` without binding to any dataset
+    /// (connecting via [`RemoteSource::connect`] would fail when the
+    /// dataset name is unknown, which a shutdown caller may not know).
+    pub fn shutdown_at(addr: &str) -> Result<StatsSnapshot, PipelineError> {
+        let mut conn = Conn::open(addr, &ClientConfig::default())?;
+        match conn.call(&Message::Shutdown)? {
+            Message::StatsReply(s) => Ok(s),
+            Message::Error { code, detail } => Err(server_error(code, detail)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Fetches a batch of samples in one round trip, in request order.
+    pub fn fetch_batch(&self, indices: &[u64]) -> Result<Vec<Vec<u8>>, PipelineError> {
+        let request = Message::FetchSamples {
+            name: self.name.clone(),
+            indices: indices.to_vec(),
+        };
+        match self.call(&request)? {
+            Message::Samples(payloads) => {
+                if payloads.len() != indices.len() {
+                    return Err(PipelineError::Remote(
+                        format!(
+                            "server returned {} payloads for {} indices",
+                            payloads.len(),
+                            indices.len()
+                        )
+                        .into(),
+                    ));
+                }
+                let bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
+                self.read.fetch_add(bytes, Ordering::Relaxed);
+                Ok(payloads)
+            }
+            Message::Error { code, detail } => Err(server_error(code, detail)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Checks a connection out of the pool, or dials a new one.
+    fn checkout(&self) -> Result<Conn, PipelineError> {
+        if let Some(conn) = self.pool.lock().expect("pool lock").pop() {
+            return Ok(conn);
+        }
+        Conn::open(&self.addr, &self.cfg)
+    }
+
+    /// Returns a healthy connection to the pool.
+    fn checkin(&self, conn: Conn) {
+        let mut pool = self.pool.lock().expect("pool lock");
+        if pool.len() < self.cfg.pool_size {
+            pool.push(conn);
+        }
+    }
+
+    /// Runs one request/response with retry-with-backoff. A connection
+    /// that saw any failure is discarded, never pooled again — the
+    /// framing may be desynchronized.
+    fn call(&self, msg: &Message) -> Result<Message, PipelineError> {
+        let mut backoff = self.cfg.initial_backoff;
+        let mut last_err = None;
+        for attempt in 0..self.cfg.max_attempts.max(1) {
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            match self.checkout() {
+                Ok(mut conn) => match conn.call(msg) {
+                    Ok(reply) => {
+                        self.checkin(conn);
+                        return Ok(reply);
+                    }
+                    Err(e) if is_transient(&e) => last_err = Some(e),
+                    Err(e) => return Err(e),
+                },
+                Err(e) if is_transient(&e) => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(PipelineError::Remote("retry budget exhausted".into())))
+    }
+}
+
+impl std::fmt::Debug for RemoteSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteSource")
+            .field("addr", &self.addr)
+            .field("dataset", &self.name)
+            .field("len", &self.len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SampleSource for RemoteSource {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn fetch(&self, idx: usize) -> sciml_pipeline::Result<Vec<u8>> {
+        let mut batch = self.fetch_batch(&[idx as u64])?;
+        Ok(batch.pop().expect("length validated"))
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.read.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeBuilder;
+    use sciml_pipeline::source::VecSource;
+    use std::sync::Arc;
+
+    fn spawn_server() -> crate::server::ServerHandle {
+        ServeBuilder::new()
+            .dataset(
+                "demo",
+                Arc::new(VecSource::new((0..6u8).map(|i| vec![i; 32]).collect())),
+            )
+            .bind("127.0.0.1:0")
+            .unwrap()
+    }
+
+    #[test]
+    fn connects_and_fetches() {
+        let server = spawn_server();
+        let src = RemoteSource::connect(server.local_addr().to_string(), "demo").unwrap();
+        assert_eq!(src.len(), 6);
+        assert_eq!(src.fetch(4).unwrap(), vec![4u8; 32]);
+        assert_eq!(src.bytes_read(), 32);
+        let batch = src.fetch_batch(&[0, 5]).unwrap();
+        assert_eq!(batch, vec![vec![0u8; 32], vec![5u8; 32]]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_dataset_fails_fast() {
+        let server = spawn_server();
+        let err = RemoteSource::connect(server.local_addr().to_string(), "missing")
+            .expect_err("must fail");
+        assert!(matches!(err, PipelineError::Remote(_)));
+        assert!(err.to_string().contains("missing"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn out_of_range_fetch_is_typed_not_panic() {
+        let server = spawn_server();
+        let src = RemoteSource::connect(server.local_addr().to_string(), "demo").unwrap();
+        let err = src.fetch(99).expect_err("out of range");
+        assert!(matches!(err, PipelineError::Remote(_)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_at_needs_no_dataset_name() {
+        let server = spawn_server();
+        let stats = RemoteSource::shutdown_at(&server.local_addr().to_string()).expect("shutdown");
+        assert_eq!(stats.samples_served, 0);
+        server.join();
+    }
+
+    #[test]
+    fn connect_to_dead_server_errors_after_retries() {
+        // Bind-then-drop guarantees a port with nothing listening.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let cfg = ClientConfig {
+            max_attempts: 2,
+            initial_backoff: Duration::from_millis(1),
+            ..ClientConfig::default()
+        };
+        let err = RemoteSource::connect_with(addr, "demo", cfg).expect_err("nothing listening");
+        assert!(matches!(
+            err,
+            PipelineError::Remote(_) | PipelineError::Timeout(_)
+        ));
+    }
+}

@@ -1,0 +1,28 @@
+//! Disaggregated dataset serving (paper §VII direction: moving the
+//! preprocessing pipeline off the training node).
+//!
+//! A [`server::ServeBuilder`] exposes any
+//! [`SampleSource`](sciml_pipeline::SampleSource) — a directory on the
+//! shared file system, an NVMe-staged copy, an in-memory set — over a
+//! length-prefixed, CRC-checked TCP protocol; a [`client::RemoteSource`]
+//! on the training side implements the same `SampleSource` trait, so
+//! the pipeline cannot tell local from remote. The tiering story
+//! becomes: shared FS → server NVMe staging → server DRAM hot cache →
+//! network → training node.
+//!
+//! Layout:
+//! * [`protocol`] — wire frames (`[len][payload][crc32]`), message
+//!   codec, typed [`protocol::ProtocolError`]s for every corruption;
+//! * [`server`] — acceptor + bounded worker pool, admission control,
+//!   per-dataset DRAM LRU hot cache, counters;
+//! * [`client`] — pooled, retrying `RemoteSource`;
+//! * [`metrics`] — server-side latency/throughput counters.
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientConfig, RemoteSource};
+pub use protocol::{Message, ProtocolError, StatsSnapshot, PROTOCOL_VERSION};
+pub use server::{ServeBuilder, ServerConfig, ServerHandle};

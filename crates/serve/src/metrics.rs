@@ -1,0 +1,89 @@
+//! Lock-free server-side counters, snapshotted into the wire
+//! [`StatsSnapshot`](crate::protocol::StatsSnapshot) on demand.
+
+use crate::protocol::StatsSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Atomic counters shared by every connection handler.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    requests: AtomicU64,
+    samples_served: AtomicU64,
+    bytes_sent: AtomicU64,
+    rejected_connections: AtomicU64,
+    request_ns: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Records one handled request and its latency.
+    pub fn record_request(&self, elapsed: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.request_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records a shipped batch of sample payloads.
+    pub fn record_samples(&self, count: u64, bytes: u64) {
+        self.samples_served.fetch_add(count, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a connection turned away at the admission limit.
+    pub fn record_rejected(&self) {
+        self.rejected_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests handled so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections rejected so far.
+    pub fn rejected_connections(&self) -> u64 {
+        self.rejected_connections.load(Ordering::Relaxed)
+    }
+
+    /// Builds the wire snapshot; cache counters come from the caller
+    /// because they live on the per-dataset caches.
+    pub fn snapshot(
+        &self,
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_evictions: u64,
+    ) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            samples_served: self.samples_served.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
+            request_ns: self.request_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_into_snapshot() {
+        let m = ServerMetrics::default();
+        m.record_request(Duration::from_nanos(500));
+        m.record_request(Duration::from_nanos(700));
+        m.record_samples(4, 4096);
+        m.record_rejected();
+        let s = m.snapshot(10, 2, 1);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.request_ns, 1200);
+        assert_eq!(s.samples_served, 4);
+        assert_eq!(s.bytes_sent, 4096);
+        assert_eq!(s.cache_hits, 10);
+        assert_eq!(s.cache_misses, 2);
+        assert_eq!(s.cache_evictions, 1);
+        assert_eq!(s.rejected_connections, 1);
+    }
+}

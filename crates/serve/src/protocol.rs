@@ -1,0 +1,645 @@
+//! Length-prefixed, CRC-checked binary wire protocol.
+//!
+//! Every message travels in one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length N, u32 LE (tag + body; excludes CRC)
+//! 4       N     payload: tag byte + message body
+//! 4+N     4     CRC-32 (IEEE, reflected) of the payload, u32 LE
+//! ```
+//!
+//! The length prefix is validated against [`MAX_FRAME_BYTES`] *before*
+//! any allocation, so a corrupt or hostile peer cannot trigger an
+//! oversized allocation; the CRC is validated before the payload is
+//! parsed. All integers are little-endian. Strings are UTF-8 with a
+//! `u16` length prefix.
+
+use sciml_compress::crc32::crc32;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol version spoken by this build. Bumped on incompatible frame
+/// or message changes; [`Message::Hello`] negotiates it.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Hard ceiling on a frame payload (64 MiB). Large enough for a batch
+/// of encoded samples, small enough to bound per-connection memory.
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// Protocol-level failures. Every decode path returns one of these —
+/// corruption never panics and never hangs.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Frame or field ended before its declared length.
+    Truncated,
+    /// Frame CRC mismatch (corruption on the wire).
+    BadCrc {
+        /// CRC computed over the received payload.
+        computed: u32,
+        /// CRC carried by the frame trailer.
+        stored: u32,
+    },
+    /// Unknown message tag byte.
+    UnknownTag(u8),
+    /// Length prefix exceeds [`MAX_FRAME_BYTES`].
+    Oversized(u32),
+    /// A counted field exceeds the enclosing payload.
+    Malformed(&'static str),
+    /// String field is not UTF-8.
+    BadUtf8,
+    /// Peer speaks an incompatible protocol version.
+    VersionMismatch {
+        /// Version offered by the peer.
+        theirs: u16,
+        /// Version spoken locally.
+        ours: u16,
+    },
+    /// Underlying socket error.
+    Io(io::Error),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Truncated => write!(f, "truncated frame"),
+            ProtocolError::BadCrc { computed, stored } => write!(
+                f,
+                "frame CRC mismatch (computed {computed:#010x}, stored {stored:#010x})"
+            ),
+            ProtocolError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            ProtocolError::Oversized(n) => write!(
+                f,
+                "frame length {n} exceeds the {MAX_FRAME_BYTES}-byte limit"
+            ),
+            ProtocolError::Malformed(what) => write!(f, "malformed message: {what}"),
+            ProtocolError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            ProtocolError::VersionMismatch { theirs, ours } => {
+                write!(f, "protocol version mismatch (peer {theirs}, local {ours})")
+            }
+            ProtocolError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Error codes carried by [`Message::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Dataset name not registered on the server.
+    UnknownDataset = 1,
+    /// Sample index beyond the dataset length.
+    IndexOutOfRange = 2,
+    /// Server at its concurrent-connection admission limit.
+    Busy = 3,
+    /// Version negotiation failed.
+    VersionMismatch = 4,
+    /// The server failed reading the sample from its backing source.
+    SourceError = 5,
+    /// Request was malformed or arrived before `Hello`.
+    BadRequest = 6,
+}
+
+impl ErrorCode {
+    fn from_u16(v: u16) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::UnknownDataset,
+            2 => ErrorCode::IndexOutOfRange,
+            3 => ErrorCode::Busy,
+            4 => ErrorCode::VersionMismatch,
+            5 => ErrorCode::SourceError,
+            6 => ErrorCode::BadRequest,
+            _ => return None,
+        })
+    }
+}
+
+/// Server-side counters shipped in a [`Message::StatsReply`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests served (all message kinds after `Hello`).
+    pub requests: u64,
+    /// Sample payloads shipped.
+    pub samples_served: u64,
+    /// Payload bytes shipped to clients.
+    pub bytes_sent: u64,
+    /// Hot-cache hits.
+    pub cache_hits: u64,
+    /// Hot-cache misses (fetches that went to the backing source).
+    pub cache_misses: u64,
+    /// Hot-cache evictions.
+    pub cache_evictions: u64,
+    /// Connections rejected at the admission limit.
+    pub rejected_connections: u64,
+    /// Cumulative request handling time, nanoseconds.
+    pub request_ns: u64,
+}
+
+/// One dataset row in a [`Message::DatasetList`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetEntry {
+    /// Registered name.
+    pub name: String,
+    /// Number of samples.
+    pub len: u64,
+}
+
+/// Every message of the protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client greeting with its protocol version. Must be first.
+    Hello {
+        /// Client protocol version.
+        version: u16,
+    },
+    /// Server acceptance of the negotiated version.
+    HelloAck {
+        /// Version the server will speak.
+        version: u16,
+    },
+    /// Client request for the dataset table.
+    ListDatasets,
+    /// Server reply: registered datasets.
+    DatasetList(Vec<DatasetEntry>),
+    /// Client request for one dataset's shape.
+    Manifest {
+        /// Dataset name.
+        name: String,
+    },
+    /// Server reply to [`Message::Manifest`].
+    ManifestReply {
+        /// Number of samples in the dataset.
+        len: u64,
+    },
+    /// Client request for a batch of encoded samples.
+    FetchSamples {
+        /// Dataset name.
+        name: String,
+        /// Sample indices, any order, duplicates allowed.
+        indices: Vec<u64>,
+    },
+    /// Server reply: one payload per requested index, same order.
+    Samples(Vec<Vec<u8>>),
+    /// Client request for server counters.
+    Stats,
+    /// Server reply to [`Message::Stats`].
+    StatsReply(StatsSnapshot),
+    /// Client request to stop the server (loopback/admin use).
+    Shutdown,
+    /// Server-reported failure.
+    Error {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+mod tags {
+    pub const HELLO: u8 = 0x01;
+    pub const HELLO_ACK: u8 = 0x02;
+    pub const LIST_DATASETS: u8 = 0x03;
+    pub const DATASET_LIST: u8 = 0x04;
+    pub const MANIFEST: u8 = 0x05;
+    pub const MANIFEST_REPLY: u8 = 0x06;
+    pub const FETCH_SAMPLES: u8 = 0x07;
+    pub const SAMPLES: u8 = 0x08;
+    pub const STATS: u8 = 0x09;
+    pub const STATS_REPLY: u8 = 0x0A;
+    pub const SHUTDOWN: u8 = 0x0B;
+    pub const ERROR: u8 = 0x0F;
+}
+
+// ------------------------------------------------------------- encoding
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "name too long for the wire");
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+impl Message {
+    /// Serializes the payload (tag + body, no frame envelope).
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Message::Hello { version } => {
+                out.push(tags::HELLO);
+                out.extend_from_slice(&version.to_le_bytes());
+            }
+            Message::HelloAck { version } => {
+                out.push(tags::HELLO_ACK);
+                out.extend_from_slice(&version.to_le_bytes());
+            }
+            Message::ListDatasets => out.push(tags::LIST_DATASETS),
+            Message::DatasetList(entries) => {
+                out.push(tags::DATASET_LIST);
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for e in entries {
+                    put_str(&mut out, &e.name);
+                    out.extend_from_slice(&e.len.to_le_bytes());
+                }
+            }
+            Message::Manifest { name } => {
+                out.push(tags::MANIFEST);
+                put_str(&mut out, name);
+            }
+            Message::ManifestReply { len } => {
+                out.push(tags::MANIFEST_REPLY);
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            Message::FetchSamples { name, indices } => {
+                out.push(tags::FETCH_SAMPLES);
+                put_str(&mut out, name);
+                out.extend_from_slice(&(indices.len() as u32).to_le_bytes());
+                for idx in indices {
+                    out.extend_from_slice(&idx.to_le_bytes());
+                }
+            }
+            Message::Samples(payloads) => {
+                out.push(tags::SAMPLES);
+                out.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
+                for p in payloads {
+                    out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+                    out.extend_from_slice(p);
+                }
+            }
+            Message::Stats => out.push(tags::STATS),
+            Message::StatsReply(s) => {
+                out.push(tags::STATS_REPLY);
+                for field in [
+                    s.requests,
+                    s.samples_served,
+                    s.bytes_sent,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.cache_evictions,
+                    s.rejected_connections,
+                    s.request_ns,
+                ] {
+                    out.extend_from_slice(&field.to_le_bytes());
+                }
+            }
+            Message::Shutdown => out.push(tags::SHUTDOWN),
+            Message::Error { code, detail } => {
+                out.push(tags::ERROR);
+                out.extend_from_slice(&(*code as u16).to_le_bytes());
+                put_str(&mut out, detail);
+            }
+        }
+        out
+    }
+
+    /// Parses a payload produced by [`Message::to_payload`].
+    pub fn from_payload(payload: &[u8]) -> Result<Message, ProtocolError> {
+        let mut r = Reader { buf: payload };
+        let tag = r.u8()?;
+        let msg = match tag {
+            tags::HELLO => Message::Hello { version: r.u16()? },
+            tags::HELLO_ACK => Message::HelloAck { version: r.u16()? },
+            tags::LIST_DATASETS => Message::ListDatasets,
+            tags::DATASET_LIST => {
+                let count = r.u32()? as usize;
+                let mut entries = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let name = r.string()?;
+                    let len = r.u64()?;
+                    entries.push(DatasetEntry { name, len });
+                }
+                Message::DatasetList(entries)
+            }
+            tags::MANIFEST => Message::Manifest { name: r.string()? },
+            tags::MANIFEST_REPLY => Message::ManifestReply { len: r.u64()? },
+            tags::FETCH_SAMPLES => {
+                let name = r.string()?;
+                let count = r.u32()? as usize;
+                if count * 8 > r.remaining() {
+                    return Err(ProtocolError::Malformed(
+                        "index count exceeds payload length",
+                    ));
+                }
+                let mut indices = Vec::with_capacity(count);
+                for _ in 0..count {
+                    indices.push(r.u64()?);
+                }
+                Message::FetchSamples { name, indices }
+            }
+            tags::SAMPLES => {
+                let count = r.u32()? as usize;
+                let mut payloads = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    let len = r.u32()? as usize;
+                    payloads.push(r.bytes(len)?.to_vec());
+                }
+                Message::Samples(payloads)
+            }
+            tags::STATS => Message::Stats,
+            tags::STATS_REPLY => {
+                let mut fields = [0u64; 8];
+                for f in &mut fields {
+                    *f = r.u64()?;
+                }
+                Message::StatsReply(StatsSnapshot {
+                    requests: fields[0],
+                    samples_served: fields[1],
+                    bytes_sent: fields[2],
+                    cache_hits: fields[3],
+                    cache_misses: fields[4],
+                    cache_evictions: fields[5],
+                    rejected_connections: fields[6],
+                    request_ns: fields[7],
+                })
+            }
+            tags::SHUTDOWN => Message::Shutdown,
+            tags::ERROR => {
+                let raw = r.u16()?;
+                let code = ErrorCode::from_u16(raw)
+                    .ok_or(ProtocolError::Malformed("unknown error code"))?;
+                let detail = r.string()?;
+                Message::Error { code, detail }
+            }
+            other => return Err(ProtocolError::UnknownTag(other)),
+        };
+        if r.remaining() != 0 {
+            return Err(ProtocolError::Malformed("trailing bytes after message"));
+        }
+        Ok(msg)
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.buf.len() < n {
+            return Err(ProtocolError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        Ok(u16::from_le_bytes(
+            self.bytes(2)?.try_into().expect("len 2"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(
+            self.bytes(4)?.try_into().expect("len 4"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("len 8"),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, ProtocolError> {
+        let len = self.u16()? as usize;
+        let raw = self.bytes(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| ProtocolError::BadUtf8)
+    }
+}
+
+// --------------------------------------------------------------- frames
+
+/// Serializes a message into a complete frame (length + payload + CRC).
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let payload = msg.to_payload();
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame
+}
+
+/// Parses one complete frame from a byte slice, returning the message
+/// and the number of bytes consumed.
+pub fn decode_frame(buf: &[u8]) -> Result<(Message, usize), ProtocolError> {
+    if buf.len() < 4 {
+        return Err(ProtocolError::Truncated);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("len 4"));
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Oversized(len));
+    }
+    let total = 4 + len as usize + 4;
+    if buf.len() < total {
+        return Err(ProtocolError::Truncated);
+    }
+    let payload = &buf[4..4 + len as usize];
+    let stored = u32::from_le_bytes(buf[4 + len as usize..total].try_into().expect("len 4"));
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(ProtocolError::BadCrc { computed, stored });
+    }
+    Ok((Message::from_payload(payload)?, total))
+}
+
+/// Writes one frame to a stream.
+pub fn write_message(w: &mut impl Write, msg: &Message) -> Result<(), ProtocolError> {
+    let frame = encode_frame(msg);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from a stream, enforcing the size limit before
+/// allocating and the CRC before parsing.
+pub fn read_message(r: &mut impl Read) -> Result<Message, ProtocolError> {
+    let mut head = [0u8; 4];
+    r.read_exact(&mut head)?;
+    let len = u32::from_le_bytes(head);
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut trailer = [0u8; 4];
+    r.read_exact(&mut trailer)?;
+    let stored = u32::from_le_bytes(trailer);
+    let computed = crc32(&payload);
+    if stored != computed {
+        return Err(ProtocolError::BadCrc { computed, stored });
+    }
+    Message::from_payload(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::Hello { version: 1 },
+            Message::HelloAck { version: 1 },
+            Message::ListDatasets,
+            Message::DatasetList(vec![
+                DatasetEntry {
+                    name: "cosmo".into(),
+                    len: 1024,
+                },
+                DatasetEntry {
+                    name: "deepcam".into(),
+                    len: 77,
+                },
+            ]),
+            Message::Manifest {
+                name: "cosmo".into(),
+            },
+            Message::ManifestReply { len: 1024 },
+            Message::FetchSamples {
+                name: "cosmo".into(),
+                indices: vec![0, 5, 1023, 5],
+            },
+            Message::Samples(vec![vec![1, 2, 3], vec![], vec![0xFF; 300]]),
+            Message::Stats,
+            Message::StatsReply(StatsSnapshot {
+                requests: 1,
+                samples_served: 2,
+                bytes_sent: 3,
+                cache_hits: 4,
+                cache_misses: 5,
+                cache_evictions: 6,
+                rejected_connections: 7,
+                request_ns: 8,
+            }),
+            Message::Shutdown,
+            Message::Error {
+                code: ErrorCode::Busy,
+                detail: "admission limit".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for msg in all_messages() {
+            let frame = encode_frame(&msg);
+            let (decoded, consumed) = decode_frame(&frame).expect("roundtrip");
+            assert_eq!(decoded, msg);
+            assert_eq!(consumed, frame.len());
+        }
+    }
+
+    #[test]
+    fn every_truncation_errors() {
+        for msg in all_messages() {
+            let frame = encode_frame(&msg);
+            for cut in 0..frame.len() {
+                assert!(
+                    decode_frame(&frame[..cut]).is_err(),
+                    "cut {cut} of {msg:?} did not error"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        // CRC-32 detects all single-bit errors; flipping any bit of the
+        // frame must produce *some* protocol error (never a silent
+        // wrong decode of the same length).
+        let frame = encode_frame(&Message::FetchSamples {
+            name: "ds".into(),
+            indices: vec![1, 2, 3],
+        });
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut corrupt = frame.clone();
+                corrupt[byte] ^= 1 << bit;
+                match decode_frame(&corrupt) {
+                    Err(_) => {}
+                    Ok((msg, _)) => panic!("bit {bit} of byte {byte} decoded silently as {msg:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocation() {
+        let mut frame = vec![0u8; 16];
+        frame[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(ProtocolError::Oversized(_))
+        ));
+        // Streaming path too.
+        let mut cursor = std::io::Cursor::new(frame);
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(ProtocolError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let payload = vec![0xEEu8, 0, 0];
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(ProtocolError::UnknownTag(0xEE))
+        ));
+    }
+
+    #[test]
+    fn inner_count_beyond_payload_rejected() {
+        // A FetchSamples claiming 1000 indices in a short payload.
+        let mut payload = vec![tags::FETCH_SAMPLES];
+        payload.extend_from_slice(&2u16.to_le_bytes());
+        payload.extend_from_slice(b"ds");
+        payload.extend_from_slice(&1000u32.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 16]);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let mut buf = Vec::new();
+        for msg in all_messages() {
+            write_message(&mut buf, &msg).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for msg in all_messages() {
+            assert_eq!(read_message(&mut cursor).unwrap(), msg);
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! Multi-threaded dataset server.
+//!
+//! One acceptor thread hands accepted sockets to a fixed worker pool
+//! over a *bounded* channel, so a connection burst backpressures at the
+//! accept queue instead of spawning unbounded threads. On top of the
+//! pool sits an admission limit: when every worker slot and queue slot
+//! is taken, new connections are turned away immediately with a typed
+//! `Busy` error frame rather than left to hang.
+//!
+//! Each registered dataset is wrapped in a
+//! [`MemoryCacheSource`](sciml_pipeline::source::MemoryCacheSource)
+//! hot cache, so repeat fetches (second epochs, overlapping shards
+//! across clients) are served from DRAM without touching the backing
+//! tier.
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{
+    read_message, write_message, DatasetEntry, ErrorCode, Message, ProtocolError, PROTOCOL_VERSION,
+};
+use sciml_pipeline::source::MemoryCacheSource;
+use sciml_pipeline::SampleSource;
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Accepted-but-unclaimed connections allowed to queue.
+    pub accept_backlog: usize,
+    /// Hard cap on connections being handled at once; beyond it new
+    /// connections get a `Busy` error frame. Defaults to
+    /// `workers + accept_backlog`.
+    pub max_connections: usize,
+    /// Per-dataset DRAM hot-cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Socket read timeout for client requests. Keeps a dead client
+    /// from pinning a worker forever.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = 4;
+        let accept_backlog = 16;
+        Self {
+            workers,
+            accept_backlog,
+            max_connections: workers + accept_backlog,
+            cache_bytes: 256 << 20,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One registered dataset: its name and hot-cached source.
+struct Dataset {
+    cache: MemoryCacheSource<Arc<dyn SampleSource>>,
+}
+
+struct Inner {
+    datasets: BTreeMap<String, Dataset>,
+    metrics: ServerMetrics,
+    shutting_down: AtomicBool,
+    active_connections: AtomicUsize,
+    config: ServerConfig,
+    local_addr: SocketAddr,
+    /// Sockets currently being served, keyed by connection id, so
+    /// shutdown can force-close them instead of waiting out their
+    /// read timeouts.
+    live: std::sync::Mutex<BTreeMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
+
+impl Inner {
+    /// Flags shutdown, force-closes in-flight connections, and pokes
+    /// the listener so the acceptor (blocked in `accept`, which has no
+    /// timeout) observes the flag.
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for stream in self.live.lock().expect("live-connection lock").values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Ok(s) = TcpStream::connect(self.local_addr) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Registers a connection for forced close; returns its id, or
+    /// `None` when the socket handle cannot be duplicated (the
+    /// connection is still served, just not force-closable).
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        self.live
+            .lock()
+            .expect("live-connection lock")
+            .insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: Option<u64>) {
+        if let Some(id) = id {
+            self.live.lock().expect("live-connection lock").remove(&id);
+        }
+    }
+
+    fn cache_totals(&self) -> (u64, u64, u64) {
+        let mut totals = (0, 0, 0);
+        for ds in self.datasets.values() {
+            totals.0 += ds.cache.hits();
+            totals.1 += ds.cache.misses();
+            totals.2 += ds.cache.evictions();
+        }
+        totals
+    }
+}
+
+/// Builder: register datasets, then [`ServeBuilder::bind`].
+pub struct ServeBuilder {
+    sources: BTreeMap<String, Arc<dyn SampleSource>>,
+    config: ServerConfig,
+}
+
+impl Default for ServeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeBuilder {
+    /// Starts an empty builder with default config.
+    pub fn new() -> Self {
+        Self {
+            sources: BTreeMap::new(),
+            config: ServerConfig::default(),
+        }
+    }
+
+    /// Overrides the server config.
+    pub fn config(mut self, config: ServerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Registers `source` under `name`. At bind time every source is
+    /// wrapped in a DRAM hot cache of `cache_bytes`.
+    pub fn dataset(mut self, name: impl Into<String>, source: Arc<dyn SampleSource>) -> Self {
+        self.sources.insert(name.into(), source);
+        self
+    }
+
+    /// Binds `addr` and spawns the acceptor + worker pool. Pass port 0
+    /// to let the OS pick; the bound address is on the handle.
+    pub fn bind(self, addr: impl Into<String>) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr.into())?;
+        let local_addr = listener.local_addr()?;
+        let cache_bytes = self.config.cache_bytes;
+        let datasets = self
+            .sources
+            .into_iter()
+            .map(|(name, source)| {
+                let cache = MemoryCacheSource::new(source, cache_bytes);
+                (name, Dataset { cache })
+            })
+            .collect();
+        let inner = Arc::new(Inner {
+            datasets,
+            metrics: ServerMetrics::default(),
+            shutting_down: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            config: self.config,
+            local_addr,
+            live: std::sync::Mutex::new(BTreeMap::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+
+        let (conn_tx, conn_rx) =
+            crossbeam_channel::bounded::<TcpStream>(inner.config.accept_backlog.max(1));
+
+        let mut workers = Vec::with_capacity(inner.config.workers);
+        for worker_id in 0..inner.config.workers.max(1) {
+            let rx = conn_rx.clone();
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("sciml-serve-worker-{worker_id}"))
+                    .spawn(move || {
+                        while let Ok(stream) = rx.recv() {
+                            let id = inner.register(&stream);
+                            handle_connection(&inner, stream);
+                            inner.deregister(id);
+                            inner.active_connections.fetch_sub(1, Ordering::AcqRel);
+                        }
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+        drop(conn_rx);
+
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("sciml-serve-acceptor".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if inner.shutting_down.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let active = inner.active_connections.fetch_add(1, Ordering::AcqRel) + 1;
+                        if active > inner.config.max_connections {
+                            inner.active_connections.fetch_sub(1, Ordering::AcqRel);
+                            inner.metrics.record_rejected();
+                            reject_busy(stream);
+                            continue;
+                        }
+                        if conn_tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    // Dropping conn_tx disconnects the workers' recv loop.
+                })
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(ServerHandle {
+            inner,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+/// Sends a `Busy` error frame and closes the socket. Best-effort: the
+/// client may already be gone.
+fn reject_busy(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = write_message(
+        &mut stream,
+        &Message::Error {
+            code: ErrorCode::Busy,
+            detail: "server at its connection admission limit".into(),
+        },
+    );
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests handled so far (all datasets).
+    pub fn requests(&self) -> u64 {
+        self.inner.metrics.requests()
+    }
+
+    /// Connections rejected at the admission limit so far.
+    pub fn rejected_connections(&self) -> u64 {
+        self.inner.metrics.rejected_connections()
+    }
+
+    /// Current stats snapshot, identical to a wire `Stats` request.
+    pub fn stats(&self) -> crate::protocol::StatsSnapshot {
+        let (h, m, e) = self.inner.cache_totals();
+        self.inner.metrics.snapshot(h, m, e)
+    }
+
+    /// Stops accepting, drains workers, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    /// Blocks until the server stops — i.e. until a client sends a wire
+    /// `Shutdown` (or `shutdown` is called from another thread via a
+    /// clone of the handle's state). Used by `sciml serve`.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.inner.begin_shutdown();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Serves one connection until the client disconnects, errors, or asks
+/// for shutdown. Protocol errors are answered with a typed error frame
+/// where the socket still works, then the connection is dropped —
+/// corruption never takes down the worker.
+fn handle_connection(inner: &Inner, mut stream: TcpStream) {
+    if inner.shutting_down.load(Ordering::Acquire) {
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(inner.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+
+    // Version negotiation first: anything else is a protocol error.
+    match read_message(&mut stream) {
+        Ok(Message::Hello { version }) if version == PROTOCOL_VERSION => {
+            if write_message(
+                &mut stream,
+                &Message::HelloAck {
+                    version: PROTOCOL_VERSION,
+                },
+            )
+            .is_err()
+            {
+                return;
+            }
+        }
+        Ok(Message::Hello { version }) => {
+            let _ = write_message(
+                &mut stream,
+                &Message::Error {
+                    code: ErrorCode::VersionMismatch,
+                    detail: format!("client speaks v{version}, server speaks v{PROTOCOL_VERSION}"),
+                },
+            );
+            return;
+        }
+        Ok(_) => {
+            let _ = write_message(
+                &mut stream,
+                &Message::Error {
+                    code: ErrorCode::BadRequest,
+                    detail: "first message must be Hello".into(),
+                },
+            );
+            return;
+        }
+        Err(_) => return,
+    }
+
+    loop {
+        let request = match read_message(&mut stream) {
+            Ok(msg) => msg,
+            // Clean disconnect or wire corruption: answer corruption
+            // with a typed frame if possible, then drop the connection
+            // (framing may be unrecoverable after garbage).
+            Err(ProtocolError::Io(_)) => return,
+            Err(e) => {
+                let _ = write_message(
+                    &mut stream,
+                    &Message::Error {
+                        code: ErrorCode::BadRequest,
+                        detail: format!("protocol error: {e}"),
+                    },
+                );
+                return;
+            }
+        };
+        let started = Instant::now();
+        // Shutdown must be acknowledged before begin_shutdown()
+        // force-closes the live sockets — the requester's included.
+        let is_shutdown = matches!(request, Message::Shutdown);
+        let (reply, stop) = respond(inner, request);
+        inner.metrics.record_request(started.elapsed());
+        let write_ok = write_message(&mut stream, &reply).is_ok();
+        if is_shutdown {
+            inner.begin_shutdown();
+        }
+        if !write_ok || stop {
+            return;
+        }
+    }
+}
+
+/// Computes the reply for one request; `true` means close afterwards.
+fn respond(inner: &Inner, request: Message) -> (Message, bool) {
+    match request {
+        Message::ListDatasets => {
+            let entries = inner
+                .datasets
+                .iter()
+                .map(|(name, ds)| DatasetEntry {
+                    name: name.clone(),
+                    len: ds.cache.len() as u64,
+                })
+                .collect();
+            (Message::DatasetList(entries), false)
+        }
+        Message::Manifest { name } => match inner.datasets.get(&name) {
+            Some(ds) => (
+                Message::ManifestReply {
+                    len: ds.cache.len() as u64,
+                },
+                false,
+            ),
+            None => (unknown_dataset(&name), false),
+        },
+        Message::FetchSamples { name, indices } => {
+            let Some(ds) = inner.datasets.get(&name) else {
+                return (unknown_dataset(&name), false);
+            };
+            let mut payloads = Vec::with_capacity(indices.len());
+            let mut bytes = 0u64;
+            for idx in &indices {
+                if *idx >= ds.cache.len() as u64 {
+                    return (
+                        Message::Error {
+                            code: ErrorCode::IndexOutOfRange,
+                            detail: format!(
+                                "index {idx} out of range for '{name}' (len {})",
+                                ds.cache.len()
+                            ),
+                        },
+                        false,
+                    );
+                }
+                match ds.cache.fetch(*idx as usize) {
+                    Ok(sample) => {
+                        bytes += sample.len() as u64;
+                        payloads.push(sample);
+                    }
+                    Err(e) => {
+                        return (
+                            Message::Error {
+                                code: ErrorCode::SourceError,
+                                detail: format!("fetching '{name}'[{idx}]: {e}"),
+                            },
+                            false,
+                        )
+                    }
+                }
+            }
+            inner.metrics.record_samples(payloads.len() as u64, bytes);
+            (Message::Samples(payloads), false)
+        }
+        Message::Stats => {
+            let (h, m, e) = inner.cache_totals();
+            (Message::StatsReply(inner.metrics.snapshot(h, m, e)), false)
+        }
+        Message::Shutdown => {
+            // Acknowledge with the final counters; the caller triggers
+            // begin_shutdown() after the reply is on the wire.
+            let (h, m, e) = inner.cache_totals();
+            (Message::StatsReply(inner.metrics.snapshot(h, m, e)), true)
+        }
+        // Client-bound messages arriving at the server.
+        other => (
+            Message::Error {
+                code: ErrorCode::BadRequest,
+                detail: format!("unexpected message: {other:?}"),
+            },
+            false,
+        ),
+    }
+}
+
+fn unknown_dataset(name: &str) -> Message {
+    Message::Error {
+        code: ErrorCode::UnknownDataset,
+        detail: format!("no dataset named '{name}'"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciml_pipeline::source::VecSource;
+
+    fn demo_source() -> Arc<dyn SampleSource> {
+        Arc::new(VecSource::new((0..8u8).map(|i| vec![i; 16]).collect()))
+    }
+
+    fn client(addr: SocketAddr) -> TcpStream {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_message(
+            &mut s,
+            &Message::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            read_message(&mut s).unwrap(),
+            Message::HelloAck {
+                version: PROTOCOL_VERSION
+            }
+        );
+        s
+    }
+
+    #[test]
+    fn serves_manifest_and_samples() {
+        let server = ServeBuilder::new()
+            .dataset("demo", demo_source())
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut c = client(server.local_addr());
+
+        write_message(&mut c, &Message::ListDatasets).unwrap();
+        let Message::DatasetList(list) = read_message(&mut c).unwrap() else {
+            panic!("expected dataset list");
+        };
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].name, "demo");
+        assert_eq!(list[0].len, 8);
+
+        write_message(
+            &mut c,
+            &Message::FetchSamples {
+                name: "demo".into(),
+                indices: vec![3, 3, 0],
+            },
+        )
+        .unwrap();
+        let Message::Samples(samples) = read_message(&mut c).unwrap() else {
+            panic!("expected samples");
+        };
+        assert_eq!(samples, vec![vec![3u8; 16], vec![3u8; 16], vec![0u8; 16]]);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_dataset_and_bad_index_get_typed_errors() {
+        let server = ServeBuilder::new()
+            .dataset("demo", demo_source())
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut c = client(server.local_addr());
+
+        write_message(
+            &mut c,
+            &Message::Manifest {
+                name: "nope".into(),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_message(&mut c).unwrap(),
+            Message::Error {
+                code: ErrorCode::UnknownDataset,
+                ..
+            }
+        ));
+
+        write_message(
+            &mut c,
+            &Message::FetchSamples {
+                name: "demo".into(),
+                indices: vec![999],
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_message(&mut c).unwrap(),
+            Message::Error {
+                code: ErrorCode::IndexOutOfRange,
+                ..
+            }
+        ));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let server = ServeBuilder::new()
+            .dataset("demo", demo_source())
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_message(&mut s, &Message::Hello { version: 999 }).unwrap();
+        assert!(matches!(
+            read_message(&mut s).unwrap(),
+            Message::Error {
+                code: ErrorCode::VersionMismatch,
+                ..
+            }
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_after_hello_gets_error_frame_not_hang() {
+        let server = ServeBuilder::new()
+            .dataset("demo", demo_source())
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut c = client(server.local_addr());
+        // A frame with a valid envelope but unknown tag.
+        let payload = [0xEEu8];
+        use std::io::Write as _;
+        c.write_all(&(payload.len() as u32).to_le_bytes()).unwrap();
+        c.write_all(&payload).unwrap();
+        c.write_all(&sciml_compress::crc32::crc32(&payload).to_le_bytes())
+            .unwrap();
+        c.flush().unwrap();
+        assert!(matches!(
+            read_message(&mut c).unwrap(),
+            Message::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn second_epoch_hits_hot_cache() {
+        let server = ServeBuilder::new()
+            .dataset("demo", demo_source())
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut c = client(server.local_addr());
+        for _ in 0..2 {
+            write_message(
+                &mut c,
+                &Message::FetchSamples {
+                    name: "demo".into(),
+                    indices: (0..8).collect(),
+                },
+            )
+            .unwrap();
+            let Message::Samples(s) = read_message(&mut c).unwrap() else {
+                panic!("expected samples");
+            };
+            assert_eq!(s.len(), 8);
+        }
+        write_message(&mut c, &Message::Stats).unwrap();
+        let Message::StatsReply(stats) = read_message(&mut c).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.cache_misses, 8);
+        assert_eq!(stats.cache_hits, 8);
+        assert_eq!(stats.samples_served, 16);
+        server.shutdown();
+    }
+}

@@ -21,7 +21,10 @@ fn main() {
     let builder = DatasetBuilder::cosmoflow(gen_cfg.clone());
     let n = 24;
 
-    println!("CosmoFlow pipeline variants ({n} samples, grid {}):\n", gen_cfg.grid);
+    println!(
+        "CosmoFlow pipeline variants ({n} samples, grid {}):\n",
+        gen_cfg.grid
+    );
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>14}",
         "variant", "bytes", "wall ms", "decode ms", "samples/s"

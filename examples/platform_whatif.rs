@@ -26,7 +26,10 @@ fn eval(p: &PlatformSpec, fmt: Format, samples: u64, staged: bool) -> f64 {
 
 fn main() {
     println!("CosmoFlow node throughput (samples/s), large set, staged, batch 4\n");
-    println!("{:<22} {:>10} {:>10} {:>12} {:>9}", "platform", "base", "gzip", "gpu-plugin", "speedup");
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>9}",
+        "platform", "base", "gzip", "gpu-plugin", "speedup"
+    );
 
     let mut platforms = PlatformSpec::all();
 
@@ -65,15 +68,21 @@ fn main() {
             })
             .node_throughput
         };
-        println!("{batch:>7} {:>10.0} {:>12.0}", cfgf(Format::Base), cfgf(Format::PluginGpu));
+        println!(
+            "{batch:>7} {:>10.0} {:>12.0}",
+            cfgf(Format::Base),
+            cfgf(Format::PluginGpu)
+        );
     }
 
     println!("\nStorage-tier effect on DeepCAM (base format, batch 4):");
     let w = WorkloadProfile::deepcam();
     for p in PlatformSpec::all() {
-        for (label, samples, staged) in
-            [("small/staged", 1536u64, true), ("large/staged", 12288, true), ("large/unstaged", 12288, false)]
-        {
+        for (label, samples, staged) in [
+            ("small/staged", 1536u64, true),
+            ("large/staged", 12288, true),
+            ("large/unstaged", 12288, false),
+        ] {
             let r = EpochModel::evaluate(&ExperimentConfig {
                 platform: p.clone(),
                 workload: w.clone(),

@@ -50,13 +50,28 @@ fn main() {
         "  baseline preprocessing: {:>8.0} MB/s (raw-equivalent, 1 core)",
         rates.preproc_bps / 1e6
     );
-    println!("  gzip inflate:           {:>8.0} MB/s", rates.inflate_bps / 1e6);
-    println!("  fused plugin decode:    {:>8.0} MB/s", rates.decode_bps / 1e6);
+    println!(
+        "  gzip inflate:           {:>8.0} MB/s",
+        rates.inflate_bps / 1e6
+    );
+    println!(
+        "  fused plugin decode:    {:>8.0} MB/s",
+        rates.decode_bps / 1e6
+    );
 
     let w = calibrated_profile(&WorkloadProfile::cosmoflow(), rates);
-    let host = localhost_spec(std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(2));
+    let host = localhost_spec(
+        std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(2),
+    );
     println!("\nModeled single-GPU 'localhost' node with calibrated host rates:");
-    for format in [Format::Base, Format::Gzip, Format::PluginCpu, Format::PluginGpu] {
+    for format in [
+        Format::Base,
+        Format::Gzip,
+        Format::PluginCpu,
+        Format::PluginGpu,
+    ] {
         let r = EpochModel::evaluate(&ExperimentConfig {
             platform: host.clone(),
             workload: w.clone(),

@@ -23,9 +23,19 @@ fn gpu_sim_matches_cpu_decoders_on_both_codecs() {
     for spec in [GpuSpec::V100, GpuSpec::A100] {
         let gpu = Gpu::new(spec);
         let (cosmo_dev, _, _) = decode_cosmo(&gpu, &cenc, Op::Log1p).unwrap();
-        assert_eq!(cosmo_dev, cf::decode(&cenc, Op::Log1p).unwrap(), "{}", spec.name);
+        assert_eq!(
+            cosmo_dev,
+            cf::decode(&cenc, Op::Log1p).unwrap(),
+            "{}",
+            spec.name
+        );
         let (cam_dev, _, _) = decode_deepcam(&gpu, &denc, Op::Identity).unwrap();
-        assert_eq!(cam_dev, dc::decode(&denc, Op::Identity).unwrap(), "{}", spec.name);
+        assert_eq!(
+            cam_dev,
+            dc::decode(&denc, Op::Identity).unwrap(),
+            "{}",
+            spec.name
+        );
     }
 }
 
@@ -78,7 +88,10 @@ fn compression_ratio_ordering() {
     let raw = serialize::cosmo_to_payload(&s);
     let gz = sciml_compress::gzip_compress(&raw, sciml_compress::Level::Default);
     let enc = cf::encode(&s).to_bytes();
-    assert!(enc.len() * 3 < raw.len(), "custom must be >3x smaller than raw");
+    assert!(
+        enc.len() * 3 < raw.len(),
+        "custom must be >3x smaller than raw"
+    );
     assert!(gz.len() < raw.len(), "gzip must compress");
 }
 

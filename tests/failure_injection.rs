@@ -62,16 +62,25 @@ fn deepcam_codec_survives_bit_flips() {
 fn all_formats_reject_every_truncation() {
     let cosmo = cosmo_bytes();
     for cut in (0..cosmo.len()).step_by(7) {
-        assert!(cf::EncodedCosmo::from_bytes(&cosmo[..cut]).is_err(), "cosmo cut {cut}");
+        assert!(
+            cf::EncodedCosmo::from_bytes(&cosmo[..cut]).is_err(),
+            "cosmo cut {cut}"
+        );
     }
     let cam = deepcam_bytes();
     for cut in (0..cam.len()).step_by(37) {
-        assert!(dc::EncodedDeepCam::from_bytes(&cam[..cut]).is_err(), "deepcam cut {cut}");
+        assert!(
+            dc::EncodedDeepCam::from_bytes(&cam[..cut]).is_err(),
+            "deepcam cut {cut}"
+        );
     }
     let s = ClimateGenerator::new(DeepCamConfig::test_small()).generate(1);
     let h5 = serialize::deepcam_to_h5(&s).unwrap();
     for cut in (0..h5.len()).step_by(101) {
-        assert!(serialize::deepcam_from_h5(&h5[..cut]).is_err(), "h5 cut {cut}");
+        assert!(
+            serialize::deepcam_from_h5(&h5[..cut]).is_err(),
+            "h5 cut {cut}"
+        );
     }
 }
 
@@ -133,5 +142,162 @@ fn zeroed_regions_never_panic() {
                 let _ = dc::decode(&enc, Op::Identity);
             }
         }
+    }
+}
+
+// ------------------------------------------------------------------
+// Wire protocol (serving layer): every corruption class must surface
+// as a typed `ProtocolError` — never a panic, hang, or allocation
+// proportional to an attacker-controlled length.
+
+mod wire {
+    use sciml_compress::crc32::crc32;
+    use sciml_serve::protocol::{
+        decode_frame, encode_frame, read_message, Message, ProtocolError, MAX_FRAME_BYTES,
+    };
+    use sciml_serve::PROTOCOL_VERSION;
+
+    fn sample_frame() -> Vec<u8> {
+        encode_frame(&Message::FetchSamples {
+            name: "cosmo".into(),
+            indices: vec![0, 7, 3, 7],
+        })
+    }
+
+    /// Every strict prefix of a valid frame is `Truncated` (or an Io
+    /// error on the streaming path) — never a partial decode.
+    #[test]
+    fn truncated_frames_rejected() {
+        let frame = sample_frame();
+        for cut in 0..frame.len() {
+            assert!(
+                matches!(decode_frame(&frame[..cut]), Err(ProtocolError::Truncated)),
+                "prefix of {cut} bytes must be Truncated"
+            );
+            let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+            assert!(
+                read_message(&mut cursor).is_err(),
+                "streaming prefix of {cut} bytes must error"
+            );
+        }
+    }
+
+    /// Corrupting any payload byte flips the CRC check.
+    #[test]
+    fn bad_crc_detected_for_every_payload_byte() {
+        let frame = sample_frame();
+        let payload_len = frame.len() - 8;
+        for i in 0..payload_len {
+            let mut corrupt = frame.clone();
+            corrupt[4 + i] ^= 0xA5;
+            match decode_frame(&corrupt) {
+                Err(ProtocolError::BadCrc { computed, stored }) => {
+                    assert_ne!(computed, stored)
+                }
+                other => panic!("payload byte {i}: expected BadCrc, got {other:?}"),
+            }
+        }
+    }
+
+    /// A frame whose payload carries an unknown tag (with a valid CRC,
+    /// so it reaches the parser) is `UnknownTag`.
+    #[test]
+    fn unknown_tags_rejected() {
+        for tag in [0x00u8, 0x0C, 0x42, 0xEE, 0xFF] {
+            let payload = vec![tag];
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&payload);
+            frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+            assert!(
+                matches!(decode_frame(&frame), Err(ProtocolError::UnknownTag(t)) if t == tag),
+                "tag {tag:#04x} must be rejected"
+            );
+        }
+    }
+
+    /// Oversized length prefixes are rejected before any allocation,
+    /// on both the slice and streaming paths.
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        for len in [MAX_FRAME_BYTES + 1, u32::MAX / 2, u32::MAX] {
+            let mut frame = vec![0u8; 64];
+            frame[..4].copy_from_slice(&len.to_le_bytes());
+            assert!(matches!(
+                decode_frame(&frame),
+                Err(ProtocolError::Oversized(l)) if l == len
+            ));
+            let mut cursor = std::io::Cursor::new(frame);
+            assert!(matches!(
+                read_message(&mut cursor),
+                Err(ProtocolError::Oversized(l)) if l == len
+            ));
+        }
+    }
+
+    /// A live server answers a corrupt frame with a typed error frame
+    /// (when framing allows) and never crashes; the next, clean
+    /// connection must work.
+    #[test]
+    fn server_survives_corrupt_frames() {
+        use sciml_pipeline::source::VecSource;
+        use sciml_pipeline::SampleSource;
+        use sciml_serve::protocol::write_message;
+        use sciml_serve::ServeBuilder;
+        use std::io::Write as _;
+        use std::sync::Arc;
+
+        let server = ServeBuilder::new()
+            .dataset(
+                "ds",
+                Arc::new(VecSource::new(vec![vec![1u8; 8]; 4])) as Arc<dyn SampleSource>,
+            )
+            .bind("127.0.0.1:0")
+            .expect("bind");
+
+        // Connection 1: greet, then send garbage with a bad CRC.
+        let mut c = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        c.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        write_message(
+            &mut c,
+            &Message::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        let _ = read_message(&mut c).unwrap();
+        let payload = Message::Stats.to_payload();
+        c.write_all(&(payload.len() as u32).to_le_bytes()).unwrap();
+        c.write_all(&payload).unwrap();
+        c.write_all(&0xDEADBEEFu32.to_le_bytes()).unwrap(); // wrong CRC
+        c.flush().unwrap();
+        // The server answers with a typed error frame, then closes.
+        match read_message(&mut c) {
+            Ok(Message::Error { .. }) => {}
+            other => panic!("expected error frame, got {other:?}"),
+        }
+
+        // Connection 2 (clean) must be unaffected.
+        let mut c2 = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        c2.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        write_message(
+            &mut c2,
+            &Message::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_message(&mut c2).unwrap(),
+            Message::HelloAck { .. }
+        ));
+        write_message(&mut c2, &Message::Stats).unwrap();
+        assert!(matches!(
+            read_message(&mut c2).unwrap(),
+            Message::StatsReply(_)
+        ));
+        server.shutdown();
     }
 }

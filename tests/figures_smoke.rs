@@ -21,7 +21,14 @@ fn breakdown_figures_are_complete() {
         assert!(!rows.is_empty());
         for r in &rows {
             let b = &r.breakdown;
-            for v in [b.read_s, b.host_s, b.h2d_s, b.gpu_decode_s, b.step_s, b.allreduce_s] {
+            for v in [
+                b.read_s,
+                b.host_s,
+                b.h2d_s,
+                b.gpu_decode_s,
+                b.step_s,
+                b.allreduce_s,
+            ] {
                 assert!(v.is_finite() && v >= 0.0);
             }
         }
@@ -47,7 +54,10 @@ fn headline_speedups_hold() {
         best
     };
     let deepcam = best(&pfig::fig8(), Format::PluginGpu);
-    assert!((2.0..5.0).contains(&deepcam), "DeepCAM best speedup {deepcam}");
+    assert!(
+        (2.0..5.0).contains(&deepcam),
+        "DeepCAM best speedup {deepcam}"
+    );
     let mut cosmo_rows = pfig::fig10();
     cosmo_rows.extend(pfig::fig11());
     let cosmo = best(&cosmo_rows, Format::PluginGpu);
