@@ -3,8 +3,10 @@
 //! different fetch batch sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sciml_bench::snapshot::{histogram_entries, write_snapshot};
 use sciml_core::api::{DatasetBuilder, EncodedFormat};
 use sciml_data::cosmoflow::CosmoFlowConfig;
+use sciml_obs::MetricsRegistry;
 use sciml_pipeline::source::VecSource;
 use sciml_pipeline::SampleSource;
 use sciml_serve::{RemoteSource, ServeBuilder, ServerConfig};
@@ -17,11 +19,13 @@ fn bench(c: &mut Criterion) {
     let blobs = DatasetBuilder::cosmoflow(gen_cfg).build(n, EncodedFormat::Custom);
     let sample_bytes: u64 = blobs.iter().map(|b| b.len() as u64).sum();
 
+    let registry = MetricsRegistry::new();
     let server = ServeBuilder::new()
         .config(ServerConfig {
             cache_bytes: 1 << 30,
             ..ServerConfig::default()
         })
+        .registry(Arc::clone(&registry))
         .dataset(
             "bench",
             Arc::new(VecSource::new(blobs.clone())) as Arc<dyn SampleSource>,
@@ -71,6 +75,18 @@ fn bench(c: &mut Criterion) {
 
     drop(remote);
     server.shutdown();
+
+    // Server-side latency distribution across everything the bench sent
+    // — the tail numbers the cumulative-mean counters used to hide.
+    if let Some(latency) = registry.snapshot().histogram("serve.request_ns") {
+        match write_snapshot(
+            "serve_loopback_latency",
+            &histogram_entries("request", latency),
+        ) {
+            Ok(path) => println!("latency snapshot: {}", path.display()),
+            Err(e) => eprintln!("latency snapshot not written: {e}"),
+        }
+    }
 }
 
 criterion_group!(benches, bench);

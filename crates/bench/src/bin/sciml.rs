@@ -7,8 +7,10 @@
 //! sciml verify FILE...             # parse + decode + integrity / error report
 //! sciml transcode FILE --out FILE  # baseline payload -> custom encoding
 //! sciml bench-decode FILE [--iters K]
-//! sciml serve --dir DIR --n N [--addr HOST:PORT] [--name NAME] [--cache-mb M]
+//! sciml serve --dir DIR --n N [--addr HOST:PORT] [--name NAME] [--cache-mb M] [--metrics-out F]
 //! sciml fetch --addr HOST:PORT [--name NAME] [--indices I,J,K | --all] [--stats] [--shutdown]
+//!             [--metrics-out FILE] [--trace-out FILE]
+//! sciml validate-json FILE...      # check emitted metrics/trace files parse as JSON
 //! ```
 
 use sciml_codec::cosmoflow as cf;
@@ -19,9 +21,10 @@ use sciml_data::cosmoflow::CosmoFlowConfig;
 use sciml_data::deepcam::DeepCamConfig;
 use sciml_data::serialize;
 use sciml_half::slice::widen;
+use sciml_obs::Telemetry;
 use sciml_pipeline::source::DirSource;
 use sciml_pipeline::SampleSource;
-use sciml_serve::{RemoteSource, ServeBuilder, ServerConfig};
+use sciml_serve::{ClientConfig, RemoteSource, ServeBuilder, ServerConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -47,6 +50,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("bench-decode") => bench_decode(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("fetch") => fetch(&args[1..]),
+        Some("validate-json") => for_each_file(&args[1..], validate_json),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -65,7 +69,11 @@ fn print_usage() {
          transcode FILE --out FILE                     baseline payload -> custom encoding\n  \
          bench-decode FILE [--iters K]                 time repeated decodes\n  \
          serve --dir DIR --n N [--addr A] [--name D]   serve an encoded dataset over TCP\n  \
-         fetch --addr A [--name D] [--indices I,J]     fetch samples / stats from a server"
+         fetch --addr A [--name D] [--indices I,J]     fetch samples / stats from a server\n  \
+         validate-json FILE...                         check metrics/trace JSON well-formedness\n\n\
+         telemetry flags (serve / fetch):\n  \
+         --metrics-out FILE    write a metrics snapshot (JSONL) on exit\n  \
+         --trace-out FILE      write a Chrome trace-event JSON file (fetch)"
     );
 }
 
@@ -416,12 +424,15 @@ fn serve(args: &[String]) -> Result<(), String> {
         .fetch(0)
         .map_err(|e| format!("cannot read sample 0 from {dir}: {e}"))?;
 
+    let metrics_out = flag(args, "--metrics-out");
+    let registry = sciml_obs::MetricsRegistry::new();
     let handle = ServeBuilder::new()
         .config(ServerConfig {
             workers,
             cache_bytes: cache_mb << 20,
             ..ServerConfig::default()
         })
+        .registry(Arc::clone(&registry))
         .dataset(&name, Arc::new(source) as Arc<dyn SampleSource>)
         .bind(addr)
         .map_err(|e| format!("bind: {e}"))?;
@@ -434,6 +445,11 @@ fn serve(args: &[String]) -> Result<(), String> {
         handle.local_addr()
     );
     handle.join();
+    if let Some(out) = metrics_out {
+        sciml_obs::write_metrics_file(&registry.snapshot(), Path::new(&out))
+            .map_err(|e| format!("write {out}: {e}"))?;
+        println!("metrics snapshot written to {out}");
+    }
     println!("server stopped");
     Ok(())
 }
@@ -452,7 +468,21 @@ fn fetch(args: &[String]) -> Result<(), String> {
     }
 
     let name = flag(args, "--name").unwrap_or_else(|| "default".into());
-    let src = RemoteSource::connect(&addr, &name).map_err(|e| e.to_string())?;
+    let metrics_out = flag(args, "--metrics-out");
+    let trace_out = flag(args, "--trace-out");
+    let telemetry = if trace_out.is_some() {
+        Telemetry::new()
+    } else {
+        Telemetry::disabled()
+    };
+    let src = RemoteSource::connect_with_registry(
+        &addr,
+        &name,
+        ClientConfig::default(),
+        Arc::clone(&telemetry.registry),
+    )
+    .map_err(|e| e.to_string())?;
+    let fetch_ns = telemetry.registry.histogram("client.fetch_ns");
 
     let indices: Vec<u64> = if args.iter().any(|a| a == "--all") {
         (0..src.len() as u64).collect()
@@ -467,7 +497,12 @@ fn fetch(args: &[String]) -> Result<(), String> {
     println!("'{name}' on {addr}: {} samples", src.len());
     if !indices.is_empty() {
         let t0 = Instant::now();
-        let samples = src.fetch_batch(&indices).map_err(|e| e.to_string())?;
+        let samples = {
+            let _span = telemetry.tracer.span("client", "fetch_batch");
+            fetch_ns
+                .time(|| src.fetch_batch(&indices))
+                .map_err(|e| e.to_string())?
+        };
         let dt = t0.elapsed();
         let bytes: usize = samples.iter().map(Vec::len).sum();
         println!(
@@ -487,15 +522,29 @@ fn fetch(args: &[String]) -> Result<(), String> {
     }
     if args.iter().any(|a| a == "--stats") {
         let s = src.server_stats().map_err(|e| e.to_string())?;
-        let mean_us = if s.requests > 0 {
-            s.request_ns as f64 / s.requests as f64 / 1e3
+        if s.latency.is_empty() {
+            // v1 server: only the cumulative sum is on the wire.
+            let mean_us = if s.requests > 0 {
+                s.request_ns as f64 / s.requests as f64 / 1e3
+            } else {
+                0.0
+            };
+            println!(
+                "server stats: {} requests (mean {mean_us:.1} µs)",
+                s.requests
+            );
         } else {
-            0.0
-        };
+            println!(
+                "server stats: {} requests — latency p50 {:.1} µs / p95 {:.1} µs / p99 {:.1} µs / max {:.1} µs",
+                s.requests,
+                s.latency.percentile(0.50) as f64 / 1e3,
+                s.latency.percentile(0.95) as f64 / 1e3,
+                s.latency.percentile(0.99) as f64 / 1e3,
+                s.latency.max as f64 / 1e3,
+            );
+        }
         println!(
-            "server stats: {} requests (mean {mean_us:.1} µs), {} samples, {} bytes sent,\n  \
-             hot cache {} hits / {} misses / {} evictions, {} rejected connections",
-            s.requests,
+            "  {} samples, {} bytes sent, hot cache {} hits / {} misses / {} evictions, {} rejected connections",
             s.samples_served,
             s.bytes_sent,
             s.cache_hits,
@@ -503,6 +552,46 @@ fn fetch(args: &[String]) -> Result<(), String> {
             s.cache_evictions,
             s.rejected_connections
         );
+    }
+    if let Some(out) = metrics_out {
+        telemetry
+            .write_metrics(Path::new(&out))
+            .map_err(|e| format!("write {out}: {e}"))?;
+        println!("client metrics written to {out}");
+    }
+    if let Some(out) = trace_out {
+        telemetry
+            .write_trace(Path::new(&out))
+            .map_err(|e| format!("write {out}: {e}"))?;
+        println!("trace written to {out}");
+    }
+    Ok(())
+}
+
+/// Parses a file with the std-only JSON parser, accepting either a
+/// single JSON document or JSONL (one document per line).
+fn validate_json(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path:?}: {e}"))?;
+    match sciml_obs::json::parse(&text) {
+        Ok(_) => {
+            println!("{}: OK (single JSON document)", path.display());
+            return Ok(());
+        }
+        Err(_) => {
+            let mut docs = 0usize;
+            for (lineno, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                sciml_obs::json::parse(line)
+                    .map_err(|e| format!("{}:{}: {e}", path.display(), lineno + 1))?;
+                docs += 1;
+            }
+            if docs == 0 {
+                return Err(format!("{}: empty file", path.display()));
+            }
+            println!("{}: OK ({docs} JSONL document(s))", path.display());
+        }
     }
     Ok(())
 }

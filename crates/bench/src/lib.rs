@@ -1,5 +1,7 @@
 //! Shared helpers for the criterion benches.
 
+pub mod snapshot;
+
 use sciml_data::cosmoflow::{CosmoFlowConfig, CosmoSample, UniverseGenerator};
 use sciml_data::deepcam::{ClimateGenerator, DeepCamConfig, DeepCamSample};
 

@@ -25,9 +25,11 @@ pub mod cosmoflow;
 pub mod deepcam;
 pub mod error_stats;
 pub mod ops;
+pub mod telemetry;
 
 pub use error_stats::ErrorStats;
 pub use ops::Op;
+pub use telemetry::CodecTelemetry;
 
 use std::fmt;
 

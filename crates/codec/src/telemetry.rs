@@ -1,0 +1,123 @@
+//! Observed encode/decode entry points: the same codec calls, timed
+//! into per-workload `codec.*` latency histograms on a shared
+//! `sciml-obs` registry.
+//!
+//! The codecs themselves stay telemetry-free — instrumentation wraps
+//! them at the call boundary, so hot decode loops pay nothing unless a
+//! caller opts into observation.
+
+use crate::cosmoflow::{self, EncodedCosmo};
+use crate::deepcam::{self, EncodeStats, EncodedDeepCam, EncoderConfig};
+use crate::{CodecError, Op};
+use sciml_data::cosmoflow::CosmoSample;
+use sciml_data::deepcam::DeepCamSample;
+use sciml_half::F16;
+use sciml_obs::{Counter, Histogram, MetricsRegistry};
+use std::sync::Arc;
+
+/// Per-workload codec instruments registered under `codec.*` names.
+#[derive(Debug)]
+pub struct CodecTelemetry {
+    registry: Arc<MetricsRegistry>,
+    deepcam_encode_ns: Arc<Histogram>,
+    deepcam_decode_ns: Arc<Histogram>,
+    cosmoflow_encode_ns: Arc<Histogram>,
+    cosmoflow_decode_ns: Arc<Histogram>,
+    encoded_bytes: Arc<Counter>,
+    decoded_samples: Arc<Counter>,
+}
+
+impl Default for CodecTelemetry {
+    fn default() -> Self {
+        Self::with_registry(&MetricsRegistry::new())
+    }
+}
+
+impl CodecTelemetry {
+    /// Instruments registering into `registry`, so codec timings land
+    /// in the same snapshot as pipeline and serving metrics.
+    pub fn with_registry(registry: &Arc<MetricsRegistry>) -> Self {
+        Self {
+            registry: Arc::clone(registry),
+            deepcam_encode_ns: registry.histogram("codec.deepcam.encode_ns"),
+            deepcam_decode_ns: registry.histogram("codec.deepcam.decode_ns"),
+            cosmoflow_encode_ns: registry.histogram("codec.cosmoflow.encode_ns"),
+            cosmoflow_decode_ns: registry.histogram("codec.cosmoflow.decode_ns"),
+            encoded_bytes: registry.counter("codec.encoded_bytes"),
+            decoded_samples: registry.counter("codec.decoded_samples"),
+        }
+    }
+
+    /// The registry these instruments live in.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// [`deepcam::encode`] timed into `codec.deepcam.encode_ns`.
+    pub fn deepcam_encode(
+        &self,
+        sample: &DeepCamSample,
+        cfg: &EncoderConfig,
+    ) -> (EncodedDeepCam, EncodeStats) {
+        let (enc, stats) = self.deepcam_encode_ns.time(|| deepcam::encode(sample, cfg));
+        self.encoded_bytes.add(enc.encoded_bytes() as u64);
+        (enc, stats)
+    }
+
+    /// [`deepcam::decode`] timed into `codec.deepcam.decode_ns`.
+    pub fn deepcam_decode(&self, enc: &EncodedDeepCam, op: Op) -> Result<Vec<F16>, CodecError> {
+        let out = self.deepcam_decode_ns.time(|| deepcam::decode(enc, op))?;
+        self.decoded_samples.inc();
+        Ok(out)
+    }
+
+    /// [`cosmoflow::encode`] timed into `codec.cosmoflow.encode_ns`.
+    pub fn cosmoflow_encode(&self, sample: &CosmoSample) -> EncodedCosmo {
+        let enc = self.cosmoflow_encode_ns.time(|| cosmoflow::encode(sample));
+        self.encoded_bytes.add(enc.encoded_bytes() as u64);
+        enc
+    }
+
+    /// [`cosmoflow::decode`] timed into `codec.cosmoflow.decode_ns`.
+    pub fn cosmoflow_decode(&self, enc: &EncodedCosmo, op: Op) -> Result<Vec<F16>, CodecError> {
+        let out = self
+            .cosmoflow_decode_ns
+            .time(|| cosmoflow::decode(enc, op))?;
+        self.decoded_samples.inc();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciml_data::cosmoflow::{CosmoFlowConfig, UniverseGenerator};
+    use sciml_data::deepcam::{ClimateGenerator, DeepCamConfig};
+
+    #[test]
+    fn observed_roundtrips_record_histograms() {
+        let reg = MetricsRegistry::new();
+        let tel = CodecTelemetry::with_registry(&reg);
+
+        let dc = ClimateGenerator::new(DeepCamConfig::test_small()).generate(0);
+        let (enc, _) = tel.deepcam_encode(&dc, &EncoderConfig::default());
+        let decoded = tel.deepcam_decode(&enc, Op::Identity).unwrap();
+        assert_eq!(decoded.len(), enc.n_values());
+
+        let cs = UniverseGenerator::new(CosmoFlowConfig::test_small()).generate(0);
+        let cenc = tel.cosmoflow_encode(&cs);
+        tel.cosmoflow_decode(&cenc, Op::Identity).unwrap();
+
+        let snap = reg.snapshot();
+        for name in [
+            "codec.deepcam.encode_ns",
+            "codec.deepcam.decode_ns",
+            "codec.cosmoflow.encode_ns",
+            "codec.cosmoflow.decode_ns",
+        ] {
+            assert_eq!(snap.histogram(name).unwrap().count, 1, "{name}");
+        }
+        assert_eq!(snap.counter("codec.decoded_samples"), 2);
+        assert!(snap.counter("codec.encoded_bytes") > 0);
+    }
+}

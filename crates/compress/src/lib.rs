@@ -14,7 +14,7 @@
 //!   ([`huffman`]);
 //! * greedy hash-chain LZ77 matching with lazy evaluation ([`lz77`]);
 //! * a DEFLATE block writer choosing stored / fixed / dynamic blocks
-//!   ([`deflate`]) and a full inflater ([`inflate`]);
+//!   ([`deflate`]) and a full inflater ([`fn@inflate`]);
 //! * gzip member framing ([`gzip`]) and zlib framing with Adler-32
 //!   ([`zlib`]) — the two compression types `TFRecordOptions` accepts.
 //!

@@ -141,6 +141,17 @@ pub fn build_pipeline(
     Pipeline::launch(Arc::new(VecSource::new(samples)), plugin, cfg)
 }
 
+/// [`build_pipeline`] with an explicit telemetry bundle: stage metrics
+/// land in `telemetry.registry` and worker spans in `telemetry.tracer`.
+pub fn build_pipeline_observed(
+    samples: Vec<Vec<u8>>,
+    plugin: Arc<dyn DecoderPlugin>,
+    cfg: PipelineConfig,
+    telemetry: sciml_obs::Telemetry,
+) -> sciml_pipeline::Result<Pipeline> {
+    Pipeline::launch_with(Arc::new(VecSource::new(samples)), plugin, cfg, telemetry)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

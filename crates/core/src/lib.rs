@@ -22,6 +22,7 @@
 //! | [`platform`] | Table-I platform models + epoch simulator |
 //! | [`minidnn`] | miniature DNN framework for convergence runs |
 //! | [`serve`] | disaggregated dataset server + remote source |
+//! | [`obs`] | unified telemetry: metrics registry, histograms, tracing |
 
 pub use sciml_codec as codec;
 pub use sciml_compress as compress;
@@ -29,6 +30,7 @@ pub use sciml_data as data;
 pub use sciml_gpusim as gpusim;
 pub use sciml_half as half;
 pub use sciml_minidnn as minidnn;
+pub use sciml_obs as obs;
 pub use sciml_pipeline as pipeline;
 pub use sciml_platform as platform;
 pub use sciml_serve as serve;
@@ -38,7 +40,7 @@ pub mod convergence;
 
 /// Common imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::api::{build_pipeline, DatasetBuilder, EncodedFormat};
+    pub use crate::api::{build_pipeline, build_pipeline_observed, DatasetBuilder, EncodedFormat};
     pub use crate::convergence::{
         cosmoflow_convergence, deepcam_convergence, ConvergenceConfig, ConvergenceRun,
     };
@@ -49,6 +51,7 @@ pub mod prelude {
     pub use sciml_data::deepcam::{ClimateGenerator, DeepCamConfig};
     pub use sciml_gpusim::{Gpu, GpuSpec};
     pub use sciml_half::F16;
+    pub use sciml_obs::{MetricsRegistry, Telemetry, Tracer};
     pub use sciml_pipeline::{Pipeline, PipelineConfig};
     pub use sciml_platform::{EpochModel, ExperimentConfig, Format, PlatformSpec, WorkloadProfile};
     pub use sciml_serve::{RemoteSource, ServeBuilder, ServerConfig};

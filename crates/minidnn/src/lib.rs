@@ -26,9 +26,11 @@ pub mod metrics;
 pub mod models;
 pub mod optim;
 pub mod schedule;
+pub mod telemetry;
 pub mod tensor;
 pub mod train;
 
+pub use telemetry::TrainTelemetry;
 pub use tensor::Tensor;
 
 /// Input numeric path: the baseline feeds FP32 samples, the decoded path

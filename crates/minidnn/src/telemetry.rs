@@ -1,0 +1,80 @@
+//! Training-loop instruments on the shared `sciml-obs` registry.
+//!
+//! Before the unified telemetry layer each experiment harness kept its
+//! own ad-hoc step/sample tallies; `TrainTelemetry` replaces those with
+//! `train.*` instruments registered alongside the pipeline and serving
+//! metrics, so one registry snapshot covers ingest and optimization.
+
+use sciml_obs::{Counter, Histogram, MetricsRegistry};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Optimizer-step instruments registered under `train.*` names.
+#[derive(Debug)]
+pub struct TrainTelemetry {
+    registry: Arc<MetricsRegistry>,
+    steps: Arc<Counter>,
+    samples: Arc<Counter>,
+    step_ns: Arc<Histogram>,
+}
+
+impl Default for TrainTelemetry {
+    fn default() -> Self {
+        Self::with_registry(&MetricsRegistry::new())
+    }
+}
+
+impl TrainTelemetry {
+    /// Instruments registering into `registry`.
+    pub fn with_registry(registry: &Arc<MetricsRegistry>) -> Self {
+        Self {
+            registry: Arc::clone(registry),
+            steps: registry.counter("train.steps"),
+            samples: registry.counter("train.samples"),
+            step_ns: registry.histogram("train.step_ns"),
+        }
+    }
+
+    /// The registry these instruments live in.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Records one optimizer step over `batch` samples.
+    pub fn record_step(&self, batch: u64, elapsed: Duration) {
+        self.steps.inc();
+        self.samples.add(batch);
+        self.step_ns.record_duration(elapsed);
+    }
+
+    /// Optimizer steps recorded so far.
+    pub fn steps(&self) -> u64 {
+        self.steps.get()
+    }
+
+    /// Samples consumed by recorded steps.
+    pub fn samples(&self) -> u64 {
+        self.samples.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_land_on_shared_registry() {
+        let reg = MetricsRegistry::new();
+        let tel = TrainTelemetry::with_registry(&reg);
+        tel.record_step(4, Duration::from_nanos(250));
+        tel.record_step(2, Duration::from_nanos(750));
+        assert_eq!(tel.steps(), 2);
+        assert_eq!(tel.samples(), 6);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("train.steps"), 2);
+        assert_eq!(snap.counter("train.samples"), 6);
+        let h = snap.histogram("train.step_ns").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1000);
+    }
+}

@@ -4,11 +4,13 @@
 use crate::layers::Sequential;
 use crate::loss::{mse, softmax_cross_entropy};
 use crate::optim::Optimizer;
+use crate::telemetry::TrainTelemetry;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use sciml_half::F16;
+use std::time::Instant;
 
 /// Training-schedule parameters ("we merely used the same learning
 /// schedule — warmup, learning rate — for both classes of samples").
@@ -152,6 +154,54 @@ pub fn train_regression_val(
     cfg: &TrainConfig,
     validation: Option<(&[Vec<f32>], &[[f32; 4]])>,
 ) -> History {
+    train_regression_impl(
+        net,
+        opt,
+        samples,
+        input_shape,
+        labels,
+        cfg,
+        validation,
+        None,
+    )
+}
+
+/// [`train_regression_val`] recording every optimizer step into
+/// `telemetry` (`train.steps`, `train.samples`, `train.step_ns`).
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub fn train_regression_observed(
+    net: &mut Sequential,
+    opt: &mut dyn Optimizer,
+    samples: &[Vec<f32>],
+    input_shape: &[usize],
+    labels: &[[f32; 4]],
+    cfg: &TrainConfig,
+    validation: Option<(&[Vec<f32>], &[[f32; 4]])>,
+    telemetry: &TrainTelemetry,
+) -> History {
+    train_regression_impl(
+        net,
+        opt,
+        samples,
+        input_shape,
+        labels,
+        cfg,
+        validation,
+        Some(telemetry),
+    )
+}
+
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+fn train_regression_impl(
+    net: &mut Sequential,
+    opt: &mut dyn Optimizer,
+    samples: &[Vec<f32>],
+    input_shape: &[usize],
+    labels: &[[f32; 4]],
+    cfg: &TrainConfig,
+    validation: Option<(&[Vec<f32>], &[[f32; 4]])>,
+    telemetry: Option<&TrainTelemetry>,
+) -> History {
     assert_eq!(samples.len(), labels.len(), "sample/label count mismatch");
     let per_sample: usize = input_shape.iter().product();
     let mut history = History::default();
@@ -173,10 +223,14 @@ pub fn train_regression_val(
             let x = Tensor::from_vec(&shape, data);
             let y = Tensor::from_vec(&[chunk.len(), 4], target);
             opt.set_learning_rate(lr_at(cfg, step));
+            let step_start = telemetry.map(|_| Instant::now());
             let pred = net.forward(&x);
             let (l, g) = mse(&pred, &y);
             net.backward(&g);
             opt.step(net);
+            if let (Some(tel), Some(start)) = (telemetry, step_start) {
+                tel.record_step(chunk.len() as u64, start.elapsed());
+            }
             history.step_losses.push(l);
             epoch_sum += l as f64;
             epoch_batches += 1;
@@ -222,6 +276,58 @@ pub fn train_segmentation_val(
     cfg: &TrainConfig,
     validation: Option<(&[Vec<f32>], &[Vec<u8>])>,
 ) -> History {
+    train_segmentation_impl(
+        net,
+        opt,
+        samples,
+        input_shape,
+        masks,
+        classes,
+        cfg,
+        validation,
+        None,
+    )
+}
+
+/// [`train_segmentation_val`] recording every optimizer step into
+/// `telemetry` (`train.steps`, `train.samples`, `train.step_ns`).
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub fn train_segmentation_observed(
+    net: &mut Sequential,
+    opt: &mut dyn Optimizer,
+    samples: &[Vec<f32>],
+    input_shape: &[usize],
+    masks: &[Vec<u8>],
+    classes: usize,
+    cfg: &TrainConfig,
+    validation: Option<(&[Vec<f32>], &[Vec<u8>])>,
+    telemetry: &TrainTelemetry,
+) -> History {
+    train_segmentation_impl(
+        net,
+        opt,
+        samples,
+        input_shape,
+        masks,
+        classes,
+        cfg,
+        validation,
+        Some(telemetry),
+    )
+}
+
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+fn train_segmentation_impl(
+    net: &mut Sequential,
+    opt: &mut dyn Optimizer,
+    samples: &[Vec<f32>],
+    input_shape: &[usize],
+    masks: &[Vec<u8>],
+    classes: usize,
+    cfg: &TrainConfig,
+    validation: Option<(&[Vec<f32>], &[Vec<u8>])>,
+    telemetry: Option<&TrainTelemetry>,
+) -> History {
     assert_eq!(samples.len(), masks.len(), "sample/mask count mismatch");
     let per_sample: usize = input_shape.iter().product();
     let mut history = History::default();
@@ -241,6 +347,7 @@ pub fn train_segmentation_val(
             }
             let x = Tensor::from_vec(&shape, data);
             opt.set_learning_rate(lr_at(cfg, step));
+            let step_start = telemetry.map(|_| Instant::now());
             let logits = net.forward(&x);
             // Flatten spatial dims: [B, classes, P].
             let b = chunk.len();
@@ -249,6 +356,9 @@ pub fn train_segmentation_val(
             let (l, g) = softmax_cross_entropy(&logits, &labels, classes);
             net.backward(&g);
             opt.step(net);
+            if let (Some(tel), Some(start)) = (telemetry, step_start) {
+                tel.record_step(chunk.len() as u64, start.elapsed());
+            }
             history.step_losses.push(l);
             epoch_sum += l as f64;
             epoch_batches += 1;
@@ -408,6 +518,41 @@ mod tests {
             train_regression(&mut net, &mut opt, &xs, &[4, 12, 12, 12], &ys, &cfg)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn observed_training_matches_history_and_counts_steps() {
+        let (xs, ys) = toy_regression_data(4);
+        let cfg = TrainConfig::default();
+        let plain = {
+            let mut net = cosmoflow_mini(12, 7);
+            let mut opt = Sgd::new(1e-3, 0.9);
+            train_regression(&mut net, &mut opt, &xs, &[4, 12, 12, 12], &ys, &cfg)
+        };
+        let tel = TrainTelemetry::default();
+        let observed = {
+            let mut net = cosmoflow_mini(12, 7);
+            let mut opt = Sgd::new(1e-3, 0.9);
+            train_regression_observed(
+                &mut net,
+                &mut opt,
+                &xs,
+                &[4, 12, 12, 12],
+                &ys,
+                &cfg,
+                None,
+                &tel,
+            )
+        };
+        assert_eq!(plain, observed, "telemetry must not perturb training");
+        assert_eq!(tel.steps() as usize, observed.step_losses.len());
+        assert_eq!(tel.samples() as usize, xs.len() * cfg.epochs);
+        let snap = tel.registry().snapshot();
+        assert_eq!(
+            snap.histogram("train.step_ns").unwrap().count,
+            tel.steps(),
+            "one latency record per step"
+        );
     }
 
     #[test]

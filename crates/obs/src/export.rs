@@ -1,0 +1,169 @@
+//! Snapshot exporters: registry → metrics JSONL, and named perf
+//! snapshots → `results/BENCH_*.json` machine-readable dumps.
+
+use crate::histogram::HistogramSnapshot;
+use crate::json::escape;
+use crate::registry::{MetricValue, RegistrySnapshot};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+fn write_histogram_fields(out: &mut String, h: &HistogramSnapshot) {
+    let (min, max) = if h.count == 0 { (0, 0) } else { (h.min, h.max) };
+    out.push_str(&format!(
+        "\"count\":{},\"sum\":{},\"min\":{min},\"max\":{max},\"mean\":{:.1},\
+         \"p50\":{},\"p95\":{},\"p99\":{}",
+        h.count,
+        h.sum,
+        h.mean(),
+        h.percentile(0.50),
+        h.percentile(0.95),
+        h.percentile(0.99),
+    ));
+    out.push_str(",\"buckets\":[");
+    for (i, (idx, n)) in h.sparse().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{idx},{n}]"));
+    }
+    out.push(']');
+}
+
+/// One metric as a single JSON line (no trailing newline).
+pub fn metric_to_json(name: &str, value: &MetricValue) -> String {
+    let mut out = format!("{{\"name\":\"{}\",", escape(name));
+    match value {
+        MetricValue::Counter(v) => out.push_str(&format!("\"type\":\"counter\",\"value\":{v}")),
+        MetricValue::Gauge(v) => out.push_str(&format!("\"type\":\"gauge\",\"value\":{v}")),
+        MetricValue::Histogram(h) => {
+            out.push_str("\"type\":\"histogram\",");
+            write_histogram_fields(&mut out, h);
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Writes a registry snapshot as JSONL: one metric per line, name
+/// order. Histogram lines carry count/sum/min/max/mean, p50/p95/p99,
+/// and sparse `[bucket, count]` pairs.
+pub fn write_metrics_jsonl(snapshot: &RegistrySnapshot, w: &mut impl Write) -> io::Result<()> {
+    for (name, value) in &snapshot.metrics {
+        writeln!(w, "{}", metric_to_json(name, value))?;
+    }
+    Ok(())
+}
+
+/// Convenience: [`write_metrics_jsonl`] straight to a file path.
+pub fn write_metrics_file(snapshot: &RegistrySnapshot, path: &Path) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write_metrics_jsonl(snapshot, &mut f)
+}
+
+/// One scalar result inside a bench snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Metric name, e.g. `"serve_loopback/epoch_batched/16.mean_ns"`.
+    pub metric: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit string, e.g. `"ns"`, `"bytes_per_s"`.
+    pub unit: String,
+}
+
+impl BenchEntry {
+    /// Entry constructor.
+    pub fn new(metric: impl Into<String>, value: f64, unit: impl Into<String>) -> Self {
+        Self {
+            metric: metric.into(),
+            value,
+            unit: unit.into(),
+        }
+    }
+}
+
+/// Serializes a bench snapshot document (label + entries) as JSON.
+pub fn bench_snapshot_json(label: &str, entries: &[BenchEntry]) -> String {
+    let mut out = format!("{{\n  \"label\": \"{}\",\n  \"entries\": [", escape(label));
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let value = if e.value.is_finite() { e.value } else { 0.0 };
+        out.push_str(&format!(
+            "\n    {{\"metric\": \"{}\", \"value\": {value}, \"unit\": \"{}\"}}",
+            escape(&e.metric),
+            escape(&e.unit)
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Writes `BENCH_<label>.json` into `dir` (created if missing),
+/// returning the path. This is the machine-readable perf trajectory the
+/// bench harness accumulates under `results/`.
+pub fn write_bench_snapshot(
+    dir: &Path,
+    label: &str,
+    entries: &[BenchEntry],
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let sanitized: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = dir.join(format!("BENCH_{sanitized}.json"));
+    std::fs::write(&path, bench_snapshot_json(label, entries))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn jsonl_lines_are_valid_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c\"quoted").add(5);
+        reg.gauge("g").set(-1);
+        let h = reg.histogram("lat");
+        for v in [10u64, 20, 30, 40_000] {
+            h.record(v);
+        }
+        let mut buf = Vec::new();
+        write_metrics_jsonl(&reg.snapshot(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            json::parse(line).expect("each JSONL line parses");
+        }
+        let hist_line = lines
+            .iter()
+            .find(|l| l.contains("histogram"))
+            .expect("histogram line");
+        let v = json::parse(hist_line).unwrap();
+        assert_eq!(v.get("count").unwrap().as_f64(), Some(4.0));
+        assert!(v.get("p99").unwrap().as_f64().unwrap() > 1000.0);
+        assert!(!v.get("buckets").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn bench_snapshot_writes_valid_json_file() {
+        let dir = std::env::temp_dir().join("sciml_obs_bench_test");
+        let entries = vec![
+            BenchEntry::new("epoch.mean_ns", 1234.5, "ns"),
+            BenchEntry::new("epoch.p99_ns", 9999.0, "ns"),
+        ];
+        let path = write_bench_snapshot(&dir, "serve loopback", &entries).unwrap();
+        assert!(path.ends_with("BENCH_serve_loopback.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = json::parse(&text).unwrap();
+        assert_eq!(v.get("label").unwrap().as_str(), Some("serve loopback"));
+        assert_eq!(v.get("entries").unwrap().as_array().unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

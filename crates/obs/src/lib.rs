@@ -1,0 +1,106 @@
+//! sciml-obs — unified telemetry layer for the sciml stack.
+//!
+//! Three pieces, all `std`-only and shareable across threads:
+//!
+//! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s, and
+//!   log-bucketed latency [`Histogram`]s. Instruments are registered by
+//!   name once and recorded lock-free thereafter; histograms answer
+//!   p50/p95/p99/max queries and merge bucket-wise, so per-worker or
+//!   per-connection distributions roll up without losing the tail.
+//! * [`Tracer`] — bounded-ring span tracing. RAII [`SpanGuard`]s stamp
+//!   thread id + wall-clock offsets; [`Tracer::write_chrome_trace`]
+//!   emits trace-event JSON viewable in `chrome://tracing` /
+//!   [Perfetto](https://ui.perfetto.dev). Near-zero cost when disabled.
+//! * [`export`] — snapshot writers: metrics JSONL dumps and
+//!   `results/BENCH_*.json` perf snapshots for the bench harness.
+//!
+//! [`Telemetry`] bundles a registry + tracer as the single handle the
+//! pipeline, codec, serving, and training tiers thread through their
+//! constructors.
+//!
+//! ```
+//! use sciml_obs::Telemetry;
+//!
+//! let tel = Telemetry::new();
+//! let lat = tel.registry.histogram("demo.latency_ns");
+//! for v in [120u64, 130, 5_000] {
+//!     lat.record(v);
+//! }
+//! {
+//!     let _span = tel.tracer.span("demo", "work");
+//! }
+//! let snap = tel.registry.snapshot();
+//! assert_eq!(snap.histogram("demo.latency_ns").unwrap().count, 3);
+//! assert_eq!(tel.tracer.events().len(), 1);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod export;
+pub mod histogram;
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use export::{
+    bench_snapshot_json, metric_to_json, write_bench_snapshot, write_metrics_file,
+    write_metrics_jsonl, BenchEntry,
+};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, MetricValue, MetricsRegistry, RegistrySnapshot};
+pub use trace::{SpanGuard, TraceEvent, Tracer};
+
+use std::sync::Arc;
+
+/// Default span-ring capacity for [`Telemetry::new`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// The registry + tracer pair a process threads through its tiers.
+///
+/// Cloning is cheap (two `Arc`s) and every clone observes the same
+/// instruments, so the pipeline workers, codec, server, and CLI all
+/// feed one snapshot.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// Shared metrics registry.
+    pub registry: Arc<MetricsRegistry>,
+    /// Shared span tracer.
+    pub tracer: Arc<Tracer>,
+}
+
+impl Telemetry {
+    /// Fresh registry with an *enabled* tracer of
+    /// [`DEFAULT_TRACE_CAPACITY`] events.
+    pub fn new() -> Self {
+        Self {
+            registry: MetricsRegistry::new(),
+            tracer: Tracer::new(DEFAULT_TRACE_CAPACITY),
+        }
+    }
+
+    /// Fresh registry with a *disabled* tracer: metrics still record,
+    /// spans cost one atomic load. The right default for hot paths.
+    pub fn disabled() -> Self {
+        Self {
+            registry: MetricsRegistry::new(),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Writes the current metrics snapshot as JSONL to `path`.
+    pub fn write_metrics(&self, path: &std::path::Path) -> std::io::Result<()> {
+        export::write_metrics_file(&self.registry.snapshot(), path)
+    }
+
+    /// Writes the retained trace as Chrome trace-event JSON to `path`.
+    pub fn write_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        self.tracer.write_chrome_trace(&mut f)
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}

@@ -1,0 +1,231 @@
+//! Named-metric registry: counters, gauges, and histograms, registered
+//! once and recorded lock-free thereafter.
+//!
+//! Registration (`counter("pipeline.samples")`) takes a short mutex on
+//! the name table and returns an `Arc` handle; every subsequent
+//! `add`/`set`/`record` through the handle touches only atomics. The
+//! same name always resolves to the same instrument, so independent
+//! subsystems (pipeline workers, the serving tier, the training loop)
+//! sharing one registry produce one coherent snapshot.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed value (queue depths, active connections, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// One metric's value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Full histogram distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// Point-in-time copy of every registered metric, name-sorted.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` pairs in name order.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl RegistrySnapshot {
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Counter value by name (0 when absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram snapshot by name, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// The registry. Cheap to share (`Arc<MetricsRegistry>`); instruments
+/// handed out live as long as any handle, even if the registry drops.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self
+            .metrics
+            .lock()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect();
+        f.debug_struct("MetricsRegistry")
+            .field("metrics", &names)
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Returns the counter registered under `name`, creating it on
+    /// first use. Panics if `name` is already a different metric kind —
+    /// that is a naming bug, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.metrics.lock().expect("registry lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.metrics.lock().expect("registry lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.metrics.lock().expect("registry lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// Snapshots every registered metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let map = self.metrics.lock().expect("registry lock");
+        let metrics = map
+            .iter()
+            .map(|(name, m)| {
+                let value = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        RegistrySnapshot { metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_instrument() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(3);
+        reg.counter("a").add(4);
+        assert_eq!(reg.counter("a").get(), 7);
+    }
+
+    #[test]
+    fn snapshot_covers_all_kinds_in_name_order() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.count").inc();
+        reg.gauge("a.depth").set(-2);
+        reg.histogram("m.lat").record(100);
+        let s = reg.snapshot();
+        let names: Vec<&str> = s.metrics.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.depth", "m.lat", "z.count"]);
+        assert_eq!(s.counter("z.count"), 1);
+        assert_eq!(s.get("a.depth"), Some(&MetricValue::Gauge(-2)));
+        assert_eq!(s.histogram("m.lat").unwrap().count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.histogram("x");
+    }
+
+    #[test]
+    fn handles_outlive_registry() {
+        let c = MetricsRegistry::new().counter("orphan");
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the log-bucketed histogram: merge commutes,
+//! percentiles are monotone in the quantile, and every recorded value
+//! lands inside its reported bucket bounds.
+
+use proptest::prelude::*;
+use sciml_obs::histogram::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
+
+fn build(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn recorded_value_within_bucket_bounds(v in any::<u64>()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < NUM_BUCKETS);
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= v, "value {v} below bucket lo {lo}");
+        prop_assert!(v < hi || hi == u64::MAX, "value {v} not below bucket hi {hi}");
+    }
+
+    #[test]
+    fn merge_commutes(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..64),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..64),
+    ) {
+        let ab = build(&a);
+        ab.merge(&build(&b));
+        let ba = build(&b);
+        ba.merge(&build(&a));
+        let (sab, sba) = (ab.snapshot(), ba.snapshot());
+        prop_assert_eq!(sab.counts.clone(), sba.counts.clone());
+        prop_assert_eq!(sab.count, sba.count);
+        prop_assert_eq!(sab.sum, sba.sum);
+        if sab.count > 0 {
+            prop_assert_eq!(sab.min, sba.min);
+            prop_assert_eq!(sab.max, sba.max);
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_concatenation(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..64),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..64),
+    ) {
+        let merged = build(&a);
+        merged.merge(&build(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        let direct = build(&both);
+        prop_assert_eq!(merged.snapshot().counts, direct.snapshot().counts);
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert_eq!(merged.sum(), direct.sum());
+    }
+
+    #[test]
+    fn percentile_monotone_in_quantile(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..128),
+        qa in 0.0f64..=1.0,
+        qb in 0.0f64..=1.0,
+    ) {
+        let snap = build(&values).snapshot();
+        let (lo_q, hi_q) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(snap.percentile(lo_q) <= snap.percentile(hi_q),
+            "percentile({lo_q}) > percentile({hi_q})");
+    }
+
+    #[test]
+    fn percentiles_bounded_by_min_max(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..128),
+        q in 0.0f64..=1.0,
+    ) {
+        let snap = build(&values).snapshot();
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        let p = snap.percentile(q);
+        prop_assert!(p >= min, "percentile {p} below true min {min}");
+        prop_assert!(p <= max, "percentile {p} above true max {max}");
+    }
+
+    #[test]
+    fn sparse_roundtrip_preserves_distribution(
+        values in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let snap = build(&values).snapshot();
+        let rebuilt = sciml_obs::HistogramSnapshot::from_sparse(
+            &snap.sparse(), snap.sum, snap.min, snap.max);
+        prop_assert_eq!(rebuilt.counts, snap.counts);
+        prop_assert_eq!(rebuilt.count, snap.count);
+    }
+}

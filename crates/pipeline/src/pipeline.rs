@@ -9,6 +9,7 @@ use crossbeam_channel as channel;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use sciml_obs::{Telemetry, Tracer};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -51,16 +52,32 @@ impl Default for PipelineConfig {
 pub struct Pipeline {
     rx: Option<channel::Receiver<Result<Batch>>>,
     stats: Arc<PipelineStats>,
+    tracer: Arc<Tracer>,
     workers: Vec<JoinHandle<()>>,
     finished: bool,
 }
 
 impl Pipeline {
-    /// Launches the worker threads over a source and a decoder plugin.
+    /// Launches the worker threads over a source and a decoder plugin,
+    /// with private (untraced) telemetry. Use [`Pipeline::launch_with`]
+    /// to record into a shared registry / tracer.
     pub fn launch(
         source: Arc<dyn SampleSource>,
         plugin: Arc<dyn DecoderPlugin>,
         cfg: PipelineConfig,
+    ) -> Result<Self> {
+        Self::launch_with(source, plugin, cfg, Telemetry::disabled())
+    }
+
+    /// Launches the worker threads, registering stage metrics in
+    /// `telemetry.registry` (under `pipeline.*` names) and emitting
+    /// `fetch`/`decode`/`batch`/`wait` spans to `telemetry.tracer` when
+    /// it is enabled.
+    pub fn launch_with(
+        source: Arc<dyn SampleSource>,
+        plugin: Arc<dyn DecoderPlugin>,
+        cfg: PipelineConfig,
+        telemetry: Telemetry,
     ) -> Result<Self> {
         if cfg.batch_size == 0 {
             return Err(PipelineError::Config("batch_size must be positive"));
@@ -68,14 +85,15 @@ impl Pipeline {
         if cfg.reader_threads == 0 || cfg.decode_threads == 0 {
             return Err(PipelineError::Config("need at least one thread per stage"));
         }
-        let stats = PipelineStats::new();
+        let stats = PipelineStats::with_registry(&telemetry.registry);
+        let tracer = telemetry.tracer;
         let n = source.len();
 
         // Stage 1: index generator -> (epoch, index) work items.
         let (idx_tx, idx_rx) = channel::bounded::<(usize, usize)>(cfg.prefetch.max(1));
-        // Stage 2: fetched bytes, tagged with sequence for ordering.
+        // Stage 2: fetch results, tagged with sequence for ordering.
         let (raw_tx, raw_rx) =
-            channel::bounded::<(u64, usize, usize, Vec<u8>)>(cfg.prefetch.max(1));
+            channel::bounded::<(u64, usize, usize, Result<Vec<u8>>)>(cfg.prefetch.max(1));
         // Stage 3: decoded samples.
         let (dec_tx, dec_rx) =
             channel::bounded::<(u64, usize, usize, Result<DecodedSample>)>(cfg.prefetch.max(1));
@@ -109,23 +127,28 @@ impl Pipeline {
             let raw_tx = raw_tx.clone();
             let source = Arc::clone(&source);
             let stats = Arc::clone(&stats);
+            let tracer = Arc::clone(&tracer);
             let seq = Arc::clone(&seq);
             workers.push(std::thread::spawn(move || {
                 while let Ok((epoch, idx)) = idx_rx.recv() {
                     let s = seq.fetch_add(1, Ordering::Relaxed);
-                    let bytes = PipelineStats::timed(&stats.fetch_ns, || source.fetch(idx));
+                    let bytes = {
+                        let _span = tracer.span("pipeline", "fetch");
+                        stats.fetch_ns.time(|| source.fetch(idx))
+                    };
                     match bytes {
                         Ok(b) => {
-                            stats.bytes.fetch_add(b.len() as u64, Ordering::Relaxed);
-                            stats.samples.fetch_add(1, Ordering::Relaxed);
-                            if raw_tx.send((s, epoch, idx, b)).is_err() {
+                            stats.bytes.add(b.len() as u64);
+                            stats.samples.inc();
+                            if raw_tx.send((s, epoch, idx, Ok(b))).is_err() {
                                 return;
                             }
                         }
                         Err(e) => {
-                            // Surface the error as a poisoned decode item.
-                            let _ = raw_tx.send((s, epoch, idx, Vec::new()));
-                            drop(e);
+                            // Surface the typed error downstream; this
+                            // run is over for the consumer.
+                            stats.fetch_errors.inc();
+                            let _ = raw_tx.send((s, epoch, idx, Err(e)));
                             return;
                         }
                     }
@@ -141,9 +164,20 @@ impl Pipeline {
             let dec_tx = dec_tx.clone();
             let plugin = Arc::clone(&plugin);
             let stats = Arc::clone(&stats);
+            let tracer = Arc::clone(&tracer);
             workers.push(std::thread::spawn(move || {
-                while let Ok((s, epoch, idx, bytes)) = raw_rx.recv() {
-                    let decoded = PipelineStats::timed(&stats.decode_ns, || plugin.decode(&bytes));
+                while let Ok((s, epoch, idx, fetched)) = raw_rx.recv() {
+                    let decoded = match fetched {
+                        Ok(bytes) => {
+                            let _span = tracer.span("pipeline", "decode");
+                            let d = stats.decode_ns.time(|| plugin.decode(&bytes));
+                            if d.is_err() {
+                                stats.decode_errors.inc();
+                            }
+                            d
+                        }
+                        Err(e) => Err(e),
+                    };
                     if dec_tx.send((s, epoch, idx, decoded)).is_err() {
                         return;
                     }
@@ -158,6 +192,7 @@ impl Pipeline {
         {
             let cfg = cfg.clone();
             let stats = Arc::clone(&stats);
+            let tracer = Arc::clone(&tracer);
             workers.push(std::thread::spawn(move || {
                 let mut pending: Vec<(usize, Vec<(usize, DecodedSample)>)> = Vec::new();
                 let flush = |epoch: usize,
@@ -168,6 +203,7 @@ impl Pipeline {
                     if items.is_empty() {
                         return true;
                     }
+                    let _span = tracer.span("pipeline", "batch");
                     let sample_len = items[0].1.data.len();
                     let mut data = Vec::with_capacity(sample_len * items.len());
                     let mut labels = Vec::with_capacity(items.len());
@@ -177,7 +213,7 @@ impl Pipeline {
                         labels.push(s.label);
                         indices.push(idx);
                     }
-                    stats.batches.fetch_add(1, Ordering::Relaxed);
+                    stats.batches.inc();
                     tx.send(Ok(Batch {
                         data,
                         sample_len,
@@ -228,6 +264,7 @@ impl Pipeline {
         Ok(Self {
             rx: Some(batch_rx),
             stats,
+            tracer,
             workers,
             finished: false,
         })
@@ -239,7 +276,10 @@ impl Pipeline {
             return Ok(None);
         }
         let rx = self.rx.as_ref().expect("receiver alive until drop");
-        let got = PipelineStats::timed(&self.stats.wait_ns, || rx.recv());
+        let got = {
+            let _span = self.tracer.span("pipeline", "wait");
+            self.stats.wait_ns.time(|| rx.recv())
+        };
         match got {
             Ok(Ok(b)) => Ok(Some(b)),
             Ok(Err(e)) => {
@@ -397,15 +437,100 @@ mod tests {
     #[test]
     fn decode_error_surfaces() {
         let src = Arc::new(VecSource::new(vec![b"garbage".to_vec()]));
-        let mut p = Pipeline::launch(
+        let tel = sciml_obs::Telemetry::disabled();
+        let mut p = Pipeline::launch_with(
             src,
             Arc::new(CosmoPluginCpu { op: Op::Log1p }),
             PipelineConfig::default(),
+            tel.clone(),
         )
         .unwrap();
         assert!(p.next_batch().is_err());
         // Subsequent calls return None, not hang.
         assert!(p.next_batch().unwrap().is_none());
+        let snap = tel.registry.snapshot();
+        assert_eq!(snap.counter("pipeline.decode_errors"), 1);
+        assert_eq!(snap.counter("pipeline.fetch_errors"), 0);
+    }
+
+    /// Source that fails on one specific index.
+    struct FlakySource {
+        inner: Arc<VecSource>,
+        bad_idx: usize,
+    }
+
+    impl crate::source::SampleSource for FlakySource {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+
+        fn fetch(&self, idx: usize) -> crate::Result<Vec<u8>> {
+            if idx == self.bad_idx {
+                return Err(sciml_data::DataError::Format("injected fetch failure").into());
+            }
+            self.inner.fetch(idx)
+        }
+
+        fn bytes_read(&self) -> u64 {
+            self.inner.bytes_read()
+        }
+    }
+
+    #[test]
+    fn injected_fetch_failure_errors_and_counts() {
+        let tel = sciml_obs::Telemetry::disabled();
+        let src = Arc::new(FlakySource {
+            inner: tiny_dataset(8),
+            bad_idx: 3,
+        });
+        let p = Pipeline::launch_with(
+            src,
+            Arc::new(CosmoPluginCpu { op: Op::Log1p }),
+            PipelineConfig {
+                batch_size: 2,
+                ..Default::default()
+            },
+            tel.clone(),
+        )
+        .unwrap();
+        let err = p.collect_all().expect_err("injected failure must surface");
+        assert!(
+            err.to_string().contains("injected fetch failure"),
+            "typed source error, got: {err}"
+        );
+        let snap = tel.registry.snapshot();
+        assert_eq!(snap.counter("pipeline.fetch_errors"), 1);
+        assert_eq!(snap.counter("pipeline.decode_errors"), 0);
+    }
+
+    #[test]
+    fn spans_cover_stages_across_threads() {
+        let tel = sciml_obs::Telemetry::new();
+        let p = Pipeline::launch_with(
+            tiny_dataset(12),
+            Arc::new(CosmoPluginCpu { op: Op::Log1p }),
+            PipelineConfig {
+                reader_threads: 2,
+                decode_threads: 2,
+                ..Default::default()
+            },
+            tel.clone(),
+        )
+        .unwrap();
+        p.collect_all().unwrap();
+        let events = tel.tracer.events();
+        for stage in ["fetch", "decode", "batch", "wait"] {
+            assert!(
+                events.iter().any(|e| e.name == stage),
+                "missing '{stage}' span"
+            );
+        }
+        let worker_tids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e.name == "fetch" || e.name == "decode")
+            .map(|e| e.tid)
+            .collect();
+        assert!(worker_tids.len() >= 2, "spans from at least two workers");
     }
 
     #[test]

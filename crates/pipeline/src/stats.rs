@@ -1,69 +1,118 @@
-//! Per-stage instrumentation of the loading pipeline.
+//! Per-stage instrumentation of the loading pipeline, backed by the
+//! shared `sciml-obs` registry.
+//!
+//! Stage timings are full latency distributions (log-bucketed
+//! histograms answering p50/p95/p99), not just nanosecond sums; the
+//! old seconds/count accessors remain, now derived from the histogram
+//! sums, so existing callers keep working. Every instrument is
+//! registered under a `pipeline.*` name in a [`MetricsRegistry`], which
+//! may be shared with the serving and training tiers for one coherent
+//! snapshot.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use sciml_obs::{Counter, Histogram, MetricsRegistry};
 use std::sync::Arc;
-use std::time::Instant;
 
-/// Cumulative wall-time per pipeline stage plus counters, shared across
-/// worker threads.
-#[derive(Debug, Default)]
+/// Per-stage latency histograms plus counters, shared across worker
+/// threads. Construct via [`PipelineStats::new`] (private registry) or
+/// [`PipelineStats::with_registry`] (shared registry).
+#[derive(Debug)]
 pub struct PipelineStats {
-    /// Nanoseconds spent fetching bytes from the source.
-    pub fetch_ns: AtomicU64,
-    /// Nanoseconds spent in the decoder plugin.
-    pub decode_ns: AtomicU64,
-    /// Nanoseconds the consumer waited for a batch.
-    pub wait_ns: AtomicU64,
-    /// Samples fetched.
-    pub samples: AtomicU64,
-    /// Batches delivered.
-    pub batches: AtomicU64,
-    /// Bytes fetched from the source.
-    pub bytes: AtomicU64,
+    registry: Arc<MetricsRegistry>,
+    /// Per-sample fetch latency, nanoseconds (`pipeline.fetch_ns`).
+    pub fetch_ns: Arc<Histogram>,
+    /// Per-sample decode latency, nanoseconds (`pipeline.decode_ns`).
+    pub decode_ns: Arc<Histogram>,
+    /// Consumer wait per batch, nanoseconds (`pipeline.wait_ns`).
+    pub wait_ns: Arc<Histogram>,
+    /// Samples fetched (`pipeline.samples`).
+    pub samples: Arc<Counter>,
+    /// Batches delivered (`pipeline.batches`).
+    pub batches: Arc<Counter>,
+    /// Bytes fetched from the source (`pipeline.bytes`).
+    pub bytes: Arc<Counter>,
+    /// Source fetches that returned an error (`pipeline.fetch_errors`).
+    pub fetch_errors: Arc<Counter>,
+    /// Decoder invocations that returned an error
+    /// (`pipeline.decode_errors`).
+    pub decode_errors: Arc<Counter>,
+}
+
+impl Default for PipelineStats {
+    fn default() -> Self {
+        Self::on_registry(&MetricsRegistry::new())
+    }
 }
 
 impl PipelineStats {
-    /// Fresh shared stats handle.
+    /// Fresh stats handle on a private registry.
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
     }
 
-    /// Times `f`, adding the elapsed nanoseconds to `counter`.
-    pub fn timed<T>(counter: &AtomicU64, f: impl FnOnce() -> T) -> T {
-        let t0 = Instant::now();
-        let out = f();
-        counter.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        out
+    /// Stats handle registering its instruments in `registry`, so
+    /// pipeline metrics appear alongside whatever else the process
+    /// records there.
+    pub fn with_registry(registry: &Arc<MetricsRegistry>) -> Arc<Self> {
+        Arc::new(Self::on_registry(registry))
     }
 
-    /// Seconds spent fetching.
+    fn on_registry(registry: &Arc<MetricsRegistry>) -> Self {
+        Self {
+            registry: Arc::clone(registry),
+            fetch_ns: registry.histogram("pipeline.fetch_ns"),
+            decode_ns: registry.histogram("pipeline.decode_ns"),
+            wait_ns: registry.histogram("pipeline.wait_ns"),
+            samples: registry.counter("pipeline.samples"),
+            batches: registry.counter("pipeline.batches"),
+            bytes: registry.counter("pipeline.bytes"),
+            fetch_errors: registry.counter("pipeline.fetch_errors"),
+            decode_errors: registry.counter("pipeline.decode_errors"),
+        }
+    }
+
+    /// The registry these instruments live in.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Seconds spent fetching (sum across workers).
     pub fn fetch_seconds(&self) -> f64 {
-        self.fetch_ns.load(Ordering::Relaxed) as f64 * 1e-9
+        self.fetch_ns.sum() as f64 * 1e-9
     }
 
-    /// Seconds spent decoding.
+    /// Seconds spent decoding (sum across workers).
     pub fn decode_seconds(&self) -> f64 {
-        self.decode_ns.load(Ordering::Relaxed) as f64 * 1e-9
+        self.decode_ns.sum() as f64 * 1e-9
     }
 
     /// Seconds the consumer spent blocked on the pipeline.
     pub fn wait_seconds(&self) -> f64 {
-        self.wait_ns.load(Ordering::Relaxed) as f64 * 1e-9
+        self.wait_ns.sum() as f64 * 1e-9
     }
 
     /// Samples delivered.
     pub fn sample_count(&self) -> u64 {
-        self.samples.load(Ordering::Relaxed)
+        self.samples.get()
     }
 
     /// Batches delivered.
     pub fn batch_count(&self) -> u64 {
-        self.batches.load(Ordering::Relaxed)
+        self.batches.get()
     }
 
     /// Bytes fetched from the source.
     pub fn byte_count(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
+        self.bytes.get()
+    }
+
+    /// Fetch errors observed.
+    pub fn fetch_error_count(&self) -> u64 {
+        self.fetch_errors.get()
+    }
+
+    /// Decode errors observed.
+    pub fn decode_error_count(&self) -> u64 {
+        self.decode_errors.get()
     }
 }
 
@@ -72,20 +121,32 @@ mod tests {
     use super::*;
 
     #[test]
-    fn timed_accumulates() {
-        let c = AtomicU64::new(0);
-        let v = PipelineStats::timed(&c, || {
+    fn timing_accumulates_into_histogram() {
+        let s = PipelineStats::default();
+        let v = s.fetch_ns.time(|| {
             std::thread::sleep(std::time::Duration::from_millis(2));
             42
         });
         assert_eq!(v, 42);
-        assert!(c.load(Ordering::Relaxed) >= 1_000_000);
+        assert!(s.fetch_seconds() >= 0.001);
+        assert_eq!(s.fetch_ns.count(), 1);
     }
 
     #[test]
     fn second_conversions() {
         let s = PipelineStats::default();
-        s.fetch_ns.store(2_500_000_000, Ordering::Relaxed);
+        s.fetch_ns.record(2_500_000_000);
         assert!((s.fetch_seconds() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_registry_sees_pipeline_metrics() {
+        let reg = MetricsRegistry::new();
+        let s = PipelineStats::with_registry(&reg);
+        s.samples.add(3);
+        s.decode_ns.record(1000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("pipeline.samples"), 3);
+        assert_eq!(snap.histogram("pipeline.decode_ns").unwrap().count, 1);
     }
 }

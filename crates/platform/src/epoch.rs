@@ -4,7 +4,7 @@
 //! staged? × batch) the model computes the per-sample time of each
 //! pipeline stage and takes the bottleneck as the steady-state
 //! throughput (the loader, decoder and device overlap via prefetching,
-//! which the real [`sciml_pipeline`] implements with threads). The
+//! which the real `sciml_pipeline` crate implements with threads). The
 //! central mechanism of the paper falls out of the tiering rule: encoded
 //! datasets fit in a memory level that raw ones do not.
 

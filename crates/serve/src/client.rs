@@ -11,13 +11,14 @@
 
 use crate::protocol::{
     read_message, write_message, DatasetEntry, ErrorCode, Message, ProtocolError, StatsSnapshot,
-    PROTOCOL_VERSION,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
+use sciml_obs::{Counter, MetricsRegistry};
 use sciml_pipeline::{PipelineError, SampleSource};
 use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Client tuning knobs.
@@ -52,10 +53,25 @@ impl Default for ClientConfig {
 /// One pooled, version-negotiated connection.
 struct Conn {
     stream: TcpStream,
+    /// Version both ends agreed to speak.
+    negotiated: u16,
 }
 
 impl Conn {
+    /// Opens a connection at the newest protocol version, falling back
+    /// to [`MIN_PROTOCOL_VERSION`] when the server predates v2 and
+    /// rejects the offer — so a new client keeps working against an
+    /// old server (it just won't receive latency histograms).
     fn open(addr: &str, cfg: &ClientConfig) -> Result<Self, PipelineError> {
+        match Self::open_at(addr, cfg, PROTOCOL_VERSION) {
+            Err(e) if PROTOCOL_VERSION > MIN_PROTOCOL_VERSION && is_version_mismatch(&e) => {
+                Self::open_at(addr, cfg, MIN_PROTOCOL_VERSION)
+            }
+            other => other,
+        }
+    }
+
+    fn open_at(addr: &str, cfg: &ClientConfig, version: u16) -> Result<Self, PipelineError> {
         let stream = TcpStream::connect(addr).map_err(io_to_pipeline)?;
         stream
             .set_read_timeout(Some(cfg.read_timeout))
@@ -64,12 +80,16 @@ impl Conn {
             .set_write_timeout(Some(cfg.write_timeout))
             .map_err(io_to_pipeline)?;
         let _ = stream.set_nodelay(true);
-        let mut conn = Self { stream };
-        conn.send(&Message::Hello {
-            version: PROTOCOL_VERSION,
-        })?;
+        let mut conn = Self {
+            stream,
+            negotiated: version,
+        };
+        conn.send(&Message::Hello { version })?;
         match conn.recv()? {
-            Message::HelloAck { .. } => Ok(conn),
+            Message::HelloAck { version } => {
+                conn.negotiated = version;
+                Ok(conn)
+            }
             Message::Error { code, detail } => Err(server_error(code, detail)),
             other => Err(unexpected_reply(&other)),
         }
@@ -114,6 +134,12 @@ fn unexpected_reply(msg: &Message) -> PipelineError {
     PipelineError::Remote(format!("unexpected server reply: {msg:?}").into())
 }
 
+/// Did the server reject our protocol version offer?
+fn is_version_mismatch(e: &PipelineError) -> bool {
+    matches!(e, PipelineError::Remote(inner)
+        if inner.to_string().contains("VersionMismatch"))
+}
+
 /// Is this failure worth a retry on a fresh connection?
 fn is_transient(e: &PipelineError) -> bool {
     match e {
@@ -136,7 +162,13 @@ pub struct RemoteSource {
     cfg: ClientConfig,
     pool: Mutex<Vec<Conn>>,
     read: AtomicU64,
-    retries: AtomicU64,
+    registry: Arc<MetricsRegistry>,
+    /// Transient-failure retries (`client.retries`).
+    retry_count: Arc<Counter>,
+    /// Operations that hit a socket timeout (`client.timeouts`).
+    timeout_count: Arc<Counter>,
+    /// `Busy` admission rejections observed (`client.busy_rejections`).
+    busy_count: Arc<Counter>,
 }
 
 impl RemoteSource {
@@ -155,6 +187,18 @@ impl RemoteSource {
         dataset: impl Into<String>,
         cfg: ClientConfig,
     ) -> Result<Self, PipelineError> {
+        Self::connect_with_registry(addr, dataset, cfg, MetricsRegistry::new())
+    }
+
+    /// [`RemoteSource::connect_with`], registering the client's
+    /// `client.*` counters in `registry` so they share a snapshot with
+    /// the rest of the process.
+    pub fn connect_with_registry(
+        addr: impl Into<String>,
+        dataset: impl Into<String>,
+        cfg: ClientConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Result<Self, PipelineError> {
         let mut source = Self {
             addr: addr.into(),
             name: dataset.into(),
@@ -162,7 +206,10 @@ impl RemoteSource {
             cfg,
             pool: Mutex::new(Vec::new()),
             read: AtomicU64::new(0),
-            retries: AtomicU64::new(0),
+            retry_count: registry.counter("client.retries"),
+            timeout_count: registry.counter("client.timeouts"),
+            busy_count: registry.counter("client.busy_rejections"),
+            registry,
         };
         let reply = source.call(&Message::Manifest {
             name: source.name.clone(),
@@ -184,7 +231,12 @@ impl RemoteSource {
 
     /// Retries performed so far (transient-failure recoveries).
     pub fn retries(&self) -> u64 {
-        self.retries.load(Ordering::Relaxed)
+        self.retry_count.get()
+    }
+
+    /// The registry holding this client's `client.*` counters.
+    pub fn metrics_registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
     }
 
     /// Lists all datasets registered on the server.
@@ -196,10 +248,12 @@ impl RemoteSource {
         }
     }
 
-    /// Fetches the server-side stats snapshot.
+    /// Fetches the server-side stats snapshot. A v2 server includes
+    /// the request-latency histogram; a v1 server's snapshot has an
+    /// empty `latency` (callers fall back to the `request_ns` mean).
     pub fn server_stats(&self) -> Result<StatsSnapshot, PipelineError> {
         match self.call(&Message::Stats)? {
-            Message::StatsReply(s) => Ok(s),
+            Message::StatsReply(s) | Message::StatsReplyV2(s) => Ok(s),
             Message::Error { code, detail } => Err(server_error(code, detail)),
             other => Err(unexpected_reply(&other)),
         }
@@ -208,7 +262,7 @@ impl RemoteSource {
     /// Asks the server to shut down; returns its final stats.
     pub fn shutdown_server(&self) -> Result<StatsSnapshot, PipelineError> {
         match self.call(&Message::Shutdown)? {
-            Message::StatsReply(s) => Ok(s),
+            Message::StatsReply(s) | Message::StatsReplyV2(s) => Ok(s),
             Message::Error { code, detail } => Err(server_error(code, detail)),
             other => Err(unexpected_reply(&other)),
         }
@@ -220,7 +274,7 @@ impl RemoteSource {
     pub fn shutdown_at(addr: &str) -> Result<StatsSnapshot, PipelineError> {
         let mut conn = Conn::open(addr, &ClientConfig::default())?;
         match conn.call(&Message::Shutdown)? {
-            Message::StatsReply(s) => Ok(s),
+            Message::StatsReply(s) | Message::StatsReplyV2(s) => Ok(s),
             Message::Error { code, detail } => Err(server_error(code, detail)),
             other => Err(unexpected_reply(&other)),
         }
@@ -277,7 +331,7 @@ impl RemoteSource {
         let mut last_err = None;
         for attempt in 0..self.cfg.max_attempts.max(1) {
             if attempt > 0 {
-                self.retries.fetch_add(1, Ordering::Relaxed);
+                self.retry_count.inc();
                 std::thread::sleep(backoff);
                 backoff = backoff.saturating_mul(2);
             }
@@ -287,14 +341,31 @@ impl RemoteSource {
                         self.checkin(conn);
                         return Ok(reply);
                     }
-                    Err(e) if is_transient(&e) => last_err = Some(e),
+                    Err(e) if is_transient(&e) => {
+                        self.classify_failure(&e);
+                        last_err = Some(e);
+                    }
                     Err(e) => return Err(e),
                 },
-                Err(e) if is_transient(&e) => last_err = Some(e),
+                Err(e) if is_transient(&e) => {
+                    self.classify_failure(&e);
+                    last_err = Some(e);
+                }
                 Err(e) => return Err(e),
             }
         }
         Err(last_err.unwrap_or(PipelineError::Remote("retry budget exhausted".into())))
+    }
+
+    /// Buckets a transient failure into its counter.
+    fn classify_failure(&self, e: &PipelineError) {
+        match e {
+            PipelineError::Timeout(_) => self.timeout_count.inc(),
+            PipelineError::Remote(inner) if inner.to_string().contains("Busy") => {
+                self.busy_count.inc()
+            }
+            _ => {}
+        }
     }
 }
 
@@ -377,6 +448,83 @@ mod tests {
         let stats = RemoteSource::shutdown_at(&server.local_addr().to_string()).expect("shutdown");
         assert_eq!(stats.samples_served, 0);
         server.join();
+    }
+
+    /// A minimal server that only speaks protocol v1: rejects any other
+    /// Hello with `VersionMismatch`, then answers one Stats request.
+    fn spawn_strict_v1_server() -> (String, std::thread::JoinHandle<()>) {
+        use crate::protocol::{read_message, write_message};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            // First connection offers v2 and gets rejected; the client
+            // reconnects offering v1.
+            for _ in 0..2 {
+                let (mut stream, _) = listener.accept().unwrap();
+                match read_message(&mut stream).unwrap() {
+                    Message::Hello { version: 1 } => {
+                        write_message(&mut stream, &Message::HelloAck { version: 1 }).unwrap();
+                        if let Ok(Message::Stats) = read_message(&mut stream) {
+                            write_message(
+                                &mut stream,
+                                &Message::StatsReply(StatsSnapshot {
+                                    requests: 7,
+                                    ..StatsSnapshot::default()
+                                }),
+                            )
+                            .unwrap();
+                        }
+                        return;
+                    }
+                    Message::Hello { .. } => {
+                        write_message(
+                            &mut stream,
+                            &Message::Error {
+                                code: ErrorCode::VersionMismatch,
+                                detail: "only v1 spoken here".into(),
+                            },
+                        )
+                        .unwrap();
+                    }
+                    other => panic!("expected Hello, got {other:?}"),
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn falls_back_to_v1_against_old_server() {
+        let (addr, handle) = spawn_strict_v1_server();
+        let mut conn = Conn::open(&addr, &ClientConfig::default()).expect("v1 fallback");
+        assert_eq!(conn.negotiated, 1);
+        let reply = conn.call(&Message::Stats).unwrap();
+        match reply {
+            Message::StatsReply(s) => {
+                assert_eq!(s.requests, 7);
+                assert!(s.latency.is_empty(), "v1 reply carries no histogram");
+            }
+            other => panic!("expected v1 StatsReply, got {other:?}"),
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn retry_counters_register_on_shared_registry() {
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let cfg = ClientConfig {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            ..ClientConfig::default()
+        };
+        let registry = MetricsRegistry::new();
+        RemoteSource::connect_with_registry(addr, "demo", cfg, Arc::clone(&registry))
+            .expect_err("nothing listening");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("client.retries"), 2);
     }
 
     #[test]

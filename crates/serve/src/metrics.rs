@@ -1,47 +1,78 @@
-//! Lock-free server-side counters, snapshotted into the wire
-//! [`StatsSnapshot`](crate::protocol::StatsSnapshot) on demand.
+//! Server-side metrics on the shared `sciml-obs` registry, snapshotted
+//! into the wire [`StatsSnapshot`] on demand.
+//!
+//! Request handling time is a full latency histogram
+//! (`serve.request_ns`), so v2 stats replies carry p50/p95/p99 tails
+//! instead of only a cumulative mean; the old `request_ns` sum stays in
+//! the wire snapshot for v1 peers.
 
 use crate::protocol::StatsSnapshot;
-use std::sync::atomic::{AtomicU64, Ordering};
+use sciml_obs::{Counter, Histogram, MetricsRegistry};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Atomic counters shared by every connection handler.
-#[derive(Debug, Default)]
+/// Instruments shared by every connection handler, registered under
+/// `serve.*` names.
+#[derive(Debug)]
 pub struct ServerMetrics {
-    requests: AtomicU64,
-    samples_served: AtomicU64,
-    bytes_sent: AtomicU64,
-    rejected_connections: AtomicU64,
-    request_ns: AtomicU64,
+    registry: Arc<MetricsRegistry>,
+    requests: Arc<Counter>,
+    samples_served: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    rejected_connections: Arc<Counter>,
+    /// Per-request handling latency, nanoseconds (`serve.request_ns`).
+    pub request_latency: Arc<Histogram>,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::with_registry(&MetricsRegistry::new())
+    }
 }
 
 impl ServerMetrics {
+    /// Metrics registering their instruments in `registry`.
+    pub fn with_registry(registry: &Arc<MetricsRegistry>) -> Self {
+        Self {
+            registry: Arc::clone(registry),
+            requests: registry.counter("serve.requests"),
+            samples_served: registry.counter("serve.samples_served"),
+            bytes_sent: registry.counter("serve.bytes_sent"),
+            rejected_connections: registry.counter("serve.rejected_connections"),
+            request_latency: registry.histogram("serve.request_ns"),
+        }
+    }
+
+    /// The registry these instruments live in.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
+    }
+
     /// Records one handled request and its latency.
     pub fn record_request(&self, elapsed: Duration) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.request_ns
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.requests.inc();
+        self.request_latency.record_duration(elapsed);
     }
 
     /// Records a shipped batch of sample payloads.
     pub fn record_samples(&self, count: u64, bytes: u64) {
-        self.samples_served.fetch_add(count, Ordering::Relaxed);
-        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        self.samples_served.add(count);
+        self.bytes_sent.add(bytes);
     }
 
     /// Records a connection turned away at the admission limit.
     pub fn record_rejected(&self) {
-        self.rejected_connections.fetch_add(1, Ordering::Relaxed);
+        self.rejected_connections.inc();
     }
 
     /// Requests handled so far.
     pub fn requests(&self) -> u64 {
-        self.requests.load(Ordering::Relaxed)
+        self.requests.get()
     }
 
     /// Connections rejected so far.
     pub fn rejected_connections(&self) -> u64 {
-        self.rejected_connections.load(Ordering::Relaxed)
+        self.rejected_connections.get()
     }
 
     /// Builds the wire snapshot; cache counters come from the caller
@@ -52,15 +83,17 @@ impl ServerMetrics {
         cache_misses: u64,
         cache_evictions: u64,
     ) -> StatsSnapshot {
+        let latency = self.request_latency.snapshot();
         StatsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            samples_served: self.samples_served.load(Ordering::Relaxed),
-            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            requests: self.requests.get(),
+            samples_served: self.samples_served.get(),
+            bytes_sent: self.bytes_sent.get(),
             cache_hits,
             cache_misses,
             cache_evictions,
-            rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
-            request_ns: self.request_ns.load(Ordering::Relaxed),
+            rejected_connections: self.rejected_connections.get(),
+            request_ns: latency.sum,
+            latency,
         }
     }
 }
@@ -85,5 +118,18 @@ mod tests {
         assert_eq!(s.cache_misses, 2);
         assert_eq!(s.cache_evictions, 1);
         assert_eq!(s.rejected_connections, 1);
+        assert_eq!(s.latency.count, 2);
+        assert_eq!(s.latency.min, 500);
+        assert_eq!(s.latency.max, 700);
+    }
+
+    #[test]
+    fn shared_registry_sees_serve_metrics() {
+        let reg = MetricsRegistry::new();
+        let m = ServerMetrics::with_registry(&reg);
+        m.record_request(Duration::from_nanos(100));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve.requests"), 1);
+        assert_eq!(snap.histogram("serve.request_ns").unwrap().count, 1);
     }
 }

@@ -16,12 +16,19 @@
 //! `u16` length prefix.
 
 use sciml_compress::crc32::crc32;
+use sciml_obs::HistogramSnapshot;
 use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Protocol version spoken by this build. Bumped on incompatible frame
-/// or message changes; [`Message::Hello`] negotiates it.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// or message changes; [`Message::Hello`] negotiates it. Version 2
+/// added [`Message::StatsReplyV2`] carrying the request-latency
+/// histogram; everything else is unchanged, so servers still accept
+/// [`MIN_PROTOCOL_VERSION`] clients and reply with v1 messages.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest client version the server still accepts.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Hard ceiling on a frame payload (64 MiB). Large enough for a batch
 /// of encoded samples, small enough to bound per-connection memory.
@@ -129,8 +136,9 @@ impl ErrorCode {
     }
 }
 
-/// Server-side counters shipped in a [`Message::StatsReply`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Server-side counters shipped in a [`Message::StatsReply`] /
+/// [`Message::StatsReplyV2`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Requests served (all message kinds after `Hello`).
     pub requests: u64,
@@ -148,6 +156,10 @@ pub struct StatsSnapshot {
     pub rejected_connections: u64,
     /// Cumulative request handling time, nanoseconds.
     pub request_ns: u64,
+    /// Request-latency distribution (nanoseconds). Empty when the
+    /// snapshot crossed the wire as a v1 [`Message::StatsReply`], which
+    /// predates the field.
+    pub latency: HistogramSnapshot,
 }
 
 /// One dataset row in a [`Message::DatasetList`].
@@ -197,8 +209,12 @@ pub enum Message {
     Samples(Vec<Vec<u8>>),
     /// Client request for server counters.
     Stats,
-    /// Server reply to [`Message::Stats`].
+    /// Server reply to [`Message::Stats`] on v1 connections: counters
+    /// only, the latency histogram is dropped at encode time.
     StatsReply(StatsSnapshot),
+    /// Server reply to [`Message::Stats`] on v2 connections: counters
+    /// plus the sparse request-latency histogram.
+    StatsReplyV2(StatsSnapshot),
     /// Client request to stop the server (loopback/admin use).
     Shutdown,
     /// Server-reported failure.
@@ -222,6 +238,7 @@ mod tags {
     pub const STATS: u8 = 0x09;
     pub const STATS_REPLY: u8 = 0x0A;
     pub const SHUTDOWN: u8 = 0x0B;
+    pub const STATS_REPLY_V2: u8 = 0x0C;
     pub const ERROR: u8 = 0x0F;
 }
 
@@ -231,6 +248,39 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     debug_assert!(s.len() <= u16::MAX as usize, "name too long for the wire");
     out.extend_from_slice(&(s.len() as u16).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
+}
+
+fn put_stats_counters(out: &mut Vec<u8>, s: &StatsSnapshot) {
+    for field in [
+        s.requests,
+        s.samples_served,
+        s.bytes_sent,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_evictions,
+        s.rejected_connections,
+        s.request_ns,
+    ] {
+        out.extend_from_slice(&field.to_le_bytes());
+    }
+}
+
+fn read_stats_counters(r: &mut Reader<'_>) -> Result<StatsSnapshot, ProtocolError> {
+    let mut fields = [0u64; 8];
+    for f in &mut fields {
+        *f = r.u64()?;
+    }
+    Ok(StatsSnapshot {
+        requests: fields[0],
+        samples_served: fields[1],
+        bytes_sent: fields[2],
+        cache_hits: fields[3],
+        cache_misses: fields[4],
+        cache_evictions: fields[5],
+        rejected_connections: fields[6],
+        request_ns: fields[7],
+        latency: HistogramSnapshot::default(),
+    })
 }
 
 impl Message {
@@ -282,17 +332,21 @@ impl Message {
             Message::Stats => out.push(tags::STATS),
             Message::StatsReply(s) => {
                 out.push(tags::STATS_REPLY);
-                for field in [
-                    s.requests,
-                    s.samples_served,
-                    s.bytes_sent,
-                    s.cache_hits,
-                    s.cache_misses,
-                    s.cache_evictions,
-                    s.rejected_connections,
-                    s.request_ns,
-                ] {
-                    out.extend_from_slice(&field.to_le_bytes());
+                put_stats_counters(&mut out, s);
+            }
+            Message::StatsReplyV2(s) => {
+                out.push(tags::STATS_REPLY_V2);
+                put_stats_counters(&mut out, s);
+                // Sparse latency histogram: scalar fields then
+                // (bucket index, count) pairs.
+                let pairs = s.latency.sparse();
+                out.extend_from_slice(&s.latency.sum.to_le_bytes());
+                out.extend_from_slice(&s.latency.min.to_le_bytes());
+                out.extend_from_slice(&s.latency.max.to_le_bytes());
+                out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+                for (idx, n) in pairs {
+                    out.extend_from_slice(&idx.to_le_bytes());
+                    out.extend_from_slice(&n.to_le_bytes());
                 }
             }
             Message::Shutdown => out.push(tags::SHUTDOWN),
@@ -349,21 +403,26 @@ impl Message {
                 Message::Samples(payloads)
             }
             tags::STATS => Message::Stats,
-            tags::STATS_REPLY => {
-                let mut fields = [0u64; 8];
-                for f in &mut fields {
-                    *f = r.u64()?;
+            tags::STATS_REPLY => Message::StatsReply(read_stats_counters(&mut r)?),
+            tags::STATS_REPLY_V2 => {
+                let mut s = read_stats_counters(&mut r)?;
+                let sum = r.u64()?;
+                let min = r.u64()?;
+                let max = r.u64()?;
+                let count = r.u32()? as usize;
+                if count * 10 > r.remaining() {
+                    return Err(ProtocolError::Malformed(
+                        "bucket count exceeds payload length",
+                    ));
                 }
-                Message::StatsReply(StatsSnapshot {
-                    requests: fields[0],
-                    samples_served: fields[1],
-                    bytes_sent: fields[2],
-                    cache_hits: fields[3],
-                    cache_misses: fields[4],
-                    cache_evictions: fields[5],
-                    rejected_connections: fields[6],
-                    request_ns: fields[7],
-                })
+                let mut pairs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let idx = r.u16()?;
+                    let n = r.u64()?;
+                    pairs.push((idx, n));
+                }
+                s.latency = HistogramSnapshot::from_sparse(&pairs, sum, min, max);
+                Message::StatsReplyV2(s)
             }
             tags::SHUTDOWN => Message::Shutdown,
             tags::ERROR => {
@@ -531,6 +590,24 @@ mod tests {
                 cache_evictions: 6,
                 rejected_connections: 7,
                 request_ns: 8,
+                latency: HistogramSnapshot::default(),
+            }),
+            Message::StatsReplyV2(StatsSnapshot {
+                requests: 1,
+                samples_served: 2,
+                bytes_sent: 3,
+                cache_hits: 4,
+                cache_misses: 5,
+                cache_evictions: 6,
+                rejected_connections: 7,
+                request_ns: 8,
+                latency: {
+                    let h = sciml_obs::Histogram::new();
+                    for v in [100u64, 250, 1_000_000, 1_000_001] {
+                        h.record(v);
+                    }
+                    h.snapshot()
+                },
             }),
             Message::Shutdown,
             Message::Error {
@@ -621,6 +698,53 @@ mod tests {
         payload.extend_from_slice(b"ds");
         payload.extend_from_slice(&1000u32.to_le_bytes());
         payload.extend_from_slice(&[0u8; 16]);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn v1_stats_reply_drops_latency_histogram() {
+        let h = sciml_obs::Histogram::new();
+        h.record(5000);
+        let snap = StatsSnapshot {
+            requests: 9,
+            latency: h.snapshot(),
+            ..Default::default()
+        };
+        let frame = encode_frame(&Message::StatsReply(snap.clone()));
+        let (decoded, _) = decode_frame(&frame).unwrap();
+        match decoded {
+            Message::StatsReply(s) => {
+                assert_eq!(s.requests, 9);
+                assert!(s.latency.is_empty(), "v1 reply must not carry latency");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The v2 variant keeps it.
+        let frame = encode_frame(&Message::StatsReplyV2(snap));
+        let (decoded, _) = decode_frame(&frame).unwrap();
+        match decoded {
+            Message::StatsReplyV2(s) => {
+                assert_eq!(s.latency.count, 1);
+                assert_eq!(s.latency.percentile(0.5), 5000);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_bucket_count_beyond_payload_rejected() {
+        let mut payload = vec![tags::STATS_REPLY_V2];
+        payload.extend_from_slice(&[0u8; 64]); // 8 counters
+        payload.extend_from_slice(&[0u8; 24]); // sum/min/max
+        payload.extend_from_slice(&100_000u32.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 20]);
         let mut frame = Vec::new();
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload);

@@ -8,15 +8,17 @@
 //! `Busy` error frame rather than left to hang.
 //!
 //! Each registered dataset is wrapped in a
-//! [`MemoryCacheSource`](sciml_pipeline::source::MemoryCacheSource)
+//! [`MemoryCacheSource`]
 //! hot cache, so repeat fetches (second epochs, overlapping shards
 //! across clients) are served from DRAM without touching the backing
 //! tier.
 
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    read_message, write_message, DatasetEntry, ErrorCode, Message, ProtocolError, PROTOCOL_VERSION,
+    read_message, write_message, DatasetEntry, ErrorCode, Message, ProtocolError,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
+use sciml_obs::MetricsRegistry;
 use sciml_pipeline::source::MemoryCacheSource;
 use sciml_pipeline::SampleSource;
 use std::collections::BTreeMap;
@@ -128,6 +130,7 @@ impl Inner {
 pub struct ServeBuilder {
     sources: BTreeMap<String, Arc<dyn SampleSource>>,
     config: ServerConfig,
+    registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for ServeBuilder {
@@ -142,12 +145,21 @@ impl ServeBuilder {
         Self {
             sources: BTreeMap::new(),
             config: ServerConfig::default(),
+            registry: None,
         }
     }
 
     /// Overrides the server config.
     pub fn config(mut self, config: ServerConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Registers the server's `serve.*` instruments in `registry`
+    /// instead of a private one, so server metrics share a snapshot
+    /// with whatever else the process records.
+    pub fn registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
         self
     }
 
@@ -172,9 +184,10 @@ impl ServeBuilder {
                 (name, Dataset { cache })
             })
             .collect();
+        let registry = self.registry.unwrap_or_default();
         let inner = Arc::new(Inner {
             datasets,
-            metrics: ServerMetrics::default(),
+            metrics: ServerMetrics::with_registry(&registry),
             shutting_down: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
             config: self.config,
@@ -285,6 +298,12 @@ impl ServerHandle {
         self.inner.metrics.snapshot(h, m, e)
     }
 
+    /// The registry holding this server's `serve.*` instruments (the
+    /// one passed to [`ServeBuilder::registry`], or a private one).
+    pub fn metrics_registry(&self) -> Arc<MetricsRegistry> {
+        self.inner.metrics.registry()
+    }
+
     /// Stops accepting, drains workers, and joins all threads.
     pub fn shutdown(mut self) {
         self.shutdown_impl();
@@ -332,18 +351,17 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
 
     // Version negotiation first: anything else is a protocol error.
-    match read_message(&mut stream) {
-        Ok(Message::Hello { version }) if version == PROTOCOL_VERSION => {
-            if write_message(
-                &mut stream,
-                &Message::HelloAck {
-                    version: PROTOCOL_VERSION,
-                },
-            )
-            .is_err()
-            {
+    // The server speaks every version in MIN..=PROTOCOL_VERSION and
+    // acks the highest one both sides understand, so old clients keep
+    // working and new clients get the v2 message set.
+    let negotiated = match read_message(&mut stream) {
+        Ok(Message::Hello { version })
+            if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+        {
+            if write_message(&mut stream, &Message::HelloAck { version }).is_err() {
                 return;
             }
+            version
         }
         Ok(Message::Hello { version }) => {
             let _ = write_message(
@@ -366,7 +384,7 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
             return;
         }
         Err(_) => return,
-    }
+    };
 
     loop {
         let request = match read_message(&mut stream) {
@@ -390,7 +408,7 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
         // Shutdown must be acknowledged before begin_shutdown()
         // force-closes the live sockets — the requester's included.
         let is_shutdown = matches!(request, Message::Shutdown);
-        let (reply, stop) = respond(inner, request);
+        let (reply, stop) = respond(inner, request, negotiated);
         inner.metrics.record_request(started.elapsed());
         let write_ok = write_message(&mut stream, &reply).is_ok();
         if is_shutdown {
@@ -403,7 +421,16 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
 }
 
 /// Computes the reply for one request; `true` means close afterwards.
-fn respond(inner: &Inner, request: Message) -> (Message, bool) {
+/// `negotiated` is the connection's protocol version — it selects the
+/// stats-reply flavour (v2 carries the latency histogram).
+fn respond(inner: &Inner, request: Message, negotiated: u16) -> (Message, bool) {
+    let stats_reply = |snapshot| {
+        if negotiated >= 2 {
+            Message::StatsReplyV2(snapshot)
+        } else {
+            Message::StatsReply(snapshot)
+        }
+    };
     match request {
         Message::ListDatasets => {
             let entries = inner
@@ -465,13 +492,13 @@ fn respond(inner: &Inner, request: Message) -> (Message, bool) {
         }
         Message::Stats => {
             let (h, m, e) = inner.cache_totals();
-            (Message::StatsReply(inner.metrics.snapshot(h, m, e)), false)
+            (stats_reply(inner.metrics.snapshot(h, m, e)), false)
         }
         Message::Shutdown => {
             // Acknowledge with the final counters; the caller triggers
             // begin_shutdown() after the reply is on the wire.
             let (h, m, e) = inner.cache_totals();
-            (Message::StatsReply(inner.metrics.snapshot(h, m, e)), true)
+            (stats_reply(inner.metrics.snapshot(h, m, e)), true)
         }
         // Client-bound messages arriving at the server.
         other => (
@@ -659,12 +686,64 @@ mod tests {
             assert_eq!(s.len(), 8);
         }
         write_message(&mut c, &Message::Stats).unwrap();
-        let Message::StatsReply(stats) = read_message(&mut c).unwrap() else {
-            panic!("expected stats");
+        let Message::StatsReplyV2(stats) = read_message(&mut c).unwrap() else {
+            panic!("expected v2 stats on a v2 connection");
         };
         assert_eq!(stats.cache_misses, 8);
         assert_eq!(stats.cache_hits, 8);
         assert_eq!(stats.samples_served, 16);
+        assert!(
+            stats.latency.count >= 2,
+            "request latency histogram populated"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn v1_client_negotiates_and_gets_v1_stats() {
+        let server = ServeBuilder::new()
+            .dataset("demo", demo_source())
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_message(&mut s, &Message::Hello { version: 1 }).unwrap();
+        assert_eq!(
+            read_message(&mut s).unwrap(),
+            Message::HelloAck { version: 1 },
+            "server must ack the old version, not its own"
+        );
+        write_message(&mut s, &Message::Stats).unwrap();
+        let Message::StatsReply(stats) = read_message(&mut s).unwrap() else {
+            panic!("v1 connection must get a v1 stats reply");
+        };
+        assert!(stats.latency.is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn shared_registry_exposes_server_metrics() {
+        let reg = MetricsRegistry::new();
+        let server = ServeBuilder::new()
+            .dataset("demo", demo_source())
+            .registry(Arc::clone(&reg))
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut c = client(server.local_addr());
+        write_message(
+            &mut c,
+            &Message::FetchSamples {
+                name: "demo".into(),
+                indices: vec![0, 1],
+            },
+        )
+        .unwrap();
+        let Message::Samples(_) = read_message(&mut c).unwrap() else {
+            panic!("expected samples");
+        };
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve.samples_served"), 2);
+        assert_eq!(snap.histogram("serve.request_ns").unwrap().count, 1);
         server.shutdown();
     }
 }

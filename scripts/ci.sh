@@ -16,4 +16,16 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> observability smoke"
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+cargo run --release --example observability -- \
+    --trace-out "$obs_dir/trace.json" --metrics-out "$obs_dir/metrics.jsonl"
+# The emitted trace and metrics must parse as JSON / JSONL.
+cargo run --release -p sciml-bench --bin sciml -- validate-json \
+    "$obs_dir/trace.json" "$obs_dir/metrics.jsonl"
+
 echo "==> CI OK"

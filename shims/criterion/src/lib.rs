@@ -5,8 +5,15 @@
 //! statistical outlier analysis or HTML report — just honest wall-clock
 //! numbers on stdout.
 
+//! Setting `SCIML_BENCH_OUT_DIR=DIR` additionally writes one
+//! `BENCH_<id>.json` snapshot per benchmark into `DIR` — the
+//! machine-readable record the figures/CI tooling diffs across runs.
+
 use std::fmt::{self, Display};
 use std::time::{Duration, Instant};
+
+/// Environment variable naming the directory for JSON bench snapshots.
+pub const BENCH_OUT_ENV: &str = "SCIML_BENCH_OUT_DIR";
 
 /// Opaque-to-the-optimizer value barrier.
 pub fn black_box<T>(x: T) -> T {
@@ -103,6 +110,54 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// Writes `BENCH_<id>.json` under `$SCIML_BENCH_OUT_DIR`, if set. JSON
+/// is emitted by hand — the shim stays dependency-free — in the same
+/// `{"label": …, "entries": [{metric, value, unit}…]}` shape the
+/// `sciml-obs` exporter uses.
+fn maybe_write_snapshot(
+    id: &str,
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    throughput: Option<Throughput>,
+) {
+    let Ok(dir) = std::env::var(BENCH_OUT_ENV) else {
+        return;
+    };
+    let mut entries = vec![
+        ("mean_ns", mean.as_nanos() as f64, "ns"),
+        ("min_ns", min.as_nanos() as f64, "ns"),
+        ("max_ns", max.as_nanos() as f64, "ns"),
+    ];
+    match throughput {
+        Some(Throughput::Bytes(b)) => {
+            entries.push(("bytes_per_sec", b as f64 / mean.as_secs_f64(), "B/s"));
+        }
+        Some(Throughput::Elements(n)) => {
+            entries.push(("elements_per_sec", n as f64 / mean.as_secs_f64(), "elem/s"));
+        }
+        None => {}
+    }
+    let body: Vec<String> = entries
+        .iter()
+        .map(|(m, v, u)| format!("{{\"metric\":\"{m}\",\"value\":{v},\"unit\":\"{u}\"}}"))
+        .collect();
+    let label: String = id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let json = format!(
+        "{{\"label\":\"{label}\",\"entries\":[{}]}}\n",
+        body.join(",")
+    );
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{label}.json"));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("criterion shim: cannot write {path:?}: {e}");
+        }
+    }
+}
+
 fn report(id: &str, samples: &[Duration], throughput: Option<Throughput>) {
     if samples.is_empty() {
         println!("{id:<40} (no samples)");
@@ -112,6 +167,7 @@ fn report(id: &str, samples: &[Duration], throughput: Option<Throughput>) {
     let mean = total / samples.len() as u32;
     let min = *samples.iter().min().expect("non-empty");
     let max = *samples.iter().max().expect("non-empty");
+    maybe_write_snapshot(id, mean, min, max, throughput);
     let rate = match throughput {
         Some(Throughput::Bytes(b)) => {
             let per_s = b as f64 / mean.as_secs_f64();
@@ -247,6 +303,28 @@ mod tests {
     fn bencher_collects_requested_samples() {
         let samples = run_bench(5, |b| b.iter(|| black_box(2 + 2)));
         assert_eq!(samples.len(), 5);
+    }
+
+    #[test]
+    fn snapshot_file_written_when_env_set() {
+        let dir = std::env::temp_dir().join("criterion_shim_snapshot_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Env mutation is process-global; this is the only test that
+        // sets it, and it unsets before returning.
+        std::env::set_var(BENCH_OUT_ENV, &dir);
+        maybe_write_snapshot(
+            "grp/case-1",
+            Duration::from_micros(5),
+            Duration::from_micros(4),
+            Duration::from_micros(6),
+            Some(Throughput::Bytes(1024)),
+        );
+        std::env::remove_var(BENCH_OUT_ENV);
+        let json = std::fs::read_to_string(dir.join("BENCH_grp_case_1.json")).expect("snapshot");
+        assert!(json.contains("\"label\":\"grp_case_1\""));
+        assert!(json.contains("\"metric\":\"mean_ns\""));
+        assert!(json.contains("\"metric\":\"bytes_per_sec\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -203,7 +203,7 @@ mod wire {
     /// so it reaches the parser) is `UnknownTag`.
     #[test]
     fn unknown_tags_rejected() {
-        for tag in [0x00u8, 0x0C, 0x42, 0xEE, 0xFF] {
+        for tag in [0x00u8, 0x0D, 0x42, 0xEE, 0xFF] {
             let payload = vec![tag];
             let mut frame = Vec::new();
             frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -294,9 +294,10 @@ mod wire {
             Message::HelloAck { .. }
         ));
         write_message(&mut c2, &Message::Stats).unwrap();
+        // v2 was negotiated, so the histogram-bearing reply comes back.
         assert!(matches!(
             read_message(&mut c2).unwrap(),
-            Message::StatsReply(_)
+            Message::StatsReplyV2(_)
         ));
         server.shutdown();
     }
