@@ -7,9 +7,14 @@
 //! sciml verify FILE...             # parse + decode + integrity / error report
 //! sciml transcode FILE --out FILE  # baseline payload -> custom encoding
 //! sciml bench-decode FILE [--iters K]
-//! sciml serve --dir DIR --n N [--addr HOST:PORT] [--name NAME] [--cache-mb M] [--metrics-out F]
+//! sciml serve (--dir DIR --n N | --store DIR) [--addr HOST:PORT] [--name NAME] [--cache-mb M]
+//!             [--metrics-out F]
 //! sciml fetch --addr HOST:PORT [--name NAME] [--indices I,J,K | --all] [--stats] [--shutdown]
 //!             [--metrics-out FILE] [--trace-out FILE]
+//! sciml pack --dir DIR --n N --out DIR [--shard-mb M] [--gzip]
+//! sciml stage (--addr HOST:PORT [--name D] | --dir DIR --n N) --out DIR
+//!             [--per-shard K] [--workers W] [--gzip]
+//! sciml verify-store DIR           # CRC-check every shard + sample of a packed store
 //! sciml validate-json FILE...      # check emitted metrics/trace files parse as JSON
 //! ```
 
@@ -25,6 +30,8 @@ use sciml_obs::Telemetry;
 use sciml_pipeline::source::DirSource;
 use sciml_pipeline::SampleSource;
 use sciml_serve::{ClientConfig, RemoteSource, ServeBuilder, ServerConfig};
+use sciml_store::manifest::plan_by_count;
+use sciml_store::{pack_store, PackConfig, ShardSource, Stager, StagerConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -50,6 +57,9 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("bench-decode") => bench_decode(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("fetch") => fetch(&args[1..]),
+        Some("pack") => pack(&args[1..]),
+        Some("stage") => stage(&args[1..]),
+        Some("verify-store") => verify_store(&args[1..]),
         Some("validate-json") => for_each_file(&args[1..], validate_json),
         Some("help") | None => {
             print_usage();
@@ -68,8 +78,11 @@ fn print_usage() {
          verify FILE...                                decode + integrity report\n  \
          transcode FILE --out FILE                     baseline payload -> custom encoding\n  \
          bench-decode FILE [--iters K]                 time repeated decodes\n  \
-         serve --dir DIR --n N [--addr A] [--name D]   serve an encoded dataset over TCP\n  \
+         serve (--dir DIR --n N | --store DIR)         serve an encoded dataset over TCP\n  \
          fetch --addr A [--name D] [--indices I,J]     fetch samples / stats from a server\n  \
+         pack --dir DIR --n N --out DIR                pack per-file samples into .sshard shards\n  \
+         stage (--addr A | --dir DIR --n N) --out DIR  stage a dataset into a local packed copy\n  \
+         verify-store DIR                              CRC-check every shard of a packed store\n  \
          validate-json FILE...                         check metrics/trace JSON well-formedness\n\n\
          telemetry flags (serve / fetch):\n  \
          --metrics-out FILE    write a metrics snapshot (JSONL) on exit\n  \
@@ -408,36 +421,46 @@ fn bench_decode(args: &[String]) -> Result<(), String> {
 // -------------------------------------------------------------------
 
 fn serve(args: &[String]) -> Result<(), String> {
-    let dir = flag(args, "--dir").ok_or("--dir DIR required")?;
-    let n: usize = flag_parse(args, "--n", 0)?;
-    if n == 0 {
-        return Err("--n N (number of samples in DIR) required".into());
-    }
     let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
     let name = flag(args, "--name").unwrap_or_else(|| "default".into());
     let cache_mb: u64 = flag_parse(args, "--cache-mb", 256)?;
     let workers: usize = flag_parse(args, "--workers", 4)?;
 
-    let source = DirSource::open(&dir, n);
-    // Fail early on an unreadable dataset rather than at first fetch.
-    source
-        .fetch(0)
-        .map_err(|e| format!("cannot read sample 0 from {dir}: {e}"))?;
-
     let metrics_out = flag(args, "--metrics-out");
     let registry = sciml_obs::MetricsRegistry::new();
-    let handle = ServeBuilder::new()
+    let mut builder = ServeBuilder::new()
         .config(ServerConfig {
             workers,
             cache_bytes: cache_mb << 20,
             ..ServerConfig::default()
         })
-        .registry(Arc::clone(&registry))
-        .dataset(&name, Arc::new(source) as Arc<dyn SampleSource>)
-        .bind(addr)
-        .map_err(|e| format!("bind: {e}"))?;
+        .registry(Arc::clone(&registry));
+
+    let desc = if let Some(store_dir) = flag(args, "--store") {
+        let store =
+            ShardSource::open(&store_dir).map_err(|e| format!("open store {store_dir}: {e}"))?;
+        let n = store.len();
+        let shards = store.manifest().shards.len();
+        builder = builder.dataset_store(&name, Arc::new(store));
+        format!("{n} samples in {shards} shards from {store_dir}")
+    } else {
+        let dir = flag(args, "--dir").ok_or("--dir DIR or --store DIR required")?;
+        let n: usize = flag_parse(args, "--n", 0)?;
+        if n == 0 {
+            return Err("--n N (number of samples in DIR) required".into());
+        }
+        let source = DirSource::open(&dir, n);
+        // Fail early on an unreadable dataset rather than at first fetch.
+        source
+            .fetch(0)
+            .map_err(|e| format!("cannot read sample 0 from {dir}: {e}"))?;
+        builder = builder.dataset(&name, Arc::new(source) as Arc<dyn SampleSource>);
+        format!("{n} samples from {dir}")
+    };
+
+    let handle = builder.bind(addr).map_err(|e| format!("bind: {e}"))?;
     println!(
-        "serving '{name}' ({n} samples from {dir}) on {} — {workers} workers, {cache_mb} MiB hot cache",
+        "serving '{name}' ({desc}) on {} — {workers} workers, {cache_mb} MiB hot cache",
         handle.local_addr()
     );
     println!(
@@ -552,6 +575,13 @@ fn fetch(args: &[String]) -> Result<(), String> {
             s.cache_evictions,
             s.rejected_connections
         );
+        let lookups = s.cache_hits + s.cache_misses;
+        if lookups > 0 {
+            println!(
+                "  cache effectiveness: {:.1}% hit rate over {lookups} lookups",
+                100.0 * s.cache_hits as f64 / lookups as f64
+            );
+        }
     }
     if let Some(out) = metrics_out {
         telemetry
@@ -567,6 +597,128 @@ fn fetch(args: &[String]) -> Result<(), String> {
     }
     Ok(())
 }
+
+// -------------------------------------------------------------------
+
+fn pack(args: &[String]) -> Result<(), String> {
+    let dir = flag(args, "--dir").ok_or("--dir DIR required")?;
+    let n: usize = flag_parse(args, "--n", 0)?;
+    if n == 0 {
+        return Err("--n N (number of samples in DIR) required".into());
+    }
+    let out = flag(args, "--out").ok_or("--out DIR required")?;
+    let shard_mb: u64 = flag_parse(args, "--shard-mb", 64)?;
+    let gzip = args.iter().any(|a| a == "--gzip");
+
+    let source = DirSource::open(&dir, n);
+    let t0 = Instant::now();
+    let manifest = pack_store(
+        &source,
+        Path::new(&out),
+        PackConfig {
+            target_shard_bytes: shard_mb << 20,
+            gzip,
+            ..PackConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "packed {} samples into {} shard(s), {} bytes{} in {:.2} s -> {out}",
+        manifest.total_samples(),
+        manifest.shards.len(),
+        manifest.total_bytes(),
+        if gzip { " (gzip)" } else { "" },
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn stage(args: &[String]) -> Result<(), String> {
+    let out = flag(args, "--out").ok_or("--out DIR required")?;
+    let workers: usize = flag_parse(args, "--workers", 2)?;
+    let per_shard: u64 = flag_parse(args, "--per-shard", 0)?;
+    let gzip = args.iter().any(|a| a == "--gzip");
+
+    let (backing, plans): (Arc<dyn SampleSource>, Vec<sciml_store::ShardPlan>) =
+        if let Some(addr) = flag(args, "--addr") {
+            let name = flag(args, "--name").unwrap_or_else(|| "default".into());
+            let src = RemoteSource::connect(&addr, &name).map_err(|e| e.to_string())?;
+            // Ask the server for its shard partitioning so staging fetches
+            // line up with the store layout (or a synthesized plan).
+            let plans = src.shard_manifest(per_shard).map_err(|e| e.to_string())?;
+            println!(
+                "staging '{name}' from {addr}: {} samples in {} shard(s)",
+                src.len(),
+                plans.len()
+            );
+            (Arc::new(src), plans)
+        } else {
+            let dir = flag(args, "--dir").ok_or("--addr HOST:PORT or --dir DIR required")?;
+            let n: usize = flag_parse(args, "--n", 0)?;
+            if n == 0 {
+                return Err("--n N (number of samples in DIR) required".into());
+            }
+            let src = DirSource::open(&dir, n);
+            src.fetch(0)
+                .map_err(|e| format!("cannot read sample 0 from {dir}: {e}"))?;
+            let per = if per_shard == 0 { 64 } else { per_shard };
+            println!("staging {n} samples from {dir} in shards of {per}");
+            (Arc::new(src), plan_by_count(n as u64, per))
+        };
+
+    let stager = Stager::new(
+        backing,
+        plans,
+        &out,
+        StagerConfig {
+            workers,
+            gzip,
+            ..StagerConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let resumed = stager.progress().staged_shards;
+    if resumed > 0 {
+        println!("resuming: {resumed} shard(s) already staged in {out}");
+    }
+    let t0 = Instant::now();
+    stager.spawn_workers();
+    let p = stager.join().map_err(|e| e.to_string())?;
+    println!(
+        "staged {}/{} shard(s) ({} bytes) in {:.2} s -> {out}",
+        p.staged_shards,
+        p.total_shards,
+        p.staged_bytes,
+        t0.elapsed().as_secs_f64()
+    );
+    if p.failed_shards > 0 {
+        return Err(format!(
+            "{} shard(s) failed; re-run the same command to retry them",
+            p.failed_shards
+        ));
+    }
+    Ok(())
+}
+
+fn verify_store(args: &[String]) -> Result<(), String> {
+    let dirs = positional_files(args);
+    let dir = dirs.first().ok_or("verify-store needs a store directory")?;
+    let store = ShardSource::open(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let t0 = Instant::now();
+    let samples = store
+        .verify()
+        .map_err(|e| format!("{}: FAILED — {e}", dir.display()))?;
+    println!(
+        "{}: OK — {} shard(s), {samples} samples, {} bytes, every CRC verified in {:.2} s",
+        dir.display(),
+        store.manifest().shards.len(),
+        store.manifest().total_bytes(),
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+// -------------------------------------------------------------------
 
 /// Parses a file with the std-only JSON parser, accepting either a
 /// single JSON document or JSONL (one document per line).

@@ -12,7 +12,9 @@ use sciml_pipeline::decoder::{
     DeepCamPluginCpu, DeepCamPluginGpu,
 };
 use sciml_pipeline::source::VecSource;
-use sciml_pipeline::{DecoderPlugin, Pipeline, PipelineConfig};
+use sciml_pipeline::{DecoderPlugin, Pipeline, PipelineConfig, SampleSource};
+use sciml_store::{ShardPlan, Stager, StagerConfig};
+use std::path::Path;
 use std::sync::Arc;
 
 /// On-disk sample format (the four pipeline variants of the paper).
@@ -152,6 +154,43 @@ pub fn build_pipeline_observed(
     Pipeline::launch_with(Arc::new(VecSource::new(samples)), plugin, cfg, telemetry)
 }
 
+/// Launches a pipeline over a backing source while a background worker
+/// pool stages it into `staging_dir` in shard-sized units.
+///
+/// The pipeline starts immediately: fetches of already-staged samples
+/// are served from the node-local packed copy, the rest fall through to
+/// `backing`. Staging survives restarts — a journal in `staging_dir`
+/// records completed shards, and a re-run with the same directory and
+/// plans resumes instead of re-fetching.
+///
+/// `plans` partitions the samples into shards; use the server's
+/// [`shard_manifest`](sciml_serve::RemoteSource::shard_manifest) for a
+/// remote backing source, or
+/// [`plan_by_count`](sciml_store::manifest::plan_by_count) for a local
+/// one. The returned [`Stager`] owns the background workers: watch
+/// [`Stager::progress`], and call [`Stager::stop`] + [`Stager::join`]
+/// to wind staging down early.
+pub fn build_staged_pipeline(
+    backing: Arc<dyn SampleSource>,
+    plans: Vec<ShardPlan>,
+    staging_dir: impl AsRef<Path>,
+    plugin: Arc<dyn DecoderPlugin>,
+    cfg: PipelineConfig,
+    stager_cfg: StagerConfig,
+    telemetry: sciml_obs::Telemetry,
+) -> sciml_pipeline::Result<(Pipeline, Stager)> {
+    let stager = Stager::with_telemetry(
+        backing,
+        plans,
+        staging_dir.as_ref(),
+        stager_cfg,
+        telemetry.clone(),
+    )?;
+    stager.spawn_workers();
+    let pipeline = Pipeline::launch_with(Arc::new(stager.source()), plugin, cfg, telemetry)?;
+    Ok((pipeline, stager))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +226,47 @@ mod tests {
         let plugin = b.plugin(EncodedFormat::Custom, Some(GpuSpec::A100), Op::Identity);
         let d = plugin.decode(&blobs[0]).unwrap();
         assert_eq!(d.data.len(), 144 * 96 * 4);
+    }
+
+    #[test]
+    fn staged_pipeline_end_to_end() {
+        let mut cfg = CosmoFlowConfig::test_small();
+        cfg.grid = 8;
+        let b = DatasetBuilder::cosmoflow(cfg);
+        let blobs = b.build(6, EncodedFormat::Custom);
+        let plugin = b.plugin(EncodedFormat::Custom, None, Op::Log1p);
+        let dir = std::env::temp_dir().join(format!(
+            "sciml_core_staged_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let telemetry = sciml_obs::Telemetry::new();
+        let (p, stager) = build_staged_pipeline(
+            Arc::new(VecSource::new(blobs)),
+            sciml_store::manifest::plan_by_count(6, 2),
+            &dir,
+            plugin,
+            PipelineConfig {
+                batch_size: 2,
+                epochs: 1,
+                ..Default::default()
+            },
+            StagerConfig::default(),
+            telemetry.clone(),
+        )
+        .unwrap();
+        let (batches, stats) = p.collect_all().unwrap();
+        assert_eq!(batches.iter().map(|b| b.len()).sum::<usize>(), 6);
+        assert_eq!(stats.sample_count(), 6);
+        // Workers drain the three planned shards and exit on their own.
+        let progress = stager.join().unwrap();
+        assert!(progress.complete(), "staging finished: {progress:?}");
+        assert!(dir.join("staging.journal").is_file());
+        assert!(dir.join("shard_000000.sshard").is_file());
+        let snap = telemetry.registry.snapshot();
+        assert_eq!(snap.counter("store.staging.shards_staged"), 3);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | [`minidnn`] | miniature DNN framework for convergence runs |
 //! | [`serve`] | disaggregated dataset server + remote source |
 //! | [`obs`] | unified telemetry: metrics registry, histograms, tracing |
+//! | [`store`] | packed shard store + background node-local staging |
 
 pub use sciml_codec as codec;
 pub use sciml_compress as compress;
@@ -34,13 +35,17 @@ pub use sciml_obs as obs;
 pub use sciml_pipeline as pipeline;
 pub use sciml_platform as platform;
 pub use sciml_serve as serve;
+pub use sciml_store as store;
 
 pub mod api;
 pub mod convergence;
 
 /// Common imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::api::{build_pipeline, build_pipeline_observed, DatasetBuilder, EncodedFormat};
+    pub use crate::api::{
+        build_pipeline, build_pipeline_observed, build_staged_pipeline, DatasetBuilder,
+        EncodedFormat,
+    };
     pub use crate::convergence::{
         cosmoflow_convergence, deepcam_convergence, ConvergenceConfig, ConvergenceRun,
     };
@@ -55,4 +60,5 @@ pub mod prelude {
     pub use sciml_pipeline::{Pipeline, PipelineConfig};
     pub use sciml_platform::{EpochModel, ExperimentConfig, Format, PlatformSpec, WorkloadProfile};
     pub use sciml_serve::{RemoteSource, ServeBuilder, ServerConfig};
+    pub use sciml_store::{pack_store, PackConfig, ShardSource, Stager, StagerConfig};
 }

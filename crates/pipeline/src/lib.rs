@@ -52,6 +52,10 @@ pub enum PipelineError {
     Remote(Box<dyn std::error::Error + Send + Sync>),
     /// A remote operation exceeded its deadline.
     Timeout(&'static str),
+    /// The storage tier (packed shard store / staging) failed. Boxed so
+    /// the storage crate can layer on top of the pipeline without a
+    /// dependency cycle.
+    Storage(Box<dyn std::error::Error + Send + Sync>),
 }
 
 impl fmt::Display for PipelineError {
@@ -64,6 +68,7 @@ impl fmt::Display for PipelineError {
             PipelineError::WorkerLost => write!(f, "pipeline worker lost"),
             PipelineError::Remote(e) => write!(f, "remote source error: {e}"),
             PipelineError::Timeout(what) => write!(f, "remote operation timed out: {what}"),
+            PipelineError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -75,6 +80,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Decode(e) => Some(e),
             PipelineError::Compression(e) => Some(e),
             PipelineError::Remote(e) => Some(e.as_ref()),
+            PipelineError::Storage(e) => Some(e.as_ref()),
             PipelineError::Config(_) | PipelineError::WorkerLost | PipelineError::Timeout(_) => {
                 None
             }

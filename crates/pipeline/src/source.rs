@@ -3,6 +3,7 @@
 use crate::Result;
 use parking_lot::Mutex;
 use sciml_data::DataError;
+use sciml_obs::{Counter, MetricsRegistry};
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -147,9 +148,9 @@ pub struct StagedSource<S> {
     inner: S,
     cache: Mutex<Vec<Option<Arc<Vec<u8>>>>>,
     /// Fetches served from the staging cache.
-    hits: AtomicU64,
+    hits: Arc<Counter>,
     /// Fetches that had to go to the inner source.
-    misses: AtomicU64,
+    misses: Arc<Counter>,
     read: AtomicU64,
     capacity_bytes: u64,
     cached_bytes: AtomicU64,
@@ -161,12 +162,28 @@ impl<S: SampleSource> StagedSource<S> {
     /// simply keep streaming from the inner source, matching how the
     /// benchmarks size their staged datasets to fit).
     pub fn new(inner: S, capacity_bytes: u64) -> Self {
+        Self::build(inner, capacity_bytes, None)
+    }
+
+    /// [`StagedSource::new`] with the hit/miss counters registered in
+    /// `registry` as `pipeline.cache.staged.{hits,misses}`, so cache
+    /// effectiveness shows up in metrics snapshots instead of living in
+    /// ad-hoc atomics.
+    pub fn with_registry(inner: S, capacity_bytes: u64, registry: &MetricsRegistry) -> Self {
+        Self::build(inner, capacity_bytes, Some(registry))
+    }
+
+    fn build(inner: S, capacity_bytes: u64, registry: Option<&MetricsRegistry>) -> Self {
         let n = inner.len();
+        let counter = |name: &str| match registry {
+            Some(r) => r.counter(name),
+            None => Arc::new(Counter::default()),
+        };
         Self {
+            hits: counter("pipeline.cache.staged.hits"),
+            misses: counter("pipeline.cache.staged.misses"),
             inner,
             cache: Mutex::new(vec![None; n]),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
             read: AtomicU64::new(0),
             capacity_bytes,
             cached_bytes: AtomicU64::new(0),
@@ -175,12 +192,12 @@ impl<S: SampleSource> StagedSource<S> {
 
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 }
 
@@ -191,11 +208,11 @@ impl<S: SampleSource> SampleSource for StagedSource<S> {
 
     fn fetch(&self, idx: usize) -> Result<Vec<u8>> {
         if let Some(hit) = self.cache.lock().get(idx).and_then(|e| e.clone()) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             self.read.fetch_add(hit.len() as u64, Ordering::Relaxed);
             return Ok(hit.as_ref().clone());
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let bytes = self.inner.fetch(idx)?;
         self.read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         let new_total = self.cached_bytes.load(Ordering::Relaxed) + bytes.len() as u64;
@@ -219,9 +236,9 @@ impl<S: SampleSource> SampleSource for StagedSource<S> {
 pub struct MemoryCacheSource<S> {
     inner: S,
     state: Mutex<LruState>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
     read: AtomicU64,
     capacity_bytes: u64,
 }
@@ -236,17 +253,32 @@ struct LruState {
 impl<S: SampleSource> MemoryCacheSource<S> {
     /// Wraps `inner` with an LRU cache of `capacity_bytes`.
     pub fn new(inner: S, capacity_bytes: u64) -> Self {
+        Self::build(inner, capacity_bytes, None)
+    }
+
+    /// [`MemoryCacheSource::new`] with hit/miss/eviction counters
+    /// registered in `registry` as
+    /// `pipeline.cache.memory.{hits,misses,evictions}`.
+    pub fn with_registry(inner: S, capacity_bytes: u64, registry: &MetricsRegistry) -> Self {
+        Self::build(inner, capacity_bytes, Some(registry))
+    }
+
+    fn build(inner: S, capacity_bytes: u64, registry: Option<&MetricsRegistry>) -> Self {
         let n = inner.len();
+        let counter = |name: &str| match registry {
+            Some(r) => r.counter(name),
+            None => Arc::new(Counter::default()),
+        };
         Self {
+            hits: counter("pipeline.cache.memory.hits"),
+            misses: counter("pipeline.cache.memory.misses"),
+            evictions: counter("pipeline.cache.memory.evictions"),
             inner,
             state: Mutex::new(LruState {
                 entries: vec![None; n],
                 order: Vec::new(),
                 bytes: 0,
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
             read: AtomicU64::new(0),
             capacity_bytes,
         }
@@ -254,17 +286,17 @@ impl<S: SampleSource> MemoryCacheSource<S> {
 
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Samples evicted so far under capacity pressure.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.get()
     }
 
     /// Bytes currently resident in the cache.
@@ -289,13 +321,13 @@ impl<S: SampleSource> SampleSource for MemoryCacheSource<S> {
                     }
                     st.order.push(idx);
                     drop(st);
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                     self.read.fetch_add(hit.len() as u64, Ordering::Relaxed);
                     return Ok(hit.as_ref().clone());
                 }
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let bytes = self.inner.fetch(idx)?;
         self.read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         let mut st = self.state.lock();
@@ -308,7 +340,7 @@ impl<S: SampleSource> SampleSource for MemoryCacheSource<S> {
                 st.order.remove(0);
                 if let Some(old) = st.entries[victim].take() {
                     st.bytes -= old.len() as u64;
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.evictions.inc();
                 }
             }
             if st.bytes + bytes.len() as u64 <= self.capacity_bytes {

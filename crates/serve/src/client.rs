@@ -15,6 +15,7 @@ use crate::protocol::{
 };
 use sciml_obs::{Counter, MetricsRegistry};
 use sciml_pipeline::{PipelineError, SampleSource};
+use sciml_store::ShardPlan;
 use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -243,6 +244,24 @@ impl RemoteSource {
     pub fn list(&self) -> Result<Vec<DatasetEntry>, PipelineError> {
         match self.call(&Message::ListDatasets)? {
             Message::DatasetList(entries) => Ok(entries),
+            Message::Error { code, detail } => Err(server_error(code, detail)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Fetches this dataset's shard partitioning for staging (v3+).
+    ///
+    /// A store-backed dataset returns its real on-disk shard
+    /// boundaries; any other dataset gets a plan synthesized from
+    /// `per_shard` samples per shard (0 = server's choice). Feed the
+    /// result to a `sciml_store::Stager` so whole shards are fetched
+    /// in server-aligned ranges.
+    pub fn shard_manifest(&self, per_shard: u64) -> Result<Vec<ShardPlan>, PipelineError> {
+        match self.call(&Message::ShardManifest {
+            name: self.name.clone(),
+            per_shard,
+        })? {
+            Message::ShardManifestReply(plans) => Ok(plans),
             Message::Error { code, detail } => Err(server_error(code, detail)),
             other => Err(unexpected_reply(&other)),
         }

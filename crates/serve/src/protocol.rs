@@ -17,15 +17,18 @@
 
 use sciml_compress::crc32::crc32;
 use sciml_obs::HistogramSnapshot;
+use sciml_store::ShardPlan;
 use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Protocol version spoken by this build. Bumped on incompatible frame
 /// or message changes; [`Message::Hello`] negotiates it. Version 2
 /// added [`Message::StatsReplyV2`] carrying the request-latency
-/// histogram; everything else is unchanged, so servers still accept
+/// histogram; version 3 added the [`Message::ShardManifest`] exchange
+/// so clients can stage whole shards instead of issuing per-sample
+/// fetches. Everything else is unchanged, so servers still accept
 /// [`MIN_PROTOCOL_VERSION`] clients and reply with v1 messages.
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Oldest client version the server still accepts.
 pub const MIN_PROTOCOL_VERSION: u16 = 1;
@@ -215,6 +218,20 @@ pub enum Message {
     /// Server reply to [`Message::Stats`] on v2 connections: counters
     /// plus the sparse request-latency histogram.
     StatsReplyV2(StatsSnapshot),
+    /// Client request (v3) for a dataset's shard partitioning, so a
+    /// stager can copy shard-sized sample ranges instead of issuing
+    /// per-sample fetches. `per_shard` is the client's preferred
+    /// samples-per-shard for datasets the server has to partition on
+    /// the fly (0 = server default); a server backed by a packed store
+    /// replies with the store's real shard boundaries instead.
+    ShardManifest {
+        /// Dataset name.
+        name: String,
+        /// Preferred samples per synthesized shard (0 = server default).
+        per_shard: u64,
+    },
+    /// Server reply to [`Message::ShardManifest`]: the staging plan.
+    ShardManifestReply(Vec<ShardPlan>),
     /// Client request to stop the server (loopback/admin use).
     Shutdown,
     /// Server-reported failure.
@@ -239,6 +256,8 @@ mod tags {
     pub const STATS_REPLY: u8 = 0x0A;
     pub const SHUTDOWN: u8 = 0x0B;
     pub const STATS_REPLY_V2: u8 = 0x0C;
+    pub const SHARD_MANIFEST: u8 = 0x0D;
+    pub const SHARD_MANIFEST_REPLY: u8 = 0x0E;
     pub const ERROR: u8 = 0x0F;
 }
 
@@ -349,6 +368,21 @@ impl Message {
                     out.extend_from_slice(&n.to_le_bytes());
                 }
             }
+            Message::ShardManifest { name, per_shard } => {
+                out.push(tags::SHARD_MANIFEST);
+                put_str(&mut out, name);
+                out.extend_from_slice(&per_shard.to_le_bytes());
+            }
+            Message::ShardManifestReply(plans) => {
+                out.push(tags::SHARD_MANIFEST_REPLY);
+                out.extend_from_slice(&(plans.len() as u32).to_le_bytes());
+                for p in plans {
+                    out.extend_from_slice(&p.id.to_le_bytes());
+                    out.extend_from_slice(&p.first.to_le_bytes());
+                    out.extend_from_slice(&p.count.to_le_bytes());
+                    out.extend_from_slice(&p.bytes.to_le_bytes());
+                }
+            }
             Message::Shutdown => out.push(tags::SHUTDOWN),
             Message::Error { code, detail } => {
                 out.push(tags::ERROR);
@@ -423,6 +457,30 @@ impl Message {
                 }
                 s.latency = HistogramSnapshot::from_sparse(&pairs, sum, min, max);
                 Message::StatsReplyV2(s)
+            }
+            tags::SHARD_MANIFEST => {
+                let name = r.string()?;
+                let per_shard = r.u64()?;
+                Message::ShardManifest { name, per_shard }
+            }
+            tags::SHARD_MANIFEST_REPLY => {
+                let count = r.u32()? as usize;
+                // Each entry is 4 + 8 + 8 + 8 = 28 bytes on the wire.
+                if count * 28 > r.remaining() {
+                    return Err(ProtocolError::Malformed(
+                        "shard plan count exceeds payload length",
+                    ));
+                }
+                let mut plans = Vec::with_capacity(count);
+                for _ in 0..count {
+                    plans.push(ShardPlan {
+                        id: r.u32()?,
+                        first: r.u64()?,
+                        count: r.u64()?,
+                        bytes: r.u64()?,
+                    });
+                }
+                Message::ShardManifestReply(plans)
             }
             tags::SHUTDOWN => Message::Shutdown,
             tags::ERROR => {
@@ -609,6 +667,24 @@ mod tests {
                     h.snapshot()
                 },
             }),
+            Message::ShardManifest {
+                name: "cosmo".into(),
+                per_shard: 128,
+            },
+            Message::ShardManifestReply(vec![
+                ShardPlan {
+                    id: 0,
+                    first: 0,
+                    count: 128,
+                    bytes: 1 << 20,
+                },
+                ShardPlan {
+                    id: 1,
+                    first: 128,
+                    count: 100,
+                    bytes: 0,
+                },
+            ]),
             Message::Shutdown,
             Message::Error {
                 code: ErrorCode::Busy,
@@ -736,6 +812,21 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn shard_plan_count_beyond_payload_rejected() {
+        let mut payload = vec![tags::SHARD_MANIFEST_REPLY];
+        payload.extend_from_slice(&50_000u32.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 28]); // room for one entry only
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(ProtocolError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -18,9 +18,11 @@ use crate::protocol::{
     read_message, write_message, DatasetEntry, ErrorCode, Message, ProtocolError,
     MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
-use sciml_obs::MetricsRegistry;
+use sciml_obs::{Counter, MetricsRegistry};
 use sciml_pipeline::source::MemoryCacheSource;
 use sciml_pipeline::SampleSource;
+use sciml_store::manifest::plan_by_count;
+use sciml_store::{ShardPlan, ShardSource};
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -61,13 +63,27 @@ impl Default for ServerConfig {
     }
 }
 
-/// One registered dataset: its name and hot-cached source.
+/// Samples per synthesized shard when a client asks for a staging plan
+/// without a preference and the dataset has no packed-store manifest.
+const DEFAULT_PLAN_PER_SHARD: u64 = 64;
+
+/// One registered dataset: its name, hot-cached source, and (when it is
+/// backed by a packed store) its real shard boundaries.
 struct Dataset {
     cache: MemoryCacheSource<Arc<dyn SampleSource>>,
+    /// Shard partitioning exported to staging clients. `None` means the
+    /// server synthesizes one by sample count on request.
+    plans: Option<Vec<ShardPlan>>,
 }
 
 struct Inner {
     datasets: BTreeMap<String, Dataset>,
+    /// Shared `pipeline.cache.memory.*` counters every dataset cache
+    /// feeds, read directly for stats replies (summing per-dataset
+    /// views of the same shared counters would multiply-count).
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
     metrics: ServerMetrics,
     shutting_down: AtomicBool,
     active_connections: AtomicUsize,
@@ -116,19 +132,21 @@ impl Inner {
     }
 
     fn cache_totals(&self) -> (u64, u64, u64) {
-        let mut totals = (0, 0, 0);
-        for ds in self.datasets.values() {
-            totals.0 += ds.cache.hits();
-            totals.1 += ds.cache.misses();
-            totals.2 += ds.cache.evictions();
-        }
-        totals
+        (
+            self.cache_hits.get(),
+            self.cache_misses.get(),
+            self.cache_evictions.get(),
+        )
     }
 }
 
+/// A dataset registered with the builder: its source plus the shard
+/// plan to report over `ShardManifest`, if the source has a real one.
+type RegisteredSource = (Arc<dyn SampleSource>, Option<Vec<ShardPlan>>);
+
 /// Builder: register datasets, then [`ServeBuilder::bind`].
 pub struct ServeBuilder {
-    sources: BTreeMap<String, Arc<dyn SampleSource>>,
+    sources: BTreeMap<String, RegisteredSource>,
     config: ServerConfig,
     registry: Option<Arc<MetricsRegistry>>,
 }
@@ -166,8 +184,28 @@ impl ServeBuilder {
     /// Registers `source` under `name`. At bind time every source is
     /// wrapped in a DRAM hot cache of `cache_bytes`.
     pub fn dataset(mut self, name: impl Into<String>, source: Arc<dyn SampleSource>) -> Self {
-        self.sources.insert(name.into(), source);
+        self.sources.insert(name.into(), (source, None));
         self
+    }
+
+    /// Registers `source` with an explicit shard partitioning, returned
+    /// verbatim to staging clients that send a `ShardManifest` request.
+    pub fn dataset_with_plans(
+        mut self,
+        name: impl Into<String>,
+        source: Arc<dyn SampleSource>,
+        plans: Vec<ShardPlan>,
+    ) -> Self {
+        self.sources.insert(name.into(), (source, Some(plans)));
+        self
+    }
+
+    /// Registers a packed shard store as a dataset, exporting its real
+    /// shard boundaries so staging clients fetch whole shards and their
+    /// requests line up with the store's on-disk layout.
+    pub fn dataset_store(self, name: impl Into<String>, store: Arc<ShardSource>) -> Self {
+        let plans = store.manifest().plans();
+        self.dataset_with_plans(name, store, plans)
     }
 
     /// Binds `addr` and spawns the acceptor + worker pool. Pass port 0
@@ -176,17 +214,20 @@ impl ServeBuilder {
         let listener = TcpListener::bind(addr.into())?;
         let local_addr = listener.local_addr()?;
         let cache_bytes = self.config.cache_bytes;
+        let registry = self.registry.unwrap_or_default();
         let datasets = self
             .sources
             .into_iter()
-            .map(|(name, source)| {
-                let cache = MemoryCacheSource::new(source, cache_bytes);
-                (name, Dataset { cache })
+            .map(|(name, (source, plans))| {
+                let cache = MemoryCacheSource::with_registry(source, cache_bytes, &registry);
+                (name, Dataset { cache, plans })
             })
             .collect();
-        let registry = self.registry.unwrap_or_default();
         let inner = Arc::new(Inner {
             datasets,
+            cache_hits: registry.counter("pipeline.cache.memory.hits"),
+            cache_misses: registry.counter("pipeline.cache.memory.misses"),
+            cache_evictions: registry.counter("pipeline.cache.memory.evictions"),
             metrics: ServerMetrics::with_registry(&registry),
             shutting_down: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
@@ -490,6 +531,23 @@ fn respond(inner: &Inner, request: Message, negotiated: u16) -> (Message, bool) 
             inner.metrics.record_samples(payloads.len() as u64, bytes);
             (Message::Samples(payloads), false)
         }
+        Message::ShardManifest { name, per_shard } => match inner.datasets.get(&name) {
+            Some(ds) => {
+                let plans = match &ds.plans {
+                    Some(plans) => plans.clone(),
+                    None => {
+                        let per = if per_shard == 0 {
+                            DEFAULT_PLAN_PER_SHARD
+                        } else {
+                            per_shard
+                        };
+                        plan_by_count(ds.cache.len() as u64, per)
+                    }
+                };
+                (Message::ShardManifestReply(plans), false)
+            }
+            None => (unknown_dataset(&name), false),
+        },
         Message::Stats => {
             let (h, m, e) = inner.cache_totals();
             (stats_reply(inner.metrics.snapshot(h, m, e)), false)
@@ -719,6 +777,110 @@ mod tests {
         };
         assert!(stats.latency.is_empty());
         server.shutdown();
+    }
+
+    #[test]
+    fn shard_manifest_synthesized_for_plain_dataset() {
+        let server = ServeBuilder::new()
+            .dataset("demo", demo_source())
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut c = client(server.local_addr());
+        write_message(
+            &mut c,
+            &Message::ShardManifest {
+                name: "demo".into(),
+                per_shard: 3,
+            },
+        )
+        .unwrap();
+        let Message::ShardManifestReply(plans) = read_message(&mut c).unwrap() else {
+            panic!("expected shard manifest reply");
+        };
+        assert_eq!(plans.len(), 3);
+        assert_eq!(plans.iter().map(|p| p.count).sum::<u64>(), 8);
+        assert_eq!(plans[2].first, 6);
+        assert_eq!(plans[2].count, 2);
+
+        // per_shard 0 means "server's choice": one shard here, since the
+        // default chunk exceeds the dataset.
+        write_message(
+            &mut c,
+            &Message::ShardManifest {
+                name: "demo".into(),
+                per_shard: 0,
+            },
+        )
+        .unwrap();
+        let Message::ShardManifestReply(plans) = read_message(&mut c).unwrap() else {
+            panic!("expected shard manifest reply");
+        };
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].count, 8);
+
+        write_message(
+            &mut c,
+            &Message::ShardManifest {
+                name: "nope".into(),
+                per_shard: 0,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_message(&mut c).unwrap(),
+            Message::Error {
+                code: ErrorCode::UnknownDataset,
+                ..
+            }
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shard_manifest_reports_real_store_plans() {
+        use sciml_pipeline::source::VecSource;
+        use sciml_store::{pack_store, PackConfig};
+
+        let dir = std::env::temp_dir().join(format!(
+            "sciml_serve_store_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let samples: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 100]).collect();
+        pack_store(
+            &VecSource::new(samples),
+            &dir,
+            PackConfig {
+                target_shard_bytes: 300,
+                ..PackConfig::default()
+            },
+        )
+        .unwrap();
+        let store = Arc::new(ShardSource::open(&dir).unwrap());
+        let expected = store.manifest().plans();
+        assert!(expected.len() > 1, "test store must span several shards");
+
+        let server = ServeBuilder::new()
+            .dataset_store("packed", store)
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut c = client(server.local_addr());
+        // per_shard is ignored for store-backed datasets: the real
+        // on-disk boundaries win.
+        write_message(
+            &mut c,
+            &Message::ShardManifest {
+                name: "packed".into(),
+                per_shard: 1,
+            },
+        )
+        .unwrap();
+        let Message::ShardManifestReply(plans) = read_message(&mut c).unwrap() else {
+            panic!("expected shard manifest reply");
+        };
+        assert_eq!(plans, expected);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

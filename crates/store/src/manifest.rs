@@ -1,0 +1,467 @@
+//! Store manifest and staging journal: the two small text files that
+//! make a packed store self-describing and staging resumable.
+//!
+//! Both are deliberately line-oriented ASCII — greppable on a login
+//! node, diffable in CI, and parseable without a serde dependency.
+//!
+//! **Store manifest** (`store.manifest`), written once at pack time:
+//!
+//! ```text
+//! sciml-store v1
+//! shard 0 shard_000000.sshard 0 32 81920 9a0b1c2d
+//! shard 1 shard_000001.sshard 32 32 80104 11223344
+//! ```
+//!
+//! **Staging journal** (`staging.journal`), appended as shards
+//! complete; replayed on restart, and every claimed shard is
+//! CRC-verified against the file on disk before being trusted:
+//!
+//! ```text
+//! sciml-staging v1
+//! done 1 11223344
+//! done 0 9a0b1c2d
+//! ```
+
+use crate::{Result, StoreError};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File name of the store manifest inside a packed store directory.
+pub const MANIFEST_FILE: &str = "store.manifest";
+
+/// File name of the staging journal inside a staging directory.
+pub const JOURNAL_FILE: &str = "staging.journal";
+
+const MANIFEST_HEADER: &str = "sciml-store v1";
+const JOURNAL_HEADER: &str = "sciml-staging v1";
+
+/// One packed shard as recorded in the store manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Shard id (dense, ascending).
+    pub id: u32,
+    /// File name relative to the store directory (no spaces).
+    pub file: String,
+    /// Global index of the shard's first sample.
+    pub first: u64,
+    /// Number of samples in the shard.
+    pub count: u64,
+    /// Total size of the shard file in bytes.
+    pub bytes: u64,
+    /// CRC-32 of the entire shard file.
+    pub crc32: u32,
+}
+
+impl ShardMeta {
+    /// The staging-plan view of this shard (drops file name and CRC,
+    /// which are properties of one particular packed copy).
+    pub fn plan(&self) -> ShardPlan {
+        ShardPlan {
+            id: self.id,
+            first: self.first,
+            count: self.count,
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// A shard-sized range of samples to stage: what travels over the wire
+/// when a server exports its shard partitioning. Unlike [`ShardMeta`]
+/// it carries no file name or CRC — the staging node packs its own
+/// local shard files and computes its own checksums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Shard id (dense, ascending).
+    pub id: u32,
+    /// Global index of the shard's first sample.
+    pub first: u64,
+    /// Number of samples in the shard.
+    pub count: u64,
+    /// Approximate shard size in bytes (0 when unknown) — used to
+    /// bound in-flight staging bytes, not for integrity.
+    pub bytes: u64,
+}
+
+/// Synthesizes a shard partitioning for a source that has no manifest:
+/// consecutive runs of `per_shard` samples.
+pub fn plan_by_count(total_samples: u64, per_shard: u64) -> Vec<ShardPlan> {
+    let per_shard = per_shard.max(1);
+    let mut plans = Vec::new();
+    let mut first = 0u64;
+    let mut id = 0u32;
+    while first < total_samples {
+        let count = per_shard.min(total_samples - first);
+        plans.push(ShardPlan {
+            id,
+            first,
+            count,
+            bytes: 0,
+        });
+        first += count;
+        id += 1;
+    }
+    plans
+}
+
+/// The manifest of a packed store: every shard, in id order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreManifest {
+    /// Shards in ascending id / first-sample order.
+    pub shards: Vec<ShardMeta>,
+}
+
+impl StoreManifest {
+    /// Total number of samples across all shards.
+    pub fn total_samples(&self) -> u64 {
+        self.shards.iter().map(|s| s.count).sum()
+    }
+
+    /// Total bytes across all shard files.
+    pub fn total_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.bytes).sum()
+    }
+
+    /// The staging plan for this manifest.
+    pub fn plans(&self) -> Vec<ShardPlan> {
+        self.shards.iter().map(ShardMeta::plan).collect()
+    }
+
+    /// Shard holding global sample `idx`, with the offset inside it.
+    pub fn locate(&self, idx: u64) -> Option<(&ShardMeta, u64)> {
+        // Shards are sorted by `first`; binary-search the containing one.
+        let pos = self
+            .shards
+            .partition_point(|s| s.first + s.count <= idx)
+            .min(self.shards.len().saturating_sub(1));
+        let shard = self.shards.get(pos)?;
+        if idx >= shard.first && idx < shard.first + shard.count {
+            Some((shard, idx - shard.first))
+        } else {
+            None
+        }
+    }
+
+    /// Serializes to the manifest text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(MANIFEST_HEADER);
+        out.push('\n');
+        for s in &self.shards {
+            out.push_str(&format!(
+                "shard {} {} {} {} {} {:08x}\n",
+                s.id, s.file, s.first, s.count, s.bytes, s.crc32
+            ));
+        }
+        out
+    }
+
+    /// Parses the manifest text format, validating structure: header
+    /// line, dense ascending ids, contiguous sample ranges from 0.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(l) if l.trim() == MANIFEST_HEADER => {}
+            Some(other) => {
+                return Err(StoreError::Manifest(format!(
+                    "bad manifest header: {other:?}"
+                )))
+            }
+            None => return Err(StoreError::Manifest("empty manifest".into())),
+        }
+        let mut shards = Vec::new();
+        let mut expect_first = 0u64;
+        for (lineno, line) in lines.enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let err =
+                |what: &str| StoreError::Manifest(format!("line {}: {what}: {line:?}", lineno + 2));
+            if fields.len() != 7 || fields[0] != "shard" {
+                return Err(err("expected `shard ID FILE FIRST COUNT BYTES CRC`"));
+            }
+            let id: u32 = fields[1].parse().map_err(|_| err("bad shard id"))?;
+            let file = fields[2].to_string();
+            let first: u64 = fields[3].parse().map_err(|_| err("bad first index"))?;
+            let count: u64 = fields[4].parse().map_err(|_| err("bad sample count"))?;
+            let bytes: u64 = fields[5].parse().map_err(|_| err("bad byte size"))?;
+            let crc32 = u32::from_str_radix(fields[6], 16).map_err(|_| err("bad crc"))?;
+            if id as usize != shards.len() {
+                return Err(err("shard ids must be dense and ascending"));
+            }
+            if first != expect_first {
+                return Err(err("shard sample ranges must be contiguous from 0"));
+            }
+            if count == 0 {
+                return Err(err("empty shard"));
+            }
+            expect_first = first + count;
+            shards.push(ShardMeta {
+                id,
+                file,
+                first,
+                count,
+                bytes,
+                crc32,
+            });
+        }
+        Ok(Self { shards })
+    }
+
+    /// Writes the manifest into `dir` as [`MANIFEST_FILE`].
+    pub fn write_to(&self, dir: &Path) -> Result<()> {
+        fs::write(dir.join(MANIFEST_FILE), self.to_text())?;
+        Ok(())
+    }
+
+    /// Loads the manifest from `dir`.
+    pub fn load_from(dir: &Path) -> Result<Self> {
+        let path = dir.join(MANIFEST_FILE);
+        let text = fs::read_to_string(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::Manifest(format!("no {MANIFEST_FILE} in {}", dir.display()))
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        Self::parse(&text)
+    }
+}
+
+/// One completed-shard record in the staging journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Shard id that finished staging.
+    pub id: u32,
+    /// CRC-32 of the staged shard file, verified on resume.
+    pub crc32: u32,
+}
+
+/// The append-only staging journal: which shards are already staged.
+///
+/// Completed shards are appended (and flushed) one line at a time, so a
+/// killed stager loses at most the shard it was working on. On resume,
+/// [`StagingJournal::replay`] re-verifies every claimed shard file's
+/// CRC against disk and silently drops entries that no longer hold —
+/// those shards are simply staged again.
+#[derive(Debug)]
+pub struct StagingJournal {
+    path: PathBuf,
+    entries: Vec<JournalEntry>,
+}
+
+impl StagingJournal {
+    /// Serializes entries to the journal text format.
+    pub fn to_text(entries: &[JournalEntry]) -> String {
+        let mut out = String::from(JOURNAL_HEADER);
+        out.push('\n');
+        for e in entries {
+            out.push_str(&format!("done {} {:08x}\n", e.id, e.crc32));
+        }
+        out
+    }
+
+    /// Parses the journal text format. Unknown or malformed lines are
+    /// an error (a corrupt journal must not be half-trusted); an empty
+    /// or missing body is fine.
+    pub fn parse(text: &str) -> Result<Vec<JournalEntry>> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(l) if l.trim() == JOURNAL_HEADER => {}
+            Some(other) => {
+                return Err(StoreError::Manifest(format!(
+                    "bad journal header: {other:?}"
+                )))
+            }
+            None => return Ok(Vec::new()),
+        }
+        let mut entries = Vec::new();
+        for (lineno, line) in lines.enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let err = |what: &str| {
+                StoreError::Manifest(format!("journal line {}: {what}: {line:?}", lineno + 2))
+            };
+            if fields.len() != 3 || fields[0] != "done" {
+                return Err(err("expected `done ID CRC`"));
+            }
+            let id: u32 = fields[1].parse().map_err(|_| err("bad shard id"))?;
+            let crc32 = u32::from_str_radix(fields[2], 16).map_err(|_| err("bad crc"))?;
+            entries.push(JournalEntry { id, crc32 });
+        }
+        Ok(entries)
+    }
+
+    /// Opens (or creates) the journal in `dir`, replaying any existing
+    /// entries. The caller decides which entries to trust via
+    /// [`StagingJournal::entries`].
+    pub fn open(dir: &Path) -> Result<Self> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let entries = match fs::read_to_string(&path) {
+            Ok(text) => Self::parse(&text)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                fs::write(&path, format!("{JOURNAL_HEADER}\n"))?;
+                Vec::new()
+            }
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        Ok(Self { path, entries })
+    }
+
+    /// Entries replayed from disk at open time.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Appends one completed-shard record and flushes it to disk.
+    pub fn append(&mut self, entry: JournalEntry) -> Result<()> {
+        let mut f = fs::OpenOptions::new().append(true).open(&self.path)?;
+        writeln!(f, "done {} {:08x}", entry.id, entry.crc32)?;
+        f.sync_data()?;
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Verifies each replayed entry against the staged shard files in
+    /// `dir` (CRC over the whole file), returning only the entries that
+    /// still hold. Missing or corrupt files are dropped — their shards
+    /// will be staged again.
+    pub fn replay(&self, dir: &Path, file_name: impl Fn(u32) -> String) -> Vec<JournalEntry> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                fs::read(dir.join(file_name(e.id)))
+                    .map(|bytes| sciml_compress::crc32::crc32(&bytes) == e.crc32)
+                    .unwrap_or(false)
+            })
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_manifest() -> StoreManifest {
+        StoreManifest {
+            shards: vec![
+                ShardMeta {
+                    id: 0,
+                    file: "shard_000000.sshard".into(),
+                    first: 0,
+                    count: 3,
+                    bytes: 120,
+                    crc32: 0xDEAD_BEEF,
+                },
+                ShardMeta {
+                    id: 1,
+                    file: "shard_000001.sshard".into(),
+                    first: 3,
+                    count: 2,
+                    bytes: 90,
+                    crc32: 0x0000_0001,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrips() {
+        let m = demo_manifest();
+        let parsed = StoreManifest::parse(&m.to_text()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.total_samples(), 5);
+        assert_eq!(parsed.total_bytes(), 210);
+    }
+
+    #[test]
+    fn locate_finds_the_right_shard() {
+        let m = demo_manifest();
+        assert_eq!(m.locate(0).unwrap().0.id, 0);
+        assert_eq!(m.locate(2).unwrap(), (&m.shards[0], 2));
+        assert_eq!(m.locate(3).unwrap(), (&m.shards[1], 0));
+        assert_eq!(m.locate(4).unwrap().0.id, 1);
+        assert!(m.locate(5).is_none());
+        assert!(StoreManifest::default().locate(0).is_none());
+    }
+
+    #[test]
+    fn manifest_rejects_gaps_and_bad_headers() {
+        assert!(StoreManifest::parse("nonsense\n").is_err());
+        let gap =
+            "sciml-store v1\nshard 0 a.sshard 0 2 10 00000000\nshard 1 b.sshard 5 2 10 00000000\n";
+        assert!(StoreManifest::parse(gap).is_err());
+        let sparse_id = "sciml-store v1\nshard 2 a.sshard 0 2 10 00000000\n";
+        assert!(StoreManifest::parse(sparse_id).is_err());
+        let empty_shard = "sciml-store v1\nshard 0 a.sshard 0 0 10 00000000\n";
+        assert!(StoreManifest::parse(empty_shard).is_err());
+    }
+
+    #[test]
+    fn journal_roundtrips_and_appends() {
+        let dir = std::env::temp_dir().join(format!(
+            "sciml_journal_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut j = StagingJournal::open(&dir).unwrap();
+        assert!(j.entries().is_empty());
+        j.append(JournalEntry { id: 3, crc32: 0xAB }).unwrap();
+        j.append(JournalEntry { id: 0, crc32: 0xCD }).unwrap();
+        let reopened = StagingJournal::open(&dir).unwrap();
+        assert_eq!(reopened.entries(), j.entries());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_replay_drops_missing_and_corrupt_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "sciml_replay_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = b"shard zero contents".to_vec();
+        std::fs::write(dir.join("s0"), &good).unwrap();
+        std::fs::write(dir.join("s1"), b"corrupted on disk").unwrap();
+        let mut j = StagingJournal::open(&dir).unwrap();
+        j.append(JournalEntry {
+            id: 0,
+            crc32: sciml_compress::crc32::crc32(&good),
+        })
+        .unwrap();
+        j.append(JournalEntry {
+            id: 1,
+            crc32: 0x1234_5678, // does not match what's on disk
+        })
+        .unwrap();
+        j.append(JournalEntry {
+            id: 2,
+            crc32: 0, // file never written
+        })
+        .unwrap();
+        let trusted = j.replay(&dir, |id| format!("s{id}"));
+        assert_eq!(trusted.len(), 1);
+        assert_eq!(trusted[0].id, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plan_by_count_covers_everything() {
+        let plans = plan_by_count(10, 4);
+        assert_eq!(plans.len(), 3);
+        assert_eq!(plans[2].first, 8);
+        assert_eq!(plans[2].count, 2);
+        assert_eq!(plans.iter().map(|p| p.count).sum::<u64>(), 10);
+        assert!(plan_by_count(0, 4).is_empty());
+        // per_shard 0 is clamped, not a panic/infinite loop.
+        assert_eq!(plan_by_count(3, 0).len(), 3);
+    }
+}

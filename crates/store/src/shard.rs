@@ -1,0 +1,554 @@
+//! The `.sshard` packed shard format.
+//!
+//! A shard concatenates many samples into one file so a staged dataset
+//! costs a handful of inodes instead of one per sample. The layout puts
+//! the index in a *footer* so shards can be written in one streaming
+//! pass:
+//!
+//! ```text
+//! ┌─────────────────────── header (16 B) ───────────────────────┐
+//! │ magic "SSHD" │ version u16 │ flags u16 │ base sample idx u64 │
+//! ├──────────────────────────── body ───────────────────────────┤
+//! │ sample 0 stored bytes │ sample 1 stored bytes │ …           │
+//! ├──────────────── footer index (20 B × count) ────────────────┤
+//! │ offset u64 │ stored_len u32 │ raw_len u32 │ crc32 u32 │ …   │
+//! ├────────────────────── trailer (24 B) ───────────────────────┤
+//! │ index_offset u64 │ count u64 │ index_crc u32 │ magic "SSFT" │
+//! └─────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! All integers are little-endian. When header flag bit 0 is set, each
+//! sample payload is stored individually gzip-compressed — per-sample
+//! (not whole-shard) compression keeps positioned reads valid. Each
+//! index entry's CRC-32 covers the *stored* bytes, so integrity checks
+//! never need to decompress.
+
+use crate::manifest::{ShardMeta, StoreManifest};
+use crate::{Result, StoreError};
+use sciml_compress::crc32::{crc32, Crc32};
+use sciml_compress::Level;
+use sciml_pipeline::source::SampleSource;
+use std::fs::{self, File};
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// File extension of packed shard files.
+pub const SHARD_EXT: &str = "sshard";
+
+const HEADER_MAGIC: &[u8; 4] = b"SSHD";
+const TRAILER_MAGIC: &[u8; 4] = b"SSFT";
+const VERSION: u16 = 1;
+const FLAG_GZIP: u16 = 1 << 0;
+const HEADER_LEN: usize = 16;
+const ENTRY_LEN: usize = 20;
+const TRAILER_LEN: usize = 24;
+
+/// Canonical file name for shard `id` inside a store directory.
+pub fn shard_file_name(id: u32) -> String {
+    format!("shard_{id:06}.{SHARD_EXT}")
+}
+
+/// Packing knobs for [`pack_store`].
+#[derive(Debug, Clone, Copy)]
+pub struct PackConfig {
+    /// Flush a shard once its raw payload reaches this size. Every
+    /// shard holds at least one sample regardless.
+    pub target_shard_bytes: u64,
+    /// Gzip each sample payload inside the shard.
+    pub gzip: bool,
+    /// Compression effort when `gzip` is set.
+    pub level: Level,
+}
+
+impl Default for PackConfig {
+    fn default() -> Self {
+        Self {
+            target_shard_bytes: 64 * 1024 * 1024,
+            gzip: false,
+            level: Level::Fast,
+        }
+    }
+}
+
+/// Encodes one shard holding `samples`, whose global indices start at
+/// `base`. Returns the complete file image.
+pub fn encode_shard(samples: &[Vec<u8>], base: u64, gzip: bool, level: Level) -> Vec<u8> {
+    let mut flags = 0u16;
+    if gzip {
+        flags |= FLAG_GZIP;
+    }
+    let mut out =
+        Vec::with_capacity(HEADER_LEN + TRAILER_LEN + samples.iter().map(Vec::len).sum::<usize>());
+    out.extend_from_slice(HEADER_MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&flags.to_le_bytes());
+    out.extend_from_slice(&base.to_le_bytes());
+
+    let mut index = Vec::with_capacity(samples.len() * ENTRY_LEN);
+    for raw in samples {
+        let stored: Vec<u8>;
+        let stored_ref: &[u8] = if gzip {
+            stored = sciml_compress::gzip_compress(raw, level);
+            &stored
+        } else {
+            raw
+        };
+        let offset = out.len() as u64;
+        index.extend_from_slice(&offset.to_le_bytes());
+        index.extend_from_slice(&(stored_ref.len() as u32).to_le_bytes());
+        index.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+        index.extend_from_slice(&crc32(stored_ref).to_le_bytes());
+        out.extend_from_slice(stored_ref);
+    }
+
+    let index_offset = out.len() as u64;
+    let index_crc = crc32(&index);
+    out.extend_from_slice(&index);
+    out.extend_from_slice(&index_offset.to_le_bytes());
+    out.extend_from_slice(&(samples.len() as u64).to_le_bytes());
+    out.extend_from_slice(&index_crc.to_le_bytes());
+    out.extend_from_slice(TRAILER_MAGIC);
+    out
+}
+
+/// Writes one shard file and returns its manifest record.
+pub fn write_shard(
+    dir: &Path,
+    id: u32,
+    samples: &[Vec<u8>],
+    base: u64,
+    gzip: bool,
+    level: Level,
+) -> Result<ShardMeta> {
+    let bytes = encode_shard(samples, base, gzip, level);
+    let file = shard_file_name(id);
+    // Write to a temp name then rename, so a crash never leaves a
+    // half-written file under the canonical name.
+    let tmp = dir.join(format!(".{file}.tmp"));
+    fs::write(&tmp, &bytes)?;
+    fs::rename(&tmp, dir.join(&file))?;
+    Ok(ShardMeta {
+        id,
+        file,
+        first: base,
+        count: samples.len() as u64,
+        bytes: bytes.len() as u64,
+        crc32: crc32(&bytes),
+    })
+}
+
+/// Packs every sample of `source` into `.sshard` files under `dir` and
+/// writes the store manifest. Returns the manifest.
+pub fn pack_store(
+    source: &dyn SampleSource,
+    dir: &Path,
+    config: PackConfig,
+) -> Result<StoreManifest> {
+    fs::create_dir_all(dir)?;
+    let total = source.len();
+    let mut shards = Vec::new();
+    let mut pending: Vec<Vec<u8>> = Vec::new();
+    let mut pending_bytes = 0u64;
+    let mut base = 0u64;
+    let mut id = 0u32;
+    let flush = |pending: &mut Vec<Vec<u8>>,
+                 pending_bytes: &mut u64,
+                 base: &mut u64,
+                 id: &mut u32,
+                 shards: &mut Vec<ShardMeta>|
+     -> Result<()> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let meta = write_shard(dir, *id, pending, *base, config.gzip, config.level)?;
+        *base += pending.len() as u64;
+        *id += 1;
+        pending.clear();
+        *pending_bytes = 0;
+        shards.push(meta);
+        Ok(())
+    };
+    for idx in 0..total {
+        let raw = source.fetch(idx).map_err(StoreError::Backing)?;
+        pending_bytes += raw.len() as u64;
+        pending.push(raw);
+        if pending_bytes >= config.target_shard_bytes {
+            flush(
+                &mut pending,
+                &mut pending_bytes,
+                &mut base,
+                &mut id,
+                &mut shards,
+            )?;
+        }
+    }
+    flush(
+        &mut pending,
+        &mut pending_bytes,
+        &mut base,
+        &mut id,
+        &mut shards,
+    )?;
+    let manifest = StoreManifest { shards };
+    manifest.write_to(dir)?;
+    Ok(manifest)
+}
+
+/// One footer-index entry, decoded.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    offset: u64,
+    stored_len: u32,
+    raw_len: u32,
+    crc32: u32,
+}
+
+/// A file handle that supports concurrent positioned reads.
+///
+/// On Unix this is `pread(2)` on a shared descriptor — no seek lock, so
+/// reader threads never serialize on the file position. Elsewhere it
+/// degrades to a mutex-guarded seek + read.
+#[derive(Debug)]
+struct PositionedFile {
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: std::sync::Mutex<File>,
+}
+
+impl PositionedFile {
+    fn new(file: File) -> Self {
+        #[cfg(unix)]
+        {
+            Self { file }
+        }
+        #[cfg(not(unix))]
+        {
+            Self {
+                file: std::sync::Mutex::new(file),
+            }
+        }
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut f = self.file.lock().expect("shard file lock poisoned");
+            f.seek(SeekFrom::Start(offset))?;
+            f.read_exact(buf)
+        }
+    }
+}
+
+/// Random-access reader over one `.sshard` file.
+///
+/// Opening validates the header, trailer, and footer-index CRC up
+/// front; each [`ShardReader::fetch`] then verifies the sample payload
+/// CRC before returning (and before decompressing).
+#[derive(Debug)]
+pub struct ShardReader {
+    path: PathBuf,
+    file: PositionedFile,
+    base: u64,
+    gzip: bool,
+    index: Vec<IndexEntry>,
+    index_offset: u64,
+}
+
+impl ShardReader {
+    /// Opens and validates a shard file.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
+        let path = path.into();
+        let file = File::open(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::MissingShard(path.clone())
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        let file_len = file.metadata()?.len();
+        if (file_len as usize) < HEADER_LEN + TRAILER_LEN {
+            return Err(StoreError::Truncated("shard file"));
+        }
+        let file = PositionedFile::new(file);
+
+        let mut header = [0u8; HEADER_LEN];
+        file.read_exact_at(&mut header, 0)?;
+        if &header[0..4] != HEADER_MAGIC {
+            return Err(StoreError::BadMagic("shard header"));
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != VERSION {
+            return Err(StoreError::BadVersion(version));
+        }
+        let flags = u16::from_le_bytes([header[6], header[7]]);
+        let base = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+
+        let mut trailer = [0u8; TRAILER_LEN];
+        file.read_exact_at(&mut trailer, file_len - TRAILER_LEN as u64)?;
+        if &trailer[20..24] != TRAILER_MAGIC {
+            return Err(StoreError::BadMagic("shard trailer"));
+        }
+        let index_offset = u64::from_le_bytes(trailer[0..8].try_into().expect("8-byte slice"));
+        let count = u64::from_le_bytes(trailer[8..16].try_into().expect("8-byte slice"));
+        let index_crc = u32::from_le_bytes(trailer[16..20].try_into().expect("4-byte slice"));
+
+        let index_len = (count as usize)
+            .checked_mul(ENTRY_LEN)
+            .ok_or(StoreError::Malformed("index size overflow"))?;
+        let index_end = index_offset
+            .checked_add(index_len as u64)
+            .ok_or(StoreError::Malformed("index extent overflow"))?;
+        if index_offset < HEADER_LEN as u64 || index_end != file_len - TRAILER_LEN as u64 {
+            return Err(StoreError::Truncated("shard footer index"));
+        }
+        let mut index_bytes = vec![0u8; index_len];
+        file.read_exact_at(&mut index_bytes, index_offset)?;
+        let computed = crc32(&index_bytes);
+        if computed != index_crc {
+            return Err(StoreError::IndexCorrupt {
+                computed,
+                stored: index_crc,
+            });
+        }
+        let mut index = Vec::with_capacity(count as usize);
+        for entry in index_bytes.chunks_exact(ENTRY_LEN) {
+            let e = IndexEntry {
+                offset: u64::from_le_bytes(entry[0..8].try_into().expect("8-byte slice")),
+                stored_len: u32::from_le_bytes(entry[8..12].try_into().expect("4-byte slice")),
+                raw_len: u32::from_le_bytes(entry[12..16].try_into().expect("4-byte slice")),
+                crc32: u32::from_le_bytes(entry[16..20].try_into().expect("4-byte slice")),
+            };
+            if e.offset < HEADER_LEN as u64 || e.offset + e.stored_len as u64 > index_offset {
+                return Err(StoreError::Malformed("sample extent outside shard body"));
+            }
+            index.push(e);
+        }
+        Ok(Self {
+            path,
+            file,
+            base,
+            gzip: flags & FLAG_GZIP != 0,
+            index,
+            index_offset,
+        })
+    }
+
+    /// Number of samples in the shard.
+    pub fn count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Global index of the shard's first sample.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Whether payloads are stored gzip-compressed.
+    pub fn is_gzip(&self) -> bool {
+        self.gzip
+    }
+
+    /// Raw (decoded) length of local sample `idx`.
+    pub fn raw_len(&self, idx: usize) -> Option<u32> {
+        self.index.get(idx).map(|e| e.raw_len)
+    }
+
+    /// Bytes the shard file occupies on disk.
+    pub fn file_bytes(&self) -> u64 {
+        self.index_offset + (self.index.len() * ENTRY_LEN + TRAILER_LEN) as u64
+    }
+
+    /// Fetches local sample `idx`, verifying its CRC (and
+    /// decompressing when the shard is gzip-packed).
+    pub fn fetch(&self, idx: usize) -> Result<Vec<u8>> {
+        let entry = self.index.get(idx).ok_or(StoreError::OutOfRange {
+            idx,
+            len: self.index.len(),
+        })?;
+        let mut stored = vec![0u8; entry.stored_len as usize];
+        self.file
+            .read_exact_at(&mut stored, entry.offset)
+            .map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    StoreError::Truncated("shard body")
+                } else {
+                    StoreError::Io(e)
+                }
+            })?;
+        let computed = crc32(&stored);
+        if computed != entry.crc32 {
+            return Err(StoreError::SampleCorrupt {
+                sample: idx,
+                computed,
+                stored: entry.crc32,
+            });
+        }
+        if self.gzip {
+            let raw = sciml_compress::gzip_decompress(&stored)?;
+            if raw.len() != entry.raw_len as usize {
+                return Err(StoreError::Malformed("decompressed length mismatch"));
+            }
+            Ok(raw)
+        } else {
+            Ok(stored)
+        }
+    }
+
+    /// Verifies every sample payload's CRC without decompressing.
+    pub fn verify(&self) -> Result<()> {
+        for (idx, entry) in self.index.iter().enumerate() {
+            let mut stored = vec![0u8; entry.stored_len as usize];
+            self.file
+                .read_exact_at(&mut stored, entry.offset)
+                .map_err(|_| StoreError::Truncated("shard body"))?;
+            let computed = crc32(&stored);
+            if computed != entry.crc32 {
+                return Err(StoreError::SampleCorrupt {
+                    sample: idx,
+                    computed,
+                    stored: entry.crc32,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Path this reader was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Streams a file through CRC-32 (whole-file integrity for
+/// `verify-store` and journal replay) without loading it into memory.
+pub fn file_crc32(path: &Path) -> Result<u32> {
+    let mut f = File::open(path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            StoreError::MissingShard(path.to_path_buf())
+        } else {
+            StoreError::Io(e)
+        }
+    })?;
+    let mut crc = Crc32::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = f.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        crc.update(&buf[..n]);
+    }
+    Ok(crc.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sciml_shard_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn samples() -> Vec<Vec<u8>> {
+        vec![
+            vec![1u8; 100],
+            Vec::new(), // zero-length sample
+            (0..=255u8).collect(),
+            vec![42u8; 3000],
+        ]
+    }
+
+    #[test]
+    fn shard_roundtrip_plain() {
+        let dir = tmp_dir("plain");
+        let meta = write_shard(&dir, 0, &samples(), 7, false, Level::Fast).unwrap();
+        assert_eq!(meta.count, 4);
+        assert_eq!(meta.first, 7);
+        let r = ShardReader::open(dir.join(&meta.file)).unwrap();
+        assert_eq!(r.count(), 4);
+        assert_eq!(r.base(), 7);
+        assert!(!r.is_gzip());
+        for (i, want) in samples().iter().enumerate() {
+            assert_eq!(&r.fetch(i).unwrap(), want, "sample {i}");
+        }
+        r.verify().unwrap();
+        assert_eq!(r.file_bytes(), meta.bytes);
+        assert!(matches!(
+            r.fetch(4),
+            Err(StoreError::OutOfRange { idx: 4, len: 4 })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_roundtrip_gzip() {
+        let dir = tmp_dir("gzip");
+        let meta = write_shard(&dir, 0, &samples(), 0, true, Level::Fast).unwrap();
+        let r = ShardReader::open(dir.join(&meta.file)).unwrap();
+        assert!(r.is_gzip());
+        for (i, want) in samples().iter().enumerate() {
+            assert_eq!(&r.fetch(i).unwrap(), want, "sample {i}");
+            assert_eq!(r.raw_len(i).unwrap() as usize, want.len());
+        }
+        // Highly repetitive payloads must actually compress.
+        let plain = encode_shard(&samples(), 0, false, Level::Fast);
+        assert!(meta.bytes < plain.len() as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_shard_roundtrips() {
+        let dir = tmp_dir("empty");
+        let meta = write_shard(&dir, 0, &[], 0, false, Level::Fast).unwrap();
+        let r = ShardReader::open(dir.join(&meta.file)).unwrap();
+        assert_eq!(r.count(), 0);
+        r.verify().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_fetches_share_one_reader() {
+        let dir = tmp_dir("conc");
+        let many: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i; 512]).collect();
+        let meta = write_shard(&dir, 0, &many, 0, false, Level::Fast).unwrap();
+        let r = std::sync::Arc::new(ShardReader::open(dir.join(&meta.file)).unwrap());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let r = std::sync::Arc::clone(&r);
+                scope.spawn(move || {
+                    for round in 0..32 {
+                        let idx = (t * 11 + round * 5) % 64;
+                        assert_eq!(r.fetch(idx).unwrap(), vec![idx as u8; 512]);
+                    }
+                });
+            }
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_crc_matches_manifest_crc() {
+        let dir = tmp_dir("crc");
+        let meta = write_shard(&dir, 3, &samples(), 0, false, Level::Fast).unwrap();
+        assert_eq!(file_crc32(&dir.join(&meta.file)).unwrap(), meta.crc32);
+        assert!(matches!(
+            file_crc32(&dir.join("nope.sshard")),
+            Err(StoreError::MissingShard(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,205 @@
+//! Failure injection for the packed store: every corruption a disk or
+//! network can produce must surface as a typed [`StoreError`], never a
+//! panic — truncated shards, corrupted footer indexes, bit-flipped
+//! payloads, and staging manifests whose backing source has vanished.
+
+use sciml_pipeline::source::{DirSource, VecSource};
+use sciml_pipeline::SampleSource;
+use sciml_store::manifest::plan_by_count;
+use sciml_store::{
+    pack_store, PackConfig, ShardReader, ShardSource, Stager, StagerConfig, StoreError,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sciml_fail_store_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn packed_store(tag: &str, n: usize) -> (PathBuf, Vec<Vec<u8>>) {
+    let dir = tmp_dir(tag);
+    let samples: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 120 + i]).collect();
+    pack_store(
+        &VecSource::new(samples.clone()),
+        &dir,
+        PackConfig {
+            target_shard_bytes: 300,
+            ..PackConfig::default()
+        },
+    )
+    .unwrap();
+    (dir, samples)
+}
+
+fn shard_path(dir: &Path) -> PathBuf {
+    dir.join("shard_000000.sshard")
+}
+
+/// Truncation at every byte boundary of a real shard file: open or
+/// fetch must fail with a typed error at every cut point, and must
+/// never panic.
+#[test]
+fn truncated_shard_always_typed_error() {
+    let (dir, _) = packed_store("truncate", 4);
+    let original = std::fs::read(shard_path(&dir)).unwrap();
+    for cut in 0..original.len() {
+        std::fs::write(shard_path(&dir), &original[..cut]).unwrap();
+        match ShardReader::open(shard_path(&dir)) {
+            Ok(reader) => {
+                // If the trailer happened to survive, payload reads must
+                // still catch the missing bytes.
+                let mut any_err = false;
+                for i in 0..reader.count() {
+                    any_err |= reader.fetch(i).is_err();
+                }
+                assert!(any_err, "cut at {cut} silently read truncated data");
+            }
+            Err(
+                StoreError::Truncated(_)
+                | StoreError::BadMagic(_)
+                | StoreError::Malformed(_)
+                | StoreError::IndexCorrupt { .. }
+                | StoreError::Io(_),
+            ) => {}
+            Err(other) => panic!("cut at {cut}: unexpected error {other}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A bit flip anywhere in the footer index (or trailer) is caught by
+/// the index CRC / trailer validation at open time.
+#[test]
+fn corrupted_footer_index_rejected_at_open() {
+    let (dir, _) = packed_store("footer", 4);
+    let path = shard_path(&dir);
+    let original = std::fs::read(&path).unwrap();
+    let reader = ShardReader::open(&path).unwrap();
+    let entries = reader.count();
+    drop(reader);
+    // Index region: 20 bytes per entry + 24-byte trailer at the end.
+    let index_start = original.len() - 24 - 20 * entries;
+    for pos in (index_start..original.len()).step_by(7) {
+        let mut bytes = original.clone();
+        bytes[pos] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = match ShardReader::open(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupt footer byte {pos} accepted"),
+        };
+        assert!(
+            matches!(
+                err,
+                StoreError::IndexCorrupt { .. }
+                    | StoreError::BadMagic(_)
+                    | StoreError::BadVersion(_)
+                    | StoreError::Truncated(_)
+                    | StoreError::Malformed(_)
+            ),
+            "byte {pos}: unexpected error {err}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A bit flip in a sample payload passes open (the index is intact) but
+/// fails that sample's CRC on fetch — and only that sample's.
+#[test]
+fn bit_flipped_payload_caught_per_sample() {
+    let (dir, samples) = packed_store("payload", 4);
+    let path = shard_path(&dir);
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Header is 16 bytes; flip a bit early in the first payload.
+    bytes[20] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let store = ShardSource::open(&dir).unwrap();
+    let err = store.fetch_verified(0).unwrap_err();
+    assert!(
+        matches!(err, StoreError::SampleCorrupt { sample: 0, .. }),
+        "unexpected error {err}"
+    );
+    // Whole-store verification also names the damage.
+    assert!(store.verify().is_err());
+    // Samples in other shards are untouched and still fetch clean.
+    let last = samples.len() - 1;
+    assert_eq!(store.fetch_verified(last).unwrap(), samples[last]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A shard file named by the manifest but missing from disk is a typed
+/// `MissingShard`, discovered at open time.
+#[test]
+fn missing_shard_file_is_typed() {
+    let (dir, _) = packed_store("missing", 6);
+    std::fs::remove_file(shard_path(&dir)).unwrap();
+    let err = match ShardSource::open(&dir) {
+        Err(e) => e,
+        Ok(_) => panic!("store with a missing shard file opened"),
+    };
+    assert!(
+        matches!(err, StoreError::MissingShard(_) | StoreError::Io(_)),
+        "unexpected error {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Staging from a backing directory that has vanished: every retry
+/// fails, the error is typed (`RetriesExhausted` wrapping the backing
+/// failure), the shard is marked failed — and nothing panics. The
+/// staging view keeps answering for staged data and returns typed
+/// errors for the rest.
+#[test]
+fn staging_with_vanished_backing_dir_is_typed() {
+    let staging = tmp_dir("vanish_staging");
+    let gone = tmp_dir("vanish_backing"); // never created
+    let backing: Arc<dyn SampleSource> = Arc::new(DirSource::open(&gone, 4));
+    let stager = Stager::new(
+        backing,
+        plan_by_count(4, 2),
+        &staging,
+        StagerConfig {
+            max_retries: 1,
+            retry_backoff: Duration::from_millis(1),
+            ..StagerConfig::default()
+        },
+    )
+    .unwrap();
+    let err = stager.stage_one().unwrap_err();
+    assert!(
+        matches!(err, StoreError::RetriesExhausted(_)),
+        "unexpected error {err}"
+    );
+    assert_eq!(stager.progress().failed_shards, 1);
+    // Fall-through reads hit the same vanished dir: typed, not a panic.
+    let view = stager.source();
+    assert!(SampleSource::fetch(&view, 0).is_err());
+    std::fs::remove_dir_all(&staging).ok();
+}
+
+/// Garbage bytes under the shard extension: opening is an error, not a
+/// panic, whatever the content.
+#[test]
+fn garbage_shard_file_rejected() {
+    let dir = tmp_dir("garbage");
+    std::fs::create_dir_all(&dir).unwrap();
+    for content in [
+        &b""[..],
+        &b"SS"[..],
+        &b"not a shard at all, just text"[..],
+        &[0u8; 64][..],
+        &[0xFFu8; 200][..],
+    ] {
+        let path = dir.join("shard_000000.sshard");
+        std::fs::write(&path, content).unwrap();
+        assert!(ShardReader::open(&path).is_err());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
