@@ -10,6 +10,7 @@
 //! sciml serve (--dir DIR --n N | --store DIR) [--addr HOST:PORT] [--name NAME] [--cache-mb M]
 //!             [--metrics-out F]
 //! sciml fetch --addr HOST:PORT [--name NAME] [--indices I,J,K | --all] [--stats] [--shutdown]
+//!             [--decode cosmo|deepcam [--batch B] [--epochs E] [--pool-capacity N]]
 //!             [--metrics-out FILE] [--trace-out FILE]
 //! sciml pack --dir DIR --n N --out DIR [--shard-mb M] [--gzip]
 //! sciml stage (--addr HOST:PORT [--name D] | --dir DIR --n N) --out DIR
@@ -27,8 +28,9 @@ use sciml_data::deepcam::DeepCamConfig;
 use sciml_data::serialize;
 use sciml_half::slice::widen;
 use sciml_obs::Telemetry;
+use sciml_pipeline::decoder::{CosmoPluginCpu, DeepCamPluginCpu};
 use sciml_pipeline::source::DirSource;
-use sciml_pipeline::SampleSource;
+use sciml_pipeline::{DecoderPlugin, Pipeline, PipelineConfig, SampleSource};
 use sciml_serve::{ClientConfig, RemoteSource, ServeBuilder, ServerConfig};
 use sciml_store::manifest::plan_by_count;
 use sciml_store::{pack_store, PackConfig, ShardSource, Stager, StagerConfig};
@@ -80,6 +82,7 @@ fn print_usage() {
          bench-decode FILE [--iters K]                 time repeated decodes\n  \
          serve (--dir DIR --n N | --store DIR)         serve an encoded dataset over TCP\n  \
          fetch --addr A [--name D] [--indices I,J]     fetch samples / stats from a server\n  \
+         ..... --decode cosmo|deepcam [--pool-capacity N]  run a pooled decode pipeline over it\n  \
          pack --dir DIR --n N --out DIR                pack per-file samples into .sshard shards\n  \
          stage (--addr A | --dir DIR --n N) --out DIR  stage a dataset into a local packed copy\n  \
          verify-store DIR                              CRC-check every shard of a packed store\n  \
@@ -498,13 +501,15 @@ fn fetch(args: &[String]) -> Result<(), String> {
     } else {
         Telemetry::disabled()
     };
-    let src = RemoteSource::connect_with_registry(
-        &addr,
-        &name,
-        ClientConfig::default(),
-        Arc::clone(&telemetry.registry),
-    )
-    .map_err(|e| e.to_string())?;
+    let src = Arc::new(
+        RemoteSource::connect_with_registry(
+            &addr,
+            &name,
+            ClientConfig::default(),
+            Arc::clone(&telemetry.registry),
+        )
+        .map_err(|e| e.to_string())?,
+    );
     let fetch_ns = telemetry.registry.histogram("client.fetch_ns");
 
     let indices: Vec<u64> = if args.iter().any(|a| a == "--all") {
@@ -541,6 +546,57 @@ fn fetch(args: &[String]) -> Result<(), String> {
                 std::fs::write(&path, sample).map_err(|e| format!("write {path:?}: {e}"))?;
             }
             println!("wrote {} files to {out}", samples.len());
+        }
+    }
+    // Run a pooled decode pipeline straight off the remote source: the
+    // zero-copy path end to end, with the pool hit rate as the receipt.
+    if let Some(workload) = flag(args, "--decode") {
+        let plugin: Arc<dyn DecoderPlugin> = match workload.as_str() {
+            "cosmo" => Arc::new(CosmoPluginCpu { op: Op::Log1p }),
+            "deepcam" => Arc::new(DeepCamPluginCpu { op: Op::Identity }),
+            other => return Err(format!("--decode must be cosmo|deepcam, got `{other}`")),
+        };
+        let cfg = PipelineConfig {
+            batch_size: flag_parse(args, "--batch", 4)?,
+            epochs: flag_parse(args, "--epochs", 1)?,
+            pool_capacity: flag(args, "--pool-capacity")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("invalid value for --pool-capacity: {v}"))
+                })
+                .transpose()?,
+            ..Default::default()
+        };
+        let mut p = Pipeline::launch_with(
+            Arc::clone(&src) as Arc<dyn SampleSource>,
+            plugin,
+            cfg,
+            telemetry.clone(),
+        )
+        .map_err(|e| e.to_string())?;
+        let pool = p.pool();
+        let t0 = Instant::now();
+        let (mut batches, mut samples) = (0u64, 0u64);
+        while let Some(b) = p.next_batch().map_err(|e| e.to_string())? {
+            batches += 1;
+            samples += b.len() as u64; // batch dropped here → buffer recycles
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "decoded {samples} samples in {batches} batches over {:.2} ms — {:.0} samples/s (pool capacity {})",
+            dt * 1e3,
+            samples as f64 / dt,
+            pool.capacity(),
+        );
+        let checkouts = pool.hits() + pool.misses();
+        if checkouts > 0 {
+            println!(
+                "  pool: {:.1}% hit rate ({} hits / {} misses), {} bytes resident",
+                100.0 * pool.hits() as f64 / checkouts as f64,
+                pool.hits(),
+                pool.misses(),
+                pool.resident_bytes(),
+            );
         }
     }
     if args.iter().any(|a| a == "--stats") {

@@ -6,7 +6,7 @@
 //! of a voxel from one table row — fusing the storage→training-layout
 //! transpose into the decompression, as §X describes.
 
-use super::EncodedCosmo;
+use super::{EncodedCosmo, KeyWidth};
 use crate::ops::{Op, OpCounter};
 use crate::CodecError;
 use rayon::prelude::*;
@@ -15,13 +15,30 @@ use sciml_half::F16;
 
 /// Decodes with the fused operator into channel-major FP16.
 pub fn decode(enc: &EncodedCosmo, op: Op) -> Result<Vec<F16>, CodecError> {
-    decode_impl(enc, op, None, false)
+    let mut out = vec![F16::ZERO; enc.voxels() * N_REDSHIFTS];
+    decode_impl(enc, op, None, false, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode`] into a caller-provided slice, which must be exactly
+/// `voxels × N_REDSHIFTS` long (a typed error otherwise, never a
+/// panic). Every slot is written; callers may pass recycled buffers.
+pub fn decode_into(enc: &EncodedCosmo, op: Op, out: &mut [F16]) -> Result<(), CodecError> {
+    decode_impl(enc, op, None, false, out)
 }
 
 /// Decode with rayon parallelism across chunks (one task per chunk, the
 /// unit the paper's localized tables create).
 pub fn decode_parallel(enc: &EncodedCosmo, op: Op) -> Result<Vec<F16>, CodecError> {
-    decode_impl(enc, op, None, true)
+    let mut out = vec![F16::ZERO; enc.voxels() * N_REDSHIFTS];
+    decode_impl(enc, op, None, true, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_parallel`] into a caller-provided slice (same length
+/// contract as [`decode_into`]).
+pub fn decode_parallel_into(enc: &EncodedCosmo, op: Op, out: &mut [F16]) -> Result<(), CodecError> {
+    decode_impl(enc, op, None, true, out)
 }
 
 /// Decode while counting operator applications (to verify the fusion
@@ -31,7 +48,9 @@ pub fn decode_with_counter(
     op: Op,
     counter: &OpCounter,
 ) -> Result<Vec<F16>, CodecError> {
-    decode_impl(enc, op, Some(counter), false)
+    let mut out = vec![F16::ZERO; enc.voxels() * N_REDSHIFTS];
+    decode_impl(enc, op, Some(counter), false, &mut out)?;
+    Ok(out)
 }
 
 fn decode_impl(
@@ -39,20 +58,15 @@ fn decode_impl(
     op: Op,
     counter: Option<&OpCounter>,
     parallel: bool,
-) -> Result<Vec<F16>, CodecError> {
+    out: &mut [F16],
+) -> Result<(), CodecError> {
     let voxels = enc.voxels();
     let covered: u64 = enc.chunks.iter().map(|c| c.n_voxels as u64).sum();
     if covered != voxels as u64 {
         return Err(CodecError::Inconsistent("chunks do not cover grid"));
     }
-    let mut out = vec![F16::ZERO; voxels * N_REDSHIFTS];
-
-    // Chunk start offsets in the flat voxel range.
-    let mut starts = Vec::with_capacity(enc.chunks.len());
-    let mut acc = 0usize;
-    for c in &enc.chunks {
-        starts.push(acc);
-        acc += c.n_voxels as usize;
+    if out.len() != voxels * N_REDSHIFTS {
+        return Err(CodecError::Inconsistent("output slice length mismatch"));
     }
 
     // Split the output into per-channel slices so chunk tasks can write
@@ -66,35 +80,125 @@ fn decode_impl(
         // Fused op on the *unique count values* of this chunk (§V-B:
         // "complex preprocessing operations … are applied to the unique
         // set of values within the sample" — hundreds of applications
-        // instead of millions), then group rows are assembled by value
-        // lookup.
-        let mut value_lut: std::collections::HashMap<u16, F16> = std::collections::HashMap::new();
-        let mut lut: Vec<[F16; N_REDSHIFTS]> = Vec::with_capacity(chunk.table.len());
+        // instead of millions). The memo is a flat LUT indexed directly
+        // by count value over the chunk's [lo, hi] range — no hashing,
+        // no searching — with a sorted-run sweep as the fallback when
+        // the value range is too wide to materialize.
+        let apply = |count: u16| -> F16 {
+            let x = count as f32;
+            let y = match counter {
+                Some(c) => c.apply(op, x),
+                None => op.apply(x),
+            };
+            F16::from_f32(y)
+        };
+        let mut lut: Vec<[F16; N_REDSHIFTS]> = vec![[F16::ZERO; N_REDSHIFTS]; chunk.table.len()];
+        let (mut lo, mut hi) = (u16::MAX, u16::MIN);
         for g in &chunk.table {
-            let mut row = [F16::ZERO; N_REDSHIFTS];
-            for (z, &count) in g.iter().enumerate() {
-                row[z] = *value_lut.entry(count).or_insert_with(|| {
-                    let x = count as f32;
-                    let y = match counter {
-                        Some(c) => c.apply(op, x),
-                        None => op.apply(x),
-                    };
-                    F16::from_f32(y)
-                });
+            for &c in g {
+                lo = lo.min(c);
+                hi = hi.max(c);
             }
-            lut.push(row);
+        }
+        // Localized chunks have tight count ranges; 2^15 entries (96 KiB
+        // of scratch) is far beyond any real chunk but still cheap.
+        const DENSE_RANGE_MAX: usize = 1 << 15;
+        if chunk.table.is_empty() {
+            // Nothing to map; an empty table with voxels is caught by
+            // the key-range check below.
+        } else if ((hi - lo) as usize) < DENSE_RANGE_MAX {
+            let range = (hi - lo) as usize + 1;
+            let mut memo = vec![F16::ZERO; range];
+            let mut seen = vec![false; range];
+            for (gi, g) in chunk.table.iter().enumerate() {
+                for (z, &c) in g.iter().enumerate() {
+                    let o = (c - lo) as usize;
+                    if !seen[o] {
+                        seen[o] = true;
+                        memo[o] = apply(c);
+                    }
+                    lut[gi][z] = memo[o];
+                }
+            }
+        } else {
+            // Wide-range fallback: sort (value, slot) pairs and sweep
+            // equal-value runs, applying the op once per run.
+            let mut entries: Vec<(u16, u32)> = Vec::with_capacity(chunk.table.len() * N_REDSHIFTS);
+            for (gi, g) in chunk.table.iter().enumerate() {
+                for (z, &count) in g.iter().enumerate() {
+                    entries.push((count, (gi * N_REDSHIFTS + z) as u32));
+                }
+            }
+            entries.sort_unstable();
+            let mut i = 0;
+            while i < entries.len() {
+                let count = entries[i].0;
+                let h = apply(count);
+                while i < entries.len() && entries[i].0 == count {
+                    let slot = entries[i].1 as usize;
+                    lut[slot / N_REDSHIFTS][slot % N_REDSHIFTS] = h;
+                    i += 1;
+                }
+            }
         }
         let n = chunk.n_voxels as usize;
         if chunk.keys.len() != n * chunk.key_width.bytes() {
             return Err(CodecError::Corrupt("key payload size"));
         }
-        for v in 0..n {
-            let k = chunk.key(v);
-            let row = lut
-                .get(k)
-                .ok_or(CodecError::Corrupt("key out of table range"))?;
-            for (z, chan) in chans.iter_mut().enumerate() {
-                chan[start + v] = row[z];
+        // Validate every key up front with a vectorizable max-scan, so
+        // the gather below needs no per-voxel fallible branch.
+        let max_key = match chunk.key_width {
+            KeyWidth::U8 => chunk.keys.iter().copied().max().map(usize::from),
+            KeyWidth::U16 => chunk
+                .keys
+                .chunks_exact(2)
+                .map(|b| u16::from_le_bytes([b[0], b[1]]) as usize)
+                .max(),
+        };
+        if max_key.is_some_and(|m| m >= lut.len()) {
+            return Err(CodecError::Corrupt("key out of table range"));
+        }
+        // Single-pass gather: one key decode per voxel, one LUT row
+        // copy, four channel writes. The key-width dispatch is hoisted
+        // out of the loop, and the zipped per-channel subslices let the
+        // compiler drop all bounds checks from the loop body.
+        if let [c0, c1, c2, c3] = chans {
+            let (d0, d1, d2, d3) = (
+                &mut c0[start..start + n],
+                &mut c1[start..start + n],
+                &mut c2[start..start + n],
+                &mut c3[start..start + n],
+            );
+            match chunk.key_width {
+                KeyWidth::U8 => {
+                    for ((((&k, d0), d1), d2), d3) in
+                        chunk.keys.iter().zip(d0).zip(d1).zip(d2).zip(d3)
+                    {
+                        let row = &lut[k as usize];
+                        *d0 = row[0];
+                        *d1 = row[1];
+                        *d2 = row[2];
+                        *d3 = row[3];
+                    }
+                }
+                KeyWidth::U16 => {
+                    for ((((kb, d0), d1), d2), d3) in
+                        chunk.keys.chunks_exact(2).zip(d0).zip(d1).zip(d2).zip(d3)
+                    {
+                        let row = &lut[u16::from_le_bytes([kb[0], kb[1]]) as usize];
+                        *d0 = row[0];
+                        *d1 = row[1];
+                        *d2 = row[2];
+                        *d3 = row[3];
+                    }
+                }
+            }
+        } else {
+            for v in 0..n {
+                let row = &lut[chunk.key(v)];
+                for (z, chan) in chans.iter_mut().enumerate() {
+                    chan[start + v] = row[z];
+                }
             }
         }
         Ok(())
@@ -121,11 +225,15 @@ fn decode_impl(
                 decode_chunk(chunk, 0, chans)
             })?;
     } else {
-        for (chunk, &start) in enc.chunks.iter().zip(&starts) {
+        // Chunk start offsets only matter on this path; the parallel
+        // branch pre-splits the channels instead.
+        let mut start = 0usize;
+        for chunk in &enc.chunks {
             decode_chunk(chunk, start, &mut channels)?;
+            start += chunk.n_voxels as usize;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Losslessly reconstructs the original u16 counts (channel-major).
@@ -196,6 +304,27 @@ mod tests {
             let fused = decode(&e, op).unwrap();
             let base = baseline_preprocess(&s, op);
             assert_eq!(fused, base, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn decode_into_matches_decode_and_checks_length() {
+        let s = small();
+        let e = encode(&s);
+        let want = decode(&e, Op::Log1p).unwrap();
+        // Reused, dirty buffer of the right size: every slot rewritten.
+        let mut out = vec![F16::ONE; want.len()];
+        decode_into(&e, Op::Log1p, &mut out).unwrap();
+        assert_eq!(out, want);
+        decode_parallel_into(&e, Op::Log1p, &mut out).unwrap();
+        assert_eq!(out, want);
+        // Short and oversized slices: typed error, no panic, no write.
+        for bad in [want.len() - 1, want.len() + 1, 0] {
+            let mut wrong = vec![F16::ZERO; bad];
+            assert!(matches!(
+                decode_into(&e, Op::Log1p, &mut wrong),
+                Err(CodecError::Inconsistent(_))
+            ));
         }
     }
 

@@ -94,6 +94,25 @@ pub fn baseline_preprocess(sample: &CosmoSample, op: Op) -> Vec<F16> {
         .collect()
 }
 
+/// [`baseline_preprocess`] into a caller-provided slice, which must be
+/// exactly `sample.counts.len()` long (a typed error otherwise, never a
+/// panic). Every slot is written; callers may pass recycled buffers.
+pub fn baseline_preprocess_into(
+    sample: &CosmoSample,
+    op: Op,
+    out: &mut [F16],
+) -> Result<(), crate::CodecError> {
+    if out.len() != sample.counts.len() {
+        return Err(crate::CodecError::Inconsistent(
+            "output slice length mismatch",
+        ));
+    }
+    for (o, &c) in out.iter_mut().zip(&sample.counts) {
+        *o = F16::from_f32(op.apply(c as f32));
+    }
+    Ok(())
+}
+
 /// Baseline preprocessing with operator-invocation counting (used to
 /// demonstrate the unique-value fusion advantage).
 pub fn baseline_preprocess_with_counter(

@@ -24,8 +24,12 @@
 mod decode;
 mod encode;
 
-pub use decode::{decode, decode_counts, decode_parallel, decode_with_counter};
-pub use encode::{baseline_preprocess, baseline_preprocess_with_counter, encode};
+pub use decode::{
+    decode, decode_counts, decode_into, decode_parallel, decode_parallel_into, decode_with_counter,
+};
+pub use encode::{
+    baseline_preprocess, baseline_preprocess_into, baseline_preprocess_with_counter, encode,
+};
 
 use crate::CodecError;
 use sciml_data::cosmoflow::N_REDSHIFTS;

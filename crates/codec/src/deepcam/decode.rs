@@ -8,24 +8,49 @@ use sciml_half::F16;
 
 /// Decodes a full sample sequentially into channel-major FP16.
 pub fn decode(enc: &EncodedDeepCam, op: Op) -> Result<Vec<F16>, CodecError> {
-    let width = enc.width as usize;
     let mut out = vec![F16::ZERO; enc.n_values()];
+    decode_into(enc, op, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode`] into a caller-provided slice, which must be exactly
+/// [`EncodedDeepCam::n_values`] long (a typed error otherwise, never a
+/// panic). Every slot is written; callers may pass recycled buffers.
+pub fn decode_into(enc: &EncodedDeepCam, op: Op, out: &mut [F16]) -> Result<(), CodecError> {
+    let width = enc.width as usize;
+    if out.len() != enc.n_values() {
+        return Err(CodecError::Inconsistent("output slice length mismatch"));
+    }
     for (idx, chunk) in out.chunks_mut(width).enumerate() {
         decode_line_into(enc, idx, op, chunk)?;
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Decodes a full sample with one rayon task per line — the CPU plugin's
 /// execution model ("on the CPU we assign different samples/lines to
 /// different threads"; lines are the intra-sample unit).
 pub fn decode_parallel(enc: &EncodedDeepCam, op: Op) -> Result<Vec<F16>, CodecError> {
-    let width = enc.width as usize;
     let mut out = vec![F16::ZERO; enc.n_values()];
+    decode_parallel_into(enc, op, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_parallel`] into a caller-provided slice (same length
+/// contract as [`decode_into`]).
+pub fn decode_parallel_into(
+    enc: &EncodedDeepCam,
+    op: Op,
+    out: &mut [F16],
+) -> Result<(), CodecError> {
+    let width = enc.width as usize;
+    if out.len() != enc.n_values() {
+        return Err(CodecError::Inconsistent("output slice length mismatch"));
+    }
     out.par_chunks_mut(width)
         .enumerate()
         .try_for_each(|(idx, chunk)| decode_line_into(enc, idx, op, chunk))?;
-    Ok(out)
+    Ok(())
 }
 
 /// Decodes line `idx` into `dst` (length = width). This is the unit of
@@ -87,19 +112,18 @@ fn decode_delta_line(
         return Err(CodecError::Corrupt("segment headers truncated"));
     }
 
-    // Total values covered must equal the width; codes = width - n_segments.
+    // Validation pass over the headers: total values covered must equal
+    // the width (codes = width - n_segments). Headers are re-read in the
+    // decode pass below rather than staged in a scratch vector — this
+    // runs once per line of every sample, so it must not allocate.
     let mut total = 0usize;
-    let mut segs = Vec::with_capacity(n_segments);
     for si in 0..n_segments {
         let h = &payload[4 + si * 8..4 + si * 8 + 8];
-        let head = f32::from_le_bytes(h[0..4].try_into().unwrap());
         let count = u16::from_le_bytes(h[4..6].try_into().unwrap()) as usize;
-        let base_exp = h[6] as i8;
         if count == 0 {
             return Err(CodecError::Corrupt("empty segment"));
         }
         total += count;
-        segs.push((head, count, base_exp));
     }
     if total != width {
         return Err(CodecError::Inconsistent("segment counts != width"));
@@ -116,7 +140,11 @@ fn decode_delta_line(
     let mut ci = 0usize; // code cursor
     let mut li = 0usize; // literal cursor
     let mut di = 0usize; // destination cursor
-    for (head, count, base_exp) in segs {
+    for si in 0..n_segments {
+        let h = &payload[4 + si * 8..4 + si * 8 + 8];
+        let head = f32::from_le_bytes(h[0..4].try_into().unwrap());
+        let count = u16::from_le_bytes(h[4..6].try_into().unwrap()) as usize;
+        let base_exp = h[6] as i8;
         // FP32 compute, FP16 emit — the paper's software-emulated path.
         let mut prev = head;
         dst[di] = F16::from_f32(op.apply(prev));
@@ -290,6 +318,29 @@ mod tests {
     fn empty_mask_is_preserved_and_roundtrips() {
         let (s, e) = roundtrip_sample();
         assert_eq!(e.mask, s.mask);
+    }
+
+    #[test]
+    fn decode_into_matches_decode_and_checks_length() {
+        let (_, e) = roundtrip_sample();
+        let want = decode(&e, Op::Identity).unwrap();
+        // Dirty recycled buffer: every slot must be rewritten.
+        let mut out = vec![F16::ONE; want.len()];
+        decode_into(&e, Op::Identity, &mut out).unwrap();
+        assert_eq!(out, want);
+        decode_parallel_into(&e, Op::Identity, &mut out).unwrap();
+        assert_eq!(out, want);
+        for bad in [want.len() - 1, want.len() + 1, 0] {
+            let mut wrong = vec![F16::ZERO; bad];
+            assert!(matches!(
+                decode_into(&e, Op::Identity, &mut wrong),
+                Err(CodecError::Inconsistent(_))
+            ));
+            assert!(matches!(
+                decode_parallel_into(&e, Op::Identity, &mut wrong),
+                Err(CodecError::Inconsistent(_))
+            ));
+        }
     }
 
     #[test]

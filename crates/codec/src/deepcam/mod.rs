@@ -25,7 +25,7 @@
 mod decode;
 mod encode;
 
-pub use decode::{decode, decode_line_into, decode_parallel};
+pub use decode::{decode, decode_into, decode_line_into, decode_parallel, decode_parallel_into};
 pub use encode::{encode, encode_parallel, EncodeStats, EncoderConfig};
 
 use crate::CodecError;

@@ -3,9 +3,10 @@
 use proptest::prelude::*;
 use sciml_codec::cosmoflow as cf;
 use sciml_codec::deepcam as dc;
-use sciml_codec::Op;
+use sciml_codec::{CodecError, Op};
 use sciml_data::cosmoflow::{CosmoParams, CosmoSample};
 use sciml_data::deepcam::DeepCamSample;
+use sciml_half::F16;
 
 /// Arbitrary small CosmoFlow sample (grid 2..6).
 fn cosmo_sample() -> impl Strategy<Value = CosmoSample> {
@@ -107,6 +108,65 @@ proptest! {
     fn from_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
         let _ = cf::EncodedCosmo::from_bytes(&bytes);
         let _ = dc::EncodedDeepCam::from_bytes(&bytes);
+    }
+
+    /// In-place decode into a dirty recycled buffer is byte-identical
+    /// to the allocating decode, for both codecs and both the serial
+    /// and parallel paths.
+    #[test]
+    fn decode_into_equals_decode(s in cosmo_sample(), d in deepcam_sample()) {
+        let e = cf::encode(&s);
+        let want = cf::decode(&e, Op::Log1p).unwrap();
+        let mut out = vec![F16::ONE; want.len()]; // dirty, as if recycled
+        cf::decode_into(&e, Op::Log1p, &mut out).unwrap();
+        prop_assert_eq!(&out, &want);
+        out.fill(F16::ONE);
+        cf::decode_parallel_into(&e, Op::Log1p, &mut out).unwrap();
+        prop_assert_eq!(&out, &want);
+
+        let (ed, _) = dc::encode(&d, &dc::EncoderConfig::default());
+        let want = dc::decode(&ed, Op::Identity).unwrap();
+        let mut out = vec![F16::ONE; want.len()];
+        dc::decode_into(&ed, Op::Identity, &mut out).unwrap();
+        prop_assert_eq!(&out, &want);
+        out.fill(F16::ONE);
+        dc::decode_parallel_into(&ed, Op::Identity, &mut out).unwrap();
+        prop_assert_eq!(&out, &want);
+    }
+
+    /// Wrong-size output slices yield a typed error, never a panic,
+    /// and never touch the buffer contents.
+    #[test]
+    fn decode_into_rejects_wrong_size(
+        s in cosmo_sample(),
+        d in deepcam_sample(),
+        delta in prop_oneof![Just(-1isize), Just(1isize), Just(17isize)],
+    ) {
+        let e = cf::encode(&s);
+        let right = s.counts.len();
+        let wrong = (right as isize + delta).max(0) as usize;
+        let mut out = vec![F16::ZERO; wrong];
+        prop_assert!(matches!(
+            cf::decode_into(&e, Op::Log1p, &mut out),
+            Err(CodecError::Inconsistent(_))
+        ));
+        prop_assert!(matches!(
+            cf::decode_parallel_into(&e, Op::Log1p, &mut out),
+            Err(CodecError::Inconsistent(_))
+        ));
+
+        let (ed, _) = dc::encode(&d, &dc::EncoderConfig::default());
+        let right = d.data.len();
+        let wrong = (right as isize + delta).max(0) as usize;
+        let mut out = vec![F16::ZERO; wrong];
+        prop_assert!(matches!(
+            dc::decode_into(&ed, Op::Identity, &mut out),
+            Err(CodecError::Inconsistent(_))
+        ));
+        prop_assert!(matches!(
+            dc::decode_parallel_into(&ed, Op::Identity, &mut out),
+            Err(CodecError::Inconsistent(_))
+        ));
     }
 
     /// Constant volumes compress to almost nothing in both codecs.

@@ -135,6 +135,11 @@ impl DatasetBuilder {
 }
 
 /// Builds and launches a loading pipeline over in-memory encoded samples.
+///
+/// Batch tensors come from the pipeline's internal
+/// [`BufferPool`](sciml_pipeline::BufferPool) (sized by
+/// [`PipelineConfig::pool_capacity`]); drop batches when done with them
+/// to recycle their buffers.
 pub fn build_pipeline(
     samples: Vec<Vec<u8>>,
     plugin: Arc<dyn DecoderPlugin>,
@@ -267,6 +272,38 @@ mod tests {
         let snap = telemetry.registry.snapshot();
         assert_eq!(snap.counter("store.staging.shards_staged"), 3);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pool_config_and_metrics_flow_through_facade() {
+        let mut cfg = CosmoFlowConfig::test_small();
+        cfg.grid = 8;
+        let b = DatasetBuilder::cosmoflow(cfg);
+        let blobs = b.build(6, EncodedFormat::Custom);
+        let plugin = b.plugin(EncodedFormat::Custom, None, Op::Log1p);
+        let telemetry = sciml_obs::Telemetry::new();
+        let mut p = build_pipeline_observed(
+            blobs,
+            plugin,
+            PipelineConfig {
+                batch_size: 2,
+                epochs: 2,
+                pool_capacity: Some(3),
+                ..Default::default()
+            },
+            telemetry.clone(),
+        )
+        .unwrap();
+        assert_eq!(p.pool().capacity(), 3);
+        let mut batches = 0;
+        while let Some(b) = p.next_batch().unwrap() {
+            assert_eq!(b.len(), 2);
+            batches += 1; // batch dropped here → tensor returns to pool
+        }
+        assert_eq!(batches, 6);
+        let snap = telemetry.registry.snapshot();
+        assert!(snap.counter("pipeline.pool.hits") > 0, "pool never reused");
+        assert!(snap.counter("pipeline.pool.misses") > 0);
     }
 
     #[test]

@@ -26,12 +26,28 @@ pub fn decode_cosmo(
     enc: &EncodedCosmo,
     op: Op,
 ) -> Result<(Vec<F16>, KernelStats, f64), CodecError> {
+    let mut out = vec![F16::ZERO; enc.voxels() * N_REDSHIFTS];
+    let (stats, time) = decode_cosmo_into(gpu, enc, op, &mut out)?;
+    Ok((out, stats, time))
+}
+
+/// [`decode_cosmo`] writing into a caller-provided slice, which must be
+/// exactly `voxels × N_REDSHIFTS` long (a typed error otherwise, never a
+/// panic). Every slot is written; callers may pass recycled buffers.
+pub fn decode_cosmo_into(
+    gpu: &Gpu,
+    enc: &EncodedCosmo,
+    op: Op,
+    out: &mut [F16],
+) -> Result<(KernelStats, f64), CodecError> {
     let voxels = enc.voxels();
     let covered: u64 = enc.chunks.iter().map(|c| c.n_voxels as u64).sum();
     if covered != voxels as u64 {
         return Err(CodecError::Inconsistent("chunks do not cover grid"));
     }
-    let mut out = vec![F16::ZERO; voxels * N_REDSHIFTS];
+    if out.len() != voxels * N_REDSHIFTS {
+        return Err(CodecError::Inconsistent("output slice length mismatch"));
+    }
     let mut stats = KernelStats::default();
 
     let mut start = 0usize;
@@ -111,7 +127,7 @@ pub fn decode_cosmo(
     }
 
     let time = gpu.kernel_time(&stats);
-    Ok((out, stats, time))
+    Ok((stats, time))
 }
 
 /// DeepCAM hierarchical decode kernel.
@@ -126,8 +142,24 @@ pub fn decode_deepcam(
     enc: &EncodedDeepCam,
     op: Op,
 ) -> Result<(Vec<F16>, KernelStats, f64), CodecError> {
-    let width = enc.width as usize;
     let mut out = vec![F16::ZERO; enc.n_values()];
+    let (stats, time) = decode_deepcam_into(gpu, enc, op, &mut out)?;
+    Ok((out, stats, time))
+}
+
+/// [`decode_deepcam`] writing into a caller-provided slice, which must
+/// be exactly [`EncodedDeepCam::n_values`] long (same contract as
+/// [`decode_cosmo_into`]).
+pub fn decode_deepcam_into(
+    gpu: &Gpu,
+    enc: &EncodedDeepCam,
+    op: Op,
+    out: &mut [F16],
+) -> Result<(KernelStats, f64), CodecError> {
+    let width = enc.width as usize;
+    if out.len() != enc.n_values() {
+        return Err(CodecError::Inconsistent("output slice length mismatch"));
+    }
     let mut stats = KernelStats::default();
 
     for (idx, dst) in out.chunks_mut(width).enumerate() {
@@ -201,7 +233,7 @@ pub fn decode_deepcam(
     }
 
     let time = gpu.kernel_time(&stats);
-    Ok((out, stats, time))
+    Ok((stats, time))
 }
 
 /// Ablation kernel: decode **without** table fusion, then run a second
@@ -289,6 +321,28 @@ mod tests {
         assert!(stats.divergent_steps == 0); // single-chain diverge has no extra
         assert!(stats.longest_task_cycles > 0);
         assert!(time > 0.0 && time < 1.0, "{time}");
+    }
+
+    #[test]
+    fn into_variants_match_and_check_length() {
+        let gpu = Gpu::new(GpuSpec::V100);
+        let s = UniverseGenerator::new(CosmoFlowConfig::test_small()).generate(0);
+        let enc = cf::encode(&s);
+        let (want, _, _) = decode_cosmo(&gpu, &enc, Op::Log1p).unwrap();
+        let mut out = vec![F16::ONE; want.len()];
+        decode_cosmo_into(&gpu, &enc, Op::Log1p, &mut out).unwrap();
+        assert_eq!(out, want);
+        let mut wrong = vec![F16::ZERO; want.len() - 1];
+        assert!(decode_cosmo_into(&gpu, &enc, Op::Log1p, &mut wrong).is_err());
+
+        let d = ClimateGenerator::new(DeepCamConfig::test_small()).generate(0);
+        let (denc, _) = dc::encode(&d, &dc::EncoderConfig::default());
+        let (want, _, _) = decode_deepcam(&gpu, &denc, Op::Identity).unwrap();
+        let mut out = vec![F16::ONE; want.len()];
+        decode_deepcam_into(&gpu, &denc, Op::Identity, &mut out).unwrap();
+        assert_eq!(out, want);
+        let mut wrong = vec![F16::ZERO; want.len() + 1];
+        assert!(decode_deepcam_into(&gpu, &denc, Op::Identity, &mut wrong).is_err());
     }
 
     #[test]

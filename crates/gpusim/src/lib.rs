@@ -28,7 +28,9 @@
 pub mod kernels;
 pub mod warp;
 
-pub use kernels::{decode_cosmo, decode_cosmo_unfused, decode_deepcam};
+pub use kernels::{
+    decode_cosmo, decode_cosmo_into, decode_cosmo_unfused, decode_deepcam, decode_deepcam_into,
+};
 pub use warp::{KernelStats, TaskCounters, WarpCtx, WARP_SIZE};
 
 /// GPU hardware parameters (Table I).

@@ -1,5 +1,6 @@
 //! Batches delivered to the training loop.
 
+use crate::pool::PooledTensor;
 use sciml_half::F16;
 
 /// A sample's training label.
@@ -12,10 +13,16 @@ pub enum Label {
 }
 
 /// A batch of decoded FP16 samples in sample-major layout.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The tensor is pool-backed: dropping the batch returns its buffer to
+/// the [`crate::pool::BufferPool`] it was checked out of (or frees it,
+/// for unpooled batches). Deliberately neither `Clone` nor cheaply
+/// copyable — a batch is tens of megabytes at paper scale, and the
+/// zero-copy path exists so it is written exactly once.
+#[derive(Debug, PartialEq)]
 pub struct Batch {
     /// Concatenated sample tensors (`batch × values_per_sample`).
-    pub data: Vec<F16>,
+    pub data: PooledTensor,
     /// Values per sample.
     pub sample_len: usize,
     /// One label per sample.
@@ -50,7 +57,7 @@ mod tests {
     #[test]
     fn batch_accessors() {
         let b = Batch {
-            data: vec![F16::ONE; 6],
+            data: vec![F16::ONE; 6].into(),
             sample_len: 3,
             labels: vec![Label::Cosmo([0.3, 0.8, 0.96, 0.7]); 2],
             indices: vec![4, 9],

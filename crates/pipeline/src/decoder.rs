@@ -13,7 +13,10 @@ use sciml_half::F16;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A decoded, preprocessed, FP16 sample ready for batching.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Deliberately not `Clone`: a sample tensor is megabytes at paper
+/// scale, and the pipeline's zero-copy path never duplicates one.
+#[derive(Debug, PartialEq)]
 pub struct DecodedSample {
     /// Channel-major FP16 tensor.
     pub data: Vec<F16>,
@@ -25,6 +28,25 @@ pub struct DecodedSample {
 pub trait DecoderPlugin: Send + Sync {
     /// Decodes one sample's bytes into a training-ready tensor.
     fn decode(&self, bytes: &[u8]) -> Result<DecodedSample>;
+
+    /// Decodes one sample directly into `out` (a slot of a pooled batch
+    /// tensor), returning only the label. `out` must be exactly the
+    /// sample length; a mismatch is a typed error, never a panic, and
+    /// on success every slot of `out` is written.
+    ///
+    /// The default implementation falls back to [`DecoderPlugin::decode`]
+    /// plus a copy, so external plugins keep working unchanged; the
+    /// built-in plugins all decode in place.
+    fn decode_into(&self, bytes: &[u8], out: &mut [F16]) -> Result<Label> {
+        let d = self.decode(bytes)?;
+        if d.data.len() != out.len() {
+            return Err(
+                sciml_codec::CodecError::Inconsistent("output slice length mismatch").into(),
+            );
+        }
+        out.copy_from_slice(&d.data);
+        Ok(d.label)
+    }
 
     /// Human-readable name (for stats and figures).
     fn name(&self) -> &'static str;
@@ -48,6 +70,12 @@ impl DecoderPlugin for CosmoBaseline {
             data,
             label: Label::Cosmo(sample.label.as_array()),
         })
+    }
+
+    fn decode_into(&self, bytes: &[u8], out: &mut [F16]) -> Result<Label> {
+        let sample = serialize::cosmo_from_payload(bytes)?;
+        cf::baseline_preprocess_into(&sample, self.op, out)?;
+        Ok(Label::Cosmo(sample.label.as_array()))
     }
 
     fn name(&self) -> &'static str {
@@ -80,6 +108,15 @@ impl DecoderPlugin for CosmoGzip {
         })
     }
 
+    fn decode_into(&self, bytes: &[u8], out: &mut [F16]) -> Result<Label> {
+        // The decompressed payload is still an allocation (there is no
+        // streaming gunzip), but the tensor itself decodes in place.
+        let payload = sciml_compress::gzip_decompress(bytes)?;
+        let sample = serialize::cosmo_from_payload(&payload)?;
+        cf::baseline_preprocess_into(&sample, self.op, out)?;
+        Ok(Label::Cosmo(sample.label.as_array()))
+    }
+
     fn name(&self) -> &'static str {
         "cosmo-gzip"
     }
@@ -99,6 +136,12 @@ impl DecoderPlugin for CosmoPluginCpu {
             data,
             label: Label::Cosmo(enc.label),
         })
+    }
+
+    fn decode_into(&self, bytes: &[u8], out: &mut [F16]) -> Result<Label> {
+        let enc = cf::EncodedCosmo::from_bytes(bytes)?;
+        cf::decode_parallel_into(&enc, self.op, out)?;
+        Ok(Label::Cosmo(enc.label))
     }
 
     fn name(&self) -> &'static str {
@@ -145,6 +188,14 @@ impl DecoderPlugin for CosmoPluginGpu {
         })
     }
 
+    fn decode_into(&self, bytes: &[u8], out: &mut [F16]) -> Result<Label> {
+        let enc = cf::EncodedCosmo::from_bytes(bytes)?;
+        let (_, time) = sciml_gpusim::decode_cosmo_into(&self.gpu, &enc, self.op, out)?;
+        self.device_ns
+            .fetch_add((time * 1e9) as u64, Ordering::Relaxed);
+        Ok(Label::Cosmo(enc.label))
+    }
+
     fn name(&self) -> &'static str {
         "cosmo-plugin-gpu"
     }
@@ -175,6 +226,19 @@ impl DecoderPlugin for DeepCamBaseline {
         })
     }
 
+    fn decode_into(&self, bytes: &[u8], out: &mut [F16]) -> Result<Label> {
+        let sample = serialize::deepcam_from_h5(bytes)?;
+        if sample.data.len() != out.len() {
+            return Err(
+                sciml_codec::CodecError::Inconsistent("output slice length mismatch").into(),
+            );
+        }
+        for (o, &v) in out.iter_mut().zip(&sample.data) {
+            *o = F16::from_f32(self.op.apply(v));
+        }
+        Ok(Label::Mask(sample.mask))
+    }
+
     fn name(&self) -> &'static str {
         "deepcam-baseline"
     }
@@ -190,6 +254,11 @@ impl DecoderPlugin for DeepCamGzip {
     fn decode(&self, bytes: &[u8]) -> Result<DecodedSample> {
         let payload = sciml_compress::gzip_decompress(bytes)?;
         DeepCamBaseline { op: self.op }.decode(&payload)
+    }
+
+    fn decode_into(&self, bytes: &[u8], out: &mut [F16]) -> Result<Label> {
+        let payload = sciml_compress::gzip_decompress(bytes)?;
+        DeepCamBaseline { op: self.op }.decode_into(&payload, out)
     }
 
     fn name(&self) -> &'static str {
@@ -212,6 +281,12 @@ impl DecoderPlugin for DeepCamPluginCpu {
             data,
             label: Label::Mask(mask),
         })
+    }
+
+    fn decode_into(&self, bytes: &[u8], out: &mut [F16]) -> Result<Label> {
+        let enc = dc::EncodedDeepCam::from_bytes(bytes)?;
+        dc::decode_parallel_into(&enc, self.op, out)?;
+        Ok(Label::Mask(enc.mask))
     }
 
     fn name(&self) -> &'static str {
@@ -256,6 +331,14 @@ impl DecoderPlugin for DeepCamPluginGpu {
             data,
             label: Label::Mask(mask),
         })
+    }
+
+    fn decode_into(&self, bytes: &[u8], out: &mut [F16]) -> Result<Label> {
+        let enc = dc::EncodedDeepCam::from_bytes(bytes)?;
+        let (_, time) = sciml_gpusim::decode_deepcam_into(&self.gpu, &enc, self.op, out)?;
+        self.device_ns
+            .fetch_add((time * 1e9) as u64, Ordering::Relaxed);
+        Ok(Label::Mask(enc.mask))
     }
 
     fn name(&self) -> &'static str {

@@ -23,12 +23,14 @@
 pub mod batch;
 pub mod decoder;
 pub mod pipeline;
+pub mod pool;
 pub mod source;
 pub mod stats;
 
 pub use batch::{Batch, Label};
 pub use decoder::{DecodedSample, DecoderPlugin};
 pub use pipeline::{Pipeline, PipelineConfig};
+pub use pool::{BufferPool, PooledBytes, PooledTensor};
 pub use source::SampleSource;
 pub use stats::PipelineStats;
 

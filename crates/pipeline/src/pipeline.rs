@@ -1,7 +1,17 @@
-//! The prefetching pipeline: readers → decode pool → batcher → consumer.
+//! The prefetching pipeline: readers → decode pool → batch assembly →
+//! consumer.
+//!
+//! Batch assembly is zero-copy: each work item's position within its
+//! shuffled epoch determines its batch and its slot inside that batch,
+//! so decode workers write samples straight into their slot of a pooled
+//! batch tensor (see [`crate::pool`]) via
+//! [`DecoderPlugin::decode_into`]. There is no batcher thread and no
+//! per-sample intermediate `Vec` — whichever worker fills a batch's
+//! last slot sends it.
 
-use crate::batch::Batch;
-use crate::decoder::{DecodedSample, DecoderPlugin};
+use crate::batch::{Batch, Label};
+use crate::decoder::DecoderPlugin;
+use crate::pool::BufferPool;
 use crate::source::SampleSource;
 use crate::stats::PipelineStats;
 use crate::{PipelineError, Result};
@@ -9,10 +19,15 @@ use crossbeam_channel as channel;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use sciml_codec::CodecError;
+use sciml_half::F16;
 use sciml_obs::{Telemetry, Tracer};
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+/// Upper bound on a sane pool capacity: beyond this the "pool" would be
+/// an unbounded leak dressed up as a cache.
+const MAX_POOL_CAPACITY: usize = 65_536;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -32,6 +47,12 @@ pub struct PipelineConfig {
     /// Drop the final incomplete batch of an epoch (the frameworks'
     /// `drop_remainder` behaviour). When false, a short batch is emitted.
     pub drop_remainder: bool,
+    /// Buffer-pool capacity: how many idle batch tensors / fetch
+    /// buffers the pool retains for reuse. `None` (the default) derives
+    /// `prefetch + 2`, enough for every in-flight batch plus the one
+    /// the consumer holds; `Some(0)` disables pooling (every checkout
+    /// allocates — the per-sample-alloc baseline).
+    pub pool_capacity: Option<usize>,
 }
 
 impl Default for PipelineConfig {
@@ -44,6 +65,176 @@ impl Default for PipelineConfig {
             epochs: 1,
             seed: 0,
             drop_remainder: false,
+            pool_capacity: None,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The pool capacity this config resolves to.
+    pub fn effective_pool_capacity(&self) -> usize {
+        self.pool_capacity.unwrap_or(self.prefetch + 2)
+    }
+}
+
+/// One in-flight batch being assembled in place. Decode workers write
+/// disjoint sample slots of the pooled tensor through `base`; the
+/// `meta` mutex serializes slot bookkeeping and publishes the slot
+/// writes (release on unlock, acquire on lock) to whichever worker
+/// observes the batch complete and finishes it.
+struct BatchBuild {
+    epoch: usize,
+    batch_id: usize,
+    /// Samples this batch will hold (`batch_size`, or the epoch tail).
+    expected: usize,
+    sample_len: usize,
+    /// Base of the tensor's storage. Stable: the tensor is sized at
+    /// checkout and never reallocated while the build is open.
+    base: *mut F16,
+    /// The pooled tensor itself, taken exactly once on completion.
+    data: Mutex<Option<crate::pool::PooledTensor>>,
+    meta: Mutex<BuildMeta>,
+}
+
+struct BuildMeta {
+    labels: Vec<Option<Label>>,
+    indices: Vec<usize>,
+    filled: usize,
+}
+
+// SAFETY: `base` is only dereferenced via `slot_mut`, whose callers
+// hold exclusive ownership of disjoint slots (each (epoch, pos) work
+// item exists exactly once), and the pointee outlives the build (the
+// tensor is held in `data` until completion).
+unsafe impl Send for BatchBuild {}
+unsafe impl Sync for BatchBuild {}
+
+impl BatchBuild {
+    /// The mutable slot for sample `slot`.
+    ///
+    /// # Safety
+    /// The caller must be the only writer of `slot` for this build's
+    /// lifetime, and `slot < expected`. The pipeline guarantees both:
+    /// the index generator emits each position exactly once.
+    // The &self → &mut escape is the point: concurrent workers write
+    // disjoint slots through the shared build (see the Send/Sync
+    // SAFETY note above); exclusivity is the caller's obligation.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slot_mut(&self, slot: usize) -> &mut [F16] {
+        debug_assert!(slot < self.expected);
+        std::slice::from_raw_parts_mut(self.base.add(slot * self.sample_len), self.sample_len)
+    }
+
+    /// Consumes the build into a deliverable batch. Caller must have
+    /// observed `filled == expected` under the meta lock.
+    fn finish(&self) -> Batch {
+        let data = self
+            .data
+            .lock()
+            .expect("build data lock")
+            .take()
+            .expect("batch finished exactly once");
+        let mut meta = self.meta.lock().expect("build meta lock");
+        let labels = meta
+            .labels
+            .iter_mut()
+            .map(|l| l.take().expect("every slot filled"))
+            .collect();
+        Batch {
+            data,
+            sample_len: self.sample_len,
+            labels,
+            indices: std::mem::take(&mut meta.indices),
+            epoch: self.epoch,
+        }
+    }
+}
+
+/// Shared assembly state: the set of open builds plus the sample shape,
+/// learned from the first decoded sample.
+struct Assembler {
+    batch_size: usize,
+    n: usize,
+    pool: Arc<BufferPool>,
+    sample_len: OnceLock<usize>,
+    open: Mutex<Vec<Arc<BatchBuild>>>,
+}
+
+impl Assembler {
+    /// The build for `(epoch, batch_id)`, creating it (and checking a
+    /// tensor out of the pool) on first touch.
+    fn build_for(&self, epoch: usize, batch_id: usize, sample_len: usize) -> Arc<BatchBuild> {
+        let mut open = self.open.lock().expect("assembler lock");
+        if let Some(b) = open
+            .iter()
+            .find(|b| b.epoch == epoch && b.batch_id == batch_id)
+        {
+            return Arc::clone(b);
+        }
+        let expected = self.batch_size.min(self.n - batch_id * self.batch_size);
+        let mut tensor = self.pool.checkout_tensor(expected * sample_len);
+        let base = tensor.as_mut_ptr();
+        let b = Arc::new(BatchBuild {
+            epoch,
+            batch_id,
+            expected,
+            sample_len,
+            base,
+            data: Mutex::new(Some(tensor)),
+            meta: Mutex::new(BuildMeta {
+                labels: vec![None; expected],
+                indices: vec![0; expected],
+                filled: 0,
+            }),
+        });
+        open.push(Arc::clone(&b));
+        b
+    }
+
+    fn remove(&self, epoch: usize, batch_id: usize) {
+        let mut open = self.open.lock().expect("assembler lock");
+        if let Some(i) = open
+            .iter()
+            .position(|b| b.epoch == epoch && b.batch_id == batch_id)
+        {
+            open.swap_remove(i);
+        }
+    }
+}
+
+/// Decodes one sample into its slot of the (epoch, batch_id) build,
+/// in place. The sample shape is bootstrapped from the first decoded
+/// sample — the only decode of a run that allocates a tensor; every
+/// later sample goes through [`DecoderPlugin::decode_into`].
+fn decode_into_slot(
+    plugin: &dyn DecoderPlugin,
+    bytes: &[u8],
+    assembler: &Assembler,
+    epoch: usize,
+    batch_id: usize,
+    slot: usize,
+) -> Result<(Arc<BatchBuild>, Label)> {
+    match assembler.sample_len.get() {
+        Some(&sample_len) => {
+            let build = assembler.build_for(epoch, batch_id, sample_len);
+            // SAFETY: this work item is the unique writer of `slot`.
+            let out = unsafe { build.slot_mut(slot) };
+            let label = plugin.decode_into(bytes, out)?;
+            Ok((build, label))
+        }
+        None => {
+            let d = plugin.decode(bytes)?;
+            let sample_len = *assembler.sample_len.get_or_init(|| d.data.len());
+            if d.data.len() != sample_len {
+                return Err(
+                    CodecError::Inconsistent("sample length changed between samples").into(),
+                );
+            }
+            let build = assembler.build_for(epoch, batch_id, sample_len);
+            // SAFETY: this work item is the unique writer of `slot`.
+            let out = unsafe { build.slot_mut(slot) };
+            out.copy_from_slice(&d.data);
+            Ok((build, d.label))
         }
     }
 }
@@ -52,6 +243,7 @@ impl Default for PipelineConfig {
 pub struct Pipeline {
     rx: Option<channel::Receiver<Result<Batch>>>,
     stats: Arc<PipelineStats>,
+    pool: Arc<BufferPool>,
     tracer: Arc<Tracer>,
     workers: Vec<JoinHandle<()>>,
     finished: bool,
@@ -85,20 +277,38 @@ impl Pipeline {
         if cfg.reader_threads == 0 || cfg.decode_threads == 0 {
             return Err(PipelineError::Config("need at least one thread per stage"));
         }
+        if cfg.effective_pool_capacity() > MAX_POOL_CAPACITY {
+            return Err(PipelineError::Config(
+                "pool_capacity implausibly large (max 65536)",
+            ));
+        }
         let stats = PipelineStats::with_registry(&telemetry.registry);
+        let pool = BufferPool::with_registry(cfg.effective_pool_capacity(), &telemetry.registry);
         let tracer = telemetry.tracer;
         let n = source.len();
 
-        // Stage 1: index generator -> (epoch, index) work items.
-        let (idx_tx, idx_rx) = channel::bounded::<(usize, usize)>(cfg.prefetch.max(1));
-        // Stage 2: fetch results, tagged with sequence for ordering.
-        let (raw_tx, raw_rx) =
-            channel::bounded::<(u64, usize, usize, Result<Vec<u8>>)>(cfg.prefetch.max(1));
-        // Stage 3: decoded samples.
-        let (dec_tx, dec_rx) =
-            channel::bounded::<(u64, usize, usize, Result<DecodedSample>)>(cfg.prefetch.max(1));
-        // Stage 4: batches to the consumer.
+        // Stage 1: index generator -> (epoch, position, index) work
+        // items. The position within the shuffled epoch is the batch
+        // schedule: batch `pos / batch_size`, slot `pos % batch_size` —
+        // fixed at generation time, so downstream stages can run fully
+        // out of order and the batch composition is still deterministic.
+        let (idx_tx, idx_rx) = channel::bounded::<(usize, usize, usize)>(cfg.prefetch.max(1));
+        // Stage 2: fetched bytes in recycled pool buffers.
+        let (raw_tx, raw_rx) = channel::bounded::<(usize, usize, usize, crate::pool::PooledBytes)>(
+            cfg.prefetch.max(1),
+        );
+        // Stage 3: assembled batches to the consumer. There is no
+        // batcher thread: decode workers write samples into their batch
+        // slot in place, and whichever worker completes a batch sends it.
         let (batch_tx, batch_rx) = channel::bounded::<Result<Batch>>(cfg.prefetch.max(1));
+
+        let assembler = Arc::new(Assembler {
+            batch_size: cfg.batch_size,
+            n,
+            pool: Arc::clone(&pool),
+            sample_len: OnceLock::new(),
+            open: Mutex::new(Vec::new()),
+        });
 
         let mut workers = Vec::new();
 
@@ -110,8 +320,8 @@ impl Pipeline {
                     let mut order: Vec<usize> = (0..n).collect();
                     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(epoch as u64));
                     order.shuffle(&mut rng);
-                    for idx in order {
-                        if idx_tx.send((epoch, idx)).is_err() {
+                    for (pos, idx) in order.into_iter().enumerate() {
+                        if idx_tx.send((epoch, pos, idx)).is_err() {
                             return;
                         }
                     }
@@ -119,36 +329,35 @@ impl Pipeline {
             }));
         }
 
-        // Reader threads: fetch bytes. A shared sequence counter stamps
-        // work items so the batcher can reassemble epoch order.
-        let seq = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        // Reader threads: fetch bytes into recycled buffers.
         for _ in 0..cfg.reader_threads {
             let idx_rx = idx_rx.clone();
             let raw_tx = raw_tx.clone();
+            let batch_tx = batch_tx.clone();
             let source = Arc::clone(&source);
             let stats = Arc::clone(&stats);
             let tracer = Arc::clone(&tracer);
-            let seq = Arc::clone(&seq);
+            let pool = Arc::clone(&pool);
             workers.push(std::thread::spawn(move || {
-                while let Ok((epoch, idx)) = idx_rx.recv() {
-                    let s = seq.fetch_add(1, Ordering::Relaxed);
-                    let bytes = {
+                while let Ok((epoch, pos, idx)) = idx_rx.recv() {
+                    let mut buf = pool.checkout_bytes();
+                    let fetched = {
                         let _span = tracer.span("pipeline", "fetch");
-                        stats.fetch_ns.time(|| source.fetch(idx))
+                        stats.fetch_ns.time(|| source.fetch_into(idx, &mut buf))
                     };
-                    match bytes {
-                        Ok(b) => {
-                            stats.bytes.add(b.len() as u64);
+                    match fetched {
+                        Ok(()) => {
+                            stats.bytes.add(buf.len() as u64);
                             stats.samples.inc();
-                            if raw_tx.send((s, epoch, idx, Ok(b))).is_err() {
+                            if raw_tx.send((epoch, pos, idx, buf)).is_err() {
                                 return;
                             }
                         }
                         Err(e) => {
-                            // Surface the typed error downstream; this
-                            // run is over for the consumer.
+                            // Surface the typed error to the consumer;
+                            // this run is over.
                             stats.fetch_errors.inc();
-                            let _ = raw_tx.send((s, epoch, idx, Err(e)));
+                            let _ = batch_tx.send(Err(e));
                             return;
                         }
                     }
@@ -158,112 +367,67 @@ impl Pipeline {
         drop(idx_rx);
         drop(raw_tx);
 
-        // Decoder threads.
+        // Decoder threads: decode straight into the sample's slot of its
+        // pooled batch tensor, then send the batch if it just completed.
         for _ in 0..cfg.decode_threads {
             let raw_rx = raw_rx.clone();
-            let dec_tx = dec_tx.clone();
+            let batch_tx = batch_tx.clone();
             let plugin = Arc::clone(&plugin);
             let stats = Arc::clone(&stats);
             let tracer = Arc::clone(&tracer);
+            let assembler = Arc::clone(&assembler);
+            let cfg = cfg.clone();
             workers.push(std::thread::spawn(move || {
-                while let Ok((s, epoch, idx, fetched)) = raw_rx.recv() {
-                    let decoded = match fetched {
-                        Ok(bytes) => {
-                            let _span = tracer.span("pipeline", "decode");
-                            let d = stats.decode_ns.time(|| plugin.decode(&bytes));
-                            if d.is_err() {
-                                stats.decode_errors.inc();
-                            }
-                            d
-                        }
-                        Err(e) => Err(e),
+                while let Ok((epoch, pos, idx, bytes)) = raw_rx.recv() {
+                    let batch_id = pos / cfg.batch_size;
+                    let slot = pos % cfg.batch_size;
+                    let decoded = {
+                        let _span = tracer.span("pipeline", "decode");
+                        stats.decode_ns.time(|| {
+                            decode_into_slot(&*plugin, &bytes, &assembler, epoch, batch_id, slot)
+                        })
                     };
-                    if dec_tx.send((s, epoch, idx, decoded)).is_err() {
-                        return;
+                    drop(bytes); // recycle the fetch buffer promptly
+                    let (build, label) = match decoded {
+                        Ok(v) => v,
+                        Err(e) => {
+                            stats.decode_errors.inc();
+                            let _ = batch_tx.send(Err(e));
+                            return;
+                        }
+                    };
+                    let completed = {
+                        let mut meta = build.meta.lock().expect("build meta lock");
+                        meta.labels[slot] = Some(label);
+                        meta.indices[slot] = idx;
+                        meta.filled += 1;
+                        meta.filled == build.expected
+                    };
+                    if completed {
+                        assembler.remove(epoch, batch_id);
+                        if cfg.drop_remainder && build.expected < cfg.batch_size {
+                            // Epoch tail under drop_remainder: never
+                            // emitted; the tensor returns to the pool
+                            // when the build drops.
+                            continue;
+                        }
+                        let _span = tracer.span("pipeline", "batch");
+                        let batch = build.finish();
+                        stats.batches.inc();
+                        if batch_tx.send(Ok(batch)).is_err() {
+                            return;
+                        }
                     }
                 }
             }));
         }
         drop(raw_rx);
-        drop(dec_tx);
-
-        // Batcher thread: group per epoch (out-of-order arrival within an
-        // epoch is fine; epochs are batched independently).
-        {
-            let cfg = cfg.clone();
-            let stats = Arc::clone(&stats);
-            let tracer = Arc::clone(&tracer);
-            workers.push(std::thread::spawn(move || {
-                let mut pending: Vec<(usize, Vec<(usize, DecodedSample)>)> = Vec::new();
-                let flush = |epoch: usize,
-                             items: &mut Vec<(usize, DecodedSample)>,
-                             tx: &channel::Sender<Result<Batch>>,
-                             stats: &PipelineStats|
-                 -> bool {
-                    if items.is_empty() {
-                        return true;
-                    }
-                    let _span = tracer.span("pipeline", "batch");
-                    let sample_len = items[0].1.data.len();
-                    let mut data = Vec::with_capacity(sample_len * items.len());
-                    let mut labels = Vec::with_capacity(items.len());
-                    let mut indices = Vec::with_capacity(items.len());
-                    for (idx, s) in items.drain(..) {
-                        data.extend_from_slice(&s.data);
-                        labels.push(s.label);
-                        indices.push(idx);
-                    }
-                    stats.batches.inc();
-                    tx.send(Ok(Batch {
-                        data,
-                        sample_len,
-                        labels,
-                        indices,
-                        epoch,
-                    }))
-                    .is_ok()
-                };
-
-                while let Ok((_s, epoch, idx, decoded)) = dec_rx.recv() {
-                    let sample = match decoded {
-                        Ok(s) => s,
-                        Err(e) => {
-                            let _ = batch_tx.send(Err(e));
-                            return;
-                        }
-                    };
-                    let slot = match pending.iter_mut().find(|(e, _)| *e == epoch) {
-                        Some((_, items)) => items,
-                        None => {
-                            pending.push((epoch, Vec::new()));
-                            &mut pending.last_mut().expect("just pushed").1
-                        }
-                    };
-                    slot.push((idx, sample));
-                    if slot.len() == cfg.batch_size {
-                        let (e_id, mut items) = {
-                            let pos = pending.iter().position(|(e, _)| *e == epoch).unwrap();
-                            pending.remove(pos)
-                        };
-                        if !flush(e_id, &mut items, &batch_tx, &stats) {
-                            return;
-                        }
-                    }
-                }
-                // Tail batches.
-                if !cfg.drop_remainder {
-                    for (epoch, mut items) in pending {
-                        if !flush(epoch, &mut items, &batch_tx, &stats) {
-                            return;
-                        }
-                    }
-                }
-            }));
-        }
+        drop(batch_tx);
 
         Ok(Self {
             rx: Some(batch_rx),
             stats,
+            pool,
             tracer,
             workers,
             finished: false,
@@ -306,6 +470,12 @@ impl Pipeline {
     /// Shared stats handle.
     pub fn stats(&self) -> Arc<PipelineStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// The buffer pool backing batch tensors and fetch buffers (for
+    /// hit-rate / resident-byte inspection).
+    pub fn pool(&self) -> Arc<BufferPool> {
+        Arc::clone(&self.pool)
     }
 }
 

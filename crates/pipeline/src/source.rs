@@ -25,6 +25,18 @@ pub trait SampleSource: Send + Sync {
     /// Fetches the raw bytes of sample `idx`.
     fn fetch(&self, idx: usize) -> Result<Vec<u8>>;
 
+    /// Fetches sample `idx` into `buf`, replacing its contents. The
+    /// default routes through [`SampleSource::fetch`]; sources that can
+    /// fill a caller-provided buffer directly override this so repeat
+    /// fetches reuse one allocation (the pipeline's readers pass
+    /// recycled pool buffers here).
+    fn fetch_into(&self, idx: usize, buf: &mut Vec<u8>) -> Result<()> {
+        let bytes = self.fetch(idx)?;
+        buf.clear();
+        buf.extend_from_slice(&bytes);
+        Ok(())
+    }
+
     /// Total bytes read so far (for data-movement accounting).
     fn bytes_read(&self) -> u64;
 }
@@ -43,6 +55,10 @@ impl<S: SampleSource + ?Sized> SampleSource for Arc<S> {
 
     fn fetch(&self, idx: usize) -> Result<Vec<u8>> {
         (**self).fetch(idx)
+    }
+
+    fn fetch_into(&self, idx: usize, buf: &mut Vec<u8>) -> Result<()> {
+        (**self).fetch_into(idx, buf)
     }
 
     fn bytes_read(&self) -> u64 {
@@ -79,6 +95,17 @@ impl SampleSource for VecSource {
             .ok_or(DataError::Format("sample index out of range"))?;
         self.read.fetch_add(s.len() as u64, Ordering::Relaxed);
         Ok(s.clone())
+    }
+
+    fn fetch_into(&self, idx: usize, buf: &mut Vec<u8>) -> Result<()> {
+        let s = self
+            .samples
+            .get(idx)
+            .ok_or(DataError::Format("sample index out of range"))?;
+        self.read.fetch_add(s.len() as u64, Ordering::Relaxed);
+        buf.clear();
+        buf.extend_from_slice(s);
+        Ok(())
     }
 
     fn bytes_read(&self) -> u64 {
@@ -134,6 +161,18 @@ impl SampleSource for DirSource {
         let bytes = fs::read(self.path(idx)).map_err(DataError::Io)?;
         self.read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         Ok(bytes)
+    }
+
+    fn fetch_into(&self, idx: usize, buf: &mut Vec<u8>) -> Result<()> {
+        use std::io::Read;
+        if idx >= self.count {
+            return Err(DataError::Format("sample index out of range").into());
+        }
+        buf.clear();
+        let mut f = fs::File::open(self.path(idx)).map_err(DataError::Io)?;
+        let n = f.read_to_end(buf).map_err(DataError::Io)?;
+        self.read.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(())
     }
 
     fn bytes_read(&self) -> u64 {

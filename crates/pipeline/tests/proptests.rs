@@ -50,6 +50,7 @@ proptest! {
                 epochs,
                 seed,
                 drop_remainder,
+                pool_capacity: None,
             },
         )
         .unwrap();

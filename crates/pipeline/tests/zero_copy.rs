@@ -1,0 +1,155 @@
+//! Pool-reuse integration tests: the pooled zero-copy path must emit
+//! batches byte-identical to the per-sample-alloc baseline across
+//! multiple epochs, while actually recycling buffers and keeping idle
+//! memory bounded.
+
+use sciml_codec::cosmoflow as cf;
+use sciml_codec::deepcam as dc;
+use sciml_codec::Op;
+use sciml_data::cosmoflow::{CosmoFlowConfig, UniverseGenerator};
+use sciml_data::deepcam::{ClimateGenerator, DeepCamConfig};
+use sciml_half::F16;
+use sciml_pipeline::batch::Label;
+use sciml_pipeline::decoder::{CosmoPluginCpu, DeepCamPluginCpu};
+use sciml_pipeline::source::VecSource;
+use sciml_pipeline::{DecoderPlugin, Pipeline, PipelineConfig};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const N: usize = 10;
+const EPOCHS: usize = 3;
+
+fn cosmo_blobs() -> Vec<Vec<u8>> {
+    let g = UniverseGenerator::new(CosmoFlowConfig {
+        grid: 8,
+        halos: 6,
+        mass_scale: 30.0,
+        background: 1,
+        seed: 11,
+    });
+    (0..N as u64)
+        .map(|i| cf::encode(&g.generate(i)).to_bytes())
+        .collect()
+}
+
+fn deepcam_blobs() -> Vec<Vec<u8>> {
+    let g = ClimateGenerator::new(DeepCamConfig::test_small());
+    (0..N as u64)
+        .map(|i| {
+            let (enc, _) = dc::encode(&g.generate(i), &dc::EncoderConfig::default());
+            enc.to_bytes()
+        })
+        .collect()
+}
+
+fn config(pool_capacity: Option<usize>) -> PipelineConfig {
+    PipelineConfig {
+        batch_size: 4,
+        reader_threads: 2,
+        decode_threads: 2,
+        prefetch: 4,
+        epochs: EPOCHS,
+        seed: 77,
+        drop_remainder: false,
+        pool_capacity,
+    }
+}
+
+fn f16_digest(data: &[F16]) -> u64 {
+    data.iter().fold(0u64, |h, v| {
+        h.wrapping_mul(31).wrapping_add(v.to_bits() as u64)
+    })
+}
+
+/// Batch fingerprints keyed by (epoch, member indices): batch
+/// composition is deterministic under positional scheduling, so the
+/// same key must map to the same tensor bytes and labels in every run.
+type Digests = BTreeMap<(usize, Vec<usize>), (u64, Vec<Label>)>;
+
+/// Runs a pipeline to completion, dropping each batch after digesting
+/// it (so pooled tensors actually recycle), and returns the digests
+/// plus the pool that backed the run.
+fn run(
+    blobs: Vec<Vec<u8>>,
+    plugin: Arc<dyn DecoderPlugin>,
+    pool_capacity: Option<usize>,
+) -> (Digests, Arc<sciml_pipeline::BufferPool>) {
+    let mut p = Pipeline::launch(
+        Arc::new(VecSource::new(blobs)),
+        plugin,
+        config(pool_capacity),
+    )
+    .unwrap();
+    let pool = p.pool();
+    let mut digests = Digests::new();
+    while let Some(b) = p.next_batch().unwrap() {
+        let key = (b.epoch, b.indices.clone());
+        let val = (f16_digest(&b.data), b.labels.clone());
+        assert!(digests.insert(key, val).is_none(), "duplicate batch");
+    }
+    (digests, pool)
+}
+
+fn assert_pooled_run_matches_unpooled(blobs: Vec<Vec<u8>>, plugin: Arc<dyn DecoderPlugin>) {
+    let (pooled, pool) = run(blobs.clone(), Arc::clone(&plugin), None);
+    let (unpooled, off) = run(blobs, plugin, Some(0));
+
+    assert_eq!(
+        pooled, unpooled,
+        "pooled batches must be byte-identical to per-sample-alloc batches"
+    );
+    assert_eq!(pooled.len(), EPOCHS * N.div_ceil(4));
+
+    // The pooled run actually recycled buffers; the disabled pool never did.
+    assert!(pool.hits() >= N as u64, "hits {}", pool.hits());
+    assert_eq!(off.hits(), 0);
+    assert_eq!(off.resident_bytes(), 0);
+
+    // Idle memory stays bounded: at most `capacity` tensors plus
+    // `capacity` fetch buffers parked, each no larger than a batch /
+    // the biggest blob ever seen.
+    let cap = config(None).effective_pool_capacity() as i64;
+    let bound = cap * 4 * 1024 * 1024; // 4 MiB per parked buffer is generous here
+    assert!(
+        pool.resident_bytes() <= bound,
+        "resident {} > bound {bound}",
+        pool.resident_bytes()
+    );
+}
+
+#[test]
+fn cosmo_pooled_batches_byte_identical_across_epochs() {
+    assert_pooled_run_matches_unpooled(cosmo_blobs(), Arc::new(CosmoPluginCpu { op: Op::Log1p }));
+}
+
+#[test]
+fn deepcam_pooled_batches_byte_identical_across_epochs() {
+    assert_pooled_run_matches_unpooled(
+        deepcam_blobs(),
+        Arc::new(DeepCamPluginCpu { op: Op::Identity }),
+    );
+}
+
+#[test]
+fn pool_capacity_zero_still_delivers_all_batches() {
+    let (digests, pool) = run(
+        cosmo_blobs(),
+        Arc::new(CosmoPluginCpu { op: Op::Log1p }),
+        Some(0),
+    );
+    assert_eq!(digests.len(), EPOCHS * N.div_ceil(4));
+    assert_eq!(pool.capacity(), 0);
+}
+
+#[test]
+fn implausible_pool_capacity_is_rejected() {
+    let err = Pipeline::launch(
+        Arc::new(VecSource::new(cosmo_blobs())),
+        Arc::new(CosmoPluginCpu { op: Op::Log1p }),
+        config(Some(1 << 20)),
+    )
+    .err()
+    .expect("must reject");
+    let msg = format!("{err}");
+    assert!(msg.contains("pool_capacity"), "got: {msg}");
+}

@@ -1,0 +1,117 @@
+//! Zero-copy pipeline smoke: pooled decode must be byte-identical to
+//! the per-sample-alloc path for both workloads.
+//!
+//! Runs the same tiny dataset through the pipeline twice — pooling on
+//! (recycled batch tensors, in-place `decode_into`) and pooling off
+//! (`pool_capacity = 0`: fresh allocation per checkout, the seed-era
+//! behaviour) — and compares a checksum of every batch tensor plus its
+//! labels and indices. Any divergence exits nonzero; `scripts/ci.sh`
+//! runs this so the zero-copy path can never silently drift.
+//!
+//! ```text
+//! cargo run --release --example zero_copy
+//! ```
+
+use sciml_core::api::{build_pipeline, DatasetBuilder, EncodedFormat};
+use sciml_core::codec::Op;
+use sciml_core::data::cosmoflow::CosmoFlowConfig;
+use sciml_core::data::deepcam::DeepCamConfig;
+use sciml_core::pipeline::decoder::{CosmoPluginCpu, DeepCamPluginCpu};
+use sciml_core::pipeline::{DecoderPlugin, PipelineConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn config(pool_capacity: Option<usize>) -> PipelineConfig {
+    PipelineConfig {
+        batch_size: 4,
+        reader_threads: 2,
+        decode_threads: 2,
+        prefetch: 4,
+        epochs: 2,
+        seed: 99,
+        drop_remainder: false,
+        pool_capacity,
+    }
+}
+
+/// Per-batch checksum: a wrapping fold over the tensor bits, the epoch,
+/// the sample indices, and the label bits. Sorted before returning:
+/// batch *composition* is deterministic (positional scheduling), but
+/// delivery order across an epoch boundary is not.
+fn checksums(
+    blobs: &[Vec<u8>],
+    plugin: Arc<dyn DecoderPlugin>,
+    pool_capacity: Option<usize>,
+) -> Vec<u64> {
+    let mut p = build_pipeline(blobs.to_vec(), plugin, config(pool_capacity)).expect("launch");
+    let mut sums = Vec::new();
+    while let Some(b) = p.next_batch().expect("batch") {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ b.epoch as u64;
+        for &v in b.data.iter() {
+            h = h
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(v.to_bits() as u64);
+        }
+        for &i in &b.indices {
+            h = h.wrapping_mul(0x100_0000_01b3).wrapping_add(i as u64);
+        }
+        for l in &b.labels {
+            match l {
+                sciml_core::pipeline::Label::Cosmo(t) => {
+                    for &x in t {
+                        h = h
+                            .wrapping_mul(0x100_0000_01b3)
+                            .wrapping_add(x.to_bits() as u64);
+                    }
+                }
+                sciml_core::pipeline::Label::Mask(m) => {
+                    for &x in m {
+                        h = h.wrapping_mul(0x100_0000_01b3).wrapping_add(x as u64);
+                    }
+                }
+            }
+        }
+        sums.push(h);
+        // Batch dropped here so its tensor recycles, as in training.
+    }
+    sums.sort_unstable();
+    sums
+}
+
+fn main() -> ExitCode {
+    let mut ok = true;
+    let cosmo_cfg = CosmoFlowConfig::test_small();
+    let cosmo = DatasetBuilder::cosmoflow(cosmo_cfg).build(10, EncodedFormat::Custom);
+    let deepcam =
+        DatasetBuilder::deepcam(DeepCamConfig::test_small()).build(10, EncodedFormat::Custom);
+    let cosmo_plugin: Arc<dyn DecoderPlugin> = Arc::new(CosmoPluginCpu { op: Op::Log1p });
+    let deepcam_plugin: Arc<dyn DecoderPlugin> = Arc::new(DeepCamPluginCpu { op: Op::Identity });
+    let workloads = [
+        ("cosmoflow", &cosmo, cosmo_plugin),
+        ("deepcam", &deepcam, deepcam_plugin),
+    ];
+    for (name, blobs, plugin) in workloads {
+        let pooled = checksums(blobs, Arc::clone(&plugin), None);
+        let unpooled = checksums(blobs, plugin, Some(0));
+        let digest = pooled
+            .iter()
+            .fold(0u64, |a, &h| a.wrapping_mul(31).wrapping_add(h));
+        if pooled == unpooled {
+            println!(
+                "{name:<10} OK  {} batches, digest {digest:016x} (pooled == unpooled)",
+                pooled.len()
+            );
+        } else {
+            eprintln!(
+                "{name:<10} MISMATCH: pooled {:016x?} vs unpooled {:016x?}",
+                pooled, unpooled
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

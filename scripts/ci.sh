@@ -28,6 +28,11 @@ cargo run --release --example observability -- \
 cargo run --release -p sciml-bench --bin sciml -- validate-json \
     "$obs_dir/trace.json" "$obs_dir/metrics.jsonl"
 
+echo "==> pooled-pipeline smoke (zero-copy vs per-sample-alloc checksums)"
+# Pooling on vs off must produce byte-identical batches for both
+# workloads; the example exits nonzero on any divergence.
+cargo run --release --example zero_copy
+
 echo "==> store pack -> stage -> fetch smoke"
 store_dir="$(mktemp -d)"
 trap 'rm -rf "$obs_dir" "$store_dir"' EXIT
