@@ -1,0 +1,126 @@
+//! sciml-lint — static analysis gate for the sciml workspace.
+//!
+//! ```text
+//! sciml-lint [--path <dir>] [--config <lint.toml>] [--json]
+//!            [--update-baseline] [--quiet]
+//! ```
+//!
+//! Walks `<path>/crates` (or `<path>` itself when it is not a repo
+//! root) and exits non-zero on any non-baselined violation or stale
+//! baseline entry. `--update-baseline` rewrites the generated section
+//! of `lint.toml` to match reality and exits 0.
+
+use sciml_analyze::{lint_tree, Config, Report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    path: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    update_baseline: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        path: PathBuf::from("."),
+        config: None,
+        json: false,
+        update_baseline: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--path" => {
+                args.path = PathBuf::from(it.next().ok_or("--path needs a value")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a value")?));
+            }
+            "--json" => args.json = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: sciml-lint [--path <dir>] [--config <lint.toml>] [--json] \
+                            [--update-baseline] [--quiet]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let repo_root = args.path.clone();
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| repo_root.join("lint.toml"));
+    let cfg = match Config::load(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("sciml-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let crates_dir = repo_root.join("crates");
+    let scan_root = if crates_dir.is_dir() {
+        crates_dir
+    } else {
+        repo_root.clone()
+    };
+    let outcome = match lint_tree(&scan_root, &repo_root, &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sciml-lint: scanning {}: {e}", scan_root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.update_baseline {
+        let entries = outcome.as_baseline();
+        if let Err(e) = Config::update_baseline_file(&config_path, &entries) {
+            eprintln!("sciml-lint: writing {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+        if !args.quiet {
+            println!(
+                "baseline updated: {} entr{} in {}",
+                entries.len(),
+                if entries.len() == 1 { "y" } else { "ies" },
+                config_path.display()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = Report::new(&outcome);
+    if args.json {
+        println!("{}", report.json());
+    } else if !args.quiet {
+        print!("{}", report.table());
+        let failures = report.failures();
+        if !failures.is_empty() {
+            print!("\n{failures}");
+        }
+    }
+    if outcome.is_green() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,343 @@
+//! `lint.toml` parsing: rule configuration plus the grandfather
+//! baseline, in a deliberately small TOML subset (sections, string /
+//! integer / string-array values) so the analyzer stays std-only.
+//!
+//! The baseline lives between `# BEGIN GENERATED BASELINE` /
+//! `# END GENERATED BASELINE` markers and is rewritten in place by
+//! `sciml-lint --update-baseline`; everything outside the markers is
+//! hand-maintained configuration and survives regeneration verbatim.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Marker opening the generated baseline section.
+pub const BASELINE_BEGIN: &str = "# BEGIN GENERATED BASELINE (sciml-lint --update-baseline)";
+/// Marker closing the generated baseline section.
+pub const BASELINE_END: &str = "# END GENERATED BASELINE";
+
+/// One grandfathered (file, rule) violation count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Repo-relative file path (forward slashes).
+    pub file: String,
+    /// Rule name.
+    pub rule: String,
+    /// Number of violations grandfathered in this file.
+    pub count: usize,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates whose non-test code must be panic-free (`no_panics`).
+    pub hot_path_crates: Vec<String>,
+    /// Paths (repo-relative prefixes) designated as decode inner loops
+    /// for the `no_instant` rule.
+    pub instant_paths: Vec<String>,
+    /// Grandfathered violations: `(file, rule) -> count`.
+    pub baseline: BTreeMap<(String, String), usize>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            hot_path_crates: ["codec", "pipeline", "serve", "store", "compress"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            instant_paths: vec![
+                "crates/codec/src".into(),
+                "crates/compress/src".into(),
+                "crates/pipeline/src/pipeline.rs".into(),
+            ],
+            baseline: BTreeMap::new(),
+        }
+    }
+}
+
+/// A `lint.toml` parse failure with its line number.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-indexed line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+enum Section {
+    None,
+    Lint,
+    Baseline,
+    Unknown,
+}
+
+impl Config {
+    /// Parses `lint.toml` text.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut cfg = Config {
+            baseline: BTreeMap::new(),
+            ..Config::default()
+        };
+        let mut section = Section::None;
+        let mut cur: Option<BaselineEntry> = None;
+        let finish = |cur: &mut Option<BaselineEntry>,
+                      cfg: &mut Config,
+                      line: usize|
+         -> Result<(), ConfigError> {
+            if let Some(e) = cur.take() {
+                if e.file.is_empty() || e.rule.is_empty() {
+                    return Err(ConfigError {
+                        line,
+                        message: "baseline entry needs both `file` and `rule`".into(),
+                    });
+                }
+                cfg.baseline.insert((e.file, e.rule), e.count);
+            }
+            Ok(())
+        };
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[baseline]]" {
+                finish(&mut cur, &mut cfg, lineno)?;
+                section = Section::Baseline;
+                cur = Some(BaselineEntry {
+                    file: String::new(),
+                    rule: String::new(),
+                    count: 0,
+                });
+                continue;
+            }
+            if line.starts_with('[') {
+                finish(&mut cur, &mut cfg, lineno)?;
+                section = if line == "[lint]" {
+                    Section::Lint
+                } else {
+                    Section::Unknown
+                };
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match section {
+                Section::Lint => match key {
+                    "hot_path_crates" => cfg.hot_path_crates = parse_string_array(value, lineno)?,
+                    "instant_paths" => cfg.instant_paths = parse_string_array(value, lineno)?,
+                    _ => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown [lint] key `{key}`"),
+                        })
+                    }
+                },
+                Section::Baseline => {
+                    let entry = cur.as_mut().ok_or(ConfigError {
+                        line: lineno,
+                        message: "baseline key outside [[baseline]]".into(),
+                    })?;
+                    match key {
+                        "file" => entry.file = parse_string(value, lineno)?,
+                        "rule" => entry.rule = parse_string(value, lineno)?,
+                        "count" => {
+                            entry.count = value.parse().map_err(|_| ConfigError {
+                                line: lineno,
+                                message: format!("count must be an integer, got `{value}`"),
+                            })?
+                        }
+                        _ => {
+                            return Err(ConfigError {
+                                line: lineno,
+                                message: format!("unknown [[baseline]] key `{key}`"),
+                            })
+                        }
+                    }
+                }
+                Section::Unknown => {}
+                Section::None => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: "key before any section header".into(),
+                    })
+                }
+            }
+        }
+        finish(&mut cur, &mut cfg, text.lines().count())?;
+        Ok(cfg)
+    }
+
+    /// Loads `lint.toml` from `path`; a missing file yields the default
+    /// configuration with an empty baseline.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+            Err(e) => Err(ConfigError {
+                line: 0,
+                message: format!("reading {}: {e}", path.display()),
+            }),
+        }
+    }
+
+    /// Serializes `entries` as the generated baseline section body.
+    pub fn render_baseline(entries: &[BaselineEntry]) -> String {
+        let mut out = String::new();
+        for e in entries {
+            out.push_str(&format!(
+                "\n[[baseline]]\nfile = \"{}\"\nrule = \"{}\"\ncount = {}\n",
+                e.file, e.rule, e.count
+            ));
+        }
+        out
+    }
+
+    /// Rewrites the marker-delimited generated section of `lint.toml`
+    /// at `path` with `entries`, creating the file (markers included)
+    /// if absent. Returns the new file text.
+    pub fn update_baseline_file(path: &Path, entries: &[BaselineEntry]) -> std::io::Result<String> {
+        let existing = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => format!(
+                "# sciml-lint configuration (see docs/ARCHITECTURE.md §4f)\n\n{}\n{}\n",
+                BASELINE_BEGIN, BASELINE_END
+            ),
+            Err(e) => return Err(e),
+        };
+        let body = Self::render_baseline(entries);
+        let new_text = match (existing.find(BASELINE_BEGIN), existing.find(BASELINE_END)) {
+            (Some(b), Some(e)) if b < e => {
+                let after_begin = b + BASELINE_BEGIN.len();
+                format!("{}{}\n{}", &existing[..after_begin], body, &existing[e..])
+            }
+            _ => format!(
+                "{}\n{}\n{}{}\n",
+                existing.trim_end(),
+                BASELINE_BEGIN,
+                body,
+                BASELINE_END
+            ),
+        };
+        std::fs::write(path, &new_text)?;
+        Ok(new_text)
+    }
+}
+
+fn parse_string(value: &str, line: usize) -> Result<String, ConfigError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(ConfigError {
+            line,
+            message: format!("expected a quoted string, got `{value}`"),
+        })
+    }
+}
+
+fn parse_string_array(value: &str, line: usize) -> Result<Vec<String>, ConfigError> {
+    let v = value.trim();
+    let Some(inner) = v.strip_prefix('[').and_then(|s| s.strip_suffix(']')) else {
+        return Err(ConfigError {
+            line,
+            message: format!("expected an array of strings, got `{value}`"),
+        });
+    };
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_string(s, line))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let text = r#"
+# comment
+[lint]
+hot_path_crates = ["codec", "pipeline"]
+instant_paths = ["crates/codec/src"]
+
+# BEGIN GENERATED BASELINE (sciml-lint --update-baseline)
+[[baseline]]
+file = "crates/serve/src/server.rs"
+rule = "no_panics"
+count = 3
+
+[[baseline]]
+file = "crates/codec/src/lib.rs"
+rule = "safety_comment"
+count = 1
+# END GENERATED BASELINE
+"#;
+        let cfg = Config::parse(text).unwrap();
+        assert_eq!(cfg.hot_path_crates, vec!["codec", "pipeline"]);
+        assert_eq!(
+            cfg.baseline
+                .get(&("crates/serve/src/server.rs".into(), "no_panics".into())),
+            Some(&3)
+        );
+        assert_eq!(cfg.baseline.len(), 2);
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let text = "[[baseline]]\nfile = \"x.rs\"\ncount = 1\n";
+        assert!(Config::parse(text).is_err());
+    }
+
+    #[test]
+    fn bad_syntax_reports_line() {
+        let err = Config::parse("[lint]\nhot_path_crates = nope\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn baseline_roundtrip_through_markers() {
+        let dir = std::env::temp_dir().join(format!("lint-cfg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lint.toml");
+        let entries = vec![BaselineEntry {
+            file: "crates/a/src/lib.rs".into(),
+            rule: "no_panics".into(),
+            count: 2,
+        }];
+        Config::update_baseline_file(&path, &entries).unwrap();
+        let cfg = Config::load(&path).unwrap();
+        assert_eq!(
+            cfg.baseline
+                .get(&("crates/a/src/lib.rs".into(), "no_panics".into())),
+            Some(&2)
+        );
+        // Hand-written config outside the markers survives an update.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text = format!("[lint]\nhot_path_crates = [\"codec\"]\n{text}");
+        std::fs::write(&path, &text).unwrap();
+        Config::update_baseline_file(&path, &[]).unwrap();
+        let cfg = Config::load(&path).unwrap();
+        assert_eq!(cfg.hot_path_crates, vec!["codec"]);
+        assert!(cfg.baseline.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,474 @@
+//! Minimal Rust lexer: classifies every byte of a source file as code,
+//! comment, or literal so the lint rules never fire on tokens that only
+//! appear inside strings or comments.
+//!
+//! This is not a full tokenizer — it only has to answer "is this byte
+//! part of executable code text?" and "what comments precede line N?".
+//! It understands:
+//!
+//! * line comments (`//`, `///`, `//!`) and *nested* block comments,
+//! * string literals with escapes, including `b"…"`/`c"…"` prefixes,
+//! * raw strings `r"…"`, `r#"…"#`, … with any hash depth (and `br`/`cr`
+//!   prefixes), which have no escapes,
+//! * char/byte literals (`'x'`, `'\n'`, `b'\xff'`) vs lifetimes
+//!   (`'static`), disambiguated by lookahead.
+//!
+//! Output is a per-byte [`Class`] mask plus the line table; rule code
+//! works on the masked text. Proptest coverage in `tests/lexer_prop.rs`
+//! nests all of the above and asserts planted markers inside literals
+//! and comments are never classified as code.
+
+/// Classification of one source byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Executable code text (identifiers, punctuation, whitespace).
+    Code,
+    /// Inside `//…` or `/* … */` (delimiters included).
+    Comment,
+    /// Inside a string/char literal (quotes and prefix included).
+    Literal,
+}
+
+/// Lexed view of one source file.
+pub struct Lexed<'a> {
+    /// The original text.
+    pub text: &'a str,
+    /// Per-byte classification, same length as `text`.
+    pub mask: Vec<Class>,
+    /// Byte offset where each line starts.
+    line_starts: Vec<usize>,
+}
+
+impl<'a> Lexed<'a> {
+    /// Number of lines.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// The full text of 1-indexed `line` (no trailing newline).
+    pub fn line(&self, line: usize) -> &'a str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.text.len(), |&next| next);
+        self.text[start..end].trim_end_matches(['\n', '\r'])
+    }
+
+    /// The code-only bytes of 1-indexed `line`: every byte that is not
+    /// code is replaced by a space, so byte offsets keep their meaning.
+    pub fn code_of_line(&self, line: usize) -> String {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.text.len(), |&next| next);
+        self.text[start..end]
+            .bytes()
+            .enumerate()
+            .map(|(i, b)| {
+                if self.mask[start + i] == Class::Code && b != b'\n' && b != b'\r' {
+                    b as char
+                } else {
+                    ' '
+                }
+            })
+            .collect()
+    }
+
+    /// The comment bytes of 1-indexed `line` (non-comment replaced by
+    /// spaces).
+    pub fn comment_of_line(&self, line: usize) -> String {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.text.len(), |&next| next);
+        self.text[start..end]
+            .bytes()
+            .enumerate()
+            .map(|(i, b)| {
+                if self.mask[start + i] == Class::Comment && b != b'\n' && b != b'\r' {
+                    b as char
+                } else {
+                    ' '
+                }
+            })
+            .collect()
+    }
+
+    /// Whether 1-indexed `line` contains any code byte that is not
+    /// whitespace.
+    pub fn line_has_code(&self, line: usize) -> bool {
+        !self.code_of_line(line).trim().is_empty()
+    }
+
+    /// 1-indexed line containing byte `offset`.
+    pub fn line_of_offset(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+}
+
+/// Lexes `text` into a per-byte classification.
+pub fn lex(text: &str) -> Lexed<'_> {
+    let bytes = text.as_bytes();
+    let mut mask = vec![Class::Code; bytes.len()];
+    let mut line_starts = vec![0usize];
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            if i + 1 < bytes.len() {
+                line_starts.push(i + 1);
+            }
+            i += 1;
+            continue;
+        }
+        match b {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    mask[i] = Class::Comment;
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'\n' {
+                        if i + 1 != bytes.len() {
+                            line_starts.push(i + 1);
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        mask[i] = Class::Comment;
+                        mask[i + 1] = Class::Comment;
+                        i += 2;
+                        continue;
+                    }
+                    if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        mask[i] = Class::Comment;
+                        mask[i + 1] = Class::Comment;
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                        continue;
+                    }
+                    mask[i] = Class::Comment;
+                    i += 1;
+                }
+            }
+            b'"' => i = lex_string(bytes, i, &mut mask, &mut line_starts),
+            b'r' | b'b' | b'c' if is_literal_prefix(bytes, i) => {
+                let start = i;
+                let mut j = i;
+                while matches!(bytes.get(j), Some(b'r' | b'b' | b'c')) {
+                    j += 1;
+                }
+                match bytes.get(j) {
+                    Some(b'"') | Some(b'#') if has_r(bytes, start, j) => {
+                        i = lex_raw_string(bytes, start, j, &mut mask, &mut line_starts);
+                    }
+                    Some(b'"') => {
+                        for m in mask.iter_mut().take(j).skip(start) {
+                            *m = Class::Literal;
+                        }
+                        i = lex_string(bytes, j, &mut mask, &mut line_starts);
+                    }
+                    Some(b'\'') => {
+                        for m in mask.iter_mut().take(j).skip(start) {
+                            *m = Class::Literal;
+                        }
+                        i = lex_char(bytes, j, &mut mask);
+                    }
+                    _ => i = j, // plain identifier starting with r/b/c
+                }
+            }
+            b'\'' => {
+                if is_char_literal(bytes, i) {
+                    i = lex_char(bytes, i, &mut mask);
+                } else {
+                    // Lifetime: the quote and the following identifier
+                    // are code.
+                    i += 1;
+                }
+            }
+            _ if b.is_ascii_alphanumeric() || b == b'_' => {
+                // Skip the whole identifier/number so a trailing r/b/c
+                // inside it is never mistaken for a literal prefix.
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    Lexed {
+        text,
+        mask,
+        line_starts,
+    }
+}
+
+/// Is the r/b/c run starting at `i` actually a literal prefix (i.e. not
+/// the middle of an identifier)?
+fn is_literal_prefix(bytes: &[u8], i: usize) -> bool {
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    let mut run = 0;
+    while matches!(bytes.get(j), Some(b'r' | b'b' | b'c')) && run < 2 {
+        j += 1;
+        run += 1;
+    }
+    matches!(bytes.get(j), Some(b'"') | Some(b'\''))
+        || (bytes.get(j) == Some(&b'#') && has_r(bytes, i, j) && followed_by_quote(bytes, j))
+}
+
+fn has_r(bytes: &[u8], start: usize, end: usize) -> bool {
+    bytes[start..end].contains(&b'r')
+}
+
+/// After the prefix, `#…#"` must eventually open a raw string.
+fn followed_by_quote(bytes: &[u8], mut j: usize) -> bool {
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Lexes a `"…"` string starting at the opening quote; returns the
+/// index just past the closing quote.
+fn lex_string(
+    bytes: &[u8],
+    mut i: usize,
+    mask: &mut [Class],
+    line_starts: &mut Vec<usize>,
+) -> usize {
+    mask[i] = Class::Literal;
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            mask[i] = Class::Literal;
+            if i + 1 != bytes.len() {
+                line_starts.push(i + 1);
+            }
+            i += 1;
+            continue;
+        }
+        mask[i] = Class::Literal;
+        match bytes[i] {
+            b'\\' => {
+                if i + 1 < bytes.len() {
+                    mask[i + 1] = Class::Literal;
+                    if bytes[i + 1] == b'\n' && i + 2 != bytes.len() {
+                        // Escaped newline (string continuation) still
+                        // starts a new source line.
+                        line_starts.push(i + 2);
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Lexes a raw string whose prefix (`r`, `br`, `cr`) spans
+/// `[start, after_prefix)`; returns the index past the final `#`s.
+fn lex_raw_string(
+    bytes: &[u8],
+    start: usize,
+    after_prefix: usize,
+    mask: &mut [Class],
+    line_starts: &mut Vec<usize>,
+) -> usize {
+    let mut i = after_prefix;
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return after_prefix; // not actually a raw string
+    }
+    for m in mask.iter_mut().take(i + 1).skip(start) {
+        *m = Class::Literal;
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            mask[i] = Class::Literal;
+            if i + 1 != bytes.len() {
+                line_starts.push(i + 1);
+            }
+            i += 1;
+            continue;
+        }
+        mask[i] = Class::Literal;
+        if bytes[i] == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if bytes.get(i + 1 + k) != Some(&b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for m in mask.iter_mut().take(i + 1 + hashes).skip(i) {
+                    *m = Class::Literal;
+                }
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Does the `'` at `i` open a char literal (vs a lifetime)?
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(&c) if c != b'\'' && c != b'\n' => {
+            // `'x'` is a char; `'x` followed by anything else is a
+            // lifetime. Multi-byte UTF-8 chars: find the next quote
+            // within the max char-literal length.
+            if c.is_ascii() {
+                bytes.get(i + 2) == Some(&b'\'')
+            } else {
+                // UTF-8 continuation: scan up to 4 bytes for the quote.
+                (2..=4).any(|k| bytes.get(i + 1 + k) == Some(&b'\''))
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Lexes a char/byte literal starting at the `'`; returns the index
+/// past the closing quote.
+fn lex_char(bytes: &[u8], mut i: usize, mask: &mut [Class]) -> usize {
+    mask[i] = Class::Literal;
+    i += 1;
+    let mut budget = 12; // longest: '\u{10FFFF}'
+    while i < bytes.len() && budget > 0 {
+        mask[i] = Class::Literal;
+        match bytes[i] {
+            b'\\' => {
+                if i + 1 < bytes.len() {
+                    mask[i + 1] = Class::Literal;
+                }
+                i += 2;
+            }
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+        budget -= 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(text: &str) -> String {
+        let lexed = lex(text);
+        (1..=lexed.line_count())
+            .map(|l| lexed.code_of_line(l))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn line_comment_masked() {
+        assert!(!code("let x = 1; // unwrap() here").contains("unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comment_masked() {
+        let src = "a /* outer /* inner unwrap() */ still */ b.unwrap()";
+        let c = code(src);
+        assert_eq!(c.matches("unwrap").count(), 1);
+        assert!(c.contains("b.unwrap()"));
+    }
+
+    #[test]
+    fn string_masked() {
+        assert!(!code(r#"let s = "panic! inside";"#).contains("panic!"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        assert!(!code(r#"let s = "a\"b unwrap() c";"#).contains("unwrap"));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_masked() {
+        let src = r###"let s = r#"contains "quotes" and unwrap()"# ; x.expect("y")"###;
+        let c = code(src);
+        assert!(!c.contains("unwrap"));
+        assert!(c.contains(".expect("));
+    }
+
+    #[test]
+    fn byte_and_cstr_prefixes() {
+        assert!(!code(r#"let s = b"unwrap()";"#).contains("unwrap"));
+        assert!(!code(r##"let s = br#"unwrap()"#;"##).contains("unwrap"));
+        assert!(!code(r#"let s = c"unwrap()";"#).contains("unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_are_code_chars_are_literals() {
+        let c = code("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; x.unwrap() }");
+        assert!(c.contains("'a str"));
+        assert!(c.contains("unwrap"));
+        // The quote char literal must not open a string.
+        assert!(!c.contains('"'));
+    }
+
+    #[test]
+    fn char_quote_then_comment() {
+        let c = code("let q = '\\''; // unwrap()");
+        assert!(!c.contains("unwrap"));
+    }
+
+    #[test]
+    fn multiline_string_tracks_lines() {
+        let lexed = lex("let s = \"line one\nline two\";\nlet y = 2;");
+        assert_eq!(lexed.line_count(), 3);
+        // The closing quote is literal; only the `;` is code.
+        assert_eq!(lexed.code_of_line(2).trim(), ";");
+        assert_eq!(lexed.code_of_line(3).trim(), "let y = 2;");
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_prefix() {
+        // `for` ends in 'r' but must not swallow the following string
+        // as raw. And `var"x"` style: identifier then string.
+        let c = code("for x in y { s.push_str(\"unwrap()\") }");
+        assert!(c.contains("for x in y"));
+        assert!(!c.contains("unwrap"));
+    }
+
+    #[test]
+    fn comment_of_line_extracts_comment_text() {
+        let lexed = lex("let x = 1; // SAFETY: fine\n");
+        assert!(lexed.comment_of_line(1).contains("SAFETY: fine"));
+        assert!(!lexed.comment_of_line(1).contains("let x"));
+    }
+}

@@ -1,0 +1,277 @@
+//! sciml-analyze — in-repo correctness tooling for the sciml stack.
+//!
+//! Two halves (see `docs/ARCHITECTURE.md` §4f):
+//!
+//! * **`sciml-lint`** (this crate, plus the `sciml-lint` binary): a
+//!   std-only static-analysis pass over `crates/` built on a small
+//!   comment/string/raw-string-aware Rust [`lexer`]. Enforced
+//!   [`rules`]: `no_panics` (no `unwrap`/`expect`/`panic!` family in
+//!   non-test hot-path code), `safety_comment` (every `unsafe` block
+//!   or impl carries a `// SAFETY:` justification), `no_std_sync`
+//!   (lock types go through `shims/parking_lot`, which is where the
+//!   lockcheck instrumentation lives), `no_instant` (no raw
+//!   `Instant::now()` in designated decode inner loops — timing goes
+//!   through `sciml-obs`). Violations are waived in place with
+//!   `// lint:allow(<rule>): <reason>` or grandfathered per
+//!   (file, rule) in `lint.toml`'s generated baseline.
+//! * **the lock-order detector** in `parking_lot::lockcheck`
+//!   (`--cfg lockcheck`), whose statistics `sciml-obs` republishes as
+//!   `analyze.lockcheck.*`.
+//!
+//! The CI gate is [`Outcome::is_green`]: zero non-baselined violations
+//! *and* zero stale baseline entries, so the baseline can only shrink.
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use config::{BaselineEntry, Config};
+pub use report::Report;
+pub use rules::{FileContext, Violation, RULE_NAMES};
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Result of linting a tree against a config + baseline.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Violations not covered by the baseline (CI-failing).
+    pub new_violations: Vec<Violation>,
+    /// Baseline entries whose file now has *fewer* violations than
+    /// recorded: the baseline is stale and must be tightened
+    /// (CI-failing, by design — ratchet only moves down).
+    pub stale: Vec<StaleEntry>,
+    /// Violations absorbed by the baseline.
+    pub suppressed: usize,
+    /// Every raw violation (for `--update-baseline` and reporting),
+    /// keyed `(file, rule) -> count`.
+    pub counts: BTreeMap<(String, String), usize>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// One baseline entry that no longer matches reality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleEntry {
+    /// File the entry refers to.
+    pub file: String,
+    /// Rule name.
+    pub rule: String,
+    /// Count recorded in the baseline.
+    pub baselined: usize,
+    /// Count actually found now.
+    pub actual: usize,
+}
+
+impl Outcome {
+    /// The CI gate: no new violations, no stale baseline.
+    pub fn is_green(&self) -> bool {
+        self.new_violations.is_empty() && self.stale.is_empty()
+    }
+
+    /// The full violation set re-expressed as baseline entries.
+    pub fn as_baseline(&self) -> Vec<BaselineEntry> {
+        self.counts
+            .iter()
+            .filter(|(_, &count)| count > 0)
+            .map(|((file, rule), &count)| BaselineEntry {
+                file: file.clone(),
+                rule: rule.clone(),
+                count,
+            })
+            .collect()
+    }
+}
+
+/// Lints every `.rs` file under `root` (typically the repo's `crates/`
+/// directory, or a single file) against `cfg`.
+pub fn lint_tree(root: &Path, repo_root: &Path, cfg: &Config) -> std::io::Result<Outcome> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+
+    let mut outcome = Outcome::default();
+    for path in files {
+        let text = std::fs::read_to_string(&path)?;
+        let rel = rel_path(repo_root, &path);
+        let ctx = file_context(&rel, cfg);
+        outcome.files_scanned += 1;
+        for v in rules::scan_file(&text, &ctx) {
+            *outcome
+                .counts
+                .entry((v.file.clone(), v.rule.to_string()))
+                .or_default() += 1;
+            outcome.new_violations.push(v);
+        }
+    }
+
+    // Apply the baseline: per (file, rule), the first `count`
+    // violations are grandfathered; extras are new. Fewer than `count`
+    // means the baseline is stale.
+    let mut remaining: BTreeMap<(String, String), usize> =
+        cfg.baseline.iter().map(|(k, &v)| (k.clone(), v)).collect();
+    outcome.new_violations.retain(|v| {
+        let key = (v.file.clone(), v.rule.to_string());
+        match remaining.get_mut(&key) {
+            Some(budget) if *budget > 0 => {
+                *budget -= 1;
+                outcome.suppressed += 1;
+                false
+            }
+            _ => true,
+        }
+    });
+    for ((file, rule), &baselined) in &cfg.baseline {
+        let actual = outcome
+            .counts
+            .get(&(file.clone(), rule.clone()))
+            .copied()
+            .unwrap_or(0);
+        if actual < baselined {
+            outcome.stale.push(StaleEntry {
+                file: file.clone(),
+                rule: rule.clone(),
+                baselined,
+                actual,
+            });
+        }
+    }
+    Ok(outcome)
+}
+
+fn collect_rs_files(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(path)? {
+        let entry = entry?;
+        let p = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if p.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&p, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(repo_root: &Path, path: &Path) -> String {
+    path.strip_prefix(repo_root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Derives the per-file rule context from its repo-relative path.
+pub fn file_context(rel: &str, cfg: &Config) -> FileContext {
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("");
+    let test_file = rel.contains("/tests/") || rel.contains("/benches/");
+    FileContext {
+        rel_path: rel.to_string(),
+        hot_path: cfg.hot_path_crates.iter().any(|c| c == crate_name),
+        instant_designated: cfg
+            .instant_paths
+            .iter()
+            .any(|p| rel.starts_with(p.as_str())),
+        test_file,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(dir: &Path, rel: &str, text: &str) {
+        let p = dir.join(rel);
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        std::fs::write(p, text).unwrap();
+    }
+
+    fn tmp_repo(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lint-tree-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn baseline_absorbs_then_flags_extras_and_staleness() {
+        let dir = tmp_repo("base");
+        write(
+            &dir,
+            "crates/codec/src/lib.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); }\nfn g(x: Option<u8>) { x.unwrap(); }\n",
+        );
+        let mut cfg = Config::default();
+
+        // Exact baseline: green.
+        cfg.baseline
+            .insert(("crates/codec/src/lib.rs".into(), "no_panics".into()), 2);
+        let out = lint_tree(&dir.join("crates"), &dir, &cfg).unwrap();
+        assert!(out.is_green(), "{:?}", out.new_violations);
+        assert_eq!(out.suppressed, 2);
+
+        // Baseline smaller than reality: the extra violation fails.
+        cfg.baseline
+            .insert(("crates/codec/src/lib.rs".into(), "no_panics".into()), 1);
+        let out = lint_tree(&dir.join("crates"), &dir, &cfg).unwrap();
+        assert_eq!(out.new_violations.len(), 1);
+
+        // Baseline larger than reality: stale, also fails.
+        cfg.baseline
+            .insert(("crates/codec/src/lib.rs".into(), "no_panics".into()), 3);
+        let out = lint_tree(&dir.join("crates"), &dir, &cfg).unwrap();
+        assert!(out.new_violations.is_empty());
+        assert_eq!(out.stale.len(), 1);
+        assert_eq!(out.stale[0].actual, 2);
+        assert!(!out.is_green());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn context_rules_follow_paths() {
+        let cfg = Config::default();
+        assert!(file_context("crates/codec/src/lib.rs", &cfg).hot_path);
+        assert!(!file_context("crates/obs/src/lib.rs", &cfg).hot_path);
+        assert!(file_context("crates/codec/src/f16.rs", &cfg).instant_designated);
+        assert!(file_context("crates/serve/tests/integration.rs", &cfg).test_file);
+    }
+
+    #[test]
+    fn as_baseline_roundtrips_counts() {
+        let dir = tmp_repo("round");
+        write(
+            &dir,
+            "crates/store/src/lib.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); panic!(\"x\") }\n",
+        );
+        let out = lint_tree(&dir.join("crates"), &dir, &Config::default()).unwrap();
+        assert_eq!(out.new_violations.len(), 2);
+        let entries = out.as_baseline();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].count, 2);
+        // Feeding the generated baseline back turns CI green.
+        let mut cfg = Config::default();
+        for e in &entries {
+            cfg.baseline
+                .insert((e.file.clone(), e.rule.clone()), e.count);
+        }
+        let out = lint_tree(&dir.join("crates"), &dir, &cfg).unwrap();
+        assert!(out.is_green());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

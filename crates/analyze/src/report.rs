@@ -1,0 +1,242 @@
+//! Human table + JSON rendering of a lint [`Outcome`].
+
+use crate::rules::RULE_NAMES;
+use crate::{Outcome, StaleEntry, Violation};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renderable summary of one lint run.
+pub struct Report<'a> {
+    outcome: &'a Outcome,
+}
+
+impl<'a> Report<'a> {
+    /// Wraps an outcome for rendering.
+    pub fn new(outcome: &'a Outcome) -> Self {
+        Self { outcome }
+    }
+
+    /// Per-crate × per-rule table of *total* violation counts
+    /// (baselined + new), with failing cells carrying the new count.
+    pub fn table(&self) -> String {
+        let mut per_crate: BTreeMap<String, BTreeMap<&str, usize>> = BTreeMap::new();
+        for ((file, rule), &count) in &self.outcome.counts {
+            if count == 0 {
+                continue;
+            }
+            let krate = crate_of(file);
+            if let Some(r) = RULE_NAMES.iter().find(|r| *r == rule) {
+                *per_crate.entry(krate).or_default().entry(r).or_default() += count;
+            }
+        }
+        let mut new_per_crate: BTreeMap<String, usize> = BTreeMap::new();
+        for v in &self.outcome.new_violations {
+            *new_per_crate.entry(crate_of(&v.file)).or_default() += 1;
+        }
+
+        let name_w = per_crate
+            .keys()
+            .map(|k| k.len())
+            .chain(["crate".len()])
+            .max()
+            .unwrap_or(5);
+        let mut out = String::new();
+        let _ = write!(out, "{:<name_w$}", "crate");
+        for rule in RULE_NAMES {
+            let _ = write!(out, "  {rule:>14}");
+        }
+        let _ = writeln!(out, "  {:>6}", "new");
+        for (krate, counts) in &per_crate {
+            let _ = write!(out, "{krate:<name_w$}");
+            for rule in RULE_NAMES {
+                let c = counts.get(rule).copied().unwrap_or(0);
+                if c == 0 {
+                    let _ = write!(out, "  {:>14}", "-");
+                } else {
+                    let _ = write!(out, "  {c:>14}");
+                }
+            }
+            let newc = new_per_crate.get(krate).copied().unwrap_or(0);
+            let _ = writeln!(out, "  {newc:>6}");
+        }
+        if per_crate.is_empty() {
+            let _ = writeln!(out, "(no violations)");
+        }
+        let _ = writeln!(
+            out,
+            "\n{} file(s) scanned, {} violation(s) baselined, {} new, {} stale baseline entr{}",
+            self.outcome.files_scanned,
+            self.outcome.suppressed,
+            self.outcome.new_violations.len(),
+            self.outcome.stale.len(),
+            if self.outcome.stale.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+        );
+        out
+    }
+
+    /// Detail lines for failures: each new violation and stale entry.
+    pub fn failures(&self) -> String {
+        let mut out = String::new();
+        for Violation {
+            file,
+            line,
+            rule,
+            token,
+        } in &self.outcome.new_violations
+        {
+            let _ = writeln!(
+                out,
+                "{file}:{line}: [{rule}] `{token}` — annotate `// lint:allow({rule}): <reason>` or fix"
+            );
+        }
+        for StaleEntry {
+            file,
+            rule,
+            baselined,
+            actual,
+        } in &self.outcome.stale
+        {
+            let _ = writeln!(
+                out,
+                "lint.toml: stale baseline for {file} [{rule}]: lists {baselined}, found {actual} — run `sciml-lint --update-baseline`"
+            );
+        }
+        out
+    }
+
+    /// JSON document for tooling: counts, new violations, staleness.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"files_scanned\":{},\"suppressed\":{},\"green\":{}",
+            self.outcome.files_scanned,
+            self.outcome.suppressed,
+            self.outcome.is_green()
+        );
+        out.push_str(",\"new_violations\":[");
+        for (i, v) in self.outcome.new_violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"token\":\"{}\"}}",
+                escape(&v.file),
+                v.line,
+                v.rule,
+                escape(&v.token)
+            );
+        }
+        out.push_str("],\"stale\":[");
+        for (i, s) in self.outcome.stale.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"file\":\"{}\",\"rule\":\"{}\",\"baselined\":{},\"actual\":{}}}",
+                escape(&s.file),
+                s.rule,
+                s.baselined,
+                s.actual
+            );
+        }
+        out.push_str("],\"counts\":[");
+        let mut first = true;
+        for ((file, rule), &count) in &self.outcome.counts {
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"file\":\"{}\",\"rule\":\"{}\",\"count\":{}}}",
+                escape(file),
+                rule,
+                count
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn crate_of(file: &str) -> String {
+    file.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("(root)")
+        .to_string()
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Violation;
+
+    fn outcome_with(new: usize) -> Outcome {
+        let mut o = Outcome {
+            files_scanned: 3,
+            suppressed: 2,
+            ..Default::default()
+        };
+        for i in 0..new {
+            o.new_violations.push(Violation {
+                file: "crates/serve/src/server.rs".into(),
+                line: 10 + i,
+                rule: "no_panics",
+                token: ".unwrap()".into(),
+            });
+        }
+        o.counts.insert(
+            ("crates/serve/src/server.rs".into(), "no_panics".into()),
+            new + 2,
+        );
+        o
+    }
+
+    #[test]
+    fn table_shows_counts_and_totals() {
+        let o = outcome_with(1);
+        let t = Report::new(&o).table();
+        assert!(t.contains("serve"));
+        assert!(t.contains("no_panics"));
+        assert!(t.contains("2 violation(s) baselined, 1 new"));
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let o = outcome_with(2);
+        let j = Report::new(&o).json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"green\":false"));
+        assert!(j.contains("\"rule\":\"no_panics\""));
+        // Balanced quotes: every key/value quote closes.
+        assert_eq!(j.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn failures_mention_fix_paths() {
+        let mut o = outcome_with(1);
+        o.stale.push(StaleEntry {
+            file: "crates/a/src/lib.rs".into(),
+            rule: "no_panics".into(),
+            baselined: 4,
+            actual: 1,
+        });
+        let f = Report::new(&o).failures();
+        assert!(f.contains("lint:allow(no_panics)"));
+        assert!(f.contains("--update-baseline"));
+    }
+}

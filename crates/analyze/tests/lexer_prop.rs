@@ -1,0 +1,84 @@
+//! Property tests for the lint lexer: randomly generated nests of
+//! strings, raw strings, char literals, and (nested) comments that all
+//! contain panic-looking / lock-looking tokens must never produce a
+//! lint violation — the lexer's code mask is what stands between the
+//! rules and false positives. A real violation appended after the noise
+//! must still be found, at the right line.
+
+use proptest::prelude::*;
+use sciml_analyze::rules::{scan_file, FileContext};
+
+fn hot_ctx() -> FileContext {
+    FileContext {
+        rel_path: "crates/codec/src/lib.rs".into(),
+        hot_path: true,
+        instant_designated: true,
+        test_file: false,
+    }
+}
+
+/// Builds one source segment from a generated choice. Every segment
+/// plants rule-triggering tokens inside non-code bytes only.
+fn segment(kind: u8, a: u8) -> String {
+    match kind % 7 {
+        0 => format!("    let v = {a};\n"),
+        1 => format!(
+            "    // unwrap() .expect( panic! todo! std::sync::Mutex Instant::now() unsafe {{ {a}\n"
+        ),
+        2 => {
+            // Nested block comment, optionally spanning lines.
+            if a.is_multiple_of(2) {
+                "    /* unwrap() /* panic!('{') */ std::sync::Mutex */\n".to_string()
+            } else {
+                "    /* .expect(\n    unreachable!() /* Instant::now() */\n    unsafe { */\n"
+                    .to_string()
+            }
+        }
+        3 => format!("    let s = \"unwrap() \\\" panic! {a} \\\\ std::sync::Mutex unsafe {{\";\n"),
+        4 => {
+            // Raw string with hash depth 1–2 and embedded quotes.
+            if a.is_multiple_of(2) {
+                "    let r = r#\"unwrap() \" .expect( std::sync::RwLock todo!\"#;\n".to_string()
+            } else {
+                "    let r = br##\"panic! \"# Instant::now() unsafe {\"##;\n".to_string()
+            }
+        }
+        5 => "    fn g<'a>(x: &'a u8) -> char { let _ = x; '\"' }\n".to_string(),
+        _ => format!("    let m = \"line one unwrap() {a}\nline two panic!\";\n"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn generated_nests_never_false_positive(
+        kinds in proptest::collection::vec((0u8..7, any::<u8>()), 1..24),
+    ) {
+        let mut src = String::from("fn f() {\n");
+        for &(kind, a) in &kinds {
+            src.push_str(&segment(kind, a));
+        }
+        src.push_str("}\n");
+        let violations = scan_file(&src, &hot_ctx());
+        prop_assert!(
+            violations.is_empty(),
+            "false positives {violations:?} in:\n{src}"
+        );
+    }
+
+    #[test]
+    fn real_violation_survives_the_noise(
+        kinds in proptest::collection::vec((0u8..7, any::<u8>()), 1..24),
+    ) {
+        let mut src = String::from("fn f() {\n");
+        for &(kind, a) in &kinds {
+            src.push_str(&segment(kind, a));
+        }
+        src.push_str("}\n");
+        let bad_line = src.lines().count() + 1;
+        src.push_str("fn bad(x: Option<u8>) { x.unwrap(); }\n");
+        let violations = scan_file(&src, &hot_ctx());
+        prop_assert_eq!(violations.len(), 1, "in:\n{}", src);
+        prop_assert_eq!(violations[0].rule, "no_panics");
+        prop_assert_eq!(violations[0].line, bad_line);
+    }
+}

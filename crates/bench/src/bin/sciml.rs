@@ -17,6 +17,7 @@
 //!             [--per-shard K] [--workers W] [--gzip]
 //! sciml verify-store DIR           # CRC-check every shard + sample of a packed store
 //! sciml validate-json FILE...      # check emitted metrics/trace files parse as JSON
+//! sciml lint [--path DIR] [--json] # run the in-repo static analyzer
 //! ```
 
 use sciml_codec::cosmoflow as cf;
@@ -63,6 +64,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("stage") => stage(&args[1..]),
         Some("verify-store") => verify_store(&args[1..]),
         Some("validate-json") => for_each_file(&args[1..], validate_json),
+        Some("lint") => lint(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -86,7 +88,8 @@ fn print_usage() {
          pack --dir DIR --n N --out DIR                pack per-file samples into .sshard shards\n  \
          stage (--addr A | --dir DIR --n N) --out DIR  stage a dataset into a local packed copy\n  \
          verify-store DIR                              CRC-check every shard of a packed store\n  \
-         validate-json FILE...                         check metrics/trace JSON well-formedness\n\n\
+         validate-json FILE...                         check metrics/trace JSON well-formedness\n  \
+         lint [--path DIR] [--json]                    static-analysis gate (panics, SAFETY, locks)\n\n\
          telemetry flags (serve / fetch):\n  \
          --metrics-out FILE    write a metrics snapshot (JSONL) on exit\n  \
          --trace-out FILE      write a Chrome trace-event JSON file (fetch)"
@@ -772,6 +775,47 @@ fn verify_store(args: &[String]) -> Result<(), String> {
         t0.elapsed().as_secs_f64()
     );
     Ok(())
+}
+
+// -------------------------------------------------------------------
+
+/// Runs the in-repo static analyzer (`sciml-analyze`) over the repo at
+/// `--path` (default `.`) and prints the per-crate, per-rule violation
+/// table, or machine-readable JSON with `--json`. Exits nonzero on any
+/// non-baselined violation or stale baseline entry, mirroring the CI
+/// `lint` stage.
+fn lint(args: &[String]) -> Result<(), String> {
+    let repo_root = PathBuf::from(flag(args, "--path").unwrap_or_else(|| ".".into()));
+    let config_path = flag(args, "--config")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| repo_root.join("lint.toml"));
+    let json = args.iter().any(|a| a == "--json");
+
+    let cfg = sciml_analyze::Config::load(&config_path).map_err(|e| e.to_string())?;
+    let crates_dir = repo_root.join("crates");
+    let scan_root = if crates_dir.is_dir() {
+        crates_dir
+    } else {
+        repo_root.clone()
+    };
+    let outcome = sciml_analyze::lint_tree(&scan_root, &repo_root, &cfg)
+        .map_err(|e| format!("scanning {}: {e}", scan_root.display()))?;
+
+    let report = sciml_analyze::Report::new(&outcome);
+    if json {
+        println!("{}", report.json());
+    } else {
+        print!("{}", report.table());
+        let failures = report.failures();
+        if !failures.is_empty() {
+            print!("\n{failures}");
+        }
+    }
+    if outcome.is_green() {
+        Ok(())
+    } else {
+        Err("lint violations found (see above; `sciml-lint --update-baseline` regenerates the grandfather baseline)".into())
+    }
 }
 
 // -------------------------------------------------------------------

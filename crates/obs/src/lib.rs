@@ -39,6 +39,7 @@
 pub mod export;
 pub mod histogram;
 pub mod json;
+pub mod lockcheck;
 pub mod registry;
 pub mod trace;
 
@@ -87,8 +88,11 @@ impl Telemetry {
         }
     }
 
-    /// Writes the current metrics snapshot as JSONL to `path`.
+    /// Writes the current metrics snapshot as JSONL to `path`. In
+    /// `--cfg lockcheck` builds the snapshot first absorbs the
+    /// lock-order detector's `analyze.lockcheck.*` gauges.
     pub fn write_metrics(&self, path: &std::path::Path) -> std::io::Result<()> {
+        lockcheck::publish(&self.registry);
         export::write_metrics_file(&self.registry.snapshot(), path)
     }
 

@@ -9,9 +9,10 @@
 //! sharing one registry produce one coherent snapshot.
 
 use crate::histogram::{Histogram, HistogramSnapshot};
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -111,13 +112,7 @@ pub struct MetricsRegistry {
 
 impl std::fmt::Debug for MetricsRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let names: Vec<String> = self
-            .metrics
-            .lock()
-            .expect("registry lock")
-            .keys()
-            .cloned()
-            .collect();
+        let names: Vec<String> = self.metrics.lock().keys().cloned().collect();
         f.debug_struct("MetricsRegistry")
             .field("metrics", &names)
             .finish()
@@ -134,7 +129,7 @@ impl MetricsRegistry {
     /// first use. Panics if `name` is already a different metric kind —
     /// that is a naming bug, not a runtime condition.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.metrics.lock().expect("registry lock");
+        let mut map = self.metrics.lock();
         match map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
@@ -147,7 +142,7 @@ impl MetricsRegistry {
     /// Returns the gauge registered under `name`, creating it on first
     /// use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.metrics.lock().expect("registry lock");
+        let mut map = self.metrics.lock();
         match map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
@@ -160,7 +155,7 @@ impl MetricsRegistry {
     /// Returns the histogram registered under `name`, creating it on
     /// first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.metrics.lock().expect("registry lock");
+        let mut map = self.metrics.lock();
         match map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
@@ -172,7 +167,7 @@ impl MetricsRegistry {
 
     /// Snapshots every registered metric.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let map = self.metrics.lock().expect("registry lock");
+        let map = self.metrics.lock();
         let metrics = map
             .iter()
             .map(|(name, m)| {

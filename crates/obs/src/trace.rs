@@ -11,9 +11,10 @@
 //! read, no allocation, no lock. The emitted file loads directly in
 //! `chrome://tracing` or <https://ui.perfetto.dev>.
 
+use parking_lot::Mutex;
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Small dense per-process thread ids (`ThreadId` has no stable integer
@@ -126,7 +127,7 @@ impl Tracer {
     }
 
     fn push(&self, ev: TraceEvent) {
-        let mut ring = self.ring.lock().expect("trace ring lock");
+        let mut ring = self.ring.lock();
         if ring.buf.len() < self.capacity {
             ring.buf.push(ev);
         } else {
@@ -140,7 +141,7 @@ impl Tracer {
 
     /// Retained events in recording order (oldest first).
     pub fn events(&self) -> Vec<TraceEvent> {
-        let ring = self.ring.lock().expect("trace ring lock");
+        let ring = self.ring.lock();
         if !ring.wrapped {
             ring.buf.clone()
         } else {

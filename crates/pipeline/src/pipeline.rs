@@ -16,13 +16,14 @@ use crate::source::SampleSource;
 use crate::stats::PipelineStats;
 use crate::{PipelineError, Result};
 use crossbeam_channel as channel;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use sciml_codec::CodecError;
 use sciml_half::F16;
 use sciml_obs::{Telemetry, Tracer};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 /// Upper bound on a sane pool capacity: beyond this the "pool" would be
@@ -107,6 +108,9 @@ struct BuildMeta {
 // item exists exactly once), and the pointee outlives the build (the
 // tensor is held in `data` until completion).
 unsafe impl Send for BatchBuild {}
+// SAFETY: shared access is `&self`-safe for the same reason as Send
+// above — all mutation through `base` targets caller-exclusive disjoint
+// slots, and the `data`/`meta` fields are behind mutexes.
 unsafe impl Sync for BatchBuild {}
 
 impl BatchBuild {
@@ -131,13 +135,16 @@ impl BatchBuild {
         let data = self
             .data
             .lock()
-            .expect("build data lock")
             .take()
+            // lint:allow(no_panics): completion invariant — the last
+            // worker to fill a slot finishes the build exactly once.
             .expect("batch finished exactly once");
-        let mut meta = self.meta.lock().expect("build meta lock");
+        let mut meta = self.meta.lock();
         let labels = meta
             .labels
             .iter_mut()
+            // lint:allow(no_panics): caller observed filled == expected
+            // under the meta lock, so every label slot is Some.
             .map(|l| l.take().expect("every slot filled"))
             .collect();
         Batch {
@@ -164,7 +171,7 @@ impl Assembler {
     /// The build for `(epoch, batch_id)`, creating it (and checking a
     /// tensor out of the pool) on first touch.
     fn build_for(&self, epoch: usize, batch_id: usize, sample_len: usize) -> Arc<BatchBuild> {
-        let mut open = self.open.lock().expect("assembler lock");
+        let mut open = self.open.lock();
         if let Some(b) = open
             .iter()
             .find(|b| b.epoch == epoch && b.batch_id == batch_id)
@@ -192,7 +199,7 @@ impl Assembler {
     }
 
     fn remove(&self, epoch: usize, batch_id: usize) {
-        let mut open = self.open.lock().expect("assembler lock");
+        let mut open = self.open.lock();
         if let Some(i) = open
             .iter()
             .position(|b| b.epoch == epoch && b.batch_id == batch_id)
@@ -397,7 +404,7 @@ impl Pipeline {
                         }
                     };
                     let completed = {
-                        let mut meta = build.meta.lock().expect("build meta lock");
+                        let mut meta = build.meta.lock();
                         meta.labels[slot] = Some(label);
                         meta.indices[slot] = idx;
                         meta.filled += 1;
@@ -439,6 +446,8 @@ impl Pipeline {
         if self.finished {
             return Ok(None);
         }
+        // lint:allow(no_panics): `rx` is Some from construction until
+        // Drop takes it; no other code path clears it.
         let rx = self.rx.as_ref().expect("receiver alive until drop");
         let got = {
             let _span = self.tracer.span("pipeline", "wait");

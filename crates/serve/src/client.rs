@@ -13,13 +13,14 @@ use crate::protocol::{
     read_message, write_message, DatasetEntry, ErrorCode, Message, ProtocolError, StatsSnapshot,
     MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
+use parking_lot::Mutex;
 use sciml_obs::{Counter, MetricsRegistry};
 use sciml_pipeline::{PipelineError, SampleSource};
 use sciml_store::ShardPlan;
 use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Client tuning knobs.
@@ -328,7 +329,7 @@ impl RemoteSource {
 
     /// Checks a connection out of the pool, or dials a new one.
     fn checkout(&self) -> Result<Conn, PipelineError> {
-        if let Some(conn) = self.pool.lock().expect("pool lock").pop() {
+        if let Some(conn) = self.pool.lock().pop() {
             return Ok(conn);
         }
         Conn::open(&self.addr, &self.cfg)
@@ -336,7 +337,7 @@ impl RemoteSource {
 
     /// Returns a healthy connection to the pool.
     fn checkin(&self, conn: Conn) {
-        let mut pool = self.pool.lock().expect("pool lock");
+        let mut pool = self.pool.lock();
         if pool.len() < self.cfg.pool_size {
             pool.push(conn);
         }
@@ -405,7 +406,9 @@ impl SampleSource for RemoteSource {
 
     fn fetch(&self, idx: usize) -> sciml_pipeline::Result<Vec<u8>> {
         let mut batch = self.fetch_batch(&[idx as u64])?;
-        Ok(batch.pop().expect("length validated"))
+        batch
+            .pop()
+            .ok_or_else(|| PipelineError::Remote("server returned an empty batch".into()))
     }
 
     fn bytes_read(&self) -> u64 {

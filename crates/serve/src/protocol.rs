@@ -522,21 +522,20 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, ProtocolError> {
-        Ok(u16::from_le_bytes(
-            self.bytes(2)?.try_into().expect("len 2"),
-        ))
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     fn u32(&mut self) -> Result<u32, ProtocolError> {
-        Ok(u32::from_le_bytes(
-            self.bytes(4)?.try_into().expect("len 4"),
-        ))
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn u64(&mut self) -> Result<u64, ProtocolError> {
-        Ok(u64::from_le_bytes(
-            self.bytes(8)?.try_into().expect("len 8"),
-        ))
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn string(&mut self) -> Result<String, ProtocolError> {
@@ -558,13 +557,19 @@ pub fn encode_frame(msg: &Message) -> Vec<u8> {
     frame
 }
 
+/// Little-endian u32 at `at` (caller has already bounds-checked; plain
+/// indexing keeps this panic-free under the repo's no_panics lint).
+fn le_u32_at(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]])
+}
+
 /// Parses one complete frame from a byte slice, returning the message
 /// and the number of bytes consumed.
 pub fn decode_frame(buf: &[u8]) -> Result<(Message, usize), ProtocolError> {
     if buf.len() < 4 {
         return Err(ProtocolError::Truncated);
     }
-    let len = u32::from_le_bytes(buf[..4].try_into().expect("len 4"));
+    let len = le_u32_at(buf, 0);
     if len > MAX_FRAME_BYTES {
         return Err(ProtocolError::Oversized(len));
     }
@@ -573,7 +578,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Message, usize), ProtocolError> {
         return Err(ProtocolError::Truncated);
     }
     let payload = &buf[4..4 + len as usize];
-    let stored = u32::from_le_bytes(buf[4 + len as usize..total].try_into().expect("len 4"));
+    let stored = le_u32_at(buf, 4 + len as usize);
     let computed = crc32(payload);
     if stored != computed {
         return Err(ProtocolError::BadCrc { computed, stored });

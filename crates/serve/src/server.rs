@@ -92,7 +92,7 @@ struct Inner {
     /// Sockets currently being served, keyed by connection id, so
     /// shutdown can force-close them instead of waiting out their
     /// read timeouts.
-    live: std::sync::Mutex<BTreeMap<u64, TcpStream>>,
+    live: parking_lot::Mutex<BTreeMap<u64, TcpStream>>,
     next_conn_id: AtomicU64,
 }
 
@@ -104,7 +104,7 @@ impl Inner {
         if self.shutting_down.swap(true, Ordering::AcqRel) {
             return;
         }
-        for stream in self.live.lock().expect("live-connection lock").values() {
+        for stream in self.live.lock().values() {
             let _ = stream.shutdown(Shutdown::Both);
         }
         if let Ok(s) = TcpStream::connect(self.local_addr) {
@@ -118,16 +118,13 @@ impl Inner {
     fn register(&self, stream: &TcpStream) -> Option<u64> {
         let clone = stream.try_clone().ok()?;
         let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
-        self.live
-            .lock()
-            .expect("live-connection lock")
-            .insert(id, clone);
+        self.live.lock().insert(id, clone);
         Some(id)
     }
 
     fn deregister(&self, id: Option<u64>) {
         if let Some(id) = id {
-            self.live.lock().expect("live-connection lock").remove(&id);
+            self.live.lock().remove(&id);
         }
     }
 
@@ -233,7 +230,7 @@ impl ServeBuilder {
             active_connections: AtomicUsize::new(0),
             config: self.config,
             local_addr,
-            live: std::sync::Mutex::new(BTreeMap::new()),
+            live: parking_lot::Mutex::new(BTreeMap::new()),
             next_conn_id: AtomicU64::new(0),
         });
 
@@ -254,8 +251,7 @@ impl ServeBuilder {
                             inner.deregister(id);
                             inner.active_connections.fetch_sub(1, Ordering::AcqRel);
                         }
-                    })
-                    .expect("spawn worker thread"),
+                    })?,
             );
         }
         drop(conn_rx);
@@ -282,8 +278,7 @@ impl ServeBuilder {
                         }
                     }
                     // Dropping conn_tx disconnects the workers' recv loop.
-                })
-                .expect("spawn acceptor thread")
+                })?
         };
 
         Ok(ServerHandle {

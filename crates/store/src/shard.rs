@@ -213,7 +213,7 @@ struct PositionedFile {
     #[cfg(unix)]
     file: File,
     #[cfg(not(unix))]
-    file: std::sync::Mutex<File>,
+    file: parking_lot::Mutex<File>,
 }
 
 impl PositionedFile {
@@ -225,7 +225,7 @@ impl PositionedFile {
         #[cfg(not(unix))]
         {
             Self {
-                file: std::sync::Mutex::new(file),
+                file: parking_lot::Mutex::new(file),
             }
         }
     }
@@ -239,7 +239,7 @@ impl PositionedFile {
         #[cfg(not(unix))]
         {
             use std::io::{Read, Seek, SeekFrom};
-            let mut f = self.file.lock().expect("shard file lock poisoned");
+            let mut f = self.file.lock();
             f.seek(SeekFrom::Start(offset))?;
             f.read_exact(buf)
         }
@@ -259,6 +259,21 @@ pub struct ShardReader {
     gzip: bool,
     index: Vec<IndexEntry>,
     index_offset: u64,
+}
+
+/// Little-endian u64 at the start of `b` (panic-free: copies exactly
+/// the 8 bytes the caller's bounds-checked slice provides).
+fn le_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(a)
+}
+
+/// Little-endian u32 at the start of `b`.
+fn le_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[..4]);
+    u32::from_le_bytes(a)
 }
 
 impl ShardReader {
@@ -288,16 +303,16 @@ impl ShardReader {
             return Err(StoreError::BadVersion(version));
         }
         let flags = u16::from_le_bytes([header[6], header[7]]);
-        let base = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+        let base = le_u64(&header[8..16]);
 
         let mut trailer = [0u8; TRAILER_LEN];
         file.read_exact_at(&mut trailer, file_len - TRAILER_LEN as u64)?;
         if &trailer[20..24] != TRAILER_MAGIC {
             return Err(StoreError::BadMagic("shard trailer"));
         }
-        let index_offset = u64::from_le_bytes(trailer[0..8].try_into().expect("8-byte slice"));
-        let count = u64::from_le_bytes(trailer[8..16].try_into().expect("8-byte slice"));
-        let index_crc = u32::from_le_bytes(trailer[16..20].try_into().expect("4-byte slice"));
+        let index_offset = le_u64(&trailer[0..8]);
+        let count = le_u64(&trailer[8..16]);
+        let index_crc = le_u32(&trailer[16..20]);
 
         let index_len = (count as usize)
             .checked_mul(ENTRY_LEN)
@@ -320,10 +335,10 @@ impl ShardReader {
         let mut index = Vec::with_capacity(count as usize);
         for entry in index_bytes.chunks_exact(ENTRY_LEN) {
             let e = IndexEntry {
-                offset: u64::from_le_bytes(entry[0..8].try_into().expect("8-byte slice")),
-                stored_len: u32::from_le_bytes(entry[8..12].try_into().expect("4-byte slice")),
-                raw_len: u32::from_le_bytes(entry[12..16].try_into().expect("4-byte slice")),
-                crc32: u32::from_le_bytes(entry[16..20].try_into().expect("4-byte slice")),
+                offset: le_u64(&entry[0..8]),
+                stored_len: le_u32(&entry[8..12]),
+                raw_len: le_u32(&entry[12..16]),
+                crc32: le_u32(&entry[16..20]),
             };
             if e.offset < HEADER_LEN as u64 || e.offset + e.stored_len as u64 > index_offset {
                 return Err(StoreError::Malformed("sample extent outside shard body"));

@@ -22,12 +22,13 @@
 use crate::manifest::{JournalEntry, ShardMeta, ShardPlan, StagingJournal, StoreManifest};
 use crate::shard::{shard_file_name, write_shard, ShardReader};
 use crate::{Result, StoreError};
+use parking_lot::{Condvar, Mutex};
 use sciml_compress::Level;
 use sciml_obs::{Counter, Gauge, Histogram, MetricsRegistry, Telemetry};
 use sciml_pipeline::source::SampleSource;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -131,6 +132,8 @@ impl Shared {
         // holds a valid reader for this shard.
         let _ = self.readers[shard].set(Arc::clone(&opened));
         Ok(Arc::clone(
+            // lint:allow(no_panics): the OnceLock was set on the line
+            // above (or by a racing thread); get() cannot be empty.
             self.readers[shard].get().expect("reader just set"),
         ))
     }
@@ -417,12 +420,15 @@ impl Stager {
     /// Call [`Stager::join`] to collect them.
     pub fn spawn_workers(&self) -> usize {
         let n = self.inner.config.workers.max(1);
-        let mut workers = self.inner.workers.lock().expect("worker list lock");
+        let mut workers = self.inner.workers.lock();
         for i in 0..n {
             let stager = self.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("sciml-stage-{i}"))
                 .spawn(move || stager.run().map(|_| ()))
+                // lint:allow(no_panics): thread-spawn failure is
+                // resource exhaustion at startup, not a request-path
+                // condition; spawn_workers has no error channel.
                 .expect("spawn staging worker");
             workers.push(handle);
         }
@@ -439,7 +445,7 @@ impl Stager {
     /// any worker hit one, else the final progress.
     pub fn join(&self) -> Result<StagingProgress> {
         let handles: Vec<_> = {
-            let mut workers = self.inner.workers.lock().expect("worker list lock");
+            let mut workers = self.inner.workers.lock();
             workers.drain(..).collect()
         };
         let mut first_err = None;
@@ -480,12 +486,12 @@ impl Stager {
     /// `false` if the stager was stopped while waiting.
     fn acquire_budget(&self, bytes: u64) -> bool {
         let inner = &self.inner;
-        let mut inflight = inner.inflight_bytes.lock().expect("budget lock");
+        let mut inflight = inner.inflight_bytes.lock();
         while *inflight > 0 && *inflight + bytes > inner.config.max_inflight_bytes {
             if inner.stop.load(Ordering::Relaxed) {
                 return false;
             }
-            inflight = inner.budget_cv.wait(inflight).expect("budget lock");
+            inflight = inner.budget_cv.wait(inflight);
         }
         if inner.stop.load(Ordering::Relaxed) {
             return false;
@@ -495,7 +501,7 @@ impl Stager {
     }
 
     fn release_budget(&self, bytes: u64) {
-        let mut inflight = self.inner.inflight_bytes.lock().expect("budget lock");
+        let mut inflight = self.inner.inflight_bytes.lock();
         *inflight = inflight.saturating_sub(bytes);
         drop(inflight);
         self.inner.budget_cv.notify_all();
@@ -530,14 +536,10 @@ impl Stager {
             inner.config.gzip,
             inner.config.level,
         )?;
-        inner
-            .journal
-            .lock()
-            .expect("journal lock")
-            .append(JournalEntry {
-                id: plan.id,
-                crc32: meta.crc32,
-            })?;
+        inner.journal.lock().append(JournalEntry {
+            id: plan.id,
+            crc32: meta.crc32,
+        })?;
         inner.shared.staged_file_bytes[pos].store(meta.bytes, Ordering::Relaxed);
         inner.shared.staged_crcs[pos].store(meta.crc32, Ordering::Relaxed);
         inner.shared.mark(pos, ST_STAGED);

@@ -13,8 +13,21 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --workspace --release
 
+echo "==> sciml-lint (static analysis: panics / SAFETY / lock hygiene)"
+# Fails on any non-baselined violation AND on stale baseline entries
+# (fixed code whose grandfather budget was not ratcheted down).
+cargo run --release -q -p sciml-analyze --bin sciml-lint -- --path .
+
 echo "==> cargo test"
 cargo test --workspace -q
+
+echo "==> lockcheck-test (lock-order inversion detector enabled)"
+# Rebuilds the parking_lot shim with the dynamic ABBA detector compiled
+# in (panic-on-inversion under test) and re-runs the lock-heavy crates.
+# A separate target dir keeps the instrumented artifacts from evicting
+# the normal build cache.
+RUSTFLAGS="--cfg lockcheck" CARGO_TARGET_DIR=target/lockcheck \
+    cargo test -q -p parking_lot -p sciml-obs -p sciml-serve -p sciml-pipeline -p sciml-store
 
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

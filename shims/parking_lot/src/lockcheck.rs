@@ -1,0 +1,327 @@
+//! Dynamic lock-order (deadlock-potential) detector.
+//!
+//! Compiled in only under `--cfg lockcheck`; without the cfg this
+//! module is a set of inlinable no-ops and the lock types carry no
+//! extra state, so the disabled fast path is byte-identical to the
+//! plain shim.
+//!
+//! ## How it works
+//!
+//! Every [`Mutex`](crate::Mutex)/[`RwLock`](crate::RwLock) is tagged
+//! with the source location of its `new()` call (its *site*, captured
+//! via `#[track_caller]`). At acquisition time the guard code
+//!
+//! 1. interns the site into a small integer id (cached in the lock, so
+//!    interning happens once per lock instance),
+//! 2. consults a per-thread stack of currently-held sites, and
+//! 3. for each held site `H`, records the edge `H → A` (where `A` is
+//!    the site being acquired) in a global lock-order graph.
+//!
+//! If adding `H → A` would close a cycle (i.e. `A` can already reach
+//! `H` through previously observed orderings — the classic ABBA
+//! inversion), a [`DeadlockReport`] naming both sites and the
+//! connecting path is produced *at acquisition time*, before the
+//! thread ever blocks. Depending on [`Mode`]:
+//!
+//! * [`Mode::Panic`] (default in debug builds, i.e. under `cargo
+//!   test`): panic with the report, failing the test that exercised
+//!   the inverted ordering.
+//! * [`Mode::Count`] (default in release builds): the report is
+//!   retained for [`take_last_report`] and counted into the stats that
+//!   `sciml-obs` exports as `analyze.lockcheck.*`.
+//!
+//! Same-site nesting (two different lock *instances* created at one
+//! source line, acquired nested — e.g. per-dataset locks in a loop) is
+//! counted separately, not reported as a cycle: instance-level order
+//! cannot be decided from site identity alone, and flagging it would
+//! produce false positives on legitimate address-ordered acquisition.
+//! `try_lock` acquisitions push the held stack but record no edges: a
+//! failed `try_lock` backs off instead of deadlocking, so it cannot
+//! close a wait cycle on its own.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// What to do when an ordering cycle is detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Panic with the [`DeadlockReport`] (test builds).
+    Panic,
+    /// Count the cycle and retain the report (production builds).
+    Count,
+}
+
+/// Point-in-time detector statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Distinct lock-creation sites seen acquiring.
+    pub sites: u64,
+    /// Distinct ordering edges observed.
+    pub edges: u64,
+    /// Ordering cycles (potential deadlocks) detected.
+    pub cycles: u64,
+    /// Total instrumented acquisitions.
+    pub acquisitions: u64,
+    /// Nested acquisitions of two locks created at the same site.
+    pub same_site_nesting: u64,
+}
+
+/// One detected lock-order inversion: acquiring `acquiring` while
+/// holding `held` closes a cycle through `path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// Site of a lock the thread already holds.
+    pub held: String,
+    /// Site of the lock whose acquisition closes the cycle.
+    pub acquiring: String,
+    /// Previously observed ordering chain from `acquiring` back to
+    /// `held` (each element a site name), proving the inversion.
+    pub path: Vec<String>,
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lock-order inversion (potential deadlock): acquiring {} while holding {}; \
+             established order {} -> ... -> {} via [{}]",
+            self.acquiring,
+            self.held,
+            self.acquiring,
+            self.held,
+            self.path.join(" -> ")
+        )
+    }
+}
+
+/// Global intern table + order graph. Uses `std::sync` directly on
+/// purpose: the detector must not instrument its own lock.
+struct Global {
+    /// (file, line, col) -> site id.
+    ids: HashMap<(&'static str, u32, u32), u32>,
+    /// Site id -> display name.
+    names: Vec<String>,
+    /// Adjacency: `edges[a]` holds every `b` with observed order a->b.
+    edges: Vec<Vec<u32>>,
+    edge_count: u64,
+}
+
+impl Global {
+    fn intern(&mut self, loc: &'static Location<'static>) -> u32 {
+        let key = (loc.file(), loc.line(), loc.column());
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.ids.insert(key, id);
+        self.names
+            .push(format!("{}:{}:{}", loc.file(), loc.line(), loc.column()));
+        self.edges.push(Vec::new());
+        id
+    }
+
+    /// Is `to` reachable from `from` following observed edges? On
+    /// success returns the path `from -> ... -> to` as site names.
+    fn find_path(&self, from: u32, to: u32) -> Option<Vec<u32>> {
+        let mut stack = vec![(from, 0usize)];
+        let mut parent: HashMap<u32, u32> = HashMap::new();
+        let mut visited = vec![false; self.edges.len()];
+        visited[from as usize] = true;
+        while let Some(&(node, _)) = stack.last() {
+            stack.pop();
+            for &next in &self.edges[node as usize] {
+                if next == to {
+                    // Reconstruct from -> ... -> node -> to.
+                    let mut path = vec![to, node];
+                    let mut cur = node;
+                    while let Some(&p) = parent.get(&cur) {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                if !visited[next as usize] {
+                    visited[next as usize] = true;
+                    parent.insert(next, node);
+                    stack.push((next, 0));
+                }
+            }
+        }
+        None
+    }
+}
+
+fn global() -> &'static Mutex<Global> {
+    static GLOBAL: OnceLock<Mutex<Global>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        Mutex::new(Global {
+            ids: HashMap::new(),
+            names: Vec::new(),
+            edges: Vec::new(),
+            edge_count: 0,
+        })
+    })
+}
+
+// Mode encoding: 0 = unset (derive from debug_assertions), 1 = panic,
+// 2 = count.
+static MODE: AtomicU8 = AtomicU8::new(0);
+static ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
+static CYCLES: AtomicU64 = AtomicU64::new(0);
+static SAME_SITE: AtomicU64 = AtomicU64::new(0);
+
+static LAST_REPORT: Mutex<Option<DeadlockReport>> = Mutex::new(None);
+
+thread_local! {
+    /// Sites of the locks this thread currently holds, in acquisition
+    /// order. Guards may drop out of LIFO order, so releases remove
+    /// the *last matching* entry rather than popping blindly.
+    static HELD: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// True in builds compiled with `--cfg lockcheck`.
+pub const fn enabled() -> bool {
+    true
+}
+
+/// Overrides the cycle-handling mode (default: [`Mode::Panic`] when
+/// `debug_assertions` are on, [`Mode::Count`] otherwise).
+pub fn set_mode(mode: Mode) {
+    MODE.store(
+        match mode {
+            Mode::Panic => 1,
+            Mode::Count => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+fn mode() -> Mode {
+    match MODE.load(Ordering::Relaxed) {
+        1 => Mode::Panic,
+        2 => Mode::Count,
+        _ => {
+            if cfg!(debug_assertions) {
+                Mode::Panic
+            } else {
+                Mode::Count
+            }
+        }
+    }
+}
+
+/// Detector statistics so far (exported by `sciml-obs` as
+/// `analyze.lockcheck.*`).
+pub fn stats() -> Stats {
+    let (sites, edges) = {
+        let g = lock_global();
+        (g.names.len() as u64, g.edge_count)
+    };
+    Stats {
+        sites,
+        edges,
+        cycles: CYCLES.load(Ordering::Relaxed),
+        acquisitions: ACQUISITIONS.load(Ordering::Relaxed),
+        same_site_nesting: SAME_SITE.load(Ordering::Relaxed),
+    }
+}
+
+/// Takes the most recent [`DeadlockReport`] observed in
+/// [`Mode::Count`], if any.
+pub fn take_last_report() -> Option<DeadlockReport> {
+    lock_std(&LAST_REPORT).take()
+}
+
+fn lock_global() -> std::sync::MutexGuard<'static, Global> {
+    lock_std(global())
+}
+
+/// Non-poisoning lock on the detector's own std mutexes (a panicked
+/// holder must not wedge the detector — that would mask the report).
+fn lock_std<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Resolves (and caches) the site id for a lock instance.
+pub(crate) fn site_id(cache: &AtomicU32, loc: &'static Location<'static>) -> u32 {
+    // 0 is "unassigned"; real ids are stored off by one.
+    let cached = cache.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached - 1;
+    }
+    let id = lock_global().intern(loc);
+    cache.store(id + 1, Ordering::Relaxed);
+    id
+}
+
+/// Records a blocking acquisition of `site`. Must be called *before*
+/// blocking on the underlying primitive so an inversion is reported
+/// instead of deadlocking. Pushes the held stack.
+pub(crate) fn on_acquire(site: u32) {
+    ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+    let report = HELD.with(|held| {
+        let held = held.borrow();
+        if held.is_empty() {
+            return None;
+        }
+        let mut g = lock_global();
+        let mut report = None;
+        for &h in held.iter() {
+            if h == site {
+                SAME_SITE.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if g.edges[h as usize].contains(&site) {
+                continue; // edge already known (and known acyclic)
+            }
+            if let Some(path) = g.find_path(site, h) {
+                // Adding h -> site would close a cycle. Report it and
+                // leave the graph acyclic so the established order
+                // keeps winning in future reports.
+                report.get_or_insert_with(|| DeadlockReport {
+                    held: g.names[h as usize].clone(),
+                    acquiring: g.names[site as usize].clone(),
+                    path: path.iter().map(|&s| g.names[s as usize].clone()).collect(),
+                });
+                continue;
+            }
+            g.edges[h as usize].push(site);
+            g.edge_count += 1;
+        }
+        report
+    });
+    if let Some(report) = report {
+        CYCLES.fetch_add(1, Ordering::Relaxed);
+        *lock_std(&LAST_REPORT) = Some(report.clone());
+        if mode() == Mode::Panic {
+            // Deliberately *not* pushed onto HELD: the acquisition
+            // never happens (we unwind before blocking), so pushing
+            // would leave a stale entry behind the catch_unwind that
+            // test harnesses wrap around this panic.
+            panic!("{report}");
+        }
+    }
+    HELD.with(|held| held.borrow_mut().push(site));
+}
+
+/// Records a non-blocking (`try_lock`) acquisition: held-stack only,
+/// no ordering edges (a failed try backs off, it cannot deadlock).
+pub(crate) fn on_acquire_try(site: u32) {
+    ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+    HELD.with(|held| held.borrow_mut().push(site));
+}
+
+/// Records the release of `site` (guard drop or condvar wait).
+pub(crate) fn on_release(site: u32) {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&s| s == site) {
+            held.remove(pos);
+        }
+    });
+}
