@@ -1,0 +1,119 @@
+//! Payload-compression shootout: raw vs gzip vs sciml-pack on the two
+//! workload streams the shard store actually carries — the CosmoFlow
+//! custom payload (f16-dominated) and the DeepCAM differential code
+//! stream (skewed byte codes). Emits `BENCH_compress_ratio.json` with
+//! each codec's compression ratio and decode throughput, the numbers
+//! behind the store's auto-select policy and the README compression
+//! table.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sciml_bench::snapshot::write_snapshot;
+use sciml_bench::{bench_cosmo_sample, bench_deepcam_sample_smooth};
+use sciml_codec::deepcam as dc;
+use sciml_compress::{gzip_compress, gzip_decompress, Level};
+use sciml_data::serialize;
+use sciml_obs::BenchEntry;
+use std::time::Instant;
+
+/// Decode GB/s over `iters` passes of `f` producing `raw_len` bytes.
+fn decode_gbps(raw_len: usize, iters: u32, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    if secs == 0.0 {
+        return f64::INFINITY;
+    }
+    (raw_len as f64 * iters as f64) / secs / 1e9
+}
+
+/// Ratio + decode-throughput entries for one (workload, codec) cell.
+fn cell(
+    workload: &str,
+    codec: &str,
+    raw_len: usize,
+    stored_len: usize,
+    gbps: f64,
+) -> Vec<BenchEntry> {
+    vec![
+        BenchEntry::new(
+            format!("{workload}_{codec}_ratio"),
+            raw_len as f64 / stored_len as f64,
+            "x",
+        ),
+        BenchEntry::new(format!("{workload}_{codec}_decode_gbps"), gbps, "GB/s"),
+    ]
+}
+
+fn shootout(workload: &str, data: &[u8], pack_width: u8, entries: &mut Vec<BenchEntry>) {
+    let iters = 20u32;
+
+    // raw: the no-op baseline (a copy, like the store's Raw fetch path).
+    let raw_gbps = decode_gbps(data.len(), iters, || {
+        std::hint::black_box(data.to_vec());
+    });
+    entries.extend(cell(workload, "raw", data.len(), data.len(), raw_gbps));
+
+    let gz = gzip_compress(data, Level::Default);
+    let gz_gbps = decode_gbps(data.len(), iters, || {
+        std::hint::black_box(gzip_decompress(std::hint::black_box(&gz)).expect("gzip decode"));
+    });
+    entries.extend(cell(workload, "gzip", data.len(), gz.len(), gz_gbps));
+
+    let packed = sciml_pack::pack(data, pack_width).expect("pack encode");
+    let pk_gbps = decode_gbps(data.len(), iters, || {
+        std::hint::black_box(sciml_pack::unpack(std::hint::black_box(&packed)).expect("unpack"));
+    });
+    entries.extend(cell(workload, "pack", data.len(), packed.len(), pk_gbps));
+
+    println!(
+        "{workload}: raw {} B | gzip {} B ({:.2}x, {:.2} GB/s) | pack {} B ({:.2}x, {:.2} GB/s)",
+        data.len(),
+        gz.len(),
+        data.len() as f64 / gz.len() as f64,
+        gz_gbps,
+        packed.len(),
+        data.len() as f64 / packed.len() as f64,
+        pk_gbps,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    // Workload 1: the CosmoFlow custom payload — mostly f16 voxel words.
+    let cosmo = serialize::cosmo_to_payload(&bench_cosmo_sample());
+    // Workload 2: the DeepCAM differential code stream — the byte codes
+    // the per-line delta encoder emits, before any second-stage squeeze.
+    let (encoded, _) = dc::encode(
+        &bench_deepcam_sample_smooth(),
+        &dc::EncoderConfig::default(),
+    );
+    let deepcam_diff = encoded.payload.clone();
+
+    let mut entries = Vec::new();
+    shootout("cosmo", &cosmo, 2, &mut entries);
+    shootout("deepcam_diff", &deepcam_diff, 1, &mut entries);
+
+    match write_snapshot("compress_ratio", &entries) {
+        Ok(path) => println!("compress snapshot: {}", path.display()),
+        Err(e) => eprintln!("compress snapshot not written: {e}"),
+    }
+
+    // Criterion timings for the two decode hot paths on the deepcam
+    // difference stream (the acceptance-relevant workload).
+    let gz = gzip_compress(&deepcam_diff, Level::Default);
+    let packed = sciml_pack::pack(&deepcam_diff, 1).expect("pack encode");
+    let mut g = c.benchmark_group("compress_decode");
+    g.throughput(Throughput::Bytes(deepcam_diff.len() as u64));
+    g.sample_size(10);
+    g.bench_function("gzip", |b| {
+        b.iter(|| gzip_decompress(&gz).expect("gzip decode"))
+    });
+    g.bench_function("pack", |b| {
+        b.iter(|| sciml_pack::unpack(&packed).expect("unpack"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

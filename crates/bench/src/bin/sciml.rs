@@ -12,9 +12,9 @@
 //! sciml fetch --addr HOST:PORT [--name NAME] [--indices I,J,K | --all] [--stats] [--shutdown]
 //!             [--decode cosmo|deepcam [--batch B] [--epochs E] [--pool-capacity N]]
 //!             [--metrics-out FILE] [--trace-out FILE]
-//! sciml pack --dir DIR --n N --out DIR [--shard-mb M] [--gzip]
+//! sciml pack --dir DIR --n N --out DIR [--shard-mb M] [--encoding raw|gzip|pack|auto]
 //! sciml stage (--addr HOST:PORT [--name D] | --dir DIR --n N) --out DIR
-//!             [--per-shard K] [--workers W] [--gzip]
+//!             [--per-shard K] [--workers W] [--encoding raw|gzip|pack|auto]
 //! sciml verify-store DIR           # CRC-check every shard + sample of a packed store
 //! sciml validate-json FILE...      # check emitted metrics/trace files parse as JSON
 //! sciml lint [--path DIR] [--json] # run the in-repo static analyzer
@@ -34,7 +34,10 @@ use sciml_pipeline::source::DirSource;
 use sciml_pipeline::{DecoderPlugin, Pipeline, PipelineConfig, SampleSource};
 use sciml_serve::{ClientConfig, RemoteSource, ServeBuilder, ServerConfig};
 use sciml_store::manifest::plan_by_count;
-use sciml_store::{pack_store, PackConfig, ShardSource, Stager, StagerConfig};
+use sciml_store::{
+    pack_store, EncodingChoice, EncodingCounts, PackConfig, ShardReader, ShardSource, Stager,
+    StagerConfig,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -667,7 +670,7 @@ fn pack(args: &[String]) -> Result<(), String> {
     }
     let out = flag(args, "--out").ok_or("--out DIR required")?;
     let shard_mb: u64 = flag_parse(args, "--shard-mb", 64)?;
-    let gzip = args.iter().any(|a| a == "--gzip");
+    let encoding = encoding_flag(args)?;
 
     let source = DirSource::open(&dir, n);
     let t0 = Instant::now();
@@ -676,27 +679,46 @@ fn pack(args: &[String]) -> Result<(), String> {
         Path::new(&out),
         PackConfig {
             target_shard_bytes: shard_mb << 20,
-            gzip,
+            encoding,
             ..PackConfig::default()
         },
     )
     .map_err(|e| e.to_string())?;
     println!(
-        "packed {} samples into {} shard(s), {} bytes{} in {:.2} s -> {out}",
+        "packed {} samples into {} shard(s), {} bytes ({encoding}) in {:.2} s -> {out}",
         manifest.total_samples(),
         manifest.shards.len(),
         manifest.total_bytes(),
-        if gzip { " (gzip)" } else { "" },
         t0.elapsed().as_secs_f64()
     );
     Ok(())
+}
+
+/// Parses the payload-encoding choice: `--encoding raw|gzip|pack|auto`,
+/// with `--gzip` kept as a backward-compatible alias for
+/// `--encoding gzip`.
+fn encoding_flag(args: &[String]) -> Result<EncodingChoice, String> {
+    if let Some(name) = flag(args, "--encoding") {
+        name.parse()
+            .map_err(|_| format!("--encoding {name}: expected raw, gzip, pack, or auto"))
+    } else if args.iter().any(|a| a == "--gzip") {
+        Ok(EncodingChoice::Gzip)
+    } else {
+        Ok(EncodingChoice::Raw)
+    }
 }
 
 fn stage(args: &[String]) -> Result<(), String> {
     let out = flag(args, "--out").ok_or("--out DIR required")?;
     let workers: usize = flag_parse(args, "--workers", 2)?;
     let per_shard: u64 = flag_parse(args, "--per-shard", 0)?;
-    let gzip = args.iter().any(|a| a == "--gzip");
+    // No flag = None: mirror each plan's own encoding (a v4 server
+    // reports its store's real per-shard choice).
+    let encoding = if flag(args, "--encoding").is_some() || args.iter().any(|a| a == "--gzip") {
+        Some(encoding_flag(args)?)
+    } else {
+        None
+    };
 
     let (backing, plans): (Arc<dyn SampleSource>, Vec<sciml_store::ShardPlan>) =
         if let Some(addr) = flag(args, "--addr") {
@@ -731,7 +753,7 @@ fn stage(args: &[String]) -> Result<(), String> {
         &out,
         StagerConfig {
             workers,
-            gzip,
+            encoding,
             ..StagerConfig::default()
         },
     )
@@ -767,6 +789,15 @@ fn verify_store(args: &[String]) -> Result<(), String> {
     let samples = store
         .verify()
         .map_err(|e| format!("{}: FAILED — {e}", dir.display()))?;
+    // Tally each entry's payload encoding straight from the shard
+    // footers, so mixed raw/gzip/pack stores report what is actually
+    // on disk (the manifest only records the pack-time policy).
+    let mut counts = EncodingCounts::default();
+    for meta in &store.manifest().shards {
+        let reader =
+            ShardReader::open(dir.join(&meta.file)).map_err(|e| format!("{}: {e}", meta.file))?;
+        counts.merge(reader.encoding_counts());
+    }
     println!(
         "{}: OK — {} shard(s), {samples} samples, {} bytes, every CRC verified in {:.2} s",
         dir.display(),
@@ -774,6 +805,7 @@ fn verify_store(args: &[String]) -> Result<(), String> {
         store.manifest().total_bytes(),
         t0.elapsed().as_secs_f64()
     );
+    println!("  payload encodings: {counts}");
     Ok(())
 }
 

@@ -26,6 +26,22 @@ pub fn bench_deepcam_sample() -> DeepCamSample {
     .generate(0)
 }
 
+/// A mid-size DeepCAM sample with the synthetic sensor noise turned
+/// down to simulation-output levels. The real DeepCAM fields are CAM5
+/// model output — smooth, not sensor data — so the generator's default
+/// noise floor overstates the entropy of the differential code stream;
+/// this variant is the workload for second-stage compression benches.
+pub fn bench_deepcam_sample_smooth() -> DeepCamSample {
+    ClimateGenerator::new(DeepCamConfig {
+        width: 384,
+        height: 256,
+        channels: 8,
+        noise: 5.0e-4,
+        ..DeepCamConfig::default()
+    })
+    .generate(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

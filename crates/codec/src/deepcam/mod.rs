@@ -107,7 +107,14 @@ pub struct EncodedDeepCam {
 }
 
 const MAGIC: &[u8; 4] = b"DCMX";
+/// Wire version 1: directory + raw payload bytes.
 const VERSION: u32 = 1;
+/// Wire version 2: the payload section travels through `sciml_pack`
+/// as a second-stage squeeze over the differential code bytes (the
+/// delta codes are heavily skewed toward `CODE_ZERO` and small
+/// magnitudes, which the pack entropy stage exploits). The directory
+/// and mask are unchanged.
+const VERSION_PACKED: u32 = 2;
 
 impl EncodedDeepCam {
     /// Total number of lines.
@@ -138,12 +145,32 @@ impl EncodedDeepCam {
         self.raw_bytes() as f64 / self.encoded_bytes() as f64
     }
 
-    /// Serializes to the wire format.
+    /// Serializes to the wire format (version 1, raw payload).
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.serialize(&self.payload, VERSION)
+    }
+
+    /// Serializes with the payload section squeezed through
+    /// [`sciml_pack`] (version 2). The differential code bytes are
+    /// heavily skewed (mostly [`CODE_ZERO`] and small magnitudes), so
+    /// the pack entropy stage buys a second compression factor on top
+    /// of the per-line delta coding. Falls back to the version-1 form
+    /// whenever packing does not shrink the payload, so the result is
+    /// never larger than [`EncodedDeepCam::to_bytes`].
+    pub fn to_bytes_packed(&self) -> Vec<u8> {
+        match sciml_pack::pack(&self.payload, 1) {
+            Ok(packed) if packed.len() < self.payload.len() => {
+                self.serialize(&packed, VERSION_PACKED)
+            }
+            _ => self.to_bytes(),
+        }
+    }
+
+    fn serialize(&self, payload: &[u8], version: u32) -> Vec<u8> {
         let mut out =
-            Vec::with_capacity(32 + self.lines.len() * 9 + self.payload.len() + self.mask.len());
+            Vec::with_capacity(32 + self.lines.len() * 9 + payload.len() + self.mask.len());
         out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&self.width.to_le_bytes());
         out.extend_from_slice(&self.height.to_le_bytes());
         out.extend_from_slice(&self.channels.to_le_bytes());
@@ -152,8 +179,8 @@ impl EncodedDeepCam {
             out.extend_from_slice(&l.offset.to_le_bytes());
             out.extend_from_slice(&l.len.to_le_bytes());
         }
-        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(payload);
         out.extend_from_slice(&(self.mask.len() as u64).to_le_bytes());
         out.extend_from_slice(&self.mask);
         out
@@ -174,7 +201,7 @@ impl EncodedDeepCam {
             return Err(CodecError::Corrupt("bad magic"));
         }
         let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
-        if version != VERSION {
+        if version != VERSION && version != VERSION_PACKED {
             return Err(CodecError::Corrupt("unsupported version"));
         }
         let width = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
@@ -194,7 +221,15 @@ impl EncodedDeepCam {
             lines.push(LineMeta { mode, offset, len });
         }
         let payload_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
-        let payload = take(&mut pos, payload_len)?.to_vec();
+        let section = take(&mut pos, payload_len)?;
+        let payload = if version == VERSION_PACKED {
+            sciml_pack::unpack(section).map_err(|e| match e {
+                sciml_pack::PackError::Truncated => CodecError::Truncated,
+                _ => CodecError::Corrupt("packed payload section corrupt"),
+            })?
+        } else {
+            section.to_vec()
+        };
         let mask_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
         let mask = take(&mut pos, mask_len)?.to_vec();
         for l in &lines {
@@ -319,6 +354,87 @@ mod tests {
         }
         let mut bad = bytes.clone();
         bad[0] = b'X';
+        assert!(EncodedDeepCam::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn packed_wire_roundtrips_and_shrinks_skewed_payloads() {
+        // A delta payload dominated by CODE_ZERO, like real DeepCAM
+        // difference streams.
+        let mut payload = vec![CODE_ZERO; 4000];
+        for (i, b) in payload.iter_mut().enumerate() {
+            if i % 17 == 0 {
+                *b = (i % 7) as u8 + 1;
+            }
+        }
+        let len = payload.len() as u32;
+        let e = EncodedDeepCam {
+            width: 1000,
+            height: 1,
+            channels: 1,
+            lines: vec![LineMeta {
+                mode: LineMode::Delta,
+                offset: 0,
+                len,
+            }],
+            payload,
+            mask: vec![9, 9],
+        };
+        let v1 = e.to_bytes();
+        let v2 = e.to_bytes_packed();
+        assert!(
+            v2.len() < v1.len(),
+            "pack stage must shrink: {} vs {}",
+            v2.len(),
+            v1.len()
+        );
+        assert_eq!(EncodedDeepCam::from_bytes(&v2).unwrap(), e);
+        // Incompressible payloads fall back to the v1 form byte for byte.
+        let mut state = 0x1234_5678u32;
+        let noise: Vec<u8> = (0..997)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 17;
+                state ^= state << 5;
+                (state >> 24) as u8
+            })
+            .collect();
+        let noisy = EncodedDeepCam {
+            payload: noise,
+            lines: vec![LineMeta {
+                mode: LineMode::RawF32,
+                offset: 0,
+                len: 997,
+            }],
+            ..e
+        };
+        assert_eq!(noisy.to_bytes_packed(), noisy.to_bytes());
+    }
+
+    #[test]
+    fn packed_wire_rejects_corruption() {
+        let e = EncodedDeepCam {
+            width: 512,
+            height: 1,
+            channels: 1,
+            lines: vec![LineMeta {
+                mode: LineMode::Delta,
+                offset: 0,
+                len: 2048,
+            }],
+            payload: vec![CODE_ZERO; 2048],
+            mask: vec![],
+        };
+        let v2 = e.to_bytes_packed();
+        assert_ne!(v2[4], 1, "payload this skewed must take the packed path");
+        for cut in 0..v2.len() {
+            assert!(EncodedDeepCam::from_bytes(&v2[..cut]).is_err(), "cut {cut}");
+        }
+        // Flip a byte inside the packed payload section (it starts at
+        // 20-byte header + 9-byte directory + 8-byte length): the pack
+        // CRCs catch it and it surfaces as a typed error.
+        let mut bad = v2.clone();
+        bad[20 + 9 + 8 + 10] ^= 0x40;
         assert!(EncodedDeepCam::from_bytes(&bad).is_err());
     }
 

@@ -1,0 +1,492 @@
+//! Per-chunk encode/decode: adaptive delta, bin split, entropy stage.
+//!
+//! Each chunk is self-describing and independently decodable:
+//!
+//! ```text
+//! n_values   u32   values in this chunk (1 ..= CHUNK_VALUES)
+//! delta_order u8   0..=2, chosen by trial on a sample
+//! offset_bits u8   k: low bits of each latent stored raw
+//! n_bins     u16   bins on the high bits (<= 256; 0 when no latents)
+//! heads      min(order, n_values) x u32   zigzagged delta heads
+//! freqs      n_bins x u16   quantized bin frequencies, sum = TOTAL
+//! rc_len     u32   range-coded section length in bytes
+//! off_len    u32   offset bit-section length in bytes
+//! rc bytes   range-coded bin indices (omitted when n_bins <= 1)
+//! off bytes  LSB-first k-bit offsets, one per latent
+//! crc        u32   CRC-32 over everything above
+//! ```
+//!
+//! The trailing CRC covers the header fields too, so a flipped bit in
+//! `delta_order` or the frequency table is caught before any arithmetic
+//! runs on it.
+
+use crate::range::{RangeDecoder, RangeEncoder, TOTAL};
+use crate::PackError;
+use sciml_bitio::BitWriter;
+use sciml_compress::crc32::crc32;
+
+/// Values per chunk. 64Ki values keeps the frequency table amortized to
+/// well under 1% of payload while bounding the working set of a decode.
+pub const CHUNK_VALUES: usize = 1 << 16;
+
+/// Highest delta order the encoder will try.
+const MAX_ORDER: usize = 2;
+
+/// Sample size for the per-chunk delta-order trial.
+const ORDER_SAMPLE: usize = 1024;
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+#[inline]
+fn bit_len(z: u64) -> u32 {
+    64 - z.leading_zeros()
+}
+
+/// Applies `order` rounds of first-differencing in place; after the call
+/// `buf[..order]` holds the heads and `buf[order..]` the latents.
+fn delta_forward(buf: &mut [i64], order: usize) {
+    let n = buf.len();
+    for pass in 0..order.min(n) {
+        for i in ((pass + 1)..n).rev() {
+            buf[i] -= buf[i - 1];
+        }
+    }
+}
+
+/// Picks the delta order (0..=2) minimizing the summed zigzag bit-length
+/// over a sample prefix — the pcodec trick of trialing cheap proxies
+/// instead of fully encoding each candidate.
+fn choose_order(values: &[u32]) -> usize {
+    let n = values.len().min(ORDER_SAMPLE);
+    if n < 2 {
+        return 0;
+    }
+    let mut buf: Vec<i64> = values[..n].iter().map(|&v| v as i64).collect();
+    let mut best_order = 0usize;
+    let mut best_cost = u64::MAX;
+    for order in 0..=MAX_ORDER.min(n - 1) {
+        if order > 0 {
+            // One more differencing pass turns order-(p-1) latents into
+            // order-p latents; heads buf[..order] are left alone.
+            for i in ((order)..n).rev() {
+                buf[i] -= buf[i - 1];
+            }
+        }
+        let cost: u64 = buf[order..]
+            .iter()
+            .map(|&v| bit_len(zigzag(v)) as u64 + 1)
+            .sum();
+        if cost < best_cost {
+            best_cost = cost;
+            best_order = order;
+        }
+    }
+    best_order
+}
+
+/// Quantizes raw bin counts to frequencies summing exactly to [`TOTAL`],
+/// keeping every observed bin at frequency >= 1.
+fn normalize_freqs(counts: &[u32]) -> Vec<u16> {
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    let mut freqs: Vec<u32> = counts
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                0
+            } else {
+                (((c as u64) * (TOTAL as u64)) / total).max(1) as u32
+            }
+        })
+        .collect();
+    let mut sum: i64 = freqs.iter().map(|&f| f as i64).sum();
+    // Settle rounding drift on the largest bins: they can absorb the
+    // difference without any bin dropping to zero.
+    while sum != TOTAL as i64 {
+        let step = if sum < TOTAL as i64 { 1i64 } else { -1i64 };
+        let mut idx = None;
+        let mut best = 0u32;
+        for (i, &f) in freqs.iter().enumerate() {
+            let eligible = if step > 0 { f >= 1 } else { f >= 2 };
+            if eligible && f >= best {
+                best = f;
+                idx = Some(i);
+            }
+        }
+        match idx {
+            Some(i) => {
+                freqs[i] = (freqs[i] as i64 + step) as u32;
+                sum += step;
+            }
+            // Unreachable in practice (TOTAL >= n_bins guarantees an
+            // eligible bin), but bail rather than loop forever.
+            None => break,
+        }
+    }
+    freqs.iter().map(|&f| f as u16).collect()
+}
+
+/// Encodes one chunk of `values` (each `< 2^(8*elem_width)`) onto `out`.
+pub(crate) fn encode_chunk(values: &[u32], out: &mut Vec<u8>) {
+    let n = values.len();
+    debug_assert!((1..=CHUNK_VALUES).contains(&n));
+    let order = choose_order(values);
+
+    let mut buf: Vec<i64> = values.iter().map(|&v| v as i64).collect();
+    delta_forward(&mut buf, order);
+    let head_count = order.min(n);
+    let latents: Vec<u64> = buf[head_count..].iter().map(|&v| zigzag(v)).collect();
+
+    let max_z = latents.iter().copied().max().unwrap_or(0);
+    // Cap the bin count at 256 by pushing excess precision into raw
+    // offset bits; k = 0 when the latents already fit 8 bits.
+    let k = bit_len(max_z).saturating_sub(8);
+    let n_bins = if latents.is_empty() {
+        0usize
+    } else {
+        ((max_z >> k) + 1) as usize
+    };
+
+    let mut counts = vec![0u32; n_bins];
+    for &z in &latents {
+        counts[(z >> k) as usize] += 1;
+    }
+    let freqs = if n_bins > 0 {
+        normalize_freqs(&counts)
+    } else {
+        Vec::new()
+    };
+    let cum: Vec<u32> = freqs
+        .iter()
+        .scan(0u32, |acc, &f| {
+            let c = *acc;
+            *acc += f as u32;
+            Some(c)
+        })
+        .collect();
+
+    // Entropy stage: a single-bin model carries no information, so the
+    // range-coded section is omitted entirely (rc_len = 0).
+    let rc_bytes = if n_bins > 1 {
+        let mut enc = RangeEncoder::new();
+        for &z in &latents {
+            let b = (z >> k) as usize;
+            enc.encode(cum[b], freqs[b] as u32);
+        }
+        enc.finish()
+    } else {
+        Vec::new()
+    };
+
+    let off_bytes = if k > 0 {
+        let mut w = BitWriter::new();
+        let mask = (1u64 << k) - 1;
+        for &z in &latents {
+            w.write_bits((z & mask) as u32, k);
+        }
+        w.finish()
+    } else {
+        Vec::new()
+    };
+
+    let start = out.len();
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    out.push(order as u8);
+    out.push(k as u8);
+    out.extend_from_slice(&(n_bins as u16).to_le_bytes());
+    for &h in &buf[..head_count] {
+        out.extend_from_slice(&(zigzag(h) as u32).to_le_bytes());
+    }
+    for &f in &freqs {
+        out.extend_from_slice(&f.to_le_bytes());
+    }
+    out.extend_from_slice(&(rc_bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(off_bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&rc_bytes);
+    out.extend_from_slice(&off_bytes);
+    let crc = crc32(&out[start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PackError> {
+        let end = self.pos.checked_add(n).ok_or(PackError::Truncated)?;
+        let s = self.data.get(self.pos..end).ok_or(PackError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, PackError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, PackError> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, PackError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+}
+
+/// Decodes one chunk starting at `data[*pos..]`, advancing `pos` past it.
+/// `max_value` is the largest value the element width admits; anything
+/// outside it after delta inversion is reported as corruption.
+pub(crate) fn decode_chunk(
+    data: &[u8],
+    pos: &mut usize,
+    max_value: u32,
+    out: &mut Vec<u32>,
+) -> Result<(), PackError> {
+    let mut c = Cursor { data, pos: *pos };
+    let body_start = c.pos;
+
+    let n = c.u32()? as usize;
+    if n == 0 || n > CHUNK_VALUES {
+        return Err(PackError::Corrupt("chunk value count out of range"));
+    }
+    let order = c.u8()? as usize;
+    if order > MAX_ORDER {
+        return Err(PackError::Corrupt("delta order out of range"));
+    }
+    let k = c.u8()? as u32;
+    if k > 32 {
+        return Err(PackError::Corrupt("offset bits out of range"));
+    }
+    let n_bins = c.u16()? as usize;
+    if n_bins > 256 {
+        return Err(PackError::Corrupt("bin count out of range"));
+    }
+    let head_count = order.min(n);
+    let mut heads = Vec::with_capacity(head_count);
+    for _ in 0..head_count {
+        heads.push(unzigzag(c.u32()? as u64));
+    }
+    let mut freqs = Vec::with_capacity(n_bins);
+    for _ in 0..n_bins {
+        freqs.push(c.u16()? as u32);
+    }
+    let rc_len = c.u32()? as usize;
+    let off_len = c.u32()? as usize;
+    let rc_bytes = c.take(rc_len)?;
+    let off_bytes = c.take(off_len)?;
+    let body_end = c.pos;
+    let stored_crc = c.u32()?;
+    let computed = crc32(&data[body_start..body_end]);
+    if computed != stored_crc {
+        return Err(PackError::ChecksumMismatch {
+            stored: stored_crc,
+            computed,
+        });
+    }
+
+    let latent_count = n - head_count;
+    if latent_count > 0 && n_bins == 0 {
+        return Err(PackError::Corrupt("latents present but no bins"));
+    }
+    if n_bins > 0 {
+        let sum: u64 = freqs.iter().map(|&f| f as u64).sum();
+        if sum != TOTAL as u64 {
+            return Err(PackError::Corrupt("bin frequencies do not sum to total"));
+        }
+    }
+    // Fixed-size cumulative/frequency tables: `bin` always comes out of
+    // a u8 LUT, so indexing a [u32; 256] needs no bounds check in the
+    // hot loop (n_bins <= 256 was validated above).
+    let mut freq_arr = [0u32; 256];
+    let mut cum_arr = [0u32; 256];
+    {
+        let mut acc = 0u32;
+        for (i, &f) in freqs.iter().enumerate() {
+            cum_arr[i] = acc;
+            freq_arr[i] = f;
+            acc += f;
+        }
+    }
+
+    // The offset section's size is checked once here so the per-latent
+    // reads below can use an infallible inline accumulator instead of a
+    // Result-returning bit reader in the hot loop.
+    if k > 0 && (off_bytes.len() as u64) * 8 < (latent_count as u64) * (k as u64) {
+        return Err(PackError::Truncated);
+    }
+    let mut off_acc: u64 = 0;
+    let mut off_bits: u32 = 0;
+    let mut off_pos = 0usize;
+    let off_mask = if k == 0 { 0 } else { (1u64 << k) - 1 };
+    // LSB-first k-bit read, mirroring BitWriter::write_bits. In-bounds:
+    // the sufficiency check above caps total consumption at len * 8.
+    macro_rules! next_offset {
+        () => {{
+            while off_bits < k {
+                off_acc |= (off_bytes[off_pos] as u64) << off_bits;
+                off_pos += 1;
+                off_bits += 8;
+            }
+            let v = off_acc & off_mask;
+            off_acc >>= k;
+            off_bits -= k;
+            v
+        }};
+    }
+
+    // Streaming delta inversion fused into the decode loop: `v` is the
+    // running value, `d` the running first difference (order 2 only), so
+    // no intermediate i64 buffer or separate inverse/range-check passes
+    // are needed. Wrapping arithmetic so corrupt-but-CRC-colliding input
+    // cannot panic; every emitted value is range-checked in place.
+    let max_v = max_value as i64;
+    let mut v: i64 = 0;
+    let mut d: i64 = 0;
+    macro_rules! emit {
+        ($z:expr) => {{
+            let l = unzigzag($z);
+            let val = match order {
+                0 => l,
+                1 => {
+                    v = v.wrapping_add(l);
+                    v
+                }
+                _ => {
+                    d = d.wrapping_add(l);
+                    v = v.wrapping_add(d);
+                    v
+                }
+            };
+            if val < 0 || val > max_v {
+                return Err(PackError::Corrupt("reconstructed value out of range"));
+            }
+            out.push(val as u32);
+        }};
+    }
+    if head_count >= 1 {
+        v = heads[0];
+        if v < 0 || v > max_v {
+            return Err(PackError::Corrupt("reconstructed value out of range"));
+        }
+        out.push(v as u32);
+    }
+    if head_count == 2 {
+        d = heads[1];
+        v = v.wrapping_add(d);
+        if v < 0 || v > max_v {
+            return Err(PackError::Corrupt("reconstructed value out of range"));
+        }
+        out.push(v as u32);
+    }
+
+    if n_bins > 1 {
+        // Direct target -> bin table: TOTAL is 4096, so one load per
+        // symbol replaces a 256-bin binary search in the hot loop. Only
+        // bins with freq >= 1 occupy slots, so every looked-up bin has a
+        // non-zero frequency (decode_update relies on that).
+        let mut lut = [0u8; TOTAL as usize];
+        let mut slot = 0usize;
+        for (b, &f) in freqs.iter().enumerate() {
+            // In-bounds: the freqs sum to TOTAL (validated above).
+            lut[slot..slot + f as usize].fill(b as u8);
+            slot += f as usize;
+        }
+        let mut dec = RangeDecoder::new(rc_bytes)?;
+        if k == 0 {
+            for _ in 0..latent_count {
+                let bin = lut[dec.decode_target() as usize] as usize;
+                dec.decode_update(cum_arr[bin], freq_arr[bin]);
+                emit!(bin as u64);
+            }
+        } else {
+            for _ in 0..latent_count {
+                let bin = lut[dec.decode_target() as usize] as usize;
+                dec.decode_update(cum_arr[bin], freq_arr[bin]);
+                let off = next_offset!();
+                emit!(((bin as u64) << k) | off);
+            }
+        }
+        if dec.overrun() {
+            return Err(PackError::Truncated);
+        }
+    } else {
+        for _ in 0..latent_count {
+            let off = if k > 0 { next_offset!() } else { 0 };
+            emit!(off);
+        }
+    }
+
+    *pos = c.pos;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u32], max: u32) {
+        let mut bytes = Vec::new();
+        encode_chunk(values, &mut bytes);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        decode_chunk(&bytes, &mut pos, max, &mut out).unwrap();
+        assert_eq!(out, values);
+        assert_eq!(pos, bytes.len());
+    }
+
+    #[test]
+    fn constant_chunk() {
+        roundtrip(&[7; 5000], 255);
+    }
+
+    #[test]
+    fn single_value() {
+        roundtrip(&[42], 255);
+    }
+
+    #[test]
+    fn ramp_prefers_delta() {
+        let v: Vec<u32> = (0..4096u32).map(|i| i * 3 % 65536).collect();
+        roundtrip(&v, 65535);
+    }
+
+    #[test]
+    fn quadratic_prefers_order_two() {
+        let v: Vec<u32> = (0..2048u32).map(|i| (i * i) % 65536).collect();
+        assert_eq!(choose_order(&v[..64]), 2);
+        roundtrip(&v, 65535);
+    }
+
+    #[test]
+    fn noisy_bytes() {
+        let v: Vec<u32> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) & 0xFF)
+            .collect();
+        roundtrip(&v, 255);
+    }
+
+    #[test]
+    fn normalize_keeps_all_bins_nonzero() {
+        let counts = vec![100_000, 1, 1, 1];
+        let f = normalize_freqs(&counts);
+        assert_eq!(f.iter().map(|&x| x as u32).sum::<u32>(), TOTAL);
+        assert!(f.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [-5i64, -1, 0, 1, 5, i32::MAX as i64, -(i32::MAX as i64)] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

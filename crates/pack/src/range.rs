@@ -1,0 +1,259 @@
+//! Byte-oriented range coder (Subbotin/LZMA lineage) over a static
+//! frequency model.
+//!
+//! The encoder keeps a 33-bit `low` so a pending carry is visible in bit
+//! 32; `shift_low` propagates it through the cached byte and any run of
+//! 0xFF bytes before emitting. The decoder mirrors the arithmetic with a
+//! 32-bit window (`code`) over the byte stream, renormalizing whenever
+//! `range` drops below 2^24 — the same top threshold the encoder uses, so
+//! both sides narrow their intervals in lockstep.
+//!
+//! Frequencies are quantized to a fixed total of [`TOTAL`] (a power of
+//! two) so the interval split is a shift, not a division.
+
+use crate::PackError;
+
+/// log2 of the frequency total every model is normalized to.
+pub const TOTAL_BITS: u32 = 12;
+/// Sum of all symbol frequencies after quantization.
+pub const TOTAL: u32 = 1 << TOTAL_BITS;
+/// Renormalization threshold: encoder and decoder emit/consume a byte
+/// whenever `range` falls below this.
+const TOP: u32 = 1 << 24;
+
+/// Carry-propagating range encoder writing to an owned byte vector.
+#[derive(Debug)]
+pub struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    /// Number of buffered bytes awaiting a carry decision (the cached
+    /// byte plus a run of 0xFF bytes that a carry would turn into 0x00).
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeEncoder {
+    /// Fresh encoder. The first emitted byte is always the zero cache
+    /// byte; the decoder's 5-byte priming read absorbs it.
+    pub fn new() -> Self {
+        Self {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+        }
+    }
+
+    /// Narrows the interval to the symbol occupying `[cum, cum + freq)`
+    /// of the [`TOTAL`]-wide frequency line. `freq` must be non-zero and
+    /// `cum + freq <= TOTAL`.
+    #[inline]
+    pub fn encode(&mut self, cum: u32, freq: u32) {
+        let r = self.range >> TOTAL_BITS;
+        self.low += (r as u64) * (cum as u64);
+        self.range = r * freq;
+        while self.range < TOP {
+            self.range <<= 8;
+            self.shift_low();
+        }
+    }
+
+    #[inline]
+    fn shift_low(&mut self) {
+        if self.low < 0xFF00_0000 || self.low > u32::MAX as u64 {
+            let carry = (self.low >> 32) as u8;
+            let mut byte = self.cache;
+            loop {
+                self.out.push(byte.wrapping_add(carry));
+                byte = 0xFF;
+                self.cache_size -= 1;
+                if self.cache_size == 0 {
+                    break;
+                }
+            }
+            self.cache = (self.low >> 24) as u8;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & u32::MAX as u64;
+    }
+
+    /// Flushes the interval state and returns the coded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+}
+
+/// Range decoder over a byte slice. Reads past the end of the stream
+/// return zero bytes and latch an overrun flag instead of failing per
+/// call — the per-symbol hot loop stays `Result`-free and the caller
+/// checks [`RangeDecoder::overrun`] once after draining the chunk, so a
+/// truncated stream still surfaces as [`PackError::Truncated`], never a
+/// panic or an accepted decode.
+#[derive(Debug)]
+pub struct RangeDecoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+    range: u32,
+    code: u32,
+    overrun: bool,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Primes the decoder window with the first five coded bytes (the
+    /// leading zero cache byte plus four payload bytes).
+    pub fn new(data: &'a [u8]) -> Result<Self, PackError> {
+        if data.len() < 5 {
+            return Err(PackError::Truncated);
+        }
+        let mut d = Self {
+            data,
+            pos: 0,
+            range: u32::MAX,
+            code: 0,
+            overrun: false,
+        };
+        for _ in 0..5 {
+            d.code = (d.code << 8) | d.next_byte() as u32;
+        }
+        Ok(d)
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        match self.data.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                b
+            }
+            None => {
+                self.overrun = true;
+                0
+            }
+        }
+    }
+
+    /// True when the decoder has read past the end of its input; the
+    /// symbols decoded after that point are garbage and the caller must
+    /// report truncation.
+    #[inline]
+    pub fn overrun(&self) -> bool {
+        self.overrun
+    }
+
+    /// Returns the position of the current code on the [`TOTAL`]-wide
+    /// frequency line; the caller maps it to a symbol via its cumulative
+    /// table, then must call [`Self::decode_update`].
+    #[inline]
+    pub fn decode_target(&self) -> u32 {
+        let r = self.range >> TOTAL_BITS;
+        ((self.code / r) as u64).min((TOTAL - 1) as u64) as u32
+    }
+
+    /// Consumes the symbol occupying `[cum, cum + freq)`, mirroring the
+    /// encoder's interval narrowing. `freq` must be non-zero (renormal-
+    /// ization would otherwise never terminate); the chunk decoder
+    /// guarantees it by mapping targets through bins with `freq >= 1`.
+    #[inline]
+    pub fn decode_update(&mut self, cum: u32, freq: u32) {
+        let r = self.range >> TOTAL_BITS;
+        self.code = self.code.wrapping_sub(r.wrapping_mul(cum));
+        self.range = r * freq;
+        while self.range < TOP {
+            self.code = (self.code << 8) | self.next_byte() as u32;
+            self.range <<= 8;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[usize], freqs: &[u32]) {
+        let cum: Vec<u32> = freqs
+            .iter()
+            .scan(0u32, |acc, &f| {
+                let c = *acc;
+                *acc += f;
+                Some(c)
+            })
+            .collect();
+        assert_eq!(freqs.iter().sum::<u32>(), TOTAL);
+
+        let mut enc = RangeEncoder::new();
+        for &s in symbols {
+            enc.encode(cum[s], freqs[s]);
+        }
+        let bytes = enc.finish();
+
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        for &expect in symbols {
+            let t = dec.decode_target();
+            let sym = cum.partition_point(|&c| c <= t) - 1;
+            assert_eq!(sym, expect);
+            dec.decode_update(cum[sym], freqs[sym]);
+        }
+        assert!(!dec.overrun());
+    }
+
+    #[test]
+    fn uniform_symbols() {
+        let freqs = vec![TOTAL / 4; 4];
+        let syms: Vec<usize> = (0..10_000).map(|i| i % 4).collect();
+        roundtrip(&syms, &freqs);
+    }
+
+    #[test]
+    fn skewed_symbols() {
+        // 99%/rare split exercises long carry runs.
+        let freqs = vec![TOTAL - 3, 1, 1, 1];
+        let mut syms = vec![0usize; 50_000];
+        for i in (0..syms.len()).step_by(997) {
+            syms[i] = 1 + (i / 997) % 3;
+        }
+        roundtrip(&syms, &freqs);
+    }
+
+    #[test]
+    fn single_symbol_model() {
+        let freqs = vec![TOTAL];
+        let syms = vec![0usize; 1000];
+        roundtrip(&syms, &freqs);
+    }
+
+    #[test]
+    fn truncated_stream_is_typed_error() {
+        let mut enc = RangeEncoder::new();
+        let freqs = [TOTAL / 2, TOTAL / 2];
+        for i in 0..1000 {
+            enc.encode((i % 2) * (TOTAL / 2), freqs[(i % 2) as usize]);
+        }
+        let bytes = enc.finish();
+        assert_eq!(
+            RangeDecoder::new(&bytes[..3]).unwrap_err(),
+            PackError::Truncated
+        );
+        let mut dec = RangeDecoder::new(&bytes[..bytes.len() / 2]).unwrap();
+        for _ in 0..1000 {
+            let t = dec.decode_target();
+            let (cum, f) = if t < TOTAL / 2 {
+                (0, freqs[0])
+            } else {
+                (TOTAL / 2, freqs[1])
+            };
+            dec.decode_update(cum, f);
+        }
+        assert!(dec.overrun(), "half the stream must latch the overrun flag");
+    }
+}

@@ -256,13 +256,15 @@ impl RemoteSource {
     /// boundaries; any other dataset gets a plan synthesized from
     /// `per_shard` samples per shard (0 = server's choice). Feed the
     /// result to a `sciml_store::Stager` so whole shards are fetched
-    /// in server-aligned ranges.
+    /// in server-aligned ranges. A v4 server's reply carries each
+    /// shard's payload encoding; a v3 reply decodes with
+    /// `EncodingChoice::Auto`, so the stager trial-selects locally.
     pub fn shard_manifest(&self, per_shard: u64) -> Result<Vec<ShardPlan>, PipelineError> {
         match self.call(&Message::ShardManifest {
             name: self.name.clone(),
             per_shard,
         })? {
-            Message::ShardManifestReply(plans) => Ok(plans),
+            Message::ShardManifestReply(plans) | Message::ShardManifestReplyV2(plans) => Ok(plans),
             Message::Error { code, detail } => Err(server_error(code, detail)),
             other => Err(unexpected_reply(&other)),
         }

@@ -17,7 +17,7 @@
 
 use sciml_compress::crc32::crc32;
 use sciml_obs::HistogramSnapshot;
-use sciml_store::ShardPlan;
+use sciml_store::{EncodingChoice, ShardPlan};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -26,9 +26,12 @@ use std::io::{self, Read, Write};
 /// added [`Message::StatsReplyV2`] carrying the request-latency
 /// histogram; version 3 added the [`Message::ShardManifest`] exchange
 /// so clients can stage whole shards instead of issuing per-sample
-/// fetches. Everything else is unchanged, so servers still accept
-/// [`MIN_PROTOCOL_VERSION`] clients and reply with v1 messages.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// fetches; version 4 added [`Message::ShardManifestReplyV2`], whose
+/// entries carry each shard's payload-encoding byte so stagers can
+/// mirror the server store's raw/gzip/pack choice. Everything else is
+/// unchanged, so servers still accept [`MIN_PROTOCOL_VERSION`] clients
+/// and reply with v1 messages.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Oldest client version the server still accepts.
 pub const MIN_PROTOCOL_VERSION: u16 = 1;
@@ -230,8 +233,14 @@ pub enum Message {
         /// Preferred samples per synthesized shard (0 = server default).
         per_shard: u64,
     },
-    /// Server reply to [`Message::ShardManifest`]: the staging plan.
+    /// Server reply to [`Message::ShardManifest`] on v3 connections:
+    /// the staging plan, without encoding metadata. Decoded plans get
+    /// [`EncodingChoice::Auto`] so the stager trial-selects locally.
     ShardManifestReply(Vec<ShardPlan>),
+    /// Server reply to [`Message::ShardManifest`] on v4 connections:
+    /// the staging plan with each shard's payload-encoding byte, so a
+    /// stager reproduces the server store's raw/gzip/pack choice.
+    ShardManifestReplyV2(Vec<ShardPlan>),
     /// Client request to stop the server (loopback/admin use).
     Shutdown,
     /// Server-reported failure.
@@ -259,6 +268,7 @@ mod tags {
     pub const SHARD_MANIFEST: u8 = 0x0D;
     pub const SHARD_MANIFEST_REPLY: u8 = 0x0E;
     pub const ERROR: u8 = 0x0F;
+    pub const SHARD_MANIFEST_REPLY_V2: u8 = 0x10;
 }
 
 // ------------------------------------------------------------- encoding
@@ -383,6 +393,17 @@ impl Message {
                     out.extend_from_slice(&p.bytes.to_le_bytes());
                 }
             }
+            Message::ShardManifestReplyV2(plans) => {
+                out.push(tags::SHARD_MANIFEST_REPLY_V2);
+                out.extend_from_slice(&(plans.len() as u32).to_le_bytes());
+                for p in plans {
+                    out.extend_from_slice(&p.id.to_le_bytes());
+                    out.extend_from_slice(&p.first.to_le_bytes());
+                    out.extend_from_slice(&p.count.to_le_bytes());
+                    out.extend_from_slice(&p.bytes.to_le_bytes());
+                    out.push(p.encoding.as_byte());
+                }
+            }
             Message::Shutdown => out.push(tags::SHUTDOWN),
             Message::Error { code, detail } => {
                 out.push(tags::ERROR);
@@ -478,9 +499,33 @@ impl Message {
                         first: r.u64()?,
                         count: r.u64()?,
                         bytes: r.u64()?,
+                        // Pre-v4 replies carry no encoding metadata; the
+                        // stager trial-selects per payload.
+                        encoding: EncodingChoice::Auto,
                     });
                 }
                 Message::ShardManifestReply(plans)
+            }
+            tags::SHARD_MANIFEST_REPLY_V2 => {
+                let count = r.u32()? as usize;
+                // Each entry is 4 + 8 + 8 + 8 + 1 = 29 bytes on the wire.
+                if count * 29 > r.remaining() {
+                    return Err(ProtocolError::Malformed(
+                        "shard plan count exceeds payload length",
+                    ));
+                }
+                let mut plans = Vec::with_capacity(count);
+                for _ in 0..count {
+                    plans.push(ShardPlan {
+                        id: r.u32()?,
+                        first: r.u64()?,
+                        count: r.u64()?,
+                        bytes: r.u64()?,
+                        encoding: EncodingChoice::from_byte(r.u8()?)
+                            .ok_or(ProtocolError::Malformed("unknown shard encoding byte"))?,
+                    });
+                }
+                Message::ShardManifestReplyV2(plans)
             }
             tags::SHUTDOWN => Message::Shutdown,
             tags::ERROR => {
@@ -682,12 +727,30 @@ mod tests {
                     first: 0,
                     count: 128,
                     bytes: 1 << 20,
+                    encoding: EncodingChoice::Auto,
                 },
                 ShardPlan {
                     id: 1,
                     first: 128,
                     count: 100,
                     bytes: 0,
+                    encoding: EncodingChoice::Auto,
+                },
+            ]),
+            Message::ShardManifestReplyV2(vec![
+                ShardPlan {
+                    id: 0,
+                    first: 0,
+                    count: 128,
+                    bytes: 1 << 20,
+                    encoding: EncodingChoice::Pack,
+                },
+                ShardPlan {
+                    id: 1,
+                    first: 128,
+                    count: 100,
+                    bytes: 0,
+                    encoding: EncodingChoice::Gzip,
                 },
             ]),
             Message::Shutdown,
@@ -821,16 +884,68 @@ mod tests {
 
     #[test]
     fn shard_plan_count_beyond_payload_rejected() {
-        let mut payload = vec![tags::SHARD_MANIFEST_REPLY];
-        payload.extend_from_slice(&50_000u32.to_le_bytes());
-        payload.extend_from_slice(&[0u8; 28]); // room for one entry only
+        for (tag, entry_len) in [
+            (tags::SHARD_MANIFEST_REPLY, 28),
+            (tags::SHARD_MANIFEST_REPLY_V2, 29),
+        ] {
+            let mut payload = vec![tag];
+            payload.extend_from_slice(&50_000u32.to_le_bytes());
+            payload.extend_from_slice(&vec![0u8; entry_len]); // room for one entry only
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&payload);
+            frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+            assert!(matches!(
+                decode_frame(&frame),
+                Err(ProtocolError::Malformed(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn v1_shard_reply_decodes_encoding_as_auto_and_v2_keeps_it() {
+        let plan = ShardPlan {
+            id: 7,
+            first: 100,
+            count: 50,
+            bytes: 4096,
+            encoding: EncodingChoice::Pack,
+        };
+        // The v1 reply drops the encoding on the wire; it comes back
+        // as Auto so the stager trial-selects locally.
+        let frame = encode_frame(&Message::ShardManifestReply(vec![plan]));
+        let (decoded, _) = decode_frame(&frame).unwrap();
+        match decoded {
+            Message::ShardManifestReply(plans) => {
+                assert_eq!(plans[0].id, 7);
+                assert_eq!(plans[0].encoding, EncodingChoice::Auto);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The v2 reply round-trips it.
+        let frame = encode_frame(&Message::ShardManifestReplyV2(vec![plan]));
+        let (decoded, _) = decode_frame(&frame).unwrap();
+        match decoded {
+            Message::ShardManifestReplyV2(plans) => {
+                assert_eq!(plans[0].encoding, EncodingChoice::Pack);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_shard_reply_unknown_encoding_byte_rejected() {
+        let mut payload = vec![tags::SHARD_MANIFEST_REPLY_V2];
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 28]);
+        payload.push(0xEE); // not a valid EncodingChoice byte
         let mut frame = Vec::new();
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload);
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         assert!(matches!(
             decode_frame(&frame),
-            Err(ProtocolError::Malformed(_))
+            Err(ProtocolError::Malformed("unknown shard encoding byte"))
         ));
     }
 

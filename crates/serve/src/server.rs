@@ -539,7 +539,11 @@ fn respond(inner: &Inner, request: Message, negotiated: u16) -> (Message, bool) 
                         plan_by_count(ds.cache.len() as u64, per)
                     }
                 };
-                (Message::ShardManifestReply(plans), false)
+                if negotiated >= 4 {
+                    (Message::ShardManifestReplyV2(plans), false)
+                } else {
+                    (Message::ShardManifestReply(plans), false)
+                }
             }
             None => (unknown_dataset(&name), false),
         },
@@ -775,6 +779,34 @@ mod tests {
     }
 
     #[test]
+    fn v3_client_gets_v1_shard_manifest_reply() {
+        let server = ServeBuilder::new()
+            .dataset("demo", demo_source())
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_message(&mut s, &Message::Hello { version: 3 }).unwrap();
+        assert_eq!(
+            read_message(&mut s).unwrap(),
+            Message::HelloAck { version: 3 }
+        );
+        write_message(
+            &mut s,
+            &Message::ShardManifest {
+                name: "demo".into(),
+                per_shard: 3,
+            },
+        )
+        .unwrap();
+        let Message::ShardManifestReply(plans) = read_message(&mut s).unwrap() else {
+            panic!("v3 connection must get the v1 shard manifest reply");
+        };
+        assert_eq!(plans.len(), 3);
+        server.shutdown();
+    }
+
+    #[test]
     fn shard_manifest_synthesized_for_plain_dataset() {
         let server = ServeBuilder::new()
             .dataset("demo", demo_source())
@@ -789,8 +821,8 @@ mod tests {
             },
         )
         .unwrap();
-        let Message::ShardManifestReply(plans) = read_message(&mut c).unwrap() else {
-            panic!("expected shard manifest reply");
+        let Message::ShardManifestReplyV2(plans) = read_message(&mut c).unwrap() else {
+            panic!("expected v2 shard manifest reply on a v4 connection");
         };
         assert_eq!(plans.len(), 3);
         assert_eq!(plans.iter().map(|p| p.count).sum::<u64>(), 8);
@@ -807,8 +839,8 @@ mod tests {
             },
         )
         .unwrap();
-        let Message::ShardManifestReply(plans) = read_message(&mut c).unwrap() else {
-            panic!("expected shard manifest reply");
+        let Message::ShardManifestReplyV2(plans) = read_message(&mut c).unwrap() else {
+            panic!("expected v2 shard manifest reply on a v4 connection");
         };
         assert_eq!(plans.len(), 1);
         assert_eq!(plans[0].count, 8);
@@ -870,8 +902,8 @@ mod tests {
             },
         )
         .unwrap();
-        let Message::ShardManifestReply(plans) = read_message(&mut c).unwrap() else {
-            panic!("expected shard manifest reply");
+        let Message::ShardManifestReplyV2(plans) = read_message(&mut c).unwrap() else {
+            panic!("expected v2 shard manifest reply on a v4 connection");
         };
         assert_eq!(plans, expected);
         server.shutdown();

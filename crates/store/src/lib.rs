@@ -40,7 +40,10 @@ pub mod source;
 pub mod stager;
 
 pub use manifest::{ShardMeta, ShardPlan, StagingJournal, StoreManifest, MANIFEST_FILE};
-pub use shard::{pack_store, write_shard, PackConfig, ShardReader, SHARD_EXT};
+pub use shard::{
+    pack_store, write_shard, EncodingChoice, EncodingCounts, PackConfig, PayloadEncoding,
+    ShardReader, SHARD_EXT,
+};
 pub use source::{ShardSource, StagingSource};
 pub use stager::{Stager, StagerConfig, StagingProgress};
 
@@ -87,6 +90,8 @@ pub enum StoreError {
     },
     /// A gzip-compressed payload failed to decompress.
     Compression(sciml_compress::Error),
+    /// A pack-compressed payload failed to decode.
+    Pack(sciml_pack::PackError),
     /// A shard file named by the manifest is missing.
     MissingShard(PathBuf),
     /// The staging retry budget was exhausted; carries the last error.
@@ -120,6 +125,7 @@ impl fmt::Display for StoreError {
                 write!(f, "sample index {idx} out of range (store has {len})")
             }
             StoreError::Compression(e) => write!(f, "shard decompression failed: {e}"),
+            StoreError::Pack(e) => write!(f, "shard pack decode failed: {e}"),
             StoreError::MissingShard(p) => write!(f, "shard file missing: {}", p.display()),
             StoreError::RetriesExhausted(e) => write!(f, "staging retries exhausted: {e}"),
             StoreError::Backing(e) => write!(f, "backing source error: {e}"),
@@ -132,6 +138,7 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io(e) => Some(e),
             StoreError::Compression(e) => Some(e),
+            StoreError::Pack(e) => Some(e),
             StoreError::RetriesExhausted(e) => Some(e.as_ref()),
             StoreError::Backing(e) => Some(e),
             _ => None,
@@ -148,6 +155,12 @@ impl From<std::io::Error> for StoreError {
 impl From<sciml_compress::Error> for StoreError {
     fn from(e: sciml_compress::Error) -> Self {
         StoreError::Compression(e)
+    }
+}
+
+impl From<sciml_pack::PackError> for StoreError {
+    fn from(e: sciml_pack::PackError) -> Self {
+        StoreError::Pack(e)
     }
 }
 

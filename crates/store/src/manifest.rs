@@ -22,6 +22,7 @@
 //! done 0 9a0b1c2d
 //! ```
 
+use crate::shard::EncodingChoice;
 use crate::{Result, StoreError};
 use std::fs;
 use std::io::Write;
@@ -51,6 +52,11 @@ pub struct ShardMeta {
     pub bytes: u64,
     /// CRC-32 of the entire shard file.
     pub crc32: u32,
+    /// Encoding policy the shard was packed with (the per-entry truth
+    /// lives in the shard's footer index; this is what a stager should
+    /// mirror). Legacy 7-field manifest lines parse as
+    /// [`EncodingChoice::Auto`].
+    pub encoding: EncodingChoice,
 }
 
 impl ShardMeta {
@@ -62,6 +68,7 @@ impl ShardMeta {
             first: self.first,
             count: self.count,
             bytes: self.bytes,
+            encoding: self.encoding,
         }
     }
 }
@@ -81,6 +88,10 @@ pub struct ShardPlan {
     /// Approximate shard size in bytes (0 when unknown) — used to
     /// bound in-flight staging bytes, not for integrity.
     pub bytes: u64,
+    /// Encoding policy of the exporting store, so a staging node can
+    /// mirror it. [`EncodingChoice::Auto`] when unknown (legacy
+    /// manifests, synthesized plans, pre-v4 serve protocol).
+    pub encoding: EncodingChoice,
 }
 
 /// Synthesizes a shard partitioning for a source that has no manifest:
@@ -97,6 +108,7 @@ pub fn plan_by_count(total_samples: u64, per_shard: u64) -> Vec<ShardPlan> {
             first,
             count,
             bytes: 0,
+            encoding: EncodingChoice::Auto,
         });
         first += count;
         id += 1;
@@ -148,8 +160,8 @@ impl StoreManifest {
         out.push('\n');
         for s in &self.shards {
             out.push_str(&format!(
-                "shard {} {} {} {} {} {:08x}\n",
-                s.id, s.file, s.first, s.count, s.bytes, s.crc32
+                "shard {} {} {} {} {} {:08x} {}\n",
+                s.id, s.file, s.first, s.count, s.bytes, s.crc32, s.encoding
             ));
         }
         out
@@ -178,8 +190,10 @@ impl StoreManifest {
             let fields: Vec<&str> = line.split_whitespace().collect();
             let err =
                 |what: &str| StoreError::Manifest(format!("line {}: {what}: {line:?}", lineno + 2));
-            if fields.len() != 7 || fields[0] != "shard" {
-                return Err(err("expected `shard ID FILE FIRST COUNT BYTES CRC`"));
+            if !(7..=8).contains(&fields.len()) || fields[0] != "shard" {
+                return Err(err(
+                    "expected `shard ID FILE FIRST COUNT BYTES CRC [ENCODING]`",
+                ));
             }
             let id: u32 = fields[1].parse().map_err(|_| err("bad shard id"))?;
             let file = fields[2].to_string();
@@ -187,6 +201,12 @@ impl StoreManifest {
             let count: u64 = fields[4].parse().map_err(|_| err("bad sample count"))?;
             let bytes: u64 = fields[5].parse().map_err(|_| err("bad byte size"))?;
             let crc32 = u32::from_str_radix(fields[6], 16).map_err(|_| err("bad crc"))?;
+            // 7-field lines predate per-entry encodings; `auto` is the
+            // conservative mirror target for such stores.
+            let encoding = match fields.get(7) {
+                Some(word) => word.parse().map_err(|_| err("bad encoding"))?,
+                None => EncodingChoice::Auto,
+            };
             if id as usize != shards.len() {
                 return Err(err("shard ids must be dense and ascending"));
             }
@@ -204,6 +224,7 @@ impl StoreManifest {
                 count,
                 bytes,
                 crc32,
+                encoding,
             });
         }
         Ok(Self { shards })
@@ -358,6 +379,7 @@ mod tests {
                     count: 3,
                     bytes: 120,
                     crc32: 0xDEAD_BEEF,
+                    encoding: EncodingChoice::Pack,
                 },
                 ShardMeta {
                     id: 1,
@@ -366,6 +388,7 @@ mod tests {
                     count: 2,
                     bytes: 90,
                     crc32: 0x0000_0001,
+                    encoding: EncodingChoice::Raw,
                 },
             ],
         }
@@ -378,6 +401,15 @@ mod tests {
         assert_eq!(parsed, m);
         assert_eq!(parsed.total_samples(), 5);
         assert_eq!(parsed.total_bytes(), 210);
+    }
+
+    #[test]
+    fn legacy_seven_field_lines_parse_as_auto() {
+        let legacy = "sciml-store v1\nshard 0 a.sshard 0 2 10 00000000\n";
+        let m = StoreManifest::parse(legacy).unwrap();
+        assert_eq!(m.shards[0].encoding, EncodingChoice::Auto);
+        let bad = "sciml-store v1\nshard 0 a.sshard 0 2 10 00000000 zstd\n";
+        assert!(StoreManifest::parse(bad).is_err());
     }
 
     #[test]

@@ -10,18 +10,22 @@
 //! │ magic "SSHD" │ version u16 │ flags u16 │ base sample idx u64 │
 //! ├──────────────────────────── body ───────────────────────────┤
 //! │ sample 0 stored bytes │ sample 1 stored bytes │ …           │
-//! ├──────────────── footer index (20 B × count) ────────────────┤
-//! │ offset u64 │ stored_len u32 │ raw_len u32 │ crc32 u32 │ …   │
+//! ├──────────────── footer index (21 B × count) ────────────────┤
+//! │ offset u64 │ stored_len u32 │ raw_len u32 │ crc32 u32 │ enc u8 │
 //! ├────────────────────── trailer (24 B) ───────────────────────┤
 //! │ index_offset u64 │ count u64 │ index_crc u32 │ magic "SSFT" │
 //! └─────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! All integers are little-endian. When header flag bit 0 is set, each
-//! sample payload is stored individually gzip-compressed — per-sample
-//! (not whole-shard) compression keeps positioned reads valid. Each
-//! index entry's CRC-32 covers the *stored* bytes, so integrity checks
-//! never need to decompress.
+//! All integers are little-endian. Format version 2 (current) carries a
+//! per-entry encoding byte in the footer index — raw, gzip, or pack
+//! ([`sciml_pack`]) — so a single shard can mix encodings: the
+//! [`EncodingChoice::Auto`] policy trial-encodes a sample slice of each
+//! payload and keeps whichever encoding wins. Version 1 files (20-byte
+//! entries, header flag bit 0 = every payload gzipped) are still read.
+//! Compression is per-sample (not whole-shard) so positioned reads stay
+//! valid, and each entry's CRC-32 covers the *stored* bytes, so
+//! integrity checks never need to decompress.
 
 use crate::manifest::{ShardMeta, StoreManifest};
 use crate::{Result, StoreError};
@@ -37,11 +41,164 @@ pub const SHARD_EXT: &str = "sshard";
 
 const HEADER_MAGIC: &[u8; 4] = b"SSHD";
 const TRAILER_MAGIC: &[u8; 4] = b"SSFT";
-const VERSION: u16 = 1;
+const VERSION_V1: u16 = 1;
+const VERSION: u16 = 2;
 const FLAG_GZIP: u16 = 1 << 0;
 const HEADER_LEN: usize = 16;
-const ENTRY_LEN: usize = 20;
+const ENTRY_LEN_V1: usize = 20;
+const ENTRY_LEN: usize = 21;
 const TRAILER_LEN: usize = 24;
+
+/// Bytes of a payload trial-encoded when auto-selecting an encoding.
+const TRIAL_SAMPLE_BYTES: usize = 8192;
+
+/// How one stored payload is encoded, as recorded in its footer-index
+/// entry (format v2) or implied by the header gzip flag (v1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PayloadEncoding {
+    /// Stored bytes are the raw sample bytes.
+    Raw,
+    /// Stored bytes are a gzip member ([`sciml_compress`]).
+    Gzip,
+    /// Stored bytes are a packed stream ([`sciml_pack`]).
+    Pack,
+}
+
+impl PayloadEncoding {
+    /// Wire/footer byte for this encoding.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            PayloadEncoding::Raw => 0,
+            PayloadEncoding::Gzip => 1,
+            PayloadEncoding::Pack => 2,
+        }
+    }
+
+    /// Parses a footer byte.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(PayloadEncoding::Raw),
+            1 => Some(PayloadEncoding::Gzip),
+            2 => Some(PayloadEncoding::Pack),
+            _ => None,
+        }
+    }
+
+    /// Lower-case name, as printed by `verify-store`.
+    pub fn name(self) -> &'static str {
+        match self {
+            PayloadEncoding::Raw => "raw",
+            PayloadEncoding::Gzip => "gzip",
+            PayloadEncoding::Pack => "pack",
+        }
+    }
+}
+
+/// The encoding policy a store or stager is configured with. Unlike
+/// [`PayloadEncoding`] this includes `Auto`, which resolves per entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncodingChoice {
+    /// Store payloads uncompressed.
+    Raw,
+    /// Gzip every payload.
+    Gzip,
+    /// Pack every payload with [`sciml_pack`].
+    Pack,
+    /// Trial-encode a sample slice of each payload and keep the winner
+    /// (falling back to raw when nothing shrinks it).
+    Auto,
+}
+
+impl EncodingChoice {
+    /// Lower-case name (`raw` / `gzip` / `pack` / `auto`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EncodingChoice::Raw => "raw",
+            EncodingChoice::Gzip => "gzip",
+            EncodingChoice::Pack => "pack",
+            EncodingChoice::Auto => "auto",
+        }
+    }
+
+    /// Wire byte used by the serve protocol's shard-manifest reply.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            EncodingChoice::Raw => 0,
+            EncodingChoice::Gzip => 1,
+            EncodingChoice::Pack => 2,
+            EncodingChoice::Auto => 3,
+        }
+    }
+
+    /// Parses a wire byte.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(EncodingChoice::Raw),
+            1 => Some(EncodingChoice::Gzip),
+            2 => Some(EncodingChoice::Pack),
+            3 => Some(EncodingChoice::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl std::str::FromStr for EncodingChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "raw" => Ok(EncodingChoice::Raw),
+            "gzip" => Ok(EncodingChoice::Gzip),
+            "pack" => Ok(EncodingChoice::Pack),
+            "auto" => Ok(EncodingChoice::Auto),
+            other => Err(format!(
+                "unknown encoding {other:?} (expected raw|gzip|pack|auto)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for EncodingChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-encoding entry counts across a shard or store, as reported by
+/// `verify-store`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EncodingCounts {
+    /// Entries stored raw.
+    pub raw: usize,
+    /// Entries stored gzip-compressed.
+    pub gzip: usize,
+    /// Entries stored pack-compressed.
+    pub pack: usize,
+}
+
+impl EncodingCounts {
+    /// Adds one entry of `enc`.
+    pub fn record(&mut self, enc: PayloadEncoding) {
+        match enc {
+            PayloadEncoding::Raw => self.raw += 1,
+            PayloadEncoding::Gzip => self.gzip += 1,
+            PayloadEncoding::Pack => self.pack += 1,
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: EncodingCounts) {
+        self.raw += other.raw;
+        self.gzip += other.gzip;
+        self.pack += other.pack;
+    }
+}
+
+impl std::fmt::Display for EncodingCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "raw={} gzip={} pack={}", self.raw, self.gzip, self.pack)
+    }
+}
 
 /// Canonical file name for shard `id` inside a store directory.
 pub fn shard_file_name(id: u32) -> String {
@@ -54,9 +211,9 @@ pub struct PackConfig {
     /// Flush a shard once its raw payload reaches this size. Every
     /// shard holds at least one sample regardless.
     pub target_shard_bytes: u64,
-    /// Gzip each sample payload inside the shard.
-    pub gzip: bool,
-    /// Compression effort when `gzip` is set.
+    /// Payload encoding policy (per entry when [`EncodingChoice::Auto`]).
+    pub encoding: EncodingChoice,
+    /// Compression effort for gzip-encoded payloads.
     pub level: Level,
 }
 
@@ -64,41 +221,89 @@ impl Default for PackConfig {
     fn default() -> Self {
         Self {
             target_shard_bytes: 64 * 1024 * 1024,
-            gzip: false,
+            encoding: EncodingChoice::Raw,
             level: Level::Fast,
         }
     }
 }
 
-/// Encodes one shard holding `samples`, whose global indices start at
-/// `base`. Returns the complete file image.
-pub fn encode_shard(samples: &[Vec<u8>], base: u64, gzip: bool, level: Level) -> Vec<u8> {
-    let mut flags = 0u16;
-    if gzip {
-        flags |= FLAG_GZIP;
+/// Packs `raw` with the element width (1 or 2) that trial-encodes
+/// smaller. Packing only fails on an invalid width, which cannot happen
+/// here; any error degrades to raw.
+fn pack_payload(raw: &[u8]) -> Option<Vec<u8>> {
+    let sample = &raw[..raw.len().min(TRIAL_SAMPLE_BYTES)];
+    let w1 = sciml_pack::packed_len(sample, 1).ok()?;
+    let w2 = sciml_pack::packed_len(sample, 2).ok()?;
+    let width = if w2 < w1 { 2 } else { 1 };
+    sciml_pack::pack(raw, width).ok()
+}
+
+/// Resolves the configured choice for one payload and encodes it.
+/// `Auto` trial-encodes a sample slice with gzip and pack, keeps the
+/// winner, and falls back to raw when nothing actually shrinks the
+/// payload.
+fn encode_payload(raw: &[u8], choice: EncodingChoice, level: Level) -> (PayloadEncoding, Vec<u8>) {
+    match choice {
+        EncodingChoice::Raw => (PayloadEncoding::Raw, raw.to_vec()),
+        EncodingChoice::Gzip => (
+            PayloadEncoding::Gzip,
+            sciml_compress::gzip_compress(raw, level),
+        ),
+        EncodingChoice::Pack => match pack_payload(raw) {
+            Some(p) => (PayloadEncoding::Pack, p),
+            None => (PayloadEncoding::Raw, raw.to_vec()),
+        },
+        EncodingChoice::Auto => {
+            let sample = &raw[..raw.len().min(TRIAL_SAMPLE_BYTES)];
+            let gz_trial = sciml_compress::gzip_compress(sample, level).len();
+            let pk_trial = sciml_pack::packed_len(sample, 1)
+                .unwrap_or(usize::MAX)
+                .min(sciml_pack::packed_len(sample, 2).unwrap_or(usize::MAX));
+            let winner = if pk_trial < gz_trial.min(sample.len()) {
+                pack_payload(raw).map(|p| (PayloadEncoding::Pack, p))
+            } else if gz_trial < sample.len() {
+                Some((
+                    PayloadEncoding::Gzip,
+                    sciml_compress::gzip_compress(raw, level),
+                ))
+            } else {
+                None
+            };
+            match winner {
+                // The trial slice can flatter an encoding the full
+                // payload defeats; keep the entry raw in that case.
+                Some((enc, stored)) if stored.len() < raw.len() => (enc, stored),
+                _ => (PayloadEncoding::Raw, raw.to_vec()),
+            }
+        }
     }
+}
+
+/// Encodes one shard holding `samples`, whose global indices start at
+/// `base`. Returns the complete file image (format version 2).
+pub fn encode_shard(
+    samples: &[Vec<u8>],
+    base: u64,
+    encoding: EncodingChoice,
+    level: Level,
+) -> Vec<u8> {
     let mut out =
         Vec::with_capacity(HEADER_LEN + TRAILER_LEN + samples.iter().map(Vec::len).sum::<usize>());
     out.extend_from_slice(HEADER_MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
-    out.extend_from_slice(&flags.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
     out.extend_from_slice(&base.to_le_bytes());
 
     let mut index = Vec::with_capacity(samples.len() * ENTRY_LEN);
     for raw in samples {
-        let stored: Vec<u8>;
-        let stored_ref: &[u8] = if gzip {
-            stored = sciml_compress::gzip_compress(raw, level);
-            &stored
-        } else {
-            raw
-        };
+        let (enc, stored) = encode_payload(raw, encoding, level);
         let offset = out.len() as u64;
         index.extend_from_slice(&offset.to_le_bytes());
-        index.extend_from_slice(&(stored_ref.len() as u32).to_le_bytes());
+        index.extend_from_slice(&(stored.len() as u32).to_le_bytes());
         index.extend_from_slice(&(raw.len() as u32).to_le_bytes());
-        index.extend_from_slice(&crc32(stored_ref).to_le_bytes());
-        out.extend_from_slice(stored_ref);
+        index.extend_from_slice(&crc32(&stored).to_le_bytes());
+        index.push(enc.as_byte());
+        out.extend_from_slice(&stored);
     }
 
     let index_offset = out.len() as u64;
@@ -117,10 +322,10 @@ pub fn write_shard(
     id: u32,
     samples: &[Vec<u8>],
     base: u64,
-    gzip: bool,
+    encoding: EncodingChoice,
     level: Level,
 ) -> Result<ShardMeta> {
-    let bytes = encode_shard(samples, base, gzip, level);
+    let bytes = encode_shard(samples, base, encoding, level);
     let file = shard_file_name(id);
     // Write to a temp name then rename, so a crash never leaves a
     // half-written file under the canonical name.
@@ -134,6 +339,7 @@ pub fn write_shard(
         count: samples.len() as u64,
         bytes: bytes.len() as u64,
         crc32: crc32(&bytes),
+        encoding,
     })
 }
 
@@ -160,7 +366,7 @@ pub fn pack_store(
         if pending.is_empty() {
             return Ok(());
         }
-        let meta = write_shard(dir, *id, pending, *base, config.gzip, config.level)?;
+        let meta = write_shard(dir, *id, pending, *base, config.encoding, config.level)?;
         *base += pending.len() as u64;
         *id += 1;
         pending.clear();
@@ -201,6 +407,7 @@ struct IndexEntry {
     stored_len: u32,
     raw_len: u32,
     crc32: u32,
+    encoding: PayloadEncoding,
 }
 
 /// A file handle that supports concurrent positioned reads.
@@ -256,9 +463,9 @@ pub struct ShardReader {
     path: PathBuf,
     file: PositionedFile,
     base: u64,
-    gzip: bool,
     index: Vec<IndexEntry>,
     index_offset: u64,
+    entry_len: usize,
 }
 
 /// Little-endian u64 at the start of `b` (panic-free: copies exactly
@@ -299,10 +506,22 @@ impl ShardReader {
             return Err(StoreError::BadMagic("shard header"));
         }
         let version = u16::from_le_bytes([header[4], header[5]]);
-        if version != VERSION {
+        if version != VERSION && version != VERSION_V1 {
             return Err(StoreError::BadVersion(version));
         }
+        let entry_len = if version == VERSION_V1 {
+            ENTRY_LEN_V1
+        } else {
+            ENTRY_LEN
+        };
         let flags = u16::from_le_bytes([header[6], header[7]]);
+        // v1 has no per-entry encoding byte: flag bit 0 applies to
+        // every payload in the shard.
+        let v1_encoding = if flags & FLAG_GZIP != 0 {
+            PayloadEncoding::Gzip
+        } else {
+            PayloadEncoding::Raw
+        };
         let base = le_u64(&header[8..16]);
 
         let mut trailer = [0u8; TRAILER_LEN];
@@ -315,7 +534,7 @@ impl ShardReader {
         let index_crc = le_u32(&trailer[16..20]);
 
         let index_len = (count as usize)
-            .checked_mul(ENTRY_LEN)
+            .checked_mul(entry_len)
             .ok_or(StoreError::Malformed("index size overflow"))?;
         let index_end = index_offset
             .checked_add(index_len as u64)
@@ -333,12 +552,19 @@ impl ShardReader {
             });
         }
         let mut index = Vec::with_capacity(count as usize);
-        for entry in index_bytes.chunks_exact(ENTRY_LEN) {
+        for entry in index_bytes.chunks_exact(entry_len) {
+            let encoding = if version == VERSION_V1 {
+                v1_encoding
+            } else {
+                PayloadEncoding::from_byte(entry[20])
+                    .ok_or(StoreError::Malformed("unknown payload encoding byte"))?
+            };
             let e = IndexEntry {
                 offset: le_u64(&entry[0..8]),
                 stored_len: le_u32(&entry[8..12]),
                 raw_len: le_u32(&entry[12..16]),
                 crc32: le_u32(&entry[16..20]),
+                encoding,
             };
             if e.offset < HEADER_LEN as u64 || e.offset + e.stored_len as u64 > index_offset {
                 return Err(StoreError::Malformed("sample extent outside shard body"));
@@ -349,9 +575,9 @@ impl ShardReader {
             path,
             file,
             base,
-            gzip: flags & FLAG_GZIP != 0,
             index,
             index_offset,
+            entry_len,
         })
     }
 
@@ -365,9 +591,25 @@ impl ShardReader {
         self.base
     }
 
-    /// Whether payloads are stored gzip-compressed.
+    /// Whether any payload in the shard is stored gzip-compressed.
     pub fn is_gzip(&self) -> bool {
-        self.gzip
+        self.index
+            .iter()
+            .any(|e| e.encoding == PayloadEncoding::Gzip)
+    }
+
+    /// Payload encoding of local sample `idx`.
+    pub fn encoding(&self, idx: usize) -> Option<PayloadEncoding> {
+        self.index.get(idx).map(|e| e.encoding)
+    }
+
+    /// Per-encoding tally over the shard's entries.
+    pub fn encoding_counts(&self) -> EncodingCounts {
+        let mut counts = EncodingCounts::default();
+        for e in &self.index {
+            counts.record(e.encoding);
+        }
+        counts
     }
 
     /// Raw (decoded) length of local sample `idx`.
@@ -377,7 +619,7 @@ impl ShardReader {
 
     /// Bytes the shard file occupies on disk.
     pub fn file_bytes(&self) -> u64 {
-        self.index_offset + (self.index.len() * ENTRY_LEN + TRAILER_LEN) as u64
+        self.index_offset + (self.index.len() * self.entry_len + TRAILER_LEN) as u64
     }
 
     /// Fetches local sample `idx`, verifying its CRC (and
@@ -405,14 +647,22 @@ impl ShardReader {
                 stored: entry.crc32,
             });
         }
-        if self.gzip {
-            let raw = sciml_compress::gzip_decompress(&stored)?;
-            if raw.len() != entry.raw_len as usize {
-                return Err(StoreError::Malformed("decompressed length mismatch"));
+        match entry.encoding {
+            PayloadEncoding::Raw => Ok(stored),
+            PayloadEncoding::Gzip => {
+                let raw = sciml_compress::gzip_decompress(&stored)?;
+                if raw.len() != entry.raw_len as usize {
+                    return Err(StoreError::Malformed("decompressed length mismatch"));
+                }
+                Ok(raw)
             }
-            Ok(raw)
-        } else {
-            Ok(stored)
+            PayloadEncoding::Pack => {
+                let raw = sciml_pack::unpack(&stored)?;
+                if raw.len() != entry.raw_len as usize {
+                    return Err(StoreError::Malformed("decompressed length mismatch"));
+                }
+                Ok(raw)
+            }
         }
     }
 
@@ -490,7 +740,7 @@ mod tests {
     #[test]
     fn shard_roundtrip_plain() {
         let dir = tmp_dir("plain");
-        let meta = write_shard(&dir, 0, &samples(), 7, false, Level::Fast).unwrap();
+        let meta = write_shard(&dir, 0, &samples(), 7, EncodingChoice::Raw, Level::Fast).unwrap();
         assert_eq!(meta.count, 4);
         assert_eq!(meta.first, 7);
         let r = ShardReader::open(dir.join(&meta.file)).unwrap();
@@ -512,23 +762,92 @@ mod tests {
     #[test]
     fn shard_roundtrip_gzip() {
         let dir = tmp_dir("gzip");
-        let meta = write_shard(&dir, 0, &samples(), 0, true, Level::Fast).unwrap();
+        let meta = write_shard(&dir, 0, &samples(), 0, EncodingChoice::Gzip, Level::Fast).unwrap();
         let r = ShardReader::open(dir.join(&meta.file)).unwrap();
         assert!(r.is_gzip());
         for (i, want) in samples().iter().enumerate() {
             assert_eq!(&r.fetch(i).unwrap(), want, "sample {i}");
             assert_eq!(r.raw_len(i).unwrap() as usize, want.len());
+            assert_eq!(r.encoding(i), Some(PayloadEncoding::Gzip));
         }
         // Highly repetitive payloads must actually compress.
-        let plain = encode_shard(&samples(), 0, false, Level::Fast);
+        let plain = encode_shard(&samples(), 0, EncodingChoice::Raw, Level::Fast);
         assert!(meta.bytes < plain.len() as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_roundtrip_pack_and_auto() {
+        let dir = tmp_dir("pack");
+        for (tag, choice) in [(0u32, EncodingChoice::Pack), (1, EncodingChoice::Auto)] {
+            let meta = write_shard(&dir, tag, &samples(), 0, choice, Level::Fast).unwrap();
+            assert_eq!(meta.encoding, choice);
+            let r = ShardReader::open(dir.join(&meta.file)).unwrap();
+            for (i, want) in samples().iter().enumerate() {
+                assert_eq!(&r.fetch(i).unwrap(), want, "{choice} sample {i}");
+            }
+            r.verify().unwrap();
+            let counts = r.encoding_counts();
+            assert_eq!(counts.raw + counts.gzip + counts.pack, samples().len());
+        }
+        // Auto must store the long repetitive payload compressed, and
+        // pick raw for the incompressible 0..=255 ramp... which pack's
+        // delta stage actually squeezes too — so just check auto never
+        // stores a payload larger than raw would.
+        let auto = encode_shard(&samples(), 0, EncodingChoice::Auto, Level::Fast);
+        let plain = encode_shard(&samples(), 0, EncodingChoice::Raw, Level::Fast);
+        assert!(auto.len() <= plain.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_shard_files_still_read() {
+        // Hand-build a version-1 shard (20-byte entries, gzip flag).
+        let dir = tmp_dir("v1");
+        for gzip in [false, true] {
+            let mut out = Vec::new();
+            out.extend_from_slice(HEADER_MAGIC);
+            out.extend_from_slice(&VERSION_V1.to_le_bytes());
+            out.extend_from_slice(&if gzip { FLAG_GZIP } else { 0 }.to_le_bytes());
+            out.extend_from_slice(&0u64.to_le_bytes());
+            let mut index = Vec::new();
+            for raw in samples() {
+                let stored = if gzip {
+                    sciml_compress::gzip_compress(&raw, Level::Fast)
+                } else {
+                    raw.clone()
+                };
+                index.extend_from_slice(&(out.len() as u64).to_le_bytes());
+                index.extend_from_slice(&(stored.len() as u32).to_le_bytes());
+                index.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+                index.extend_from_slice(&crc32(&stored).to_le_bytes());
+                out.extend_from_slice(&stored);
+            }
+            let index_offset = out.len() as u64;
+            let index_crc = crc32(&index);
+            out.extend_from_slice(&index);
+            out.extend_from_slice(&index_offset.to_le_bytes());
+            out.extend_from_slice(&(samples().len() as u64).to_le_bytes());
+            out.extend_from_slice(&index_crc.to_le_bytes());
+            out.extend_from_slice(TRAILER_MAGIC);
+            let path = dir.join(format!("v1_{gzip}.sshard"));
+            std::fs::write(&path, &out).unwrap();
+
+            let r = ShardReader::open(&path).unwrap();
+            assert_eq!(r.is_gzip(), gzip);
+            for (i, want) in samples().iter().enumerate() {
+                assert_eq!(&r.fetch(i).unwrap(), want, "v1 gzip={gzip} sample {i}");
+            }
+            r.verify().unwrap();
+            assert_eq!(r.file_bytes(), out.len() as u64);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn empty_shard_roundtrips() {
         let dir = tmp_dir("empty");
-        let meta = write_shard(&dir, 0, &[], 0, false, Level::Fast).unwrap();
+        let meta = write_shard(&dir, 0, &[], 0, EncodingChoice::Raw, Level::Fast).unwrap();
         let r = ShardReader::open(dir.join(&meta.file)).unwrap();
         assert_eq!(r.count(), 0);
         r.verify().unwrap();
@@ -539,7 +858,7 @@ mod tests {
     fn concurrent_fetches_share_one_reader() {
         let dir = tmp_dir("conc");
         let many: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i; 512]).collect();
-        let meta = write_shard(&dir, 0, &many, 0, false, Level::Fast).unwrap();
+        let meta = write_shard(&dir, 0, &many, 0, EncodingChoice::Raw, Level::Fast).unwrap();
         let r = std::sync::Arc::new(ShardReader::open(dir.join(&meta.file)).unwrap());
         std::thread::scope(|scope| {
             for t in 0..8 {
@@ -558,7 +877,7 @@ mod tests {
     #[test]
     fn file_crc_matches_manifest_crc() {
         let dir = tmp_dir("crc");
-        let meta = write_shard(&dir, 3, &samples(), 0, false, Level::Fast).unwrap();
+        let meta = write_shard(&dir, 3, &samples(), 0, EncodingChoice::Raw, Level::Fast).unwrap();
         assert_eq!(file_crc32(&dir.join(&meta.file)).unwrap(), meta.crc32);
         assert!(matches!(
             file_crc32(&dir.join("nope.sshard")),

@@ -20,7 +20,7 @@
 //! memory while the local disk keeps up.
 
 use crate::manifest::{JournalEntry, ShardMeta, ShardPlan, StagingJournal, StoreManifest};
-use crate::shard::{shard_file_name, write_shard, ShardReader};
+use crate::shard::{shard_file_name, write_shard, EncodingChoice, ShardReader};
 use crate::{Result, StoreError};
 use parking_lot::{Condvar, Mutex};
 use sciml_compress::Level;
@@ -152,9 +152,11 @@ pub struct StagerConfig {
     pub max_retries: u32,
     /// Base backoff after a failed attempt; doubles per retry.
     pub retry_backoff: Duration,
-    /// Gzip the staged shard payloads.
-    pub gzip: bool,
-    /// Compression effort when `gzip` is set.
+    /// Payload encoding for staged shards. `None` mirrors each plan's
+    /// encoding (what the exporting store was packed with); `Some`
+    /// overrides it for every shard.
+    pub encoding: Option<EncodingChoice>,
+    /// Compression effort for gzip-encoded payloads.
     pub level: Level,
 }
 
@@ -165,7 +167,7 @@ impl Default for StagerConfig {
             max_inflight_bytes: 256 * 1024 * 1024,
             max_retries: 3,
             retry_backoff: Duration::from_millis(10),
-            gzip: false,
+            encoding: None,
             level: Level::Fast,
         }
     }
@@ -333,6 +335,7 @@ impl Stager {
                 count: p.count,
                 bytes: shared.staged_file_bytes[pos].load(Ordering::Relaxed),
                 crc32: shared.staged_crcs[pos].load(Ordering::Relaxed),
+                encoding: self.inner.config.encoding.unwrap_or(p.encoding),
             })
             .collect();
         StoreManifest { shards }.write_to(&shared.dir)
@@ -533,7 +536,7 @@ impl Stager {
             plan.id,
             &samples,
             plan.first,
-            inner.config.gzip,
+            inner.config.encoding.unwrap_or(plan.encoding),
             inner.config.level,
         )?;
         inner.journal.lock().append(JournalEntry {

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use sciml_pipeline::source::VecSource;
 use sciml_store::manifest::{JournalEntry, ShardMeta, StagingJournal, StoreManifest};
-use sciml_store::{pack_store, PackConfig, ShardReader, ShardSource};
+use sciml_store::{pack_store, EncodingChoice, PackConfig, ShardReader, ShardSource};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -28,22 +28,31 @@ fn samples_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
     prop::collection::vec(prop::collection::vec(any::<u8>(), 0..600), 1..24)
 }
 
+fn encodings() -> impl Strategy<Value = EncodingChoice> {
+    prop_oneof![
+        Just(EncodingChoice::Raw),
+        Just(EncodingChoice::Gzip),
+        Just(EncodingChoice::Pack),
+        Just(EncodingChoice::Auto),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Whatever goes into a pack comes back out, sample for sample,
-    /// with every CRC intact — gzip or not, any shard size target.
+    /// with every CRC intact — any encoding, any shard size target.
     #[test]
     fn pack_index_fetch_roundtrip(
         samples in samples_strategy(),
         target in 1u64..2048,
-        gzip in any::<bool>(),
+        encoding in encodings(),
     ) {
         let dir = tmp_dir("roundtrip");
         let manifest = pack_store(
             &VecSource::new(samples.clone()),
             &dir,
-            PackConfig { target_shard_bytes: target, gzip, ..PackConfig::default() },
+            PackConfig { target_shard_bytes: target, encoding, ..PackConfig::default() },
         ).unwrap();
         prop_assert_eq!(manifest.total_samples(), samples.len() as u64);
 
@@ -63,12 +72,12 @@ proptest! {
     fn shard_reader_roundtrip(
         samples in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 0..12),
         base in 0u64..1_000_000,
-        gzip in any::<bool>(),
+        encoding in encodings(),
     ) {
         let dir = tmp_dir("shard");
         std::fs::create_dir_all(&dir).unwrap();
         let meta = sciml_store::write_shard(
-            &dir, 0, &samples, base, gzip, sciml_compress::Level::Fast,
+            &dir, 0, &samples, base, encoding, sciml_compress::Level::Fast,
         ).unwrap();
         prop_assert_eq!(meta.first, base);
         let reader = ShardReader::open(dir.join(&meta.file)).unwrap();
@@ -88,6 +97,7 @@ proptest! {
         counts in prop::collection::vec(1u64..500, 1..16),
         bytes in prop::collection::vec(0u64..u32::MAX as u64, 16),
         crcs in prop::collection::vec(any::<u32>(), 16),
+        encs in prop::collection::vec(encodings(), 16),
     ) {
         let mut first = 0u64;
         let shards: Vec<ShardMeta> = counts.iter().enumerate().map(|(i, &count)| {
@@ -98,6 +108,7 @@ proptest! {
                 count,
                 bytes: bytes[i],
                 crc32: crcs[i],
+                encoding: encs[i],
             };
             first += count;
             m

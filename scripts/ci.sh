@@ -54,7 +54,7 @@ sciml() { cargo run --release -q -p sciml-bench --bin sciml -- "$@"; }
 # stage it through the server, and check the staged copy is itself a
 # complete CRC-clean store whose decoded samples round-trip.
 sciml gen cosmo --out "$store_dir/data" --n 8 --grid 16
-sciml pack --dir "$store_dir/data" --n 8 --out "$store_dir/packed" --shard-mb 1
+sciml pack --dir "$store_dir/data" --n 8 --out "$store_dir/packed" --shard-mb 1 --encoding pack
 sciml verify-store "$store_dir/packed"
 sciml serve --store "$store_dir/packed" --addr 127.0.0.1:7979 &
 serve_pid=$!
@@ -82,5 +82,10 @@ for f in "$store_dir"/data/sample_*.bin; do
     cmp "$f" "$store_dir/fetched/$(basename "$f")"
 done
 sciml verify "$store_dir/fetched/sample_000000.bin"
+
+echo "==> compression shootout bench (raw vs gzip vs pack)"
+# Emits results/BENCH_compress_ratio.json: per-workload compression
+# ratio and decode throughput for each payload encoding.
+cargo bench -q -p sciml-bench --bench bench_compress
 
 echo "==> CI OK"

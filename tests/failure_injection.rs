@@ -203,9 +203,9 @@ mod wire {
     /// so it reaches the parser) is `UnknownTag`.
     #[test]
     fn unknown_tags_rejected() {
-        // 0x10 is the first tag past the protocol-v3 range (0x0D/0x0E
-        // became the ShardManifest exchange; 0x0F is ERROR).
-        for tag in [0x00u8, 0x10, 0x42, 0xEE, 0xFF] {
+        // 0x11 is the first tag past the protocol-v4 range (0x10 became
+        // the encoding-aware ShardManifestReplyV2).
+        for tag in [0x00u8, 0x11, 0x42, 0xEE, 0xFF] {
             let payload = vec![tag];
             let mut frame = Vec::new();
             frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
