@@ -8,15 +8,18 @@
 //! sciml transcode FILE --out FILE  # baseline payload -> custom encoding
 //! sciml bench-decode FILE [--iters K]
 //! sciml serve (--dir DIR --n N | --store DIR) [--addr HOST:PORT] [--name NAME] [--cache-mb M]
-//!             [--metrics-out F]
+//!             [--metrics-out F] [--metrics-addr HOST:PORT] [--trace-out FILE]
 //! sciml fetch --addr HOST:PORT [--name NAME] [--indices I,J,K | --all] [--stats] [--shutdown]
 //!             [--decode cosmo|deepcam [--batch B] [--epochs E] [--pool-capacity N]]
-//!             [--metrics-out FILE] [--trace-out FILE]
+//!             [--metrics-out FILE] [--trace-out FILE] [--metrics-text FILE|-]
+//!             [--watch SECS] [--watch-iters N] [--attribution-out FILE]
 //! sciml pack --dir DIR --n N --out DIR [--shard-mb M] [--encoding raw|gzip|pack|auto]
 //! sciml stage (--addr HOST:PORT [--name D] | --dir DIR --n N) --out DIR
 //!             [--per-shard K] [--workers W] [--encoding raw|gzip|pack|auto]
 //! sciml verify-store DIR           # CRC-check every shard + sample of a packed store
 //! sciml validate-json FILE...      # check emitted metrics/trace files parse as JSON
+//! sciml trace-merge --out OUT IN...   # merge Chrome traces onto one timeline
+//! sciml scrape --addr HOST:PORT [--require fam1,fam2] [--out FILE]
 //! sciml lint [--path DIR] [--json] # run the in-repo static analyzer
 //! ```
 
@@ -67,6 +70,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("stage") => stage(&args[1..]),
         Some("verify-store") => verify_store(&args[1..]),
         Some("validate-json") => for_each_file(&args[1..], validate_json),
+        Some("trace-merge") => trace_merge(&args[1..]),
+        Some("scrape") => scrape(&args[1..]),
         Some("lint") => lint(&args[1..]),
         Some("help") | None => {
             print_usage();
@@ -92,10 +97,16 @@ fn print_usage() {
          stage (--addr A | --dir DIR --n N) --out DIR  stage a dataset into a local packed copy\n  \
          verify-store DIR                              CRC-check every shard of a packed store\n  \
          validate-json FILE...                         check metrics/trace JSON well-formedness\n  \
+         trace-merge --out OUT IN...                   merge Chrome traces onto one timeline\n  \
+         scrape --addr A [--require f1,f2] [--out F]   scrape + validate a metrics endpoint\n  \
          lint [--path DIR] [--json]                    static-analysis gate (panics, SAFETY, locks)\n\n\
          telemetry flags (serve / fetch):\n  \
          --metrics-out FILE    write a metrics snapshot (JSONL) on exit\n  \
-         --trace-out FILE      write a Chrome trace-event JSON file (fetch)"
+         --metrics-addr A      expose Prometheus-text metrics on A (serve)\n  \
+         --metrics-text FILE   dump Prometheus-text metrics, `-` = stdout (fetch)\n  \
+         --trace-out FILE      write a Chrome trace-event JSON file\n  \
+         --watch SECS          live bottleneck line every SECS (fetch)\n  \
+         --attribution-out F   write the bottleneck-attribution report (fetch)"
     );
 }
 
@@ -436,18 +447,30 @@ fn serve(args: &[String]) -> Result<(), String> {
     let workers: usize = flag_parse(args, "--workers", 4)?;
 
     let metrics_out = flag(args, "--metrics-out");
-    let registry = sciml_obs::MetricsRegistry::new();
+    let metrics_addr = flag(args, "--metrics-addr");
+    let trace_out = flag(args, "--trace-out");
+    // The tracer costs a per-span record when enabled, so it is on only
+    // when the trace is actually going somewhere.
+    let telemetry = if trace_out.is_some() {
+        Telemetry::new()
+    } else {
+        Telemetry::disabled()
+    };
+    let registry = Arc::clone(&telemetry.registry);
     let mut builder = ServeBuilder::new()
         .config(ServerConfig {
             workers,
             cache_bytes: cache_mb << 20,
             ..ServerConfig::default()
         })
-        .registry(Arc::clone(&registry));
+        .telemetry(&telemetry);
 
     let desc = if let Some(store_dir) = flag(args, "--store") {
-        let store =
-            ShardSource::open(&store_dir).map_err(|e| format!("open store {store_dir}: {e}"))?;
+        // Opening with telemetry registers the store.decode.* counters
+        // in the shared registry, which the server lifts into v5 stats
+        // replies and the scrape endpoint exposes.
+        let store = ShardSource::open_with_telemetry(&store_dir, &telemetry)
+            .map_err(|e| format!("open store {store_dir}: {e}"))?;
         let n = store.len();
         let shards = store.manifest().shards.len();
         builder = builder.dataset_store(&name, Arc::new(store));
@@ -472,15 +495,33 @@ fn serve(args: &[String]) -> Result<(), String> {
         "serving '{name}' ({desc}) on {} — {workers} workers, {cache_mb} MiB hot cache",
         handle.local_addr()
     );
+    let scrape = match metrics_addr {
+        Some(a) => {
+            let (bound, h) = sciml_serve::spawn_scrape_listener(a, telemetry.clone())
+                .map_err(|e| format!("bind metrics endpoint: {e}"))?;
+            println!("metrics exposition on http://{bound}/metrics");
+            Some(h)
+        }
+        None => None,
+    };
     println!(
         "stop with: sciml fetch --addr {} --shutdown",
         handle.local_addr()
     );
     handle.join();
+    if let Some(scrape) = scrape {
+        scrape.shutdown();
+    }
     if let Some(out) = metrics_out {
         sciml_obs::write_metrics_file(&registry.snapshot(), Path::new(&out))
             .map_err(|e| format!("write {out}: {e}"))?;
         println!("metrics snapshot written to {out}");
+    }
+    if let Some(out) = trace_out {
+        telemetry
+            .write_trace(Path::new(&out))
+            .map_err(|e| format!("write {out}: {e}"))?;
+        println!("server trace written to {out}");
     }
     println!("server stopped");
     Ok(())
@@ -501,7 +542,10 @@ fn fetch(args: &[String]) -> Result<(), String> {
 
     let name = flag(args, "--name").unwrap_or_else(|| "default".into());
     let metrics_out = flag(args, "--metrics-out");
+    let metrics_text = flag(args, "--metrics-text");
     let trace_out = flag(args, "--trace-out");
+    let attribution_out = flag(args, "--attribution-out");
+    let watch: f64 = flag_parse(args, "--watch", 0.0)?;
     let telemetry = if trace_out.is_some() {
         Telemetry::new()
     } else {
@@ -576,10 +620,29 @@ fn fetch(args: &[String]) -> Result<(), String> {
         let mut p = Pipeline::launch_with(
             Arc::clone(&src) as Arc<dyn SampleSource>,
             plugin,
-            cfg,
+            cfg.clone(),
             telemetry.clone(),
         )
         .map_err(|e| e.to_string())?;
+        // Background bottleneck attribution over the pipeline's own
+        // registry: `--watch SECS` prints a live line per tick;
+        // `--attribution-out` captures the final report either way.
+        let sampler = if watch > 0.0 || attribution_out.is_some() {
+            Some(sciml_obs::PipelineSampler::spawn(
+                Arc::clone(&telemetry.registry),
+                Arc::clone(&telemetry.tracer),
+                sciml_obs::SamplerConfig {
+                    interval: std::time::Duration::from_secs_f64(watch.max(0.25)),
+                    stages: sciml_obs::pipeline_stages(
+                        cfg.reader_threads as u64,
+                        cfg.decode_threads as u64,
+                    ),
+                    live: watch > 0.0,
+                },
+            ))
+        } else {
+            None
+        };
         let pool = p.pool();
         let t0 = Instant::now();
         let (mut batches, mut samples) = (0u64, 0u64);
@@ -588,6 +651,14 @@ fn fetch(args: &[String]) -> Result<(), String> {
             samples += b.len() as u64; // batch dropped here → buffer recycles
         }
         let dt = t0.elapsed().as_secs_f64();
+        if let Some(sampler) = sampler {
+            let report = sampler.stop();
+            println!("{}", report.live_line());
+            if let Some(out) = &attribution_out {
+                std::fs::write(out, report.to_json()).map_err(|e| format!("write {out}: {e}"))?;
+                println!("attribution report written to {out}");
+            }
+        }
         println!(
             "decoded {samples} samples in {batches} batches over {:.2} ms — {:.0} samples/s (pool capacity {})",
             dt * 1e3,
@@ -644,6 +715,40 @@ fn fetch(args: &[String]) -> Result<(), String> {
                 100.0 * s.cache_hits as f64 / lookups as f64
             );
         }
+        // Per-entry payload-encoding decode counters (v5 servers; older
+        // replies predate the field and report all zeros).
+        let decoded = s.decoded_raw + s.decoded_gzip + s.decoded_pack;
+        if decoded > 0 {
+            println!(
+                "  store decodes: {} raw / {} gzip / {} pack",
+                s.decoded_raw, s.decoded_gzip, s.decoded_pack
+            );
+        }
+        // `--stats --watch SECS`: keep polling and print one compact
+        // line per tick showing request/sample movement.
+        if watch > 0.0 {
+            let iters: u64 = flag_parse(args, "--watch-iters", 5)?;
+            let mut prev = s;
+            for _ in 0..iters {
+                std::thread::sleep(std::time::Duration::from_secs_f64(watch));
+                let cur = src.server_stats().map_err(|e| e.to_string())?;
+                let lookups = (cur.cache_hits + cur.cache_misses)
+                    .saturating_sub(prev.cache_hits + prev.cache_misses);
+                let hit_rate = if lookups > 0 {
+                    100.0 * cur.cache_hits.saturating_sub(prev.cache_hits) as f64 / lookups as f64
+                } else {
+                    0.0
+                };
+                println!(
+                    "[obs] +{} req +{} samples +{} bytes | cache {hit_rate:.0}% | p95 {:.1} µs",
+                    cur.requests.saturating_sub(prev.requests),
+                    cur.samples_served.saturating_sub(prev.samples_served),
+                    cur.bytes_sent.saturating_sub(prev.bytes_sent),
+                    cur.latency.percentile(0.95) as f64 / 1e3,
+                );
+                prev = cur;
+            }
+        }
     }
     if let Some(out) = metrics_out {
         telemetry
@@ -651,11 +756,74 @@ fn fetch(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("write {out}: {e}"))?;
         println!("client metrics written to {out}");
     }
+    if let Some(out) = metrics_text {
+        telemetry.publish_trace_stats();
+        let text = sciml_obs::prometheus_text(&telemetry.registry.snapshot());
+        if out == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(&out, text).map_err(|e| format!("write {out}: {e}"))?;
+            println!("Prometheus-text metrics written to {out}");
+        }
+    }
     if let Some(out) = trace_out {
         telemetry
             .write_trace(Path::new(&out))
             .map_err(|e| format!("write {out}: {e}"))?;
         println!("trace written to {out}");
+    }
+    Ok(())
+}
+
+// -------------------------------------------------------------------
+
+/// Merges Chrome trace-event files (e.g. a client trace and a server
+/// trace of the same run) onto one timeline, aligned by each tracer's
+/// wall-clock epoch, one pid lane per input.
+fn trace_merge(args: &[String]) -> Result<(), String> {
+    let out = flag(args, "--out").ok_or("--out FILE required")?;
+    let files = positional_files(args);
+    if files.is_empty() {
+        return Err("trace-merge needs at least one input trace".into());
+    }
+    let mut inputs = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path:?}: {e}"))?;
+        let label = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        inputs.push((label, text));
+    }
+    let merged = sciml_obs::merge_chrome_traces(&inputs).map_err(|e| e.to_string())?;
+    std::fs::write(&out, merged).map_err(|e| format!("write {out}: {e}"))?;
+    println!("merged {} trace(s) into {out}", files.len());
+    Ok(())
+}
+
+/// Scrapes a metrics endpoint once, validates the exposition parses,
+/// and optionally checks that required metric families are present —
+/// the CI self-check for `sciml serve --metrics-addr`.
+fn scrape(args: &[String]) -> Result<(), String> {
+    let addr = flag(args, "--addr").ok_or("--addr HOST:PORT required")?;
+    let body = sciml_serve::scrape_once(&addr).map_err(|e| format!("scrape {addr}: {e}"))?;
+    let parsed = sciml_obs::parse_prometheus(&body)
+        .map_err(|e| format!("{addr}: invalid Prometheus exposition: {e}"))?;
+    let families = parsed.types.len();
+    let samples = parsed.samples.len();
+    if let Some(required) = flag(args, "--require") {
+        for fam in required.split(',').map(str::trim).filter(|f| !f.is_empty()) {
+            if parsed.kind(fam).is_none() {
+                return Err(format!(
+                    "{addr}: required metric family `{fam}` missing from scrape"
+                ));
+            }
+        }
+    }
+    println!("{addr}: OK — {families} metric families, {samples} samples");
+    if let Some(out) = flag(args, "--out") {
+        std::fs::write(&out, &body).map_err(|e| format!("write {out}: {e}"))?;
+        println!("exposition written to {out}");
     }
     Ok(())
 }

@@ -1,0 +1,159 @@
+//! Cross-process trace context: (trace id, span id) pairs that link
+//! spans recorded in different processes into one logical trace.
+//!
+//! A [`TraceContext`] names the *current* span: `trace_id` groups every
+//! span of one logical operation (e.g. one pipeline fetch) across
+//! machines, `span_id` identifies the span itself so children can point
+//! back at it. The active context is thread-local; root spans install
+//! one, child spans derive from it, and the serve client copies it onto
+//! the wire so the server's spans join the same trace.
+//!
+//! Ids are random-looking nonzero u64s: a per-process seed (wall clock
+//! xor pid) mixed with an atomic counter through splitmix64, so two
+//! processes started in the same nanosecond still draw disjoint
+//! sequences with overwhelming probability.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies a span within a distributed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Groups all spans of one logical operation; shared across
+    /// processes.
+    pub trace_id: u64,
+    /// The span this context names; children record it as their
+    /// parent.
+    pub span_id: u64,
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// splitmix64 finalizer: bijective, well-mixed, `const`-free.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Fresh nonzero id, unique within the process and collision-resistant
+/// across processes.
+pub fn fresh_id() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    static SEED: AtomicU64 = AtomicU64::new(0);
+    let mut seed = SEED.load(Ordering::Relaxed);
+    if seed == 0 {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        seed = splitmix64(nanos ^ (u64::from(std::process::id()) << 32)) | 1;
+        SEED.store(seed, Ordering::Relaxed);
+    }
+    loop {
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let id = splitmix64(seed.wrapping_add(n.wrapping_mul(0x2545_f491_4f6c_dd1d)));
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+impl TraceContext {
+    /// Starts a brand-new trace: fresh trace id, fresh root span id.
+    pub fn root() -> Self {
+        Self {
+            trace_id: fresh_id(),
+            span_id: fresh_id(),
+        }
+    }
+
+    /// A child span context within the same trace.
+    pub fn child(&self) -> Self {
+        Self {
+            trace_id: self.trace_id,
+            span_id: fresh_id(),
+        }
+    }
+
+    /// The context installed on the current thread, if any.
+    pub fn current() -> Option<Self> {
+        CURRENT.with(|c| c.get())
+    }
+
+    /// Installs `ctx` as the current thread's context, returning a
+    /// guard that restores the previous one on drop.
+    pub fn install(ctx: Self) -> ContextGuard {
+        let prev = CURRENT.with(|c| c.replace(Some(ctx)));
+        ContextGuard { prev }
+    }
+}
+
+/// Restores the previously-installed context when dropped. Obtain via
+/// [`TraceContext::install`].
+#[must_use = "dropping the guard immediately uninstalls the context"]
+#[derive(Debug)]
+pub struct ContextGuard {
+    prev: Option<TraceContext>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_nonzero_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = fresh_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate id {id:#x}");
+        }
+    }
+
+    #[test]
+    fn child_shares_trace_id_with_new_span_id() {
+        let root = TraceContext::root();
+        let child = root.child();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_ne!(child.span_id, root.span_id);
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        assert_eq!(TraceContext::current(), None);
+        let outer = TraceContext::root();
+        {
+            let _g = TraceContext::install(outer);
+            assert_eq!(TraceContext::current(), Some(outer));
+            let inner = outer.child();
+            {
+                let _g2 = TraceContext::install(inner);
+                assert_eq!(TraceContext::current(), Some(inner));
+            }
+            assert_eq!(TraceContext::current(), Some(outer));
+        }
+        assert_eq!(TraceContext::current(), None);
+    }
+
+    #[test]
+    fn ids_survive_threads_independently() {
+        let outer = TraceContext::root();
+        let _g = TraceContext::install(outer);
+        std::thread::spawn(|| {
+            assert_eq!(TraceContext::current(), None);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(TraceContext::current(), Some(outer));
+    }
+}

@@ -55,6 +55,59 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Serializes the value back to compact JSON. Whole numbers render
+    /// without a fractional part; object keys come out sorted (the
+    /// in-memory representation is a `BTreeMap`).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.dump_into(&mut out);
+        out
+    }
+
+    fn dump_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.is_finite() && n.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null"); // NaN/inf are not JSON
+                }
+            }
+            Value::String(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.dump_into(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.dump_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Parse failure: byte offset plus description.
@@ -369,6 +422,15 @@ mod tests {
         let nasty = "a\"b\\c\nd\te\u{1}f";
         let doc = format!("\"{}\"", escape(nasty));
         assert_eq!(parse(&doc).unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn dump_roundtrips_through_parse() {
+        let doc = r#"{"a":[1,2.5,-300],"b":{"c":null,"d":true},"s":"x\ny"}"#;
+        let v = parse(doc).unwrap();
+        let dumped = v.dump();
+        assert_eq!(parse(&dumped).unwrap(), v);
+        assert!(dumped.contains("\"a\":[1,2.5,-300]"), "{dumped}");
     }
 
     #[test]

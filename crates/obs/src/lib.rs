@@ -36,20 +36,28 @@
 
 #![deny(missing_docs)]
 
+pub mod context;
 pub mod export;
 pub mod histogram;
 pub mod json;
 pub mod lockcheck;
+pub mod merge;
+pub mod prom;
 pub mod registry;
+pub mod sampler;
 pub mod trace;
 
+pub use context::TraceContext;
 pub use export::{
     bench_snapshot_json, metric_to_json, write_bench_snapshot, write_metrics_file,
     write_metrics_jsonl, BenchEntry,
 };
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use merge::merge_chrome_traces;
+pub use prom::{parse_prometheus, prometheus_text, write_prometheus};
 pub use registry::{Counter, Gauge, MetricValue, MetricsRegistry, RegistrySnapshot};
-pub use trace::{SpanGuard, TraceEvent, Tracer};
+pub use sampler::{pipeline_stages, AttributionReport, PipelineSampler, SamplerConfig, StageSpec};
+pub use trace::{SpanGuard, SpanIds, TraceEvent, Tracer};
 
 use std::sync::Arc;
 
@@ -88,11 +96,21 @@ impl Telemetry {
         }
     }
 
+    /// Copies the tracer's dropped-span count into the registry as the
+    /// `obs.trace.dropped_spans` gauge, so silent span loss shows up in
+    /// every snapshot and scrape.
+    pub fn publish_trace_stats(&self) {
+        self.registry
+            .gauge("obs.trace.dropped_spans")
+            .set(i64::try_from(self.tracer.dropped()).unwrap_or(i64::MAX));
+    }
+
     /// Writes the current metrics snapshot as JSONL to `path`. In
     /// `--cfg lockcheck` builds the snapshot first absorbs the
     /// lock-order detector's `analyze.lockcheck.*` gauges.
     pub fn write_metrics(&self, path: &std::path::Path) -> std::io::Result<()> {
         lockcheck::publish(&self.registry);
+        self.publish_trace_stats();
         export::write_metrics_file(&self.registry.snapshot(), path)
     }
 

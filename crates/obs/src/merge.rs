@@ -1,0 +1,158 @@
+//! Merges Chrome trace-event JSON files from multiple processes into
+//! one timeline.
+//!
+//! Each input (client, server, …) carries the wall-clock time of its
+//! tracer epoch as a top-level `"epochNs"` string. The merger aligns
+//! every file onto the earliest epoch by shifting its events' `ts`
+//! values, assigns each file its own `pid` lane (input order, starting
+//! at 1), and concatenates the events. Distributed-trace ids in the
+//! events' `args` are left untouched — they are already globally
+//! consistent hex strings — so a span recorded on the server stays the
+//! child of the client request span in the merged view.
+
+use crate::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::io;
+
+/// One input to the merge: its events and epoch.
+struct TraceFile {
+    epoch_ns: u64,
+    events: Vec<Value>,
+}
+
+fn read_trace(text: &str, label: &str) -> io::Result<TraceFile> {
+    let doc = parse(text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{label}: not valid trace JSON: {e}"),
+        )
+    })?;
+    let epoch_ns = doc
+        .get("epochNs")
+        .and_then(|e| e.as_str())
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{label}: missing traceEvents array"),
+            )
+        })?
+        .to_vec();
+    Ok(TraceFile { epoch_ns, events })
+}
+
+/// Merges trace documents (as text, with labels for error messages)
+/// into one Chrome trace document aligned on the earliest epoch.
+///
+/// Inputs without an `"epochNs"` field (pre-merge traces from older
+/// builds, or already-merged outputs) are treated as epoch 0 and land
+/// unshifted at the start of the timeline.
+pub fn merge_chrome_traces(inputs: &[(String, String)]) -> io::Result<String> {
+    if inputs.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "no trace files to merge",
+        ));
+    }
+    let mut files = Vec::with_capacity(inputs.len());
+    for (label, text) in inputs {
+        files.push(read_trace(text, label)?);
+    }
+    let base_epoch = files.iter().map(|f| f.epoch_ns).min().unwrap_or(0);
+    let mut merged = Vec::new();
+    for (i, file) in files.iter().enumerate() {
+        let shift_us = (file.epoch_ns.saturating_sub(base_epoch)) as f64 / 1e3;
+        let pid = (i + 1) as f64;
+        for ev in &file.events {
+            let Value::Object(map) = ev else {
+                continue; // tolerate non-object entries
+            };
+            let mut map: BTreeMap<String, Value> = map.clone();
+            if let Some(Value::Number(ts)) = map.get("ts") {
+                let shifted = ts + shift_us;
+                map.insert("ts".to_string(), Value::Number(shifted));
+            }
+            map.insert("pid".to_string(), Value::Number(pid));
+            merged.push(Value::Object(map));
+        }
+    }
+    // Stable timeline: sort by shifted start time.
+    merged.sort_by(|a, b| {
+        let ta = a.get("ts").and_then(|t| t.as_f64()).unwrap_or(0.0);
+        let tb = b.get("ts").and_then(|t| t.as_f64()).unwrap_or(0.0);
+        ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "displayTimeUnit".to_string(),
+        Value::String("ms".to_string()),
+    );
+    doc.insert("epochNs".to_string(), Value::String(base_epoch.to_string()));
+    doc.insert("traceEvents".to_string(), Value::Array(merged));
+    Ok(Value::Object(doc).dump())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    fn trace_text(tracer: &Tracer) -> String {
+        let mut out = Vec::new();
+        tracer.write_chrome_trace(&mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn merges_two_tracers_onto_one_timeline() {
+        let a = Tracer::new(16);
+        drop(a.span_root("client", "fetch"));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = Tracer::new(16);
+        drop(b.span("serve", "request"));
+        let merged = merge_chrome_traces(&[
+            ("client".to_string(), trace_text(&a)),
+            ("server".to_string(), trace_text(&b)),
+        ])
+        .unwrap();
+        let doc = parse(&merged).unwrap();
+        let events = doc.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        assert_eq!(events.len(), 2);
+        // Each file gets its own pid lane.
+        let pids: Vec<f64> = events
+            .iter()
+            .map(|e| e.get("pid").unwrap().as_f64().unwrap())
+            .collect();
+        assert!(pids.contains(&1.0) && pids.contains(&2.0), "{pids:?}");
+        // b's tracer epoch is ≥2ms after a's, so its event is shifted
+        // onto a's timeline and sorts last.
+        let last = events.last().unwrap();
+        assert_eq!(last.get("name").unwrap().as_str(), Some("request"));
+        assert!(last.get("ts").unwrap().as_f64().unwrap() >= 2_000.0);
+        // Distributed-trace args pass through untouched.
+        let first = &events[0];
+        assert!(first.get("args").and_then(|a| a.get("trace")).is_some());
+    }
+
+    #[test]
+    fn rejects_garbage_and_empty_input() {
+        assert!(merge_chrome_traces(&[]).is_err());
+        assert!(merge_chrome_traces(&[("x".to_string(), "{}".to_string())]).is_err());
+        assert!(merge_chrome_traces(&[("x".to_string(), "not json".to_string())]).is_err());
+    }
+
+    #[test]
+    fn epochless_input_lands_at_timeline_start() {
+        let legacy =
+            r#"{"traceEvents":[{"name":"old","ph":"X","pid":1,"tid":1,"ts":5.0,"dur":1.0}]}"#;
+        let merged = merge_chrome_traces(&[("legacy".to_string(), legacy.to_string())]).unwrap();
+        let doc = parse(&merged).unwrap();
+        let ev = &doc.get("traceEvents").and_then(|e| e.as_array()).unwrap()[0];
+        assert_eq!(ev.get("ts").unwrap().as_f64(), Some(5.0));
+        assert_eq!(doc.get("epochNs").unwrap().as_str(), Some("0"));
+    }
+}

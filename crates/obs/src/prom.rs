@@ -1,0 +1,245 @@
+//! Prometheus text exposition (format version 0.0.4), `std`-only.
+//!
+//! [`write_prometheus`] renders a [`RegistrySnapshot`] as the plain
+//! `text/plain; version=0.0.4` format every Prometheus-compatible
+//! scraper understands: counters and gauges as single samples,
+//! histograms as cumulative `_bucket{le="…"}` series plus `_sum` and
+//! `_count`, derived from the registry's log-bucketed
+//! [`HistogramSnapshot`](crate::HistogramSnapshot)s. Metric names are
+//! sanitized (`.` → `_`) to the Prometheus charset.
+//!
+//! A deliberately minimal line parser ([`parse_prometheus`]) rides
+//! along for self-checks: the scrape CLI verifies required families are
+//! present, and property tests prove the writer's output round-trips
+//! (buckets cumulative and monotone, `_count`/`_sum` consistent).
+//!
+//! Every numeric sample is an integer rendered in full, so u64 counts
+//! survive the round-trip losslessly (the parser keeps raw value
+//! strings and never goes through f64).
+
+use crate::histogram::bucket_bounds;
+use crate::registry::{MetricValue, RegistrySnapshot};
+use std::io::{self, Write};
+
+/// Maps a registry metric name (`pipeline.fetch_ns`) onto the
+/// Prometheus charset `[a-zA-Z0-9_:]`: every other byte becomes `_`,
+/// and a leading digit gets a `_` prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Writes `snap` in Prometheus text exposition format.
+///
+/// Histogram `le` labels are the *exclusive* upper bounds of the
+/// underlying log buckets; the ≤12.5% bucket quantization already
+/// dwarfs the half-open/closed boundary difference.
+pub fn write_prometheus(snap: &RegistrySnapshot, w: &mut impl Write) -> io::Result<()> {
+    for (name, value) in &snap.metrics {
+        let pname = sanitize_name(name);
+        match value {
+            MetricValue::Counter(v) => {
+                writeln!(w, "# TYPE {pname} counter")?;
+                writeln!(w, "{pname} {v}")?;
+            }
+            MetricValue::Gauge(v) => {
+                writeln!(w, "# TYPE {pname} gauge")?;
+                writeln!(w, "{pname} {v}")?;
+            }
+            MetricValue::Histogram(h) => {
+                writeln!(w, "# TYPE {pname} histogram")?;
+                let mut cum = 0u64;
+                for (idx, &n) in h.counts.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    cum += n;
+                    let (_, hi) = bucket_bounds(idx);
+                    writeln!(w, "{pname}_bucket{{le=\"{hi}\"}} {cum}")?;
+                }
+                writeln!(w, "{pname}_bucket{{le=\"+Inf\"}} {}", h.count)?;
+                writeln!(w, "{pname}_sum {}", h.sum)?;
+                writeln!(w, "{pname}_count {}", h.count)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`write_prometheus`] into a `String`.
+pub fn prometheus_text(snap: &RegistrySnapshot) -> String {
+    let mut out = Vec::new();
+    // Vec<u8> writes are infallible.
+    let _ = write_prometheus(snap, &mut out);
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// One parsed sample line. The value is kept as its raw string so u64
+/// counts compare losslessly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromSample {
+    /// Sample name (`pipeline_fetch_ns_bucket`).
+    pub name: String,
+    /// The `le` label value when present (`"+Inf"`, `"4096"`, …).
+    pub le: Option<String>,
+    /// Raw value token.
+    pub value: String,
+}
+
+/// Result of [`parse_prometheus`]: declared families and sample lines,
+/// in file order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PromParsed {
+    /// `(family name, kind)` pairs from `# TYPE` lines.
+    pub types: Vec<(String, String)>,
+    /// All sample lines.
+    pub samples: Vec<PromSample>,
+}
+
+impl PromParsed {
+    /// The declared kind of `family`, if any.
+    pub fn kind(&self, family: &str) -> Option<&str> {
+        self.types
+            .iter()
+            .find(|(n, _)| n == family)
+            .map(|(_, k)| k.as_str())
+    }
+
+    /// Samples whose name equals `name` exactly.
+    pub fn samples_named(&self, name: &str) -> Vec<&PromSample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+}
+
+/// Minimal exposition-format parser covering exactly what
+/// [`write_prometheus`] emits: `# TYPE` lines, bare-name samples, and
+/// samples with a single `le` label. Anything else is an error.
+pub fn parse_prometheus(text: &str) -> Result<PromParsed, String> {
+    let mut out = PromParsed::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_ascii_whitespace();
+            let (Some(name), Some(kind), None) = (it.next(), it.next(), it.next()) else {
+                return Err(format!("line {}: malformed TYPE line", lineno + 1));
+            };
+            out.types.push((name.to_string(), kind.to_string()));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments (HELP etc.)
+        }
+        let (name_part, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value", lineno + 1))?;
+        let (name, le) = match name_part.split_once('{') {
+            None => (name_part.to_string(), None),
+            Some((name, labels)) => {
+                let labels = labels
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {}: unterminated labels", lineno + 1))?;
+                let le = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|l| l.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {}: expected single le label", lineno + 1))?;
+                (name.to_string(), Some(le.to_string()))
+            }
+        };
+        if name.is_empty() || value.is_empty() {
+            return Err(format!("line {}: empty name or value", lineno + 1));
+        }
+        let valid = |c: char| c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if !name.chars().all(valid) || name.starts_with(|c: char| c.is_ascii_digit()) {
+            return Err(format!("line {}: invalid metric name {name:?}", lineno + 1));
+        }
+        out.samples.push(PromSample {
+            name,
+            le,
+            value: value.to_string(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("pipeline.fetch_ns"), "pipeline_fetch_ns");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn counters_and_gauges_expose() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serve.requests").add(7);
+        reg.gauge("pool.resident_bytes").set(-3);
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE serve_requests counter\nserve_requests 7\n"));
+        assert!(text.contains("# TYPE pool_resident_bytes gauge\npool_resident_bytes -3\n"));
+        let parsed = parse_prometheus(&text).unwrap();
+        assert_eq!(parsed.kind("serve_requests"), Some("counter"));
+        assert_eq!(parsed.samples_named("serve_requests")[0].value, "7");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_consistent() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("demo.lat");
+        for v in [1u64, 1, 5, 900, 1_000_000] {
+            h.record(v);
+        }
+        let text = prometheus_text(&reg.snapshot());
+        let parsed = parse_prometheus(&text).unwrap();
+        assert_eq!(parsed.kind("demo_lat"), Some("histogram"));
+        let buckets = parsed.samples_named("demo_lat_bucket");
+        let counts: Vec<u64> = buckets.iter().map(|s| s.value.parse().unwrap()).collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "monotone: {counts:?}"
+        );
+        assert_eq!(buckets.last().unwrap().le.as_deref(), Some("+Inf"));
+        assert_eq!(*counts.last().unwrap(), 5);
+        assert_eq!(parsed.samples_named("demo_lat_count")[0].value, "5");
+        assert_eq!(
+            parsed.samples_named("demo_lat_sum")[0].value,
+            (1u64 + 1 + 5 + 900 + 1_000_000).to_string()
+        );
+    }
+
+    #[test]
+    fn empty_histogram_still_has_inf_bucket() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("quiet.lat");
+        let parsed = parse_prometheus(&prometheus_text(&reg.snapshot())).unwrap();
+        let buckets = parsed.samples_named("quiet_lat_bucket");
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].le.as_deref(), Some("+Inf"));
+        assert_eq!(buckets[0].value, "0");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_prometheus("no_value_here\n").is_err());
+        assert!(parse_prometheus("bad{le=\"1\" 2\n").is_err());
+        assert!(parse_prometheus("bad{foo=\"1\"} 2\n").is_err());
+        assert!(parse_prometheus("1leading 2\n").is_err());
+    }
+}

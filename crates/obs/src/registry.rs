@@ -94,6 +94,14 @@ impl RegistrySnapshot {
         }
     }
 
+    /// Gauge value by name (0 when absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
     /// Histogram snapshot by name, when present.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         match self.get(name) {

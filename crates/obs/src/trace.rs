@@ -11,6 +11,7 @@
 //! read, no allocation, no lock. The emitted file loads directly in
 //! `chrome://tracing` or <https://ui.perfetto.dev>.
 
+use crate::context::{fresh_id, ContextGuard, TraceContext};
 use parking_lot::Mutex;
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -27,6 +28,18 @@ fn current_tid() -> u64 {
     TID.with(|t| *t)
 }
 
+/// Distributed-trace identity of a span: which trace it belongs to,
+/// its own id, and its parent's id (0 = trace root).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanIds {
+    /// Trace the span belongs to (shared across processes).
+    pub trace_id: u64,
+    /// The span's own id.
+    pub span_id: u64,
+    /// Parent span id; 0 marks a trace root.
+    pub parent_id: u64,
+}
+
 /// One completed span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -40,6 +53,9 @@ pub struct TraceEvent {
     pub start_ns: u64,
     /// Span duration, nanoseconds.
     pub dur_ns: u64,
+    /// Distributed-trace identity, when the span was opened inside (or
+    /// as the root of) a [`TraceContext`].
+    pub ids: Option<SpanIds>,
 }
 
 struct Ring {
@@ -53,6 +69,9 @@ struct Ring {
 pub struct Tracer {
     enabled: AtomicBool,
     epoch: Instant,
+    /// Wall-clock time of `epoch`, nanoseconds since the Unix epoch.
+    /// Lets traces from different processes be aligned after the fact.
+    epoch_unix_ns: u64,
     capacity: usize,
     ring: Mutex<Ring>,
     dropped: AtomicU64,
@@ -71,9 +90,14 @@ impl std::fmt::Debug for Tracer {
 impl Tracer {
     /// Enabled tracer keeping at most `capacity` most-recent events.
     pub fn new(capacity: usize) -> Arc<Self> {
+        let epoch_unix_ns = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
         Arc::new(Self {
             enabled: AtomicBool::new(true),
             epoch: Instant::now(),
+            epoch_unix_ns,
             capacity: capacity.max(1),
             ring: Mutex::new(Ring {
                 buf: Vec::new(),
@@ -107,22 +131,96 @@ impl Tracer {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Wall-clock time of the tracer's epoch, nanoseconds since the
+    /// Unix epoch. `trace-merge` uses it to align timelines recorded in
+    /// different processes.
+    pub fn epoch_unix_ns(&self) -> u64 {
+        self.epoch_unix_ns
+    }
+
     /// Opens a span; it records when the guard drops. When the tracer
-    /// is disabled this is a single atomic load.
+    /// is disabled this is a single atomic load. If a [`TraceContext`]
+    /// is installed on the current thread the span joins that trace as
+    /// a child and becomes the current context for its extent.
     pub fn span(&self, cat: &'static str, name: &'static str) -> SpanGuard<'_> {
         if !self.is_enabled() {
-            return SpanGuard {
-                tracer: None,
-                cat,
-                name,
-                start: None,
-            };
+            return SpanGuard::inert(cat, name);
         }
+        let (ids, ctx) = match TraceContext::current() {
+            Some(cur) => {
+                let child = cur.child();
+                (
+                    Some(SpanIds {
+                        trace_id: child.trace_id,
+                        span_id: child.span_id,
+                        parent_id: cur.span_id,
+                    }),
+                    Some(TraceContext::install(child)),
+                )
+            }
+            None => (None, None),
+        };
         SpanGuard {
             tracer: Some(self),
             cat,
             name,
             start: Some(Instant::now()),
+            ids,
+            ctx,
+        }
+    }
+
+    /// Opens a span that starts a brand-new trace, installing its
+    /// context on the current thread so nested spans (and outbound
+    /// requests) join the trace. No-op when disabled.
+    pub fn span_root(&self, cat: &'static str, name: &'static str) -> SpanGuard<'_> {
+        if !self.is_enabled() {
+            return SpanGuard::inert(cat, name);
+        }
+        let ctx = TraceContext::root();
+        SpanGuard {
+            tracer: Some(self),
+            cat,
+            name,
+            start: Some(Instant::now()),
+            ids: Some(SpanIds {
+                trace_id: ctx.trace_id,
+                span_id: ctx.span_id,
+                parent_id: 0,
+            }),
+            ctx: Some(TraceContext::install(ctx)),
+        }
+    }
+
+    /// Opens a span whose parent lives in *another process* (the ids
+    /// arrived over the wire). The span joins `trace_id` under
+    /// `parent_span` and installs itself as the current context so
+    /// local child spans nest beneath it. No-op when disabled.
+    pub fn span_linked(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        trace_id: u64,
+        parent_span: u64,
+    ) -> SpanGuard<'_> {
+        if !self.is_enabled() {
+            return SpanGuard::inert(cat, name);
+        }
+        let ctx = TraceContext {
+            trace_id,
+            span_id: fresh_id(),
+        };
+        SpanGuard {
+            tracer: Some(self),
+            cat,
+            name,
+            start: Some(Instant::now()),
+            ids: Some(SpanIds {
+                trace_id,
+                span_id: ctx.span_id,
+                parent_id: parent_span,
+            }),
+            ctx: Some(TraceContext::install(ctx)),
         }
     }
 
@@ -154,38 +252,80 @@ impl Tracer {
 
     /// Writes the retained events as a Chrome trace-event JSON object
     /// (`{"traceEvents": [...]}`), timestamps in microseconds.
+    ///
+    /// Distributed-trace ids are emitted as fixed-width hex *strings*
+    /// under `args` (u64s do not survive an f64-based JSON parser), and
+    /// the tracer's wall-clock epoch rides along as a top-level
+    /// `"epochNs"` string so `trace-merge` can align processes.
     pub fn write_chrome_trace(&self, w: &mut impl Write) -> io::Result<()> {
         let events = self.events();
-        write!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        write!(
+            w,
+            "{{\"displayTimeUnit\":\"ms\",\"epochNs\":\"{}\",\"traceEvents\":[",
+            self.epoch_unix_ns
+        )?;
         for (i, ev) in events.iter().enumerate() {
             if i > 0 {
                 write!(w, ",")?;
             }
             write!(
                 w,
-                "\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+                "\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}",
                 ev.name,
                 ev.cat,
                 ev.tid,
                 ev.start_ns as f64 / 1e3,
                 ev.dur_ns as f64 / 1e3,
             )?;
+            if let Some(ids) = ev.ids {
+                write!(
+                    w,
+                    ",\"args\":{{\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\"}}",
+                    ids.trace_id, ids.span_id, ids.parent_id,
+                )?;
+            }
+            write!(w, "}}")?;
         }
         writeln!(w, "\n]}}")
     }
 }
 
-/// RAII span: records on drop. Obtain via [`Tracer::span`].
+/// RAII span: records on drop. Obtain via [`Tracer::span`],
+/// [`Tracer::span_root`], or [`Tracer::span_linked`].
 #[must_use = "a span records when the guard drops; binding to _ ends it immediately"]
 pub struct SpanGuard<'a> {
     tracer: Option<&'a Tracer>,
     cat: &'static str,
     name: &'static str,
     start: Option<Instant>,
+    ids: Option<SpanIds>,
+    /// Restores the previous thread-local context when the span ends.
+    ctx: Option<ContextGuard>,
+}
+
+impl SpanGuard<'_> {
+    fn inert(cat: &'static str, name: &'static str) -> Self {
+        Self {
+            tracer: None,
+            cat,
+            name,
+            start: None,
+            ids: None,
+            ctx: None,
+        }
+    }
+
+    /// The span's distributed-trace ids, if it joined a trace.
+    pub fn ids(&self) -> Option<SpanIds> {
+        self.ids
+    }
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
+        // Uninstall the context before recording so the event captures
+        // ids fixed at open time.
+        self.ctx = None;
         let (Some(tracer), Some(start)) = (self.tracer, self.start) else {
             return;
         };
@@ -198,6 +338,7 @@ impl Drop for SpanGuard<'_> {
             tid: current_tid(),
             start_ns,
             dur_ns,
+            ids: self.ids,
         });
     }
 }
@@ -249,6 +390,85 @@ mod tests {
         for w in events.windows(2) {
             assert!(w[0].start_ns <= w[1].start_ns);
         }
+    }
+
+    #[test]
+    fn root_span_links_children_across_helpers() {
+        let tracer = Tracer::new(64);
+        {
+            let root = tracer.span_root("pipeline", "fetch");
+            let root_ids = root.ids().unwrap();
+            assert_eq!(root_ids.parent_id, 0);
+            {
+                let child = tracer.span("serve", "request");
+                let child_ids = child.ids().unwrap();
+                assert_eq!(child_ids.trace_id, root_ids.trace_id);
+                assert_eq!(child_ids.parent_id, root_ids.span_id);
+            }
+        }
+        assert_eq!(TraceContext::current(), None, "context restored");
+        let events = tracer.events();
+        assert_eq!(events.len(), 2);
+        // Children drop (and record) before their parents.
+        assert_eq!(events[0].name, "request");
+        assert_eq!(events[1].name, "fetch");
+    }
+
+    #[test]
+    fn linked_span_adopts_remote_parent() {
+        let tracer = Tracer::new(16);
+        {
+            let _s = tracer.span_linked("serve", "request", 0xabcd, 0x1234);
+        }
+        let ids = tracer.events()[0].ids.unwrap();
+        assert_eq!(ids.trace_id, 0xabcd);
+        assert_eq!(ids.parent_id, 0x1234);
+        assert_ne!(ids.span_id, 0);
+    }
+
+    #[test]
+    fn plain_span_without_context_has_no_ids() {
+        let tracer = Tracer::new(16);
+        drop(tracer.span("pipeline", "decode"));
+        assert_eq!(tracer.events()[0].ids, None);
+    }
+
+    #[test]
+    fn disabled_tracer_installs_no_context() {
+        let tracer = Tracer::disabled();
+        let _s = tracer.span_root("pipeline", "fetch");
+        assert_eq!(
+            TraceContext::current(),
+            None,
+            "disabled root span must not leak a context into the thread"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_carries_hex_ids_and_epoch() {
+        let tracer = Tracer::new(16);
+        drop(tracer.span_root("pipeline", "fetch"));
+        let mut out = Vec::new();
+        tracer.write_chrome_trace(&mut out).unwrap();
+        let v = crate::json::parse(&String::from_utf8(out).unwrap()).unwrap();
+        let epoch: u64 = v
+            .get("epochNs")
+            .and_then(|e| e.as_str())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(epoch > 0);
+        let ev = &v.get("traceEvents").and_then(|e| e.as_array()).unwrap()[0];
+        let args = ev.get("args").unwrap();
+        let ids = tracer.events()[0].ids.unwrap();
+        assert_eq!(
+            args.get("trace").and_then(|t| t.as_str()),
+            Some(format!("{:016x}", ids.trace_id).as_str())
+        );
+        assert_eq!(
+            args.get("parent").and_then(|p| p.as_str()),
+            Some("0000000000000000")
+        );
     }
 
     #[test]

@@ -1,9 +1,12 @@
-//! Property tests for the log-bucketed histogram: merge commutes,
-//! percentiles are monotone in the quantile, and every recorded value
-//! lands inside its reported bucket bounds.
+//! Property tests for the log-bucketed histogram (merge commutes,
+//! percentiles are monotone in the quantile, every recorded value lands
+//! inside its reported bucket bounds) and for the Prometheus text
+//! exposition (arbitrary registry contents round-trip through the
+//! strict line parser with cumulative, consistent histogram series).
 
 use proptest::prelude::*;
 use sciml_obs::histogram::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
+use sciml_obs::{parse_prometheus, prometheus_text, MetricsRegistry};
 
 fn build(values: &[u64]) -> Histogram {
     let h = Histogram::new();
@@ -91,5 +94,58 @@ proptest! {
             &snap.sparse(), snap.sum, snap.min, snap.max);
         prop_assert_eq!(rebuilt.counts, snap.counts);
         prop_assert_eq!(rebuilt.count, snap.count);
+    }
+
+    /// Any registry contents — counters, gauges (negative included),
+    /// and a histogram of arbitrary values — survive the trip through
+    /// [`prometheus_text`] and back through the strict line parser:
+    /// every family keeps its declared kind, counter/gauge values are
+    /// exact, `_bucket` series are cumulative and monotone ending at
+    /// `+Inf == _count`, and `_count`/`_sum` match the histogram.
+    #[test]
+    fn prometheus_exposition_roundtrips_through_parser(
+        counter in 0u64..1_000_000_000,
+        gauge in -1_000_000i64..1_000_000,
+        values in proptest::collection::vec(0u64..1_000_000_000_000, 0..64),
+    ) {
+        let reg = MetricsRegistry::new();
+        reg.counter("test.events.total").add(counter);
+        reg.gauge("test.queue.depth").set(gauge);
+        let h = reg.histogram("test.latency_ns");
+        for &v in &values {
+            h.record(v);
+        }
+        let text = prometheus_text(&reg.snapshot());
+        let parsed = parse_prometheus(&text).expect("exposition parses");
+
+        prop_assert_eq!(parsed.kind("test_events_total"), Some("counter"));
+        prop_assert_eq!(
+            parsed.samples_named("test_events_total")[0].value.parse::<u64>().ok(),
+            Some(counter)
+        );
+        prop_assert_eq!(parsed.kind("test_queue_depth"), Some("gauge"));
+        prop_assert_eq!(
+            parsed.samples_named("test_queue_depth")[0].value.parse::<i64>().ok(),
+            Some(gauge)
+        );
+
+        prop_assert_eq!(parsed.kind("test_latency_ns"), Some("histogram"));
+        let buckets = parsed.samples_named("test_latency_ns_bucket");
+        prop_assert!(!buckets.is_empty(), "histogram always exposes +Inf");
+        let mut prev = 0u64;
+        for b in &buckets {
+            let c: u64 = b.value.parse().expect("bucket count is an integer");
+            prop_assert!(c >= prev, "bucket counts must be cumulative monotone");
+            prev = c;
+        }
+        let last = &buckets[buckets.len() - 1];
+        prop_assert_eq!(last.le.as_deref(), Some("+Inf"));
+        let count: u64 = parsed.samples_named("test_latency_ns_count")[0]
+            .value.parse().expect("count");
+        prop_assert_eq!(prev, count, "+Inf bucket equals _count");
+        prop_assert_eq!(count, values.len() as u64);
+        let sum: u64 = parsed.samples_named("test_latency_ns_sum")[0]
+            .value.parse().expect("sum");
+        prop_assert_eq!(sum, values.iter().sum::<u64>());
     }
 }

@@ -348,8 +348,11 @@ impl Pipeline {
             workers.push(std::thread::spawn(move || {
                 while let Ok((epoch, pos, idx)) = idx_rx.recv() {
                     let mut buf = pool.checkout_bytes();
+                    // Each fetch roots a fresh trace: a remote source
+                    // sees the installed context and propagates it over
+                    // the wire, so server-side spans join this trace.
                     let fetched = {
-                        let _span = tracer.span("pipeline", "fetch");
+                        let _span = tracer.span_root("pipeline", "fetch");
                         stats.fetch_ns.time(|| source.fetch_into(idx, &mut buf))
                     };
                     match fetched {
@@ -359,6 +362,7 @@ impl Pipeline {
                             if raw_tx.send((epoch, pos, idx, buf)).is_err() {
                                 return;
                             }
+                            stats.raw_depth.set(raw_tx.len() as i64);
                         }
                         Err(e) => {
                             // Surface the typed error to the consumer;
@@ -424,6 +428,7 @@ impl Pipeline {
                         if batch_tx.send(Ok(batch)).is_err() {
                             return;
                         }
+                        stats.batch_depth.set(batch_tx.len() as i64);
                     }
                 }
             }));

@@ -9,7 +9,7 @@
 //! may be shared with the serving and training tiers for one coherent
 //! snapshot.
 
-use sciml_obs::{Counter, Histogram, MetricsRegistry};
+use sciml_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::sync::Arc;
 
 /// Per-stage latency histograms plus counters, shared across worker
@@ -35,6 +35,13 @@ pub struct PipelineStats {
     /// Decoder invocations that returned an error
     /// (`pipeline.decode_errors`).
     pub decode_errors: Arc<Counter>,
+    /// Depth of the fetch→decode queue, sampled as items pass through
+    /// (`pipeline.queue.raw_depth`). A queue pinned at capacity means
+    /// decode is the bottleneck; pinned at zero means fetch is.
+    pub raw_depth: Arc<Gauge>,
+    /// Depth of the decode→consumer queue
+    /// (`pipeline.queue.batch_depth`).
+    pub batch_depth: Arc<Gauge>,
 }
 
 impl Default for PipelineStats {
@@ -67,6 +74,8 @@ impl PipelineStats {
             bytes: registry.counter("pipeline.bytes"),
             fetch_errors: registry.counter("pipeline.fetch_errors"),
             decode_errors: registry.counter("pipeline.decode_errors"),
+            raw_depth: registry.gauge("pipeline.queue.raw_depth"),
+            batch_depth: registry.gauge("pipeline.queue.batch_depth"),
         }
     }
 

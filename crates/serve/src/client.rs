@@ -14,7 +14,7 @@ use crate::protocol::{
     MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use parking_lot::Mutex;
-use sciml_obs::{Counter, MetricsRegistry};
+use sciml_obs::{Counter, MetricsRegistry, TraceContext};
 use sciml_pipeline::{PipelineError, SampleSource};
 use sciml_store::ShardPlan;
 use std::io;
@@ -60,16 +60,22 @@ struct Conn {
 }
 
 impl Conn {
-    /// Opens a connection at the newest protocol version, falling back
-    /// to [`MIN_PROTOCOL_VERSION`] when the server predates v2 and
-    /// rejects the offer — so a new client keeps working against an
-    /// old server (it just won't receive latency histograms).
+    /// Opens a connection at the newest protocol version, walking the
+    /// offer down one version at a time whenever the server rejects it
+    /// with `VersionMismatch` — so a new client keeps working against
+    /// any older server (it just loses the newer-version features, e.g.
+    /// latency histograms below v2 or trace propagation below v5).
+    /// Servers that ack `min(offered, theirs)` settle in one dial; only
+    /// strict single-version peers make the ladder descend.
     fn open(addr: &str, cfg: &ClientConfig) -> Result<Self, PipelineError> {
-        match Self::open_at(addr, cfg, PROTOCOL_VERSION) {
-            Err(e) if PROTOCOL_VERSION > MIN_PROTOCOL_VERSION && is_version_mismatch(&e) => {
-                Self::open_at(addr, cfg, MIN_PROTOCOL_VERSION)
+        let mut version = PROTOCOL_VERSION;
+        loop {
+            match Self::open_at(addr, cfg, version) {
+                Err(e) if version > MIN_PROTOCOL_VERSION && is_version_mismatch(&e) => {
+                    version -= 1;
+                }
+                other => return other,
             }
-            other => other,
         }
     }
 
@@ -105,8 +111,23 @@ impl Conn {
         read_message(&mut self.stream).map_err(protocol_to_pipeline)
     }
 
-    /// One request/response exchange.
+    /// One request/response exchange. On a v5+ connection, a request
+    /// issued under an active trace context is wrapped in
+    /// [`Message::Traced`] so the server's child spans join the
+    /// caller's trace; on older connections the request goes out
+    /// unwrapped — byte-identical to an untraced client — and the
+    /// trace simply ends at the client span.
     fn call(&mut self, msg: &Message) -> Result<Message, PipelineError> {
+        if self.negotiated >= 5 {
+            if let Some(ctx) = TraceContext::current() {
+                self.send(&Message::Traced {
+                    trace_id: ctx.trace_id,
+                    parent_span: ctx.span_id,
+                    inner: Box::new(msg.clone()),
+                })?;
+                return self.recv();
+            }
+        }
         self.send(msg)?;
         self.recv()
     }
@@ -270,12 +291,13 @@ impl RemoteSource {
         }
     }
 
-    /// Fetches the server-side stats snapshot. A v2 server includes
+    /// Fetches the server-side stats snapshot. A v2+ server includes
     /// the request-latency histogram; a v1 server's snapshot has an
-    /// empty `latency` (callers fall back to the `request_ns` mean).
+    /// empty `latency` (callers fall back to the `request_ns` mean). A
+    /// v5 server additionally fills the per-encoding decode counters.
     pub fn server_stats(&self) -> Result<StatsSnapshot, PipelineError> {
         match self.call(&Message::Stats)? {
-            Message::StatsReply(s) | Message::StatsReplyV2(s) => Ok(s),
+            Message::StatsReply(s) | Message::StatsReplyV2(s) | Message::StatsReplyV3(s) => Ok(s),
             Message::Error { code, detail } => Err(server_error(code, detail)),
             other => Err(unexpected_reply(&other)),
         }
@@ -284,7 +306,7 @@ impl RemoteSource {
     /// Asks the server to shut down; returns its final stats.
     pub fn shutdown_server(&self) -> Result<StatsSnapshot, PipelineError> {
         match self.call(&Message::Shutdown)? {
-            Message::StatsReply(s) | Message::StatsReplyV2(s) => Ok(s),
+            Message::StatsReply(s) | Message::StatsReplyV2(s) | Message::StatsReplyV3(s) => Ok(s),
             Message::Error { code, detail } => Err(server_error(code, detail)),
             other => Err(unexpected_reply(&other)),
         }
@@ -296,7 +318,7 @@ impl RemoteSource {
     pub fn shutdown_at(addr: &str) -> Result<StatsSnapshot, PipelineError> {
         let mut conn = Conn::open(addr, &ClientConfig::default())?;
         match conn.call(&Message::Shutdown)? {
-            Message::StatsReply(s) | Message::StatsReplyV2(s) => Ok(s),
+            Message::StatsReply(s) | Message::StatsReplyV2(s) | Message::StatsReplyV3(s) => Ok(s),
             Message::Error { code, detail } => Err(server_error(code, detail)),
             other => Err(unexpected_reply(&other)),
         }
@@ -476,14 +498,16 @@ mod tests {
 
     /// A minimal server that only speaks protocol v1: rejects any other
     /// Hello with `VersionMismatch`, then answers one Stats request.
+    /// The descending ladder dials once per version, so the accept loop
+    /// runs until the v1 offer finally lands.
     fn spawn_strict_v1_server() -> (String, std::thread::JoinHandle<()>) {
         use crate::protocol::{read_message, write_message};
         let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
         let handle = std::thread::spawn(move || {
-            // First connection offers v2 and gets rejected; the client
-            // reconnects offering v1.
-            for _ in 0..2 {
+            // One rejected connection per version above v1, then the
+            // accepted v1 dial.
+            for _ in 0..PROTOCOL_VERSION {
                 let (mut stream, _) = listener.accept().unwrap();
                 match read_message(&mut stream).unwrap() {
                     Message::Hello { version: 1 } => {
@@ -530,6 +554,83 @@ mod tests {
             }
             other => panic!("expected v1 StatsReply, got {other:?}"),
         }
+        handle.join().unwrap();
+    }
+
+    /// A server pinned at protocol v4: acks `min(offered, 4)` like a
+    /// real pre-v5 build, then relays one raw request frame back for
+    /// byte-level inspection before answering it.
+    fn spawn_strict_v4_server(
+        frame_tx: std::sync::mpsc::Sender<Vec<u8>>,
+    ) -> (String, std::thread::JoinHandle<()>) {
+        use crate::protocol::{read_message, write_message};
+        use std::io::Read;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            match read_message(&mut stream).unwrap() {
+                Message::Hello { version } => {
+                    write_message(
+                        &mut stream,
+                        &Message::HelloAck {
+                            version: version.min(4),
+                        },
+                    )
+                    .unwrap();
+                }
+                other => panic!("expected Hello, got {other:?}"),
+            }
+            // Capture the next request frame raw: length prefix,
+            // payload, CRC trailer.
+            let mut len_buf = [0u8; 4];
+            stream.read_exact(&mut len_buf).unwrap();
+            let payload_len = u32::from_le_bytes(len_buf) as usize;
+            let mut rest = vec![0u8; payload_len + 4];
+            stream.read_exact(&mut rest).unwrap();
+            let mut frame = len_buf.to_vec();
+            frame.extend_from_slice(&rest);
+            frame_tx.send(frame.clone()).unwrap();
+            let request = crate::protocol::Message::from_payload(&frame[4..4 + payload_len])
+                .expect("captured frame parses");
+            assert!(matches!(request, Message::Stats), "expected Stats");
+            write_message(
+                &mut stream,
+                &Message::StatsReplyV2(StatsSnapshot {
+                    requests: 9,
+                    ..StatsSnapshot::default()
+                }),
+            )
+            .unwrap();
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn v5_client_degrades_to_untraced_requests_against_v4_server() {
+        use crate::protocol::write_message;
+        let (frame_tx, frame_rx) = std::sync::mpsc::channel();
+        let (addr, handle) = spawn_strict_v4_server(frame_tx);
+        let mut conn = Conn::open(&addr, &ClientConfig::default()).expect("v4 downgrade");
+        assert_eq!(conn.negotiated, 4);
+        // An active trace context would wrap the request on a v5
+        // connection; on this v4 connection it must not.
+        let _guard = TraceContext::install(TraceContext::root());
+        let reply = conn.call(&Message::Stats).unwrap();
+        match reply {
+            Message::StatsReplyV2(s) => {
+                assert_eq!(s.requests, 9);
+                assert_eq!(s.decoded_raw, 0, "pre-v5 reply has no decode counters");
+            }
+            other => panic!("expected StatsReplyV2, got {other:?}"),
+        }
+        // The frame that crossed the wire is byte-identical to what an
+        // untraced client writes: no Traced envelope, same tag, same
+        // CRC.
+        let sent = frame_rx.recv().unwrap();
+        let mut untraced = Vec::new();
+        write_message(&mut untraced, &Message::Stats).unwrap();
+        assert_eq!(sent, untraced);
         handle.join().unwrap();
     }
 

@@ -16,13 +16,16 @@
 //! * [`server`] — acceptor + bounded worker pool, admission control,
 //!   per-dataset DRAM LRU hot cache, counters;
 //! * [`client`] — pooled, retrying `RemoteSource`;
-//! * [`metrics`] — server-side latency/throughput counters.
+//! * [`metrics`] — server-side latency/throughput counters;
+//! * [`scrape`] — Prometheus-text metrics exposition endpoint.
 
 pub mod client;
 pub mod metrics;
 pub mod protocol;
+pub mod scrape;
 pub mod server;
 
 pub use client::{ClientConfig, RemoteSource};
 pub use protocol::{Message, ProtocolError, StatsSnapshot, PROTOCOL_VERSION};
+pub use scrape::{scrape_once, spawn_scrape_listener, ScrapeHandle};
 pub use server::{ServeBuilder, ServerConfig, ServerHandle};

@@ -20,6 +20,12 @@ pub struct ServerMetrics {
     samples_served: Arc<Counter>,
     bytes_sent: Arc<Counter>,
     rejected_connections: Arc<Counter>,
+    /// Per-encoding store decode counters (`store.decode.*`) — bumped
+    /// by the shard source when it shares this registry, surfaced in
+    /// v5 stats replies.
+    decoded_raw: Arc<Counter>,
+    decoded_gzip: Arc<Counter>,
+    decoded_pack: Arc<Counter>,
     /// Per-request handling latency, nanoseconds (`serve.request_ns`).
     pub request_latency: Arc<Histogram>,
 }
@@ -39,6 +45,9 @@ impl ServerMetrics {
             samples_served: registry.counter("serve.samples_served"),
             bytes_sent: registry.counter("serve.bytes_sent"),
             rejected_connections: registry.counter("serve.rejected_connections"),
+            decoded_raw: registry.counter("store.decode.raw"),
+            decoded_gzip: registry.counter("store.decode.gzip"),
+            decoded_pack: registry.counter("store.decode.pack"),
             request_latency: registry.histogram("serve.request_ns"),
         }
     }
@@ -93,6 +102,9 @@ impl ServerMetrics {
             cache_evictions,
             rejected_connections: self.rejected_connections.get(),
             request_ns: latency.sum,
+            decoded_raw: self.decoded_raw.get(),
+            decoded_gzip: self.decoded_gzip.get(),
+            decoded_pack: self.decoded_pack.get(),
             latency,
         }
     }

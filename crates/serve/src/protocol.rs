@@ -28,10 +28,13 @@ use std::io::{self, Read, Write};
 /// so clients can stage whole shards instead of issuing per-sample
 /// fetches; version 4 added [`Message::ShardManifestReplyV2`], whose
 /// entries carry each shard's payload-encoding byte so stagers can
-/// mirror the server store's raw/gzip/pack choice. Everything else is
-/// unchanged, so servers still accept [`MIN_PROTOCOL_VERSION`] clients
-/// and reply with v1 messages.
-pub const PROTOCOL_VERSION: u16 = 4;
+/// mirror the server store's raw/gzip/pack choice; version 5 added the
+/// [`Message::Traced`] request wrapper carrying a distributed-trace
+/// context (trace id + parent span id) so server-side spans join the
+/// client's trace, and [`Message::StatsReplyV3`] with per-encoding
+/// decode counters. Everything else is unchanged, so servers still
+/// accept [`MIN_PROTOCOL_VERSION`] clients and reply with v1 messages.
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Oldest client version the server still accepts.
 pub const MIN_PROTOCOL_VERSION: u16 = 1;
@@ -162,6 +165,13 @@ pub struct StatsSnapshot {
     pub rejected_connections: u64,
     /// Cumulative request handling time, nanoseconds.
     pub request_ns: u64,
+    /// Store payloads decoded from raw entries. Zero when the snapshot
+    /// crossed the wire as a pre-v5 reply, which predates the field.
+    pub decoded_raw: u64,
+    /// Store payloads decoded from gzip entries (pre-v5 replies: 0).
+    pub decoded_gzip: u64,
+    /// Store payloads decoded from pack entries (pre-v5 replies: 0).
+    pub decoded_pack: u64,
     /// Request-latency distribution (nanoseconds). Empty when the
     /// snapshot crossed the wire as a v1 [`Message::StatsReply`], which
     /// predates the field.
@@ -241,6 +251,21 @@ pub enum Message {
     /// the staging plan with each shard's payload-encoding byte, so a
     /// stager reproduces the server store's raw/gzip/pack choice.
     ShardManifestReplyV2(Vec<ShardPlan>),
+    /// Server reply to [`Message::Stats`] on v5 connections: the v2
+    /// body plus per-encoding store decode counters.
+    StatsReplyV3(StatsSnapshot),
+    /// Request wrapper (v5): carries the client's distributed-trace
+    /// context so the server records its spans into the same trace.
+    /// Wraps exactly one non-`Traced` request message; v≤4 peers never
+    /// see it.
+    Traced {
+        /// Trace the request belongs to.
+        trace_id: u64,
+        /// Client span to parent the server's request span under.
+        parent_span: u64,
+        /// The wrapped request.
+        inner: Box<Message>,
+    },
     /// Client request to stop the server (loopback/admin use).
     Shutdown,
     /// Server-reported failure.
@@ -269,6 +294,8 @@ mod tags {
     pub const SHARD_MANIFEST_REPLY: u8 = 0x0E;
     pub const ERROR: u8 = 0x0F;
     pub const SHARD_MANIFEST_REPLY_V2: u8 = 0x10;
+    pub const TRACED: u8 = 0x11;
+    pub const STATS_REPLY_V3: u8 = 0x12;
 }
 
 // ------------------------------------------------------------- encoding
@@ -308,8 +335,44 @@ fn read_stats_counters(r: &mut Reader<'_>) -> Result<StatsSnapshot, ProtocolErro
         cache_evictions: fields[5],
         rejected_connections: fields[6],
         request_ns: fields[7],
+        decoded_raw: 0,
+        decoded_gzip: 0,
+        decoded_pack: 0,
         latency: HistogramSnapshot::default(),
     })
+}
+
+/// Sparse latency histogram: scalar fields then (bucket index, count)
+/// pairs. Shared by the v2 and v3 stats replies.
+fn put_latency(out: &mut Vec<u8>, s: &StatsSnapshot) {
+    let pairs = s.latency.sparse();
+    out.extend_from_slice(&s.latency.sum.to_le_bytes());
+    out.extend_from_slice(&s.latency.min.to_le_bytes());
+    out.extend_from_slice(&s.latency.max.to_le_bytes());
+    out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for (idx, n) in pairs {
+        out.extend_from_slice(&idx.to_le_bytes());
+        out.extend_from_slice(&n.to_le_bytes());
+    }
+}
+
+fn read_latency(r: &mut Reader<'_>) -> Result<HistogramSnapshot, ProtocolError> {
+    let sum = r.u64()?;
+    let min = r.u64()?;
+    let max = r.u64()?;
+    let count = r.u32()? as usize;
+    if count * 10 > r.remaining() {
+        return Err(ProtocolError::Malformed(
+            "bucket count exceeds payload length",
+        ));
+    }
+    let mut pairs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let idx = r.u16()?;
+        let n = r.u64()?;
+        pairs.push((idx, n));
+    }
+    Ok(HistogramSnapshot::from_sparse(&pairs, sum, min, max))
 }
 
 impl Message {
@@ -366,17 +429,25 @@ impl Message {
             Message::StatsReplyV2(s) => {
                 out.push(tags::STATS_REPLY_V2);
                 put_stats_counters(&mut out, s);
-                // Sparse latency histogram: scalar fields then
-                // (bucket index, count) pairs.
-                let pairs = s.latency.sparse();
-                out.extend_from_slice(&s.latency.sum.to_le_bytes());
-                out.extend_from_slice(&s.latency.min.to_le_bytes());
-                out.extend_from_slice(&s.latency.max.to_le_bytes());
-                out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
-                for (idx, n) in pairs {
-                    out.extend_from_slice(&idx.to_le_bytes());
-                    out.extend_from_slice(&n.to_le_bytes());
+                put_latency(&mut out, s);
+            }
+            Message::StatsReplyV3(s) => {
+                out.push(tags::STATS_REPLY_V3);
+                put_stats_counters(&mut out, s);
+                for field in [s.decoded_raw, s.decoded_gzip, s.decoded_pack] {
+                    out.extend_from_slice(&field.to_le_bytes());
                 }
+                put_latency(&mut out, s);
+            }
+            Message::Traced {
+                trace_id,
+                parent_span,
+                inner,
+            } => {
+                out.push(tags::TRACED);
+                out.extend_from_slice(&trace_id.to_le_bytes());
+                out.extend_from_slice(&parent_span.to_le_bytes());
+                out.extend_from_slice(&inner.to_payload());
             }
             Message::ShardManifest { name, per_shard } => {
                 out.push(tags::SHARD_MANIFEST);
@@ -461,23 +532,36 @@ impl Message {
             tags::STATS_REPLY => Message::StatsReply(read_stats_counters(&mut r)?),
             tags::STATS_REPLY_V2 => {
                 let mut s = read_stats_counters(&mut r)?;
-                let sum = r.u64()?;
-                let min = r.u64()?;
-                let max = r.u64()?;
-                let count = r.u32()? as usize;
-                if count * 10 > r.remaining() {
-                    return Err(ProtocolError::Malformed(
-                        "bucket count exceeds payload length",
-                    ));
-                }
-                let mut pairs = Vec::with_capacity(count);
-                for _ in 0..count {
-                    let idx = r.u16()?;
-                    let n = r.u64()?;
-                    pairs.push((idx, n));
-                }
-                s.latency = HistogramSnapshot::from_sparse(&pairs, sum, min, max);
+                s.latency = read_latency(&mut r)?;
                 Message::StatsReplyV2(s)
+            }
+            tags::STATS_REPLY_V3 => {
+                let mut s = read_stats_counters(&mut r)?;
+                s.decoded_raw = r.u64()?;
+                s.decoded_gzip = r.u64()?;
+                s.decoded_pack = r.u64()?;
+                s.latency = read_latency(&mut r)?;
+                Message::StatsReplyV3(s)
+            }
+            tags::TRACED => {
+                let trace_id = r.u64()?;
+                let parent_span = r.u64()?;
+                // Reject nesting by tag *before* recursing, so a
+                // hostile Traced(Traced(…)) tower cannot blow the
+                // stack.
+                if r.buf.first() == Some(&tags::TRACED) {
+                    return Err(ProtocolError::Malformed("nested trace context"));
+                }
+                let inner_payload = r.bytes(r.remaining())?;
+                if inner_payload.is_empty() {
+                    return Err(ProtocolError::Malformed("empty traced request"));
+                }
+                let inner = Message::from_payload(inner_payload)?;
+                Message::Traced {
+                    trace_id,
+                    parent_span,
+                    inner: Box::new(inner),
+                }
             }
             tags::SHARD_MANIFEST => {
                 let name = r.string()?;
@@ -698,7 +782,7 @@ mod tests {
                 cache_evictions: 6,
                 rejected_connections: 7,
                 request_ns: 8,
-                latency: HistogramSnapshot::default(),
+                ..Default::default()
             }),
             Message::StatsReplyV2(StatsSnapshot {
                 requests: 1,
@@ -716,7 +800,34 @@ mod tests {
                     }
                     h.snapshot()
                 },
+                ..Default::default()
             }),
+            Message::StatsReplyV3(StatsSnapshot {
+                requests: 1,
+                samples_served: 2,
+                bytes_sent: 3,
+                cache_hits: 4,
+                cache_misses: 5,
+                cache_evictions: 6,
+                rejected_connections: 7,
+                request_ns: 8,
+                decoded_raw: 9,
+                decoded_gzip: 10,
+                decoded_pack: 11,
+                latency: {
+                    let h = sciml_obs::Histogram::new();
+                    h.record(4200);
+                    h.snapshot()
+                },
+            }),
+            Message::Traced {
+                trace_id: 0xDEAD_BEEF_0BAD_F00D,
+                parent_span: 0x1234_5678_9ABC_DEF0,
+                inner: Box::new(Message::FetchSamples {
+                    name: "cosmo".into(),
+                    indices: vec![7, 8, 9],
+                }),
+            },
             Message::ShardManifest {
                 name: "cosmo".into(),
                 per_shard: 128,
@@ -947,6 +1058,84 @@ mod tests {
             decode_frame(&frame),
             Err(ProtocolError::Malformed("unknown shard encoding byte"))
         ));
+    }
+
+    #[test]
+    fn nested_traced_rejected_without_recursion() {
+        let inner = Message::Traced {
+            trace_id: 1,
+            parent_span: 2,
+            inner: Box::new(Message::Stats),
+        };
+        let outer = Message::Traced {
+            trace_id: 3,
+            parent_span: 4,
+            inner: Box::new(inner),
+        };
+        assert!(matches!(
+            decode_frame(&encode_frame(&outer)),
+            Err(ProtocolError::Malformed("nested trace context"))
+        ));
+        // A deep tower must be rejected at the first nesting level,
+        // not by exhausting the stack.
+        let mut payload = Vec::new();
+        for _ in 0..10_000 {
+            payload.push(tags::TRACED);
+            payload.extend_from_slice(&[0u8; 16]);
+        }
+        payload.push(tags::STATS);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(ProtocolError::Malformed("nested trace context"))
+        ));
+    }
+
+    #[test]
+    fn empty_traced_rejected() {
+        let mut payload = vec![tags::TRACED];
+        payload.extend_from_slice(&[0u8; 16]);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(ProtocolError::Malformed("empty traced request"))
+        ));
+    }
+
+    #[test]
+    fn v2_stats_reply_zeroes_decode_counters_and_v3_keeps_them() {
+        let snap = StatsSnapshot {
+            requests: 5,
+            decoded_raw: 11,
+            decoded_gzip: 22,
+            decoded_pack: 33,
+            ..Default::default()
+        };
+        let (decoded, _) =
+            decode_frame(&encode_frame(&Message::StatsReplyV2(snap.clone()))).unwrap();
+        match decoded {
+            Message::StatsReplyV2(s) => {
+                assert_eq!(s.requests, 5);
+                assert_eq!((s.decoded_raw, s.decoded_gzip, s.decoded_pack), (0, 0, 0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let (decoded, _) = decode_frame(&encode_frame(&Message::StatsReplyV3(snap))).unwrap();
+        match decoded {
+            Message::StatsReplyV3(s) => {
+                assert_eq!(
+                    (s.decoded_raw, s.decoded_gzip, s.decoded_pack),
+                    (11, 22, 33)
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::protocol::{
     read_message, write_message, DatasetEntry, ErrorCode, Message, ProtocolError,
     MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
-use sciml_obs::{Counter, MetricsRegistry};
+use sciml_obs::{Counter, MetricsRegistry, Telemetry, Tracer};
 use sciml_pipeline::source::MemoryCacheSource;
 use sciml_pipeline::SampleSource;
 use sciml_store::manifest::plan_by_count;
@@ -85,6 +85,10 @@ struct Inner {
     cache_misses: Arc<Counter>,
     cache_evictions: Arc<Counter>,
     metrics: ServerMetrics,
+    /// Span tracer; disabled unless the builder received a telemetry
+    /// handle with an enabled one. Traced (v5) requests open a
+    /// `serve/request` span linked to the client's trace.
+    tracer: Arc<Tracer>,
     shutting_down: AtomicBool,
     active_connections: AtomicUsize,
     config: ServerConfig,
@@ -146,6 +150,7 @@ pub struct ServeBuilder {
     sources: BTreeMap<String, RegisteredSource>,
     config: ServerConfig,
     registry: Option<Arc<MetricsRegistry>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Default for ServeBuilder {
@@ -161,6 +166,7 @@ impl ServeBuilder {
             sources: BTreeMap::new(),
             config: ServerConfig::default(),
             registry: None,
+            tracer: None,
         }
     }
 
@@ -175,6 +181,16 @@ impl ServeBuilder {
     /// with whatever else the process records.
     pub fn registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
         self.registry = Some(registry);
+        self
+    }
+
+    /// Uses `telemetry`'s registry *and* tracer. With an enabled
+    /// tracer, Traced (v5) requests record `serve/request` spans linked
+    /// into the requesting client's trace, and per-sample `serve/fetch`
+    /// child spans under them.
+    pub fn telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.registry = Some(Arc::clone(&telemetry.registry));
+        self.tracer = Some(Arc::clone(&telemetry.tracer));
         self
     }
 
@@ -226,6 +242,7 @@ impl ServeBuilder {
             cache_misses: registry.counter("pipeline.cache.memory.misses"),
             cache_evictions: registry.counter("pipeline.cache.memory.evictions"),
             metrics: ServerMetrics::with_registry(&registry),
+            tracer: self.tracer.unwrap_or_else(Tracer::disabled),
             shutting_down: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
             config: self.config,
@@ -388,16 +405,16 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
 
     // Version negotiation first: anything else is a protocol error.
     // The server speaks every version in MIN..=PROTOCOL_VERSION and
-    // acks the highest one both sides understand, so old clients keep
-    // working and new clients get the v2 message set.
+    // acks the highest one both sides understand — a client offering a
+    // *newer* version than ours gets ours back and proceeds with the
+    // shared subset, so only pre-MIN relics are turned away.
     let negotiated = match read_message(&mut stream) {
-        Ok(Message::Hello { version })
-            if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
-        {
-            if write_message(&mut stream, &Message::HelloAck { version }).is_err() {
+        Ok(Message::Hello { version }) if version >= MIN_PROTOCOL_VERSION => {
+            let agreed = version.min(PROTOCOL_VERSION);
+            if write_message(&mut stream, &Message::HelloAck { version: agreed }).is_err() {
                 return;
             }
-            version
+            agreed
         }
         Ok(Message::Hello { version }) => {
             let _ = write_message(
@@ -441,6 +458,33 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
             }
         };
         let started = Instant::now();
+        // Unwrap the v5 trace-context envelope. The linked span stays
+        // open across respond(), so per-sample child spans nest under
+        // it and it records the request's full handling time.
+        let (request, _request_span) = match request {
+            Message::Traced {
+                trace_id,
+                parent_span,
+                inner: boxed,
+            } => {
+                if negotiated < 5 {
+                    let reply = Message::Error {
+                        code: ErrorCode::BadRequest,
+                        detail: format!("Traced requests need v5, connection is v{negotiated}"),
+                    };
+                    inner.metrics.record_request(started.elapsed());
+                    if write_message(&mut stream, &reply).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                let span = inner
+                    .tracer
+                    .span_linked("serve", "request", trace_id, parent_span);
+                (*boxed, Some(span))
+            }
+            other => (other, None),
+        };
         // Shutdown must be acknowledged before begin_shutdown()
         // force-closes the live sockets — the requester's included.
         let is_shutdown = matches!(request, Message::Shutdown);
@@ -461,7 +505,9 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
 /// stats-reply flavour (v2 carries the latency histogram).
 fn respond(inner: &Inner, request: Message, negotiated: u16) -> (Message, bool) {
     let stats_reply = |snapshot| {
-        if negotiated >= 2 {
+        if negotiated >= 5 {
+            Message::StatsReplyV3(snapshot)
+        } else if negotiated >= 2 {
             Message::StatsReplyV2(snapshot)
         } else {
             Message::StatsReply(snapshot)
@@ -507,6 +553,9 @@ fn respond(inner: &Inner, request: Message, negotiated: u16) -> (Message, bool) 
                         false,
                     );
                 }
+                // Child of the connection's request span (when the
+                // request arrived Traced); invisible otherwise.
+                let _fetch_span = inner.tracer.span("serve", "fetch");
                 match ds.cache.fetch(*idx as usize) {
                     Ok(sample) => {
                         bytes += sample.len() as u64;
@@ -683,15 +732,123 @@ mod tests {
             .dataset("demo", demo_source())
             .bind("127.0.0.1:0")
             .unwrap();
+        // Pre-MIN relics are turned away.
         let mut s = TcpStream::connect(server.local_addr()).unwrap();
         s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-        write_message(&mut s, &Message::Hello { version: 999 }).unwrap();
+        write_message(&mut s, &Message::Hello { version: 0 }).unwrap();
         assert!(matches!(
             read_message(&mut s).unwrap(),
             Message::Error {
                 code: ErrorCode::VersionMismatch,
                 ..
             }
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn newer_client_downgraded_to_server_version() {
+        let server = ServeBuilder::new()
+            .dataset("demo", demo_source())
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // A hypothetical future client offers v999; the server answers
+        // with the highest version it speaks and the connection works.
+        write_message(&mut s, &Message::Hello { version: 999 }).unwrap();
+        assert_eq!(
+            read_message(&mut s).unwrap(),
+            Message::HelloAck {
+                version: PROTOCOL_VERSION
+            }
+        );
+        write_message(&mut s, &Message::ListDatasets).unwrap();
+        assert!(matches!(
+            read_message(&mut s).unwrap(),
+            Message::DatasetList(_)
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn traced_request_records_linked_spans() {
+        let telemetry = Telemetry::new();
+        let server = ServeBuilder::new()
+            .dataset("demo", demo_source())
+            .telemetry(&telemetry)
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut c = client(server.local_addr());
+        write_message(
+            &mut c,
+            &Message::Traced {
+                trace_id: 0xAAAA,
+                parent_span: 0xBBBB,
+                inner: Box::new(Message::FetchSamples {
+                    name: "demo".into(),
+                    indices: vec![0, 1],
+                }),
+            },
+        )
+        .unwrap();
+        let Message::Samples(samples) = read_message(&mut c).unwrap() else {
+            panic!("expected samples");
+        };
+        assert_eq!(samples.len(), 2);
+        server.shutdown();
+
+        let events = telemetry.tracer.events();
+        let request = events
+            .iter()
+            .find(|e| e.name == "request")
+            .expect("request span recorded");
+        let req_ids = request.ids.expect("request span carries ids");
+        assert_eq!(req_ids.trace_id, 0xAAAA);
+        assert_eq!(req_ids.parent_id, 0xBBBB);
+        let fetches: Vec<_> = events.iter().filter(|e| e.name == "fetch").collect();
+        assert_eq!(fetches.len(), 2, "one serve/fetch span per sample");
+        for f in fetches {
+            let ids = f.ids.expect("fetch spans join the trace");
+            assert_eq!(ids.trace_id, 0xAAAA);
+            assert_eq!(ids.parent_id, req_ids.span_id);
+        }
+    }
+
+    #[test]
+    fn traced_request_on_old_connection_gets_bad_request() {
+        let server = ServeBuilder::new()
+            .dataset("demo", demo_source())
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_message(&mut s, &Message::Hello { version: 4 }).unwrap();
+        assert_eq!(
+            read_message(&mut s).unwrap(),
+            Message::HelloAck { version: 4 }
+        );
+        write_message(
+            &mut s,
+            &Message::Traced {
+                trace_id: 1,
+                parent_span: 2,
+                inner: Box::new(Message::Stats),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_message(&mut s).unwrap(),
+            Message::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        // The connection survives the rejected envelope.
+        write_message(&mut s, &Message::Stats).unwrap();
+        assert!(matches!(
+            read_message(&mut s).unwrap(),
+            Message::StatsReplyV2(_)
         ));
         server.shutdown();
     }
@@ -743,8 +900,8 @@ mod tests {
             assert_eq!(s.len(), 8);
         }
         write_message(&mut c, &Message::Stats).unwrap();
-        let Message::StatsReplyV2(stats) = read_message(&mut c).unwrap() else {
-            panic!("expected v2 stats on a v2 connection");
+        let Message::StatsReplyV3(stats) = read_message(&mut c).unwrap() else {
+            panic!("expected v3 stats on a v5 connection");
         };
         assert_eq!(stats.cache_misses, 8);
         assert_eq!(stats.cache_hits, 8);

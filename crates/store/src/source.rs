@@ -3,7 +3,7 @@
 //! view used while a [`Stager`](crate::stager::Stager) is running.
 
 use crate::manifest::StoreManifest;
-use crate::shard::{file_crc32, ShardReader};
+use crate::shard::{file_crc32, PayloadEncoding, ShardReader};
 use crate::stager::Shared;
 use crate::{Result, StoreError};
 use sciml_obs::{Counter, Histogram, Telemetry};
@@ -26,6 +26,11 @@ pub struct ShardSource {
     read: AtomicU64,
     fetch_us: Option<Arc<Histogram>>,
     fetches: Option<Arc<Counter>>,
+    /// Per-encoding decode counters (`store.decode.{raw,gzip,pack}`),
+    /// indexed by [`PayloadEncoding`] discriminant order. On a serving
+    /// node these share the registry with `ServerMetrics`, which lifts
+    /// them into v5 stats replies.
+    decoded: Option<[Arc<Counter>; 3]>,
 }
 
 impl ShardSource {
@@ -65,6 +70,13 @@ impl ShardSource {
             read: AtomicU64::new(0),
             fetch_us: telemetry.map(|t| t.registry.histogram("store.fetch.latency_us")),
             fetches: telemetry.map(|t| t.registry.counter("store.fetch.samples")),
+            decoded: telemetry.map(|t| {
+                [
+                    t.registry.counter("store.decode.raw"),
+                    t.registry.counter("store.decode.gzip"),
+                    t.registry.counter("store.decode.pack"),
+                ]
+            }),
         })
     }
 
@@ -88,13 +100,22 @@ impl ShardSource {
                 idx,
                 len: self.manifest.total_samples() as usize,
             })?;
-        let bytes = self.readers[meta.id as usize].fetch(local as usize)?;
+        let reader = &self.readers[meta.id as usize];
+        let bytes = reader.fetch(local as usize)?;
         self.read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         if let Some(h) = &self.fetch_us {
             h.record(started.elapsed().as_micros() as u64);
         }
         if let Some(c) = &self.fetches {
             c.inc();
+        }
+        if let (Some(decoded), Some(enc)) = (&self.decoded, reader.encoding(local as usize)) {
+            let slot = match enc {
+                PayloadEncoding::Raw => &decoded[0],
+                PayloadEncoding::Gzip => &decoded[1],
+                PayloadEncoding::Pack => &decoded[2],
+            };
+            slot.inc();
         }
         Ok(bytes)
     }
@@ -280,6 +301,11 @@ mod tests {
         let snap = tel.registry.snapshot();
         assert_eq!(snap.counter("store.fetch.samples"), 4);
         assert_eq!(snap.histogram("store.fetch.latency_us").unwrap().count, 4);
+        // Every fetch lands in exactly one per-encoding decode counter.
+        let decoded = snap.counter("store.decode.raw")
+            + snap.counter("store.decode.gzip")
+            + snap.counter("store.decode.pack");
+        assert_eq!(decoded, 4);
         std::fs::remove_dir_all(&dir).ok();
     }
 

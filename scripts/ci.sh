@@ -83,6 +83,38 @@ for f in "$store_dir"/data/sample_*.bin; do
 done
 sciml verify "$store_dir/fetched/sample_000000.bin"
 
+echo "==> telemetry plane smoke (traced fetch, scrape, merged trace, attribution)"
+tel_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir" "$store_dir" "$tel_dir"' EXIT
+# Serve the packed store with server-side tracing and a Prometheus
+# scrape endpoint alongside the wire port.
+sciml serve --store "$store_dir/packed" --addr 127.0.0.1:7981 \
+    --metrics-addr 127.0.0.1:9091 --trace-out "$tel_dir/server_trace.json" &
+serve_pid=$!
+for _ in $(seq 50); do
+    if sciml fetch --addr 127.0.0.1:7981 --indices 0 >/dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+# Traced decode run: protocol v5 carries the client's trace context in
+# every request, so the server's spans join the client's trace; the
+# sampler writes the final bottleneck-attribution report.
+sciml fetch --addr 127.0.0.1:7981 --all --decode cosmo \
+    --trace-out "$tel_dir/client_trace.json" \
+    --metrics-text "$tel_dir/client_metrics.prom" \
+    --attribution-out "$tel_dir/attribution.json"
+# The live scrape must parse and expose the serve / store / obs
+# families with the traffic we just generated.
+sciml scrape --addr 127.0.0.1:9091 \
+    --require serve_requests,serve_request_ns,store_decode_pack,obs_trace_dropped_spans
+sciml fetch --addr 127.0.0.1:7981 --shutdown
+wait "$serve_pid" || true
+# Both per-process traces merge into one timeline, and everything the
+# plane emitted is well-formed JSON.
+sciml trace-merge --out "$tel_dir/merged_trace.json" \
+    "$tel_dir/client_trace.json" "$tel_dir/server_trace.json"
+sciml validate-json "$tel_dir/merged_trace.json" "$tel_dir/attribution.json" \
+    "$tel_dir/client_trace.json" "$tel_dir/server_trace.json"
+
 echo "==> compression shootout bench (raw vs gzip vs pack)"
 # Emits results/BENCH_compress_ratio.json: per-workload compression
 # ratio and decode throughput for each payload encoding.

@@ -145,6 +145,18 @@ fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, State<T>> {
 }
 
 impl<T> Sender<T> {
+    /// Messages currently queued (racy by nature; a snapshot for
+    /// depth gauges, not synchronization).
+    pub fn len(&self) -> usize {
+        lock(&self.shared).queue.len()
+    }
+
+    /// Whether the queue is currently empty (same snapshot caveat as
+    /// [`Sender::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Blocks until the message is enqueued or every receiver is gone.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
         let mut st = lock(&self.shared);
@@ -194,6 +206,18 @@ impl<T> Drop for Sender<T> {
 }
 
 impl<T> Receiver<T> {
+    /// Messages currently queued (racy by nature; a snapshot for
+    /// depth gauges, not synchronization).
+    pub fn len(&self) -> usize {
+        lock(&self.shared).queue.len()
+    }
+
+    /// Whether the queue is currently empty (same snapshot caveat as
+    /// [`Receiver::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Blocks until a message arrives or every sender is gone and the
     /// queue is drained.
     pub fn recv(&self) -> Result<T, RecvError> {

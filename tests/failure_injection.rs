@@ -203,9 +203,9 @@ mod wire {
     /// so it reaches the parser) is `UnknownTag`.
     #[test]
     fn unknown_tags_rejected() {
-        // 0x11 is the first tag past the protocol-v4 range (0x10 became
-        // the encoding-aware ShardManifestReplyV2).
-        for tag in [0x00u8, 0x11, 0x42, 0xEE, 0xFF] {
+        // 0x13 is the first tag past the protocol-v5 range (0x11 became
+        // the Traced envelope, 0x12 the per-encoding StatsReplyV3).
+        for tag in [0x00u8, 0x13, 0x42, 0xEE, 0xFF] {
             let payload = vec![tag];
             let mut frame = Vec::new();
             frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -296,10 +296,10 @@ mod wire {
             Message::HelloAck { .. }
         ));
         write_message(&mut c2, &Message::Stats).unwrap();
-        // v2 was negotiated, so the histogram-bearing reply comes back.
+        // v5 was negotiated, so the per-encoding reply comes back.
         assert!(matches!(
             read_message(&mut c2).unwrap(),
-            Message::StatsReplyV2(_)
+            Message::StatsReplyV3(_)
         ));
         server.shutdown();
     }
