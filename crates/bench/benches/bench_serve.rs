@@ -6,11 +6,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use sciml_bench::snapshot::{histogram_entries, write_snapshot};
 use sciml_core::api::{DatasetBuilder, EncodedFormat};
 use sciml_data::cosmoflow::CosmoFlowConfig;
-use sciml_obs::MetricsRegistry;
+use sciml_obs::{BenchEntry, MetricsRegistry};
 use sciml_pipeline::source::VecSource;
 use sciml_pipeline::SampleSource;
+use sciml_serve::protocol::{self, Message};
 use sciml_serve::{RemoteSource, ServeBuilder, ServerConfig};
-use std::sync::Arc;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 fn bench(c: &mut Criterion) {
     let mut gen_cfg = CosmoFlowConfig::test_small();
@@ -86,6 +89,157 @@ fn bench(c: &mut Criterion) {
             Ok(path) => println!("latency snapshot: {}", path.display()),
             Err(e) => eprintln!("latency snapshot not written: {e}"),
         }
+    }
+
+    engine_ab_at_high_concurrency();
+}
+
+/// Client-observed fetch latencies with `conns` connections held open
+/// simultaneously (a barrier gates the fetch phase on every socket
+/// being negotiated), `fetches` single-sample requests per connection.
+fn concurrent_fetch_latency(addr: SocketAddr, conns: usize, fetches: usize, n: u64) -> Vec<u64> {
+    let barrier = Arc::new(Barrier::new(conns));
+    let workers: Vec<_> = (0..conns)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || -> Vec<u64> {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .expect("read timeout");
+                protocol::write_message(
+                    &mut stream,
+                    &Message::Hello {
+                        version: protocol::PROTOCOL_VERSION,
+                    },
+                )
+                .expect("hello");
+                match protocol::read_message(&mut stream).expect("hello ack") {
+                    Message::HelloAck { .. } => {}
+                    other => panic!("unexpected hello reply: {other:?}"),
+                }
+                barrier.wait();
+                let mut lat = Vec::with_capacity(fetches);
+                for k in 0..fetches {
+                    let idx = (c as u64 + k as u64) % n;
+                    let t = Instant::now();
+                    protocol::write_message(
+                        &mut stream,
+                        &Message::FetchSamples {
+                            name: "bench".into(),
+                            indices: vec![idx],
+                        },
+                    )
+                    .expect("fetch");
+                    match protocol::read_message(&mut stream).expect("fetch reply") {
+                        Message::Samples(p) => assert_eq!(p.len(), 1),
+                        other => panic!("unexpected fetch reply: {other:?}"),
+                    }
+                    lat.push(t.elapsed().as_nanos() as u64);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut all = Vec::with_capacity(conns * fetches);
+    for w in workers {
+        all.extend(w.join().expect("soak client"));
+    }
+    all.sort_unstable();
+    all
+}
+
+fn pct(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let i = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[i.min(sorted.len() - 1)] as f64
+}
+
+/// Reactor vs thread-per-connection A/B at 1024 concurrent loopback
+/// connections. The legacy engine gets one worker thread per
+/// connection (its concurrency model demands it — that thread count
+/// *is* the cost being measured against the reactor's fixed pool);
+/// client-observed and server-side tails for both engines land in
+/// `BENCH_serve_reactor.json`.
+fn engine_ab_at_high_concurrency() {
+    let conns = 1024usize;
+    let fetches = 4usize;
+    let mut gen_cfg = CosmoFlowConfig::test_small();
+    gen_cfg.grid = 24;
+    let n = 16usize;
+    let blobs = DatasetBuilder::cosmoflow(gen_cfg).build(n, EncodedFormat::Custom);
+
+    let mut entries = vec![BenchEntry::new("connections", conns as f64, "conns")];
+    for (label, legacy) in [("reactor", false), ("legacy_threads", true)] {
+        let registry = MetricsRegistry::new();
+        let server = ServeBuilder::new()
+            .config(ServerConfig {
+                // The legacy engine parks one thread per held-open
+                // connection; the reactor serves them all from its
+                // default worker pool.
+                workers: if legacy {
+                    conns
+                } else {
+                    ServerConfig::default().workers
+                },
+                max_connections: conns + 64,
+                cache_bytes: 1 << 30,
+                read_timeout: Duration::from_secs(120),
+                legacy_threads: legacy,
+                ..ServerConfig::default()
+            })
+            .registry(Arc::clone(&registry))
+            .dataset(
+                "bench",
+                Arc::new(VecSource::new(blobs.clone())) as Arc<dyn SampleSource>,
+            )
+            .bind("127.0.0.1:0")
+            .expect("bind loopback");
+        let t0 = Instant::now();
+        let lat = concurrent_fetch_latency(server.local_addr(), conns, fetches, n as u64);
+        let elapsed = t0.elapsed();
+        server.shutdown();
+        assert_eq!(lat.len(), conns * fetches);
+        println!(
+            "{label}: {conns} conns x {fetches} fetches in {:.2} s — client p50 {:.0} ns / p99 {:.0} ns",
+            elapsed.as_secs_f64(),
+            pct(&lat, 0.50),
+            pct(&lat, 0.99),
+        );
+        entries.push(BenchEntry::new(
+            format!("{label}_p50_ns"),
+            pct(&lat, 0.50),
+            "ns",
+        ));
+        entries.push(BenchEntry::new(
+            format!("{label}_p95_ns"),
+            pct(&lat, 0.95),
+            "ns",
+        ));
+        entries.push(BenchEntry::new(
+            format!("{label}_p99_ns"),
+            pct(&lat, 0.99),
+            "ns",
+        ));
+        entries.push(BenchEntry::new(
+            format!("{label}_wall_ns"),
+            elapsed.as_nanos() as f64,
+            "ns",
+        ));
+        if let Some(h) = registry.snapshot().histogram("serve.request_ns") {
+            entries.push(BenchEntry::new(
+                format!("{label}_server_request_p99_ns"),
+                h.percentile(0.99) as f64,
+                "ns",
+            ));
+        }
+    }
+    match write_snapshot("serve_reactor", &entries) {
+        Ok(path) => println!("engine A/B snapshot: {}", path.display()),
+        Err(e) => eprintln!("engine A/B snapshot not written: {e}"),
     }
 }
 

@@ -8,14 +8,17 @@
 //! sciml transcode FILE --out FILE  # baseline payload -> custom encoding
 //! sciml bench-decode FILE [--iters K]
 //! sciml serve (--dir DIR --n N | --store DIR) [--addr HOST:PORT] [--name NAME] [--cache-mb M]
+//!             [--max-conns N] [--legacy-threads] [--cluster-nodes A,B,C [--replication R]]
 //!             [--metrics-out F] [--metrics-addr HOST:PORT] [--trace-out FILE]
 //! sciml fetch --addr HOST:PORT [--name NAME] [--indices I,J,K | --all] [--stats] [--shutdown]
 //!             [--decode cosmo|deepcam [--batch B] [--epochs E] [--pool-capacity N]]
 //!             [--metrics-out FILE] [--trace-out FILE] [--metrics-text FILE|-]
 //!             [--watch SECS] [--watch-iters N] [--attribution-out FILE]
 //! sciml pack --dir DIR --n N --out DIR [--shard-mb M] [--encoding raw|gzip|pack|auto]
-//! sciml stage (--addr HOST:PORT [--name D] | --dir DIR --n N) --out DIR
-//!             [--per-shard K] [--workers W] [--encoding raw|gzip|pack|auto]
+//! sciml stage (--addr HOST:PORT [--name D] | --addrs A,B,C [--name D] | --dir DIR --n N)
+//!             --out DIR [--per-shard K] [--workers W] [--encoding raw|gzip|pack|auto]
+//! sciml cluster-plan (--nodes A,B,C --n N [--per-shard K] [--replication R] | --addr HOST:PORT [--name D])
+//! sciml soak --addr HOST:PORT [--name D] [--conns N] [--fetches K]
 //! sciml verify-store DIR           # CRC-check every shard + sample of a packed store
 //! sciml validate-json FILE...      # check emitted metrics/trace files parse as JSON
 //! sciml trace-merge --out OUT IN...   # merge Chrome traces onto one timeline
@@ -35,11 +38,13 @@ use sciml_obs::Telemetry;
 use sciml_pipeline::decoder::{CosmoPluginCpu, DeepCamPluginCpu};
 use sciml_pipeline::source::DirSource;
 use sciml_pipeline::{DecoderPlugin, Pipeline, PipelineConfig, SampleSource};
-use sciml_serve::{ClientConfig, RemoteSource, ServeBuilder, ServerConfig};
+use sciml_serve::{
+    ClientConfig, ClusterConfig, ClusterSource, RemoteSource, ServeBuilder, ServerConfig,
+};
 use sciml_store::manifest::plan_by_count;
 use sciml_store::{
-    pack_store, EncodingChoice, EncodingCounts, PackConfig, ShardReader, ShardSource, Stager,
-    StagerConfig,
+    pack_store, ClusterPlan, EncodingChoice, EncodingCounts, PackConfig, ShardReader, ShardSource,
+    Stager, StagerConfig,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -69,6 +74,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("pack") => pack(&args[1..]),
         Some("stage") => stage(&args[1..]),
         Some("verify-store") => verify_store(&args[1..]),
+        Some("cluster-plan") => cluster_plan(&args[1..]),
+        Some("soak") => soak(&args[1..]),
         Some("validate-json") => for_each_file(&args[1..], validate_json),
         Some("trace-merge") => trace_merge(&args[1..]),
         Some("scrape") => scrape(&args[1..]),
@@ -94,8 +101,10 @@ fn print_usage() {
          fetch --addr A [--name D] [--indices I,J]     fetch samples / stats from a server\n  \
          ..... --decode cosmo|deepcam [--pool-capacity N]  run a pooled decode pipeline over it\n  \
          pack --dir DIR --n N --out DIR                pack per-file samples into .sshard shards\n  \
-         stage (--addr A | --dir DIR --n N) --out DIR  stage a dataset into a local packed copy\n  \
+         stage (--addr A | --addrs A,B,C | --dir DIR --n N) --out DIR  stage a dataset into a local packed copy\n  \
          verify-store DIR                              CRC-check every shard of a packed store\n  \
+         cluster-plan (--nodes A,B,C --n N | --addr A) print consistent-hash shard placement + balance\n  \
+         soak --addr A [--conns N] [--fetches K]       hold N concurrent connections, fetch, report tails\n  \
          validate-json FILE...                         check metrics/trace JSON well-formedness\n  \
          trace-merge --out OUT IN...                   merge Chrome traces onto one timeline\n  \
          scrape --addr A [--require f1,f2] [--out F]   scrape + validate a metrics endpoint\n  \
@@ -445,6 +454,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     let name = flag(args, "--name").unwrap_or_else(|| "default".into());
     let cache_mb: u64 = flag_parse(args, "--cache-mb", 256)?;
     let workers: usize = flag_parse(args, "--workers", 4)?;
+    let max_conns: usize =
+        flag_parse(args, "--max-conns", ServerConfig::default().max_connections)?;
+    let legacy_threads = args.iter().any(|a| a == "--legacy-threads");
 
     let metrics_out = flag(args, "--metrics-out");
     let metrics_addr = flag(args, "--metrics-addr");
@@ -461,9 +473,27 @@ fn serve(args: &[String]) -> Result<(), String> {
         .config(ServerConfig {
             workers,
             cache_bytes: cache_mb << 20,
+            max_connections: max_conns,
+            legacy_threads,
             ..ServerConfig::default()
         })
         .telemetry(&telemetry);
+    let cluster_desc = if let Some(list) = flag(args, "--cluster-nodes") {
+        let nodes: Vec<String> = list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if nodes.is_empty() {
+            return Err("--cluster-nodes needs at least one host:port".into());
+        }
+        let replication: u16 = flag_parse(args, "--replication", 2)?;
+        let desc = format!(", cluster of {} (replication {replication})", nodes.len());
+        builder = builder.cluster(ClusterConfig { nodes, replication });
+        desc
+    } else {
+        String::new()
+    };
 
     let desc = if let Some(store_dir) = flag(args, "--store") {
         // Opening with telemetry registers the store.decode.* counters
@@ -491,8 +521,14 @@ fn serve(args: &[String]) -> Result<(), String> {
     };
 
     let handle = builder.bind(addr).map_err(|e| format!("bind: {e}"))?;
+    let engine = if legacy_threads {
+        "legacy thread-per-connection"
+    } else {
+        "reactor"
+    };
     println!(
-        "serving '{name}' ({desc}) on {} — {workers} workers, {cache_mb} MiB hot cache",
+        "serving '{name}' ({desc}) on {} — {engine} engine, {workers} workers, \
+         {max_conns} max connections, {cache_mb} MiB hot cache{cluster_desc}",
         handle.local_addr()
     );
     let scrape = match metrics_addr {
@@ -889,7 +925,40 @@ fn stage(args: &[String]) -> Result<(), String> {
     };
 
     let (backing, plans): (Arc<dyn SampleSource>, Vec<sciml_store::ShardPlan>) =
-        if let Some(addr) = flag(args, "--addr") {
+        if let Some(list) = flag(args, "--addrs") {
+            // Cluster staging: dial the first reachable seed, learn the
+            // placement from its ClusterManifest reply, and stage through
+            // a replica-failover source — a node dying mid-stage costs
+            // retries, not the run.
+            let name = flag(args, "--name").unwrap_or_else(|| "default".into());
+            let seeds: Vec<&str> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            let mut src = None;
+            let mut last_err = String::from("--addrs list is empty");
+            for seed in &seeds {
+                match ClusterSource::connect(seed.to_string(), &name) {
+                    Ok(s) => {
+                        src = Some(s);
+                        break;
+                    }
+                    Err(e) => last_err = format!("{seed}: {e}"),
+                }
+            }
+            let src = src.ok_or(format!("no cluster seed reachable ({last_err})"))?;
+            let plan = src.plan();
+            let plans: Vec<sciml_store::ShardPlan> = plan.shards.iter().map(|a| a.plan).collect();
+            println!(
+            "staging '{name}' from a {}-node cluster (replication {}): {} samples in {} shard(s)",
+            plan.nodes.len(),
+            plan.replication,
+            src.len(),
+            plans.len()
+        );
+            (Arc::new(src), plans)
+        } else if let Some(addr) = flag(args, "--addr") {
             let name = flag(args, "--name").unwrap_or_else(|| "default".into());
             let src = RemoteSource::connect(&addr, &name).map_err(|e| e.to_string())?;
             // Ask the server for its shard partitioning so staging fetches
@@ -902,7 +971,8 @@ fn stage(args: &[String]) -> Result<(), String> {
             );
             (Arc::new(src), plans)
         } else {
-            let dir = flag(args, "--dir").ok_or("--addr HOST:PORT or --dir DIR required")?;
+            let dir = flag(args, "--dir")
+                .ok_or("--addr HOST:PORT, --addrs A,B,C, or --dir DIR required")?;
             let n: usize = flag_parse(args, "--n", 0)?;
             if n == 0 {
                 return Err("--n N (number of samples in DIR) required".into());
@@ -975,6 +1045,198 @@ fn verify_store(args: &[String]) -> Result<(), String> {
     );
     println!("  payload encodings: {counts}");
     Ok(())
+}
+
+// -------------------------------------------------------------------
+
+/// Prints the consistent-hash placement a cluster computes — either
+/// offline from a node list (`--nodes A,B,C --n N`), to preview how a
+/// dataset will spread before any server starts, or live from a running
+/// member (`--addr`), to see the placement clients actually route by.
+fn cluster_plan(args: &[String]) -> Result<(), String> {
+    let plan: ClusterPlan = if let Some(addr) = flag(args, "--addr") {
+        let name = flag(args, "--name").unwrap_or_else(|| "default".into());
+        let src = RemoteSource::connect(&addr, &name).map_err(|e| e.to_string())?;
+        src.cluster_topology().map_err(|e| e.to_string())?
+    } else if let Some(list) = flag(args, "--nodes") {
+        let nodes: Vec<String> = list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let n: u64 = flag_parse(args, "--n", 0)?;
+        if n == 0 {
+            return Err("--n N (number of samples to place) required with --nodes".into());
+        }
+        let per_shard: u64 = flag_parse(args, "--per-shard", 64)?;
+        let replication: u16 = flag_parse(args, "--replication", 2)?;
+        ClusterPlan::assign(&plan_by_count(n, per_shard), &nodes, replication)
+    } else {
+        return Err("cluster-plan needs --nodes A,B,C --n N or --addr HOST:PORT".into());
+    };
+    plan.validate()
+        .map_err(|e| format!("invalid cluster plan: {e}"))?;
+
+    println!(
+        "{} node(s), replication {}, {} shard(s):",
+        plan.nodes.len(),
+        plan.replication,
+        plan.shards.len()
+    );
+    const MAX_LISTED: usize = 64;
+    for a in plan.shards.iter().take(MAX_LISTED) {
+        let replicas: Vec<&str> = a
+            .replicas
+            .iter()
+            .filter_map(|&r| plan.nodes.get(r as usize).map(String::as_str))
+            .collect();
+        println!(
+            "  shard {:>4}  [{:>8}, {:>8})  {}",
+            a.plan.id,
+            a.plan.first,
+            a.plan.first + a.plan.count,
+            replicas.join(" -> ")
+        );
+    }
+    if plan.shards.len() > MAX_LISTED {
+        println!("  ... ({} more shards)", plan.shards.len() - MAX_LISTED);
+    }
+    println!("per-node load:");
+    for (node, load) in plan.nodes.iter().zip(plan.balance()) {
+        println!(
+            "  {node}  {} primaries / {} replicas / {} bytes",
+            load.primaries, load.shards, load.bytes
+        );
+    }
+    Ok(())
+}
+
+/// Holds `--conns` loopback connections open against one server *at the
+/// same time* (a barrier gates the fetch phase on every socket being
+/// admitted), then runs `--fetches` single-sample requests per
+/// connection and reports the latency tail. The CI soak stage runs this
+/// at 512+ connections against the reactor engine.
+fn soak(args: &[String]) -> Result<(), String> {
+    use sciml_serve::protocol as proto;
+
+    let addr = flag(args, "--addr").ok_or("--addr HOST:PORT required")?;
+    let name = flag(args, "--name").unwrap_or_else(|| "default".into());
+    let conns: usize = flag_parse(args, "--conns", 512)?;
+    let fetches: u64 = flag_parse(args, "--fetches", 4)?;
+    if conns == 0 {
+        return Err("--conns must be at least 1".into());
+    }
+
+    // One scout request up front: dataset length for index wrapping,
+    // and a fail-fast on a bad address or name.
+    let len = {
+        let scout = RemoteSource::connect(&addr, &name).map_err(|e| e.to_string())?;
+        scout.len() as u64
+    };
+    if len == 0 {
+        return Err(format!("dataset '{name}' on {addr} is empty"));
+    }
+
+    let barrier = Arc::new(std::sync::Barrier::new(conns));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..conns)
+        .map(|c| {
+            let addr = addr.clone();
+            let name = name.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let mut stream = std::net::TcpStream::connect(&addr)
+                    .map_err(|e| format!("conn {c}: connect: {e}"))?;
+                stream.set_nodelay(true).ok();
+                stream
+                    .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+                    .ok();
+                proto::write_message(
+                    &mut stream,
+                    &proto::Message::Hello {
+                        version: proto::PROTOCOL_VERSION,
+                    },
+                )
+                .map_err(|e| format!("conn {c}: hello: {e}"))?;
+                match proto::read_message(&mut stream) {
+                    Ok(proto::Message::HelloAck { .. }) => {}
+                    Ok(other) => {
+                        return Err(format!("conn {c}: unexpected hello reply: {other:?}"))
+                    }
+                    Err(e) => return Err(format!("conn {c}: hello reply: {e}")),
+                }
+                // Every socket is admitted and negotiated before any
+                // fetch starts: the server really holds `conns` live
+                // connections at once.
+                barrier.wait();
+                let mut lat_ns = Vec::with_capacity(fetches as usize);
+                for k in 0..fetches {
+                    let idx = (c as u64 + k * 31) % len;
+                    let t = Instant::now();
+                    proto::write_message(
+                        &mut stream,
+                        &proto::Message::FetchSamples {
+                            name: name.clone(),
+                            indices: vec![idx],
+                        },
+                    )
+                    .map_err(|e| format!("conn {c}: fetch {idx}: {e}"))?;
+                    match proto::read_message(&mut stream) {
+                        Ok(proto::Message::Samples(p)) if p.len() == 1 => {}
+                        Ok(other) => {
+                            return Err(format!("conn {c}: unexpected fetch reply: {other:?}"))
+                        }
+                        Err(e) => return Err(format!("conn {c}: fetch reply: {e}")),
+                    }
+                    lat_ns.push(t.elapsed().as_nanos() as u64);
+                }
+                Ok(lat_ns)
+            })
+        })
+        .collect();
+
+    let mut lat_ns = Vec::with_capacity(conns * fetches as usize);
+    let mut failures = Vec::new();
+    for w in workers {
+        match w.join() {
+            Ok(Ok(lat)) => lat_ns.extend(lat),
+            Ok(Err(e)) => failures.push(e),
+            Err(_) => failures.push("soak worker panicked".into()),
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    lat_ns.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if lat_ns.is_empty() {
+            return 0.0;
+        }
+        let i = ((lat_ns.len() - 1) as f64 * p).round() as usize;
+        lat_ns[i.min(lat_ns.len() - 1)] as f64 / 1e3
+    };
+    println!(
+        "soak: {conns} concurrent connections x {fetches} fetches against {addr} in {dt:.2} s",
+    );
+    if !lat_ns.is_empty() {
+        println!(
+            "  fetch latency: p50 {:.1} µs / p95 {:.1} µs / p99 {:.1} µs / max {:.1} µs",
+            pct(0.50),
+            pct(0.95),
+            pct(0.99),
+            pct(1.0)
+        );
+    }
+    if failures.is_empty() {
+        println!("  all connections negotiated, fetched, and closed cleanly");
+        Ok(())
+    } else {
+        for f in failures.iter().take(5) {
+            eprintln!("  FAIL: {f}");
+        }
+        Err(format!(
+            "{} of {conns} soak connections failed",
+            failures.len()
+        ))
+    }
 }
 
 // -------------------------------------------------------------------

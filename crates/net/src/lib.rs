@@ -1,0 +1,37 @@
+//! sciml-net — std-only readiness reactor for the serving tier.
+//!
+//! The paper's disaggregated-preprocessing argument needs a serving
+//! front-end that scales in *connections*, not threads: one training
+//! fleet can hold thousands of mostly-idle sockets open against a
+//! preprocessing node, and a thread-per-connection server burns a
+//! stack and a scheduler slot on each. This crate provides the
+//! event-driven alternative with zero external dependencies:
+//!
+//! * [`poller`] — level-triggered readiness backends: epoll on Linux
+//!   (via direct `extern "C"` declarations; std already links libc),
+//!   portable `poll(2)` on other Unixes, and a timed-scan degraded
+//!   mode elsewhere. One [`Poller`](poller::Poller) API over all
+//!   three, plus the loop-wakeup channel.
+//! * [`frame`] — frame-boundary detection for the length-prefixed wire
+//!   layout (`[len u32 LE][payload][crc32 LE]`). The reactor splits
+//!   streams into frames; CRC checks and message parsing stay in the
+//!   service layer.
+//! * [`reactor`] — the event loop itself: non-blocking accept with
+//!   admission control, per-connection state machines (read-frame →
+//!   dispatch → write-with-backpressure), a worker pool running the
+//!   [`Service`](reactor::Service) callback, bounded outbound buffers,
+//!   idle timeouts, and graceful drain (stop accepting, finish
+//!   in-flight, flush, then close).
+//!
+//! `sciml-serve` plugs its protocol in as a [`reactor::Service`]; this
+//! crate knows nothing about datasets or messages beyond the frame
+//! envelope.
+
+#![deny(missing_docs)]
+
+pub mod frame;
+pub mod poller;
+pub mod reactor;
+
+pub use frame::{FrameError, Framing, HEADER_BYTES, TRAILER_BYTES};
+pub use reactor::{ConnId, Reactor, ReactorConfig, ReactorHandle, ReactorMetrics, Reply, Service};

@@ -291,6 +291,22 @@ impl RemoteSource {
         }
     }
 
+    /// Fetches the cluster placement for this dataset (v6+): the node
+    /// list and each shard's replica set, primary first. A server not
+    /// running in cluster mode answers with a single-node plan naming
+    /// itself, so callers can treat every server uniformly. Feed the
+    /// result to a [`crate::cluster::ClusterSource`] for shard-routed
+    /// fetches with replica failover.
+    pub fn cluster_topology(&self) -> Result<sciml_store::ClusterPlan, PipelineError> {
+        match self.call(&Message::ClusterManifest {
+            name: self.name.clone(),
+        })? {
+            Message::ClusterManifestReply(plan) => Ok(plan),
+            Message::Error { code, detail } => Err(server_error(code, detail)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
     /// Fetches the server-side stats snapshot. A v2+ server includes
     /// the request-latency histogram; a v1 server's snapshot has an
     /// empty `latency` (callers fall back to the `request_ns` mean). A

@@ -20,12 +20,15 @@
 //! * [`scrape`] — Prometheus-text metrics exposition endpoint.
 
 pub mod client;
+pub mod cluster;
 pub mod metrics;
 pub mod protocol;
 pub mod scrape;
 pub mod server;
+mod session;
 
 pub use client::{ClientConfig, RemoteSource};
+pub use cluster::ClusterSource;
 pub use protocol::{Message, ProtocolError, StatsSnapshot, PROTOCOL_VERSION};
 pub use scrape::{scrape_once, spawn_scrape_listener, ScrapeHandle};
-pub use server::{ServeBuilder, ServerConfig, ServerHandle};
+pub use server::{ClusterConfig, ServeBuilder, ServerConfig, ServerHandle};

@@ -7,7 +7,7 @@
 //! the wire snapshot for v1 peers.
 
 use crate::protocol::StatsSnapshot;
-use sciml_obs::{Counter, Histogram, MetricsRegistry};
+use sciml_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -28,6 +28,17 @@ pub struct ServerMetrics {
     decoded_pack: Arc<Counter>,
     /// Per-request handling latency, nanoseconds (`serve.request_ns`).
     pub request_latency: Arc<Histogram>,
+    /// Connections currently open (`serve.conn.active`).
+    pub conn_active: Arc<Gauge>,
+    /// Connections admitted over the server's lifetime
+    /// (`serve.conn.accepted`).
+    pub conn_accepted: Arc<Counter>,
+    /// Connections turned away with a typed busy/draining frame
+    /// (`serve.conn.rejected_busy`).
+    pub conn_rejected_busy: Arc<Counter>,
+    /// Connections closed by graceful drain after their in-flight
+    /// replies completed (`serve.conn.drained`).
+    pub conn_drained: Arc<Counter>,
 }
 
 impl Default for ServerMetrics {
@@ -49,6 +60,10 @@ impl ServerMetrics {
             decoded_gzip: registry.counter("store.decode.gzip"),
             decoded_pack: registry.counter("store.decode.pack"),
             request_latency: registry.histogram("serve.request_ns"),
+            conn_active: registry.gauge("serve.conn.active"),
+            conn_accepted: registry.counter("serve.conn.accepted"),
+            conn_rejected_busy: registry.counter("serve.conn.rejected_busy"),
+            conn_drained: registry.counter("serve.conn.drained"),
         }
     }
 
@@ -71,6 +86,14 @@ impl ServerMetrics {
 
     /// Records a connection turned away at the admission limit.
     pub fn record_rejected(&self) {
+        self.rejected_connections.inc();
+        self.conn_rejected_busy.inc();
+    }
+
+    /// Bumps only the legacy `serve.rejected_connections` aggregate —
+    /// for the reactor engine, which counts `serve.conn.rejected_busy`
+    /// itself.
+    pub fn record_rejected_aggregate(&self) {
         self.rejected_connections.inc();
     }
 
@@ -143,5 +166,22 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("serve.requests"), 1);
         assert_eq!(snap.histogram("serve.request_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn connection_lifecycle_instruments_are_registered() {
+        let reg = MetricsRegistry::new();
+        let m = ServerMetrics::with_registry(&reg);
+        m.conn_accepted.inc();
+        m.conn_active.add(1);
+        m.conn_drained.inc();
+        m.record_rejected();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve.conn.accepted"), 1);
+        assert_eq!(snap.gauge("serve.conn.active"), 1);
+        assert_eq!(snap.counter("serve.conn.drained"), 1);
+        assert_eq!(snap.counter("serve.conn.rejected_busy"), 1);
+        // The legacy aggregate stays in lockstep with the typed counter.
+        assert_eq!(snap.counter("serve.rejected_connections"), 1);
     }
 }

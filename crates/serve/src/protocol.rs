@@ -17,7 +17,7 @@
 
 use sciml_compress::crc32::crc32;
 use sciml_obs::HistogramSnapshot;
-use sciml_store::{EncodingChoice, ShardPlan};
+use sciml_store::{ClusterPlan, EncodingChoice, ShardAssignment, ShardPlan};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -32,9 +32,13 @@ use std::io::{self, Read, Write};
 /// [`Message::Traced`] request wrapper carrying a distributed-trace
 /// context (trace id + parent span id) so server-side spans join the
 /// client's trace, and [`Message::StatsReplyV3`] with per-encoding
-/// decode counters. Everything else is unchanged, so servers still
-/// accept [`MIN_PROTOCOL_VERSION`] clients and reply with v1 messages.
-pub const PROTOCOL_VERSION: u16 = 5;
+/// decode counters; version 6 added the [`Message::ClusterManifest`]
+/// exchange, which extends the shard-manifest reply with the cluster's
+/// node list and each shard's consistent-hash replica set so clients
+/// can route fetches and fail over between replicas. Everything else is
+/// unchanged, so servers still accept [`MIN_PROTOCOL_VERSION`] clients
+/// and reply with v1 messages.
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// Oldest client version the server still accepts.
 pub const MIN_PROTOCOL_VERSION: u16 = 1;
@@ -266,6 +270,20 @@ pub enum Message {
         /// The wrapped request.
         inner: Box<Message>,
     },
+    /// Client request (v6) for a dataset's cluster placement: the node
+    /// list and each shard's consistent-hash replica set. A server not
+    /// running in cluster mode answers with a single-node plan naming
+    /// itself, so clients can treat every server uniformly.
+    ClusterManifest {
+        /// Dataset name.
+        name: String,
+    },
+    /// Server reply to [`Message::ClusterManifest`] on v6 connections:
+    /// the full placement, replica indices referring into the node
+    /// list (primary first). The placement is also recomputable from
+    /// the node list alone (the hash ring is deterministic); the wire
+    /// copy spares clients a dependency on ring parameters.
+    ClusterManifestReply(ClusterPlan),
     /// Client request to stop the server (loopback/admin use).
     Shutdown,
     /// Server-reported failure.
@@ -296,6 +314,8 @@ mod tags {
     pub const SHARD_MANIFEST_REPLY_V2: u8 = 0x10;
     pub const TRACED: u8 = 0x11;
     pub const STATS_REPLY_V3: u8 = 0x12;
+    pub const CLUSTER_MANIFEST: u8 = 0x13;
+    pub const CLUSTER_MANIFEST_REPLY: u8 = 0x14;
 }
 
 // ------------------------------------------------------------- encoding
@@ -475,6 +495,30 @@ impl Message {
                     out.push(p.encoding.as_byte());
                 }
             }
+            Message::ClusterManifest { name } => {
+                out.push(tags::CLUSTER_MANIFEST);
+                put_str(&mut out, name);
+            }
+            Message::ClusterManifestReply(plan) => {
+                out.push(tags::CLUSTER_MANIFEST_REPLY);
+                out.extend_from_slice(&(plan.nodes.len() as u16).to_le_bytes());
+                for node in &plan.nodes {
+                    put_str(&mut out, node);
+                }
+                out.extend_from_slice(&plan.replication.to_le_bytes());
+                out.extend_from_slice(&(plan.shards.len() as u32).to_le_bytes());
+                for a in &plan.shards {
+                    out.extend_from_slice(&a.plan.id.to_le_bytes());
+                    out.extend_from_slice(&a.plan.first.to_le_bytes());
+                    out.extend_from_slice(&a.plan.count.to_le_bytes());
+                    out.extend_from_slice(&a.plan.bytes.to_le_bytes());
+                    out.push(a.plan.encoding.as_byte());
+                    out.extend_from_slice(&(a.replicas.len() as u16).to_le_bytes());
+                    for idx in &a.replicas {
+                        out.extend_from_slice(&idx.to_le_bytes());
+                    }
+                }
+            }
             Message::Shutdown => out.push(tags::SHUTDOWN),
             Message::Error { code, detail } => {
                 out.push(tags::ERROR);
@@ -610,6 +654,51 @@ impl Message {
                     });
                 }
                 Message::ShardManifestReplyV2(plans)
+            }
+            tags::CLUSTER_MANIFEST => Message::ClusterManifest { name: r.string()? },
+            tags::CLUSTER_MANIFEST_REPLY => {
+                let node_count = r.u16()? as usize;
+                let mut nodes = Vec::with_capacity(node_count.min(1024));
+                for _ in 0..node_count {
+                    nodes.push(r.string()?);
+                }
+                let replication = r.u16()?;
+                let shard_count = r.u32()? as usize;
+                // Each shard is at least a 29-byte plan plus a u16
+                // replica count.
+                if shard_count * 31 > r.remaining() {
+                    return Err(ProtocolError::Malformed(
+                        "shard assignment count exceeds payload length",
+                    ));
+                }
+                let mut shards = Vec::with_capacity(shard_count);
+                for _ in 0..shard_count {
+                    let plan = ShardPlan {
+                        id: r.u32()?,
+                        first: r.u64()?,
+                        count: r.u64()?,
+                        bytes: r.u64()?,
+                        encoding: EncodingChoice::from_byte(r.u8()?)
+                            .ok_or(ProtocolError::Malformed("unknown shard encoding byte"))?,
+                    };
+                    let replica_count = r.u16()? as usize;
+                    let mut replicas = Vec::with_capacity(replica_count.min(64));
+                    for _ in 0..replica_count {
+                        let idx = r.u16()?;
+                        if idx as usize >= node_count {
+                            return Err(ProtocolError::Malformed(
+                                "replica index out of node range",
+                            ));
+                        }
+                        replicas.push(idx);
+                    }
+                    shards.push(ShardAssignment { plan, replicas });
+                }
+                Message::ClusterManifestReply(ClusterPlan {
+                    nodes,
+                    replication,
+                    shards,
+                })
             }
             tags::SHUTDOWN => Message::Shutdown,
             tags::ERROR => {
@@ -864,6 +953,35 @@ mod tests {
                     encoding: EncodingChoice::Gzip,
                 },
             ]),
+            Message::ClusterManifest {
+                name: "cosmo".into(),
+            },
+            Message::ClusterManifestReply(ClusterPlan {
+                nodes: vec!["127.0.0.1:7401".into(), "127.0.0.1:7402".into()],
+                replication: 2,
+                shards: vec![
+                    ShardAssignment {
+                        plan: ShardPlan {
+                            id: 0,
+                            first: 0,
+                            count: 128,
+                            bytes: 1 << 20,
+                            encoding: EncodingChoice::Pack,
+                        },
+                        replicas: vec![1, 0],
+                    },
+                    ShardAssignment {
+                        plan: ShardPlan {
+                            id: 1,
+                            first: 128,
+                            count: 64,
+                            bytes: 512,
+                            encoding: EncodingChoice::Raw,
+                        },
+                        replicas: vec![0, 1],
+                    },
+                ],
+            }),
             Message::Shutdown,
             Message::Error {
                 code: ErrorCode::Busy,
@@ -953,6 +1071,51 @@ mod tests {
         payload.extend_from_slice(b"ds");
         payload.extend_from_slice(&1000u32.to_le_bytes());
         payload.extend_from_slice(&[0u8; 16]);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn cluster_reply_replica_out_of_range_rejected() {
+        // Hand-build a one-node plan whose shard claims replica index 5.
+        let mut payload = vec![tags::CLUSTER_MANIFEST_REPLY];
+        payload.extend_from_slice(&1u16.to_le_bytes()); // node count
+        payload.extend_from_slice(&4u16.to_le_bytes());
+        payload.extend_from_slice(b"addr");
+        payload.extend_from_slice(&1u16.to_le_bytes()); // replication
+        payload.extend_from_slice(&1u32.to_le_bytes()); // shard count
+        payload.extend_from_slice(&0u32.to_le_bytes()); // id
+        payload.extend_from_slice(&0u64.to_le_bytes()); // first
+        payload.extend_from_slice(&1u64.to_le_bytes()); // count
+        payload.extend_from_slice(&0u64.to_le_bytes()); // bytes
+        payload.push(EncodingChoice::Raw.as_byte());
+        payload.extend_from_slice(&1u16.to_le_bytes()); // replica count
+        payload.extend_from_slice(&5u16.to_le_bytes()); // out of range
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(ProtocolError::Malformed("replica index out of node range"))
+        ));
+    }
+
+    #[test]
+    fn cluster_reply_shard_count_beyond_payload_rejected() {
+        let mut payload = vec![tags::CLUSTER_MANIFEST_REPLY];
+        payload.extend_from_slice(&1u16.to_le_bytes());
+        payload.extend_from_slice(&4u16.to_le_bytes());
+        payload.extend_from_slice(b"addr");
+        payload.extend_from_slice(&1u16.to_le_bytes());
+        payload.extend_from_slice(&100_000u32.to_le_bytes()); // absurd shard count
+        payload.extend_from_slice(&[0u8; 32]);
         let mut frame = Vec::new();
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload);

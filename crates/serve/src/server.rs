@@ -1,42 +1,50 @@
-//! Multi-threaded dataset server.
+//! Dataset server with two interchangeable engines.
 //!
-//! One acceptor thread hands accepted sockets to a fixed worker pool
-//! over a *bounded* channel, so a connection burst backpressures at the
-//! accept queue instead of spawning unbounded threads. On top of the
-//! pool sits an admission limit: when every worker slot and queue slot
-//! is taken, new connections are turned away immediately with a typed
-//! `Busy` error frame rather than left to hang.
+//! The default engine is the `sciml-net` readiness reactor: one event
+//! loop multiplexes every connection over epoll (`poll(2)` elsewhere),
+//! a small worker pool runs request handling, and graceful drain
+//! finishes in-flight replies before closing. Connection count scales
+//! independently of thread count, which is what a training fleet
+//! holding thousands of mostly-idle sockets needs.
 //!
-//! Each registered dataset is wrapped in a
-//! [`MemoryCacheSource`]
-//! hot cache, so repeat fetches (second epochs, overlapping shards
-//! across clients) are served from DRAM without touching the backing
-//! tier.
+//! The legacy engine ([`ServerConfig::legacy_threads`]) keeps the
+//! original acceptor + bounded worker pool, where each worker owns one
+//! connection at a time. It exists for A/B benchmarking and as a
+//! fallback; both engines share the same session state machine
+//! ([`crate::session`]), admission control with typed `Busy` frames,
+//! and `serve.*` metrics.
+//!
+//! Each registered dataset is wrapped in a [`MemoryCacheSource`] hot
+//! cache, so repeat fetches (second epochs, overlapping shards across
+//! clients) are served from DRAM without touching the backing tier.
 
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    read_message, write_message, DatasetEntry, ErrorCode, Message, ProtocolError,
-    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    decode_frame, encode_frame, read_message, write_message, ErrorCode, Message, ProtocolError,
+    MAX_FRAME_BYTES,
 };
+use crate::session::{process_message, Disposition, SessionState};
+use sciml_net::reactor::{ConnId, Reactor, ReactorConfig, ReactorHandle, ReactorMetrics, Reply};
+use sciml_net::FrameError;
 use sciml_obs::{Counter, MetricsRegistry, Telemetry, Tracer};
 use sciml_pipeline::source::MemoryCacheSource;
 use sciml_pipeline::SampleSource;
-use sciml_store::manifest::plan_by_count;
 use sciml_store::{ShardPlan, ShardSource};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads handling connections.
+    /// Worker threads handling requests (connections, in legacy mode).
     pub workers: usize,
-    /// Accepted-but-unclaimed connections allowed to queue.
+    /// Accepted-but-unclaimed connections allowed to queue (legacy
+    /// engine only; the reactor admits up to `max_connections`).
     pub accept_backlog: usize,
     /// Hard cap on connections being handled at once; beyond it new
     /// connections get a `Busy` error frame. Defaults to
@@ -44,9 +52,16 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Per-dataset DRAM hot-cache capacity in bytes.
     pub cache_bytes: u64,
-    /// Socket read timeout for client requests. Keeps a dead client
-    /// from pinning a worker forever.
+    /// Socket read timeout for client requests (legacy engine) and
+    /// idle-connection timeout (reactor engine). Keeps a dead client
+    /// from pinning a worker or a connection slot forever.
     pub read_timeout: Duration,
+    /// Reactor engine: hard bound on graceful drain before remaining
+    /// connections are force-closed.
+    pub drain_timeout: Duration,
+    /// Use the legacy thread-per-connection engine instead of the
+    /// reactor (A/B benchmarking, fallback).
+    pub legacy_threads: bool,
 }
 
 impl Default for ServerConfig {
@@ -59,51 +74,65 @@ impl Default for ServerConfig {
             max_connections: workers + accept_backlog,
             cache_bytes: 256 << 20,
             read_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(5),
+            legacy_threads: false,
         }
     }
 }
 
-/// Samples per synthesized shard when a client asks for a staging plan
-/// without a preference and the dataset has no packed-store manifest.
-const DEFAULT_PLAN_PER_SHARD: u64 = 64;
+/// Cluster-mode settings: the complete node list (this node included)
+/// and the replication factor for consistent-hash shard placement. All
+/// cluster members must be configured with the *same* node list, in
+/// any order — placement is order-insensitive because ring positions
+/// hash the addresses themselves.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Every serving node's `host:port`, as clients reach them.
+    pub nodes: Vec<String>,
+    /// Replicas per shard (clamped to the node count at placement).
+    pub replication: u16,
+}
 
 /// One registered dataset: its name, hot-cached source, and (when it is
 /// backed by a packed store) its real shard boundaries.
-struct Dataset {
-    cache: MemoryCacheSource<Arc<dyn SampleSource>>,
+pub(crate) struct Dataset {
+    pub(crate) cache: MemoryCacheSource<Arc<dyn SampleSource>>,
     /// Shard partitioning exported to staging clients. `None` means the
     /// server synthesizes one by sample count on request.
-    plans: Option<Vec<ShardPlan>>,
+    pub(crate) plans: Option<Vec<ShardPlan>>,
 }
 
-struct Inner {
-    datasets: BTreeMap<String, Dataset>,
+pub(crate) struct Inner {
+    pub(crate) datasets: BTreeMap<String, Dataset>,
     /// Shared `pipeline.cache.memory.*` counters every dataset cache
     /// feeds, read directly for stats replies (summing per-dataset
     /// views of the same shared counters would multiply-count).
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     cache_evictions: Arc<Counter>,
-    metrics: ServerMetrics,
+    pub(crate) metrics: ServerMetrics,
     /// Span tracer; disabled unless the builder received a telemetry
     /// handle with an enabled one. Traced (v5) requests open a
     /// `serve/request` span linked to the client's trace.
-    tracer: Arc<Tracer>,
+    pub(crate) tracer: Arc<Tracer>,
+    /// Cluster placement config; `None` means single-node answers to
+    /// `ClusterManifest`.
+    pub(crate) cluster: Option<ClusterConfig>,
     shutting_down: AtomicBool,
     active_connections: AtomicUsize,
-    config: ServerConfig,
-    local_addr: SocketAddr,
-    /// Sockets currently being served, keyed by connection id, so
-    /// shutdown can force-close them instead of waiting out their
-    /// read timeouts.
+    pub(crate) config: ServerConfig,
+    pub(crate) local_addr: SocketAddr,
+    /// Sockets currently served by the legacy engine, keyed by
+    /// connection id, so shutdown can force-close them instead of
+    /// waiting out their read timeouts.
     live: parking_lot::Mutex<BTreeMap<u64, TcpStream>>,
     next_conn_id: AtomicU64,
 }
 
 impl Inner {
-    /// Flags shutdown, force-closes in-flight connections, and pokes
-    /// the listener so the acceptor (blocked in `accept`, which has no
-    /// timeout) observes the flag.
+    /// Flags shutdown, force-closes legacy in-flight connections, and
+    /// pokes the listener so a legacy acceptor (blocked in `accept`,
+    /// which has no timeout) observes the flag.
     fn begin_shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::AcqRel) {
             return;
@@ -132,7 +161,7 @@ impl Inner {
         }
     }
 
-    fn cache_totals(&self) -> (u64, u64, u64) {
+    pub(crate) fn cache_totals(&self) -> (u64, u64, u64) {
         (
             self.cache_hits.get(),
             self.cache_misses.get(),
@@ -151,6 +180,7 @@ pub struct ServeBuilder {
     config: ServerConfig,
     registry: Option<Arc<MetricsRegistry>>,
     tracer: Option<Arc<Tracer>>,
+    cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServeBuilder {
@@ -167,6 +197,7 @@ impl ServeBuilder {
             config: ServerConfig::default(),
             registry: None,
             tracer: None,
+            cluster: None,
         }
     }
 
@@ -191,6 +222,15 @@ impl ServeBuilder {
     pub fn telemetry(mut self, telemetry: &Telemetry) -> Self {
         self.registry = Some(Arc::clone(&telemetry.registry));
         self.tracer = Some(Arc::clone(&telemetry.tracer));
+        self
+    }
+
+    /// Declares this server a member of a cluster: `ClusterManifest`
+    /// replies place shards across `nodes` by consistent hashing with
+    /// the given replication factor. Every member must be configured
+    /// with the same node list.
+    pub fn cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = Some(cluster);
         self
     }
 
@@ -221,8 +261,8 @@ impl ServeBuilder {
         self.dataset_with_plans(name, store, plans)
     }
 
-    /// Binds `addr` and spawns the acceptor + worker pool. Pass port 0
-    /// to let the OS pick; the bound address is on the handle.
+    /// Binds `addr` and spawns the serving engine. Pass port 0 to let
+    /// the OS pick; the bound address is on the handle.
     pub fn bind(self, addr: impl Into<String>) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr.into())?;
         let local_addr = listener.local_addr()?;
@@ -243,6 +283,7 @@ impl ServeBuilder {
             cache_evictions: registry.counter("pipeline.cache.memory.evictions"),
             metrics: ServerMetrics::with_registry(&registry),
             tracer: self.tracer.unwrap_or_else(Tracer::disabled),
+            cluster: self.cluster,
             shutting_down: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
             config: self.config,
@@ -251,82 +292,218 @@ impl ServeBuilder {
             next_conn_id: AtomicU64::new(0),
         });
 
-        let (conn_tx, conn_rx) =
-            crossbeam_channel::bounded::<TcpStream>(inner.config.accept_backlog.max(1));
-
-        let mut workers = Vec::with_capacity(inner.config.workers);
-        for worker_id in 0..inner.config.workers.max(1) {
-            let rx = conn_rx.clone();
-            let inner = Arc::clone(&inner);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("sciml-serve-worker-{worker_id}"))
-                    .spawn(move || {
-                        while let Ok(stream) = rx.recv() {
-                            let id = inner.register(&stream);
-                            handle_connection(&inner, stream);
-                            inner.deregister(id);
-                            inner.active_connections.fetch_sub(1, Ordering::AcqRel);
-                        }
-                    })?,
-            );
-        }
-        drop(conn_rx);
-
-        let acceptor = {
-            let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("sciml-serve-acceptor".into())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if inner.shutting_down.load(Ordering::Acquire) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        let active = inner.active_connections.fetch_add(1, Ordering::AcqRel) + 1;
-                        if active > inner.config.max_connections {
-                            inner.active_connections.fetch_sub(1, Ordering::AcqRel);
-                            inner.metrics.record_rejected();
-                            reject_busy(stream);
-                            continue;
-                        }
-                        if conn_tx.send(stream).is_err() {
-                            break;
-                        }
-                    }
-                    // Dropping conn_tx disconnects the workers' recv loop.
-                })?
+        let engine = if inner.config.legacy_threads {
+            spawn_legacy_engine(&inner, listener)?
+        } else {
+            spawn_reactor_engine(&inner, listener)?
         };
 
         Ok(ServerHandle {
             inner,
             local_addr,
-            acceptor: Some(acceptor),
-            workers,
+            engine,
         })
     }
 }
 
-/// Sends a `Busy` error frame and closes the socket. Best-effort: the
-/// client may already be gone.
-fn reject_busy(mut stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let _ = write_message(
-        &mut stream,
-        &Message::Error {
+/// Starts the acceptor + bounded worker pool (legacy engine).
+fn spawn_legacy_engine(inner: &Arc<Inner>, listener: TcpListener) -> io::Result<Engine> {
+    let (conn_tx, conn_rx) =
+        crossbeam_channel::bounded::<TcpStream>(inner.config.accept_backlog.max(1));
+
+    let mut workers = Vec::with_capacity(inner.config.workers);
+    for worker_id in 0..inner.config.workers.max(1) {
+        let rx = conn_rx.clone();
+        let inner = Arc::clone(inner);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("sciml-serve-worker-{worker_id}"))
+                .spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        let id = inner.register(&stream);
+                        inner.metrics.conn_accepted.inc();
+                        inner.metrics.conn_active.add(1);
+                        handle_connection(&inner, stream);
+                        inner.metrics.conn_active.add(-1);
+                        inner.deregister(id);
+                        inner.active_connections.fetch_sub(1, Ordering::AcqRel);
+                    }
+                })?,
+        );
+    }
+    drop(conn_rx);
+
+    let acceptor = {
+        let inner = Arc::clone(inner);
+        std::thread::Builder::new()
+            .name("sciml-serve-acceptor".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if inner.shutting_down.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let active = inner.active_connections.fetch_add(1, Ordering::AcqRel) + 1;
+                    if active > inner.config.max_connections {
+                        inner.active_connections.fetch_sub(1, Ordering::AcqRel);
+                        reject_busy(&inner, stream);
+                        continue;
+                    }
+                    if conn_tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // Dropping conn_tx disconnects the workers' recv loop.
+            })?
+    };
+
+    Ok(Engine::Legacy {
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+/// Starts the `sciml-net` readiness reactor (default engine).
+fn spawn_reactor_engine(inner: &Arc<Inner>, listener: TcpListener) -> io::Result<Engine> {
+    let cfg = ReactorConfig {
+        workers: inner.config.workers.max(1),
+        max_connections: inner.config.max_connections,
+        idle_timeout: inner.config.read_timeout,
+        drain_timeout: inner.config.drain_timeout,
+        max_frame_bytes: MAX_FRAME_BYTES,
+        ..ReactorConfig::default()
+    };
+    // The reactor bumps the same Arc'd instruments ServerMetrics
+    // registered, so both engines expose identical `serve.conn.*`
+    // families.
+    let metrics = ReactorMetrics {
+        accepted: Arc::clone(&inner.metrics.conn_accepted),
+        rejected_busy: Arc::clone(&inner.metrics.conn_rejected_busy),
+        drained: Arc::clone(&inner.metrics.conn_drained),
+        active: Arc::clone(&inner.metrics.conn_active),
+    };
+    let service = Arc::new(ScimlService {
+        inner: Arc::clone(inner),
+        sessions: parking_lot::Mutex::new(HashMap::new()),
+    });
+    let handle = Reactor::spawn(listener, service, cfg, metrics)?;
+    Ok(Engine::Reactor(Some(handle)))
+}
+
+/// Glue between the reactor and the protocol session state machine:
+/// decodes frames, runs [`process_message`], encodes the reply, and
+/// maps [`Disposition`] onto the reactor's [`Reply`] actions.
+struct ScimlService {
+    inner: Arc<Inner>,
+    /// Per-connection negotiation state. The reactor dispatches at most
+    /// one frame per connection at a time, so each entry's lock is
+    /// uncontended; the map lock is held only for lookup/insert.
+    sessions: parking_lot::Mutex<HashMap<ConnId, Arc<parking_lot::Mutex<SessionState>>>>,
+}
+
+impl sciml_net::Service for ScimlService {
+    fn handle(&self, conn: ConnId, frame_bytes: Vec<u8>) -> Reply {
+        let Some(session) = self.sessions.lock().get(&conn).cloned() else {
+            // Unknown connection (already disconnected): nothing to say.
+            return Reply::close();
+        };
+        let request = match decode_frame(&frame_bytes) {
+            Ok((msg, _)) => msg,
+            // Wire corruption: answer with a typed frame, then drop the
+            // connection (framing may be unrecoverable after garbage).
+            Err(e) => {
+                return Reply::send_close(encode_frame(&Message::Error {
+                    code: ErrorCode::BadRequest,
+                    detail: format!("protocol error: {e}"),
+                }))
+            }
+        };
+        let mut state = session.lock();
+        match process_message(&self.inner, &mut state, request) {
+            Disposition::Reply(reply) => Reply::send(encode_frame(&reply)),
+            Disposition::ReplyThenClose(reply) => Reply::send_close(encode_frame(&reply)),
+            Disposition::ReplyThenShutdown(reply) => {
+                self.inner.shutting_down.store(true, Ordering::Release);
+                Reply {
+                    frame: Some(encode_frame(&reply)),
+                    close: false,
+                    shutdown: true,
+                }
+            }
+        }
+    }
+
+    fn reject_frame(&self, draining: bool) -> Option<Vec<u8>> {
+        // The reactor already counted `serve.conn.rejected_busy`; keep
+        // the legacy `serve.rejected_connections` aggregate in lockstep
+        // for stats replies.
+        self.inner.metrics.record_rejected_aggregate();
+        let detail = if draining {
+            "server is draining"
+        } else {
+            "server at its connection admission limit"
+        };
+        Some(encode_frame(&Message::Error {
             code: ErrorCode::Busy,
-            detail: "server at its connection admission limit".into(),
-        },
-    );
+            detail: detail.into(),
+        }))
+    }
+
+    fn frame_error_frame(&self, _conn: ConnId, err: &FrameError) -> Option<Vec<u8>> {
+        Some(encode_frame(&Message::Error {
+            code: ErrorCode::BadRequest,
+            detail: format!("protocol error: {err}"),
+        }))
+    }
+
+    fn connected(&self, conn: ConnId) {
+        self.sessions.lock().insert(
+            conn,
+            Arc::new(parking_lot::Mutex::new(SessionState::default())),
+        );
+    }
+
+    fn disconnected(&self, conn: ConnId) {
+        self.sessions.lock().remove(&conn);
+    }
+}
+
+/// Sends a `Busy` error frame through the same framed-write path as
+/// normal replies, records the rejection, and closes the socket.
+/// Best-effort: the client may already be gone.
+fn reject_busy(inner: &Inner, mut stream: TcpStream) {
+    inner.metrics.record_rejected();
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let reply = Message::Error {
+        code: ErrorCode::Busy,
+        detail: "server at its connection admission limit".into(),
+    };
+    // Same write-error handling as the request loop: a failed write
+    // just ends the connection.
+    let _ = write_reply(&mut stream, &reply);
     let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// The single framed-write path for the legacy engine; returns `false`
+/// when the client is gone.
+fn write_reply(stream: &mut TcpStream, msg: &Message) -> bool {
+    write_message(stream, msg).is_ok()
+}
+
+/// The two serving engines behind a [`ServerHandle`].
+enum Engine {
+    Legacy {
+        acceptor: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    Reactor(Option<ReactorHandle>),
 }
 
 /// Running server. Dropping the handle shuts the server down.
 pub struct ServerHandle {
     inner: Arc<Inner>,
     local_addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    engine: Engine,
 }
 
 impl ServerHandle {
@@ -357,30 +534,63 @@ impl ServerHandle {
         self.inner.metrics.registry()
     }
 
-    /// Stops accepting, drains workers, and joins all threads.
+    /// Begins graceful drain without blocking: stop admitting (new
+    /// connections get a typed draining/busy frame), let in-flight
+    /// requests finish and their replies flush, then close. Call
+    /// [`ServerHandle::shutdown`] or drop the handle to wait for
+    /// completion. On the legacy engine — whose workers block in
+    /// `read` — this falls back to the hard shutdown path.
+    pub fn begin_drain(&self) {
+        match &self.engine {
+            Engine::Reactor(Some(handle)) => handle.begin_drain(),
+            Engine::Reactor(None) => {}
+            Engine::Legacy { .. } => self.inner.begin_shutdown(),
+        }
+    }
+
+    /// Stops accepting, drains in-flight work, and joins all threads.
     pub fn shutdown(mut self) {
         self.shutdown_impl();
     }
 
     /// Blocks until the server stops — i.e. until a client sends a wire
-    /// `Shutdown` (or `shutdown` is called from another thread via a
-    /// clone of the handle's state). Used by `sciml serve`.
+    /// `Shutdown` (or the handle is shut down from another thread).
+    /// Used by `sciml serve`.
     pub fn join(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        match &mut self.engine {
+            Engine::Legacy { acceptor, workers } => {
+                if let Some(acceptor) = acceptor.take() {
+                    let _ = acceptor.join();
+                }
+                for w in workers.drain(..) {
+                    let _ = w.join();
+                }
+            }
+            Engine::Reactor(handle) => {
+                if let Some(handle) = handle.take() {
+                    handle.join();
+                }
+            }
         }
     }
 
     fn shutdown_impl(&mut self) {
-        self.inner.begin_shutdown();
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        match &mut self.engine {
+            Engine::Legacy { acceptor, workers } => {
+                self.inner.begin_shutdown();
+                if let Some(acceptor) = acceptor.take() {
+                    let _ = acceptor.join();
+                }
+                for w in workers.drain(..) {
+                    let _ = w.join();
+                }
+            }
+            Engine::Reactor(handle) => {
+                self.inner.shutting_down.store(true, Ordering::Release);
+                if let Some(handle) = handle.take() {
+                    handle.shutdown();
+                }
+            }
         }
     }
 }
@@ -392,9 +602,9 @@ impl Drop for ServerHandle {
 }
 
 /// Serves one connection until the client disconnects, errors, or asks
-/// for shutdown. Protocol errors are answered with a typed error frame
-/// where the socket still works, then the connection is dropped —
-/// corruption never takes down the worker.
+/// for shutdown (legacy engine). Protocol errors are answered with a
+/// typed error frame where the socket still works, then the connection
+/// is dropped — corruption never takes down the worker.
 fn handle_connection(inner: &Inner, mut stream: TcpStream) {
     if inner.shutting_down.load(Ordering::Acquire) {
         let _ = stream.shutdown(Shutdown::Both);
@@ -403,42 +613,7 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(inner.config.read_timeout));
     let _ = stream.set_nodelay(true);
 
-    // Version negotiation first: anything else is a protocol error.
-    // The server speaks every version in MIN..=PROTOCOL_VERSION and
-    // acks the highest one both sides understand — a client offering a
-    // *newer* version than ours gets ours back and proceeds with the
-    // shared subset, so only pre-MIN relics are turned away.
-    let negotiated = match read_message(&mut stream) {
-        Ok(Message::Hello { version }) if version >= MIN_PROTOCOL_VERSION => {
-            let agreed = version.min(PROTOCOL_VERSION);
-            if write_message(&mut stream, &Message::HelloAck { version: agreed }).is_err() {
-                return;
-            }
-            agreed
-        }
-        Ok(Message::Hello { version }) => {
-            let _ = write_message(
-                &mut stream,
-                &Message::Error {
-                    code: ErrorCode::VersionMismatch,
-                    detail: format!("client speaks v{version}, server speaks v{PROTOCOL_VERSION}"),
-                },
-            );
-            return;
-        }
-        Ok(_) => {
-            let _ = write_message(
-                &mut stream,
-                &Message::Error {
-                    code: ErrorCode::BadRequest,
-                    detail: "first message must be Hello".into(),
-                },
-            );
-            return;
-        }
-        Err(_) => return,
-    };
-
+    let mut state = SessionState::default();
     loop {
         let request = match read_message(&mut stream) {
             Ok(msg) => msg,
@@ -447,7 +622,7 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
             // (framing may be unrecoverable after garbage).
             Err(ProtocolError::Io(_)) => return,
             Err(e) => {
-                let _ = write_message(
+                let _ = write_reply(
                     &mut stream,
                     &Message::Error {
                         code: ErrorCode::BadRequest,
@@ -457,176 +632,32 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
                 return;
             }
         };
-        let started = Instant::now();
-        // Unwrap the v5 trace-context envelope. The linked span stays
-        // open across respond(), so per-sample child spans nest under
-        // it and it records the request's full handling time.
-        let (request, _request_span) = match request {
-            Message::Traced {
-                trace_id,
-                parent_span,
-                inner: boxed,
-            } => {
-                if negotiated < 5 {
-                    let reply = Message::Error {
-                        code: ErrorCode::BadRequest,
-                        detail: format!("Traced requests need v5, connection is v{negotiated}"),
-                    };
-                    inner.metrics.record_request(started.elapsed());
-                    if write_message(&mut stream, &reply).is_err() {
-                        return;
-                    }
-                    continue;
-                }
-                let span = inner
-                    .tracer
-                    .span_linked("serve", "request", trace_id, parent_span);
-                (*boxed, Some(span))
-            }
-            other => (other, None),
-        };
-        // Shutdown must be acknowledged before begin_shutdown()
-        // force-closes the live sockets — the requester's included.
-        let is_shutdown = matches!(request, Message::Shutdown);
-        let (reply, stop) = respond(inner, request, negotiated);
-        inner.metrics.record_request(started.elapsed());
-        let write_ok = write_message(&mut stream, &reply).is_ok();
-        if is_shutdown {
-            inner.begin_shutdown();
-        }
-        if !write_ok || stop {
-            return;
-        }
-    }
-}
-
-/// Computes the reply for one request; `true` means close afterwards.
-/// `negotiated` is the connection's protocol version — it selects the
-/// stats-reply flavour (v2 carries the latency histogram).
-fn respond(inner: &Inner, request: Message, negotiated: u16) -> (Message, bool) {
-    let stats_reply = |snapshot| {
-        if negotiated >= 5 {
-            Message::StatsReplyV3(snapshot)
-        } else if negotiated >= 2 {
-            Message::StatsReplyV2(snapshot)
-        } else {
-            Message::StatsReply(snapshot)
-        }
-    };
-    match request {
-        Message::ListDatasets => {
-            let entries = inner
-                .datasets
-                .iter()
-                .map(|(name, ds)| DatasetEntry {
-                    name: name.clone(),
-                    len: ds.cache.len() as u64,
-                })
-                .collect();
-            (Message::DatasetList(entries), false)
-        }
-        Message::Manifest { name } => match inner.datasets.get(&name) {
-            Some(ds) => (
-                Message::ManifestReply {
-                    len: ds.cache.len() as u64,
-                },
-                false,
-            ),
-            None => (unknown_dataset(&name), false),
-        },
-        Message::FetchSamples { name, indices } => {
-            let Some(ds) = inner.datasets.get(&name) else {
-                return (unknown_dataset(&name), false);
-            };
-            let mut payloads = Vec::with_capacity(indices.len());
-            let mut bytes = 0u64;
-            for idx in &indices {
-                if *idx >= ds.cache.len() as u64 {
-                    return (
-                        Message::Error {
-                            code: ErrorCode::IndexOutOfRange,
-                            detail: format!(
-                                "index {idx} out of range for '{name}' (len {})",
-                                ds.cache.len()
-                            ),
-                        },
-                        false,
-                    );
-                }
-                // Child of the connection's request span (when the
-                // request arrived Traced); invisible otherwise.
-                let _fetch_span = inner.tracer.span("serve", "fetch");
-                match ds.cache.fetch(*idx as usize) {
-                    Ok(sample) => {
-                        bytes += sample.len() as u64;
-                        payloads.push(sample);
-                    }
-                    Err(e) => {
-                        return (
-                            Message::Error {
-                                code: ErrorCode::SourceError,
-                                detail: format!("fetching '{name}'[{idx}]: {e}"),
-                            },
-                            false,
-                        )
-                    }
+        match process_message(inner, &mut state, request) {
+            Disposition::Reply(reply) => {
+                if !write_reply(&mut stream, &reply) {
+                    return;
                 }
             }
-            inner.metrics.record_samples(payloads.len() as u64, bytes);
-            (Message::Samples(payloads), false)
-        }
-        Message::ShardManifest { name, per_shard } => match inner.datasets.get(&name) {
-            Some(ds) => {
-                let plans = match &ds.plans {
-                    Some(plans) => plans.clone(),
-                    None => {
-                        let per = if per_shard == 0 {
-                            DEFAULT_PLAN_PER_SHARD
-                        } else {
-                            per_shard
-                        };
-                        plan_by_count(ds.cache.len() as u64, per)
-                    }
-                };
-                if negotiated >= 4 {
-                    (Message::ShardManifestReplyV2(plans), false)
-                } else {
-                    (Message::ShardManifestReply(plans), false)
-                }
+            Disposition::ReplyThenClose(reply) => {
+                let _ = write_reply(&mut stream, &reply);
+                return;
             }
-            None => (unknown_dataset(&name), false),
-        },
-        Message::Stats => {
-            let (h, m, e) = inner.cache_totals();
-            (stats_reply(inner.metrics.snapshot(h, m, e)), false)
+            Disposition::ReplyThenShutdown(reply) => {
+                // Shutdown must be acknowledged before begin_shutdown()
+                // force-closes the live sockets — the requester's
+                // included.
+                let _ = write_reply(&mut stream, &reply);
+                inner.begin_shutdown();
+                return;
+            }
         }
-        Message::Shutdown => {
-            // Acknowledge with the final counters; the caller triggers
-            // begin_shutdown() after the reply is on the wire.
-            let (h, m, e) = inner.cache_totals();
-            (stats_reply(inner.metrics.snapshot(h, m, e)), true)
-        }
-        // Client-bound messages arriving at the server.
-        other => (
-            Message::Error {
-                code: ErrorCode::BadRequest,
-                detail: format!("unexpected message: {other:?}"),
-            },
-            false,
-        ),
-    }
-}
-
-fn unknown_dataset(name: &str) -> Message {
-    Message::Error {
-        code: ErrorCode::UnknownDataset,
-        detail: format!("no dataset named '{name}'"),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::PROTOCOL_VERSION;
     use sciml_pipeline::source::VecSource;
 
     fn demo_source() -> Arc<dyn SampleSource> {
@@ -681,6 +712,32 @@ mod tests {
         };
         assert_eq!(samples, vec![vec![3u8; 16], vec![3u8; 16], vec![0u8; 16]]);
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn legacy_engine_serves_identically() {
+        let server = ServeBuilder::new()
+            .config(ServerConfig {
+                legacy_threads: true,
+                ..ServerConfig::default()
+            })
+            .dataset("demo", demo_source())
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut c = client(server.local_addr());
+        write_message(
+            &mut c,
+            &Message::FetchSamples {
+                name: "demo".into(),
+                indices: vec![1, 2],
+            },
+        )
+        .unwrap();
+        let Message::Samples(samples) = read_message(&mut c).unwrap() else {
+            panic!("expected samples");
+        };
+        assert_eq!(samples, vec![vec![1u8; 16], vec![2u8; 16]]);
         server.shutdown();
     }
 
@@ -901,7 +958,7 @@ mod tests {
         }
         write_message(&mut c, &Message::Stats).unwrap();
         let Message::StatsReplyV3(stats) = read_message(&mut c).unwrap() else {
-            panic!("expected v3 stats on a v5 connection");
+            panic!("expected v3 stats on a v5+ connection");
         };
         assert_eq!(stats.cache_misses, 8);
         assert_eq!(stats.cache_hits, 8);
@@ -979,7 +1036,7 @@ mod tests {
         )
         .unwrap();
         let Message::ShardManifestReplyV2(plans) = read_message(&mut c).unwrap() else {
-            panic!("expected v2 shard manifest reply on a v4 connection");
+            panic!("expected v2 shard manifest reply on a v4+ connection");
         };
         assert_eq!(plans.len(), 3);
         assert_eq!(plans.iter().map(|p| p.count).sum::<u64>(), 8);
@@ -997,7 +1054,7 @@ mod tests {
         )
         .unwrap();
         let Message::ShardManifestReplyV2(plans) = read_message(&mut c).unwrap() else {
-            panic!("expected v2 shard manifest reply on a v4 connection");
+            panic!("expected v2 shard manifest reply on a v4+ connection");
         };
         assert_eq!(plans.len(), 1);
         assert_eq!(plans[0].count, 8);
@@ -1060,7 +1117,7 @@ mod tests {
         )
         .unwrap();
         let Message::ShardManifestReplyV2(plans) = read_message(&mut c).unwrap() else {
-            panic!("expected v2 shard manifest reply on a v4 connection");
+            panic!("expected v2 shard manifest reply on a v4+ connection");
         };
         assert_eq!(plans, expected);
         server.shutdown();
@@ -1090,6 +1147,106 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("serve.samples_served"), 2);
         assert_eq!(snap.histogram("serve.request_ns").unwrap().count, 1);
+        assert_eq!(snap.counter("serve.conn.accepted"), 1);
+        assert_eq!(snap.gauge("serve.conn.active"), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cluster_manifest_without_config_names_self() {
+        let server = ServeBuilder::new()
+            .dataset("demo", demo_source())
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut c = client(server.local_addr());
+        write_message(
+            &mut c,
+            &Message::ClusterManifest {
+                name: "demo".into(),
+            },
+        )
+        .unwrap();
+        let Message::ClusterManifestReply(plan) = read_message(&mut c).unwrap() else {
+            panic!("expected cluster manifest reply");
+        };
+        assert_eq!(plan.nodes, vec![server.local_addr().to_string()]);
+        assert_eq!(plan.replication, 1);
+        assert!(!plan.shards.is_empty());
+        assert!(plan.shards.iter().all(|a| a.replicas == vec![0]));
+        plan.validate().expect("single-node plan is valid");
+        server.shutdown();
+    }
+
+    #[test]
+    fn cluster_manifest_reports_configured_placement() {
+        let nodes = vec![
+            "10.0.0.1:7000".to_string(),
+            "10.0.0.2:7000".to_string(),
+            "10.0.0.3:7000".to_string(),
+        ];
+        let server = ServeBuilder::new()
+            .dataset("demo", demo_source())
+            .cluster(ClusterConfig {
+                nodes: nodes.clone(),
+                replication: 2,
+            })
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut c = client(server.local_addr());
+        write_message(
+            &mut c,
+            &Message::ClusterManifest {
+                name: "demo".into(),
+            },
+        )
+        .unwrap();
+        let Message::ClusterManifestReply(plan) = read_message(&mut c).unwrap() else {
+            panic!("expected cluster manifest reply");
+        };
+        assert_eq!(plan.nodes, nodes);
+        assert_eq!(plan.replication, 2);
+        plan.validate().expect("plan is valid");
+        // Placement must match a locally computed one (deterministic
+        // ring), so any member answers identically.
+        let plans: Vec<ShardPlan> = plan.shards.iter().map(|a| a.plan).collect();
+        let local = sciml_store::ClusterPlan::assign(&plans, &nodes, 2);
+        assert_eq!(plan, local);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cluster_manifest_needs_v6() {
+        let server = ServeBuilder::new()
+            .dataset("demo", demo_source())
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_message(&mut s, &Message::Hello { version: 5 }).unwrap();
+        assert_eq!(
+            read_message(&mut s).unwrap(),
+            Message::HelloAck { version: 5 }
+        );
+        write_message(
+            &mut s,
+            &Message::ClusterManifest {
+                name: "demo".into(),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_message(&mut s).unwrap(),
+            Message::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        // The connection survives the premature request.
+        write_message(&mut s, &Message::Stats).unwrap();
+        assert!(matches!(
+            read_message(&mut s).unwrap(),
+            Message::StatsReplyV3(_)
+        ));
         server.shutdown();
     }
 }

@@ -1,0 +1,260 @@
+//! Per-connection protocol state machine, shared by both serving
+//! engines.
+//!
+//! The legacy thread-per-connection loop and the reactor's
+//! [`Service`](sciml_net::Service) callback both funnel every decoded
+//! request through [`process_message`]: version negotiation, the v5
+//! trace-context unwrap, request dispatch, and request accounting live
+//! here exactly once. The engines only differ in how bytes reach the
+//! decoder and how the returned [`Disposition`] is written back.
+
+use crate::protocol::{DatasetEntry, ErrorCode, Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
+use crate::server::Inner;
+use sciml_pipeline::SampleSource;
+use sciml_store::manifest::plan_by_count;
+use sciml_store::ClusterPlan;
+use std::time::Instant;
+
+/// Samples per synthesized shard when a client asks for a staging plan
+/// without a preference and the dataset has no packed-store manifest.
+const DEFAULT_PLAN_PER_SHARD: u64 = 64;
+
+/// Negotiation state of one connection. Fresh connections start with no
+/// agreed version; the first message must be a `Hello`.
+#[derive(Debug, Default)]
+pub(crate) struct SessionState {
+    /// Protocol version agreed at negotiation, `None` before `Hello`.
+    pub(crate) negotiated: Option<u16>,
+}
+
+/// What the engine must do with the computed reply.
+#[derive(Debug)]
+pub(crate) enum Disposition {
+    /// Write the reply, keep the connection open.
+    Reply(Message),
+    /// Write the reply, then close this connection.
+    ReplyThenClose(Message),
+    /// Write the reply, then begin server shutdown/drain.
+    ReplyThenShutdown(Message),
+}
+
+/// Runs one request through the session state machine and returns the
+/// reply plus what to do with the connection. Negotiation messages are
+/// not counted as requests; everything after `Hello` records into
+/// `serve.requests` / `serve.request_ns`.
+pub(crate) fn process_message(
+    inner: &Inner,
+    state: &mut SessionState,
+    request: Message,
+) -> Disposition {
+    // Version negotiation first: anything else is a protocol error.
+    // The server speaks every version in MIN..=PROTOCOL_VERSION and
+    // acks the highest one both sides understand — a client offering a
+    // *newer* version than ours gets ours back and proceeds with the
+    // shared subset, so only pre-MIN relics are turned away.
+    let Some(negotiated) = state.negotiated else {
+        return match request {
+            Message::Hello { version } if version >= MIN_PROTOCOL_VERSION => {
+                let agreed = version.min(PROTOCOL_VERSION);
+                state.negotiated = Some(agreed);
+                Disposition::Reply(Message::HelloAck { version: agreed })
+            }
+            Message::Hello { version } => Disposition::ReplyThenClose(Message::Error {
+                code: ErrorCode::VersionMismatch,
+                detail: format!("client speaks v{version}, server speaks v{PROTOCOL_VERSION}"),
+            }),
+            _ => Disposition::ReplyThenClose(Message::Error {
+                code: ErrorCode::BadRequest,
+                detail: "first message must be Hello".into(),
+            }),
+        };
+    };
+
+    let started = Instant::now();
+    // Unwrap the v5 trace-context envelope. The linked span stays open
+    // across respond(), so per-sample child spans nest under it and it
+    // records the request's full handling time.
+    let (request, _request_span) = match request {
+        Message::Traced {
+            trace_id,
+            parent_span,
+            inner: boxed,
+        } => {
+            if negotiated < 5 {
+                let reply = Message::Error {
+                    code: ErrorCode::BadRequest,
+                    detail: format!("Traced requests need v5, connection is v{negotiated}"),
+                };
+                inner.metrics.record_request(started.elapsed());
+                return Disposition::Reply(reply);
+            }
+            let span = inner
+                .tracer
+                .span_linked("serve", "request", trace_id, parent_span);
+            (*boxed, Some(span))
+        }
+        other => (other, None),
+    };
+    let (reply, stop) = respond(inner, request, negotiated);
+    inner.metrics.record_request(started.elapsed());
+    if stop {
+        Disposition::ReplyThenShutdown(reply)
+    } else {
+        Disposition::Reply(reply)
+    }
+}
+
+/// Computes the reply for one request; `true` means "begin shutdown
+/// after the reply is on the wire". `negotiated` is the connection's
+/// protocol version — it selects the stats-reply flavour (v2 carries
+/// the latency histogram, v3 the decode counters) and gates the v6
+/// cluster manifest.
+fn respond(inner: &Inner, request: Message, negotiated: u16) -> (Message, bool) {
+    let stats_reply = |snapshot| {
+        if negotiated >= 5 {
+            Message::StatsReplyV3(snapshot)
+        } else if negotiated >= 2 {
+            Message::StatsReplyV2(snapshot)
+        } else {
+            Message::StatsReply(snapshot)
+        }
+    };
+    match request {
+        Message::ListDatasets => {
+            let entries = inner
+                .datasets
+                .iter()
+                .map(|(name, ds)| DatasetEntry {
+                    name: name.clone(),
+                    len: ds.cache.len() as u64,
+                })
+                .collect();
+            (Message::DatasetList(entries), false)
+        }
+        Message::Manifest { name } => match inner.datasets.get(&name) {
+            Some(ds) => (
+                Message::ManifestReply {
+                    len: ds.cache.len() as u64,
+                },
+                false,
+            ),
+            None => (unknown_dataset(&name), false),
+        },
+        Message::FetchSamples { name, indices } => {
+            let Some(ds) = inner.datasets.get(&name) else {
+                return (unknown_dataset(&name), false);
+            };
+            let mut payloads = Vec::with_capacity(indices.len());
+            let mut bytes = 0u64;
+            for idx in &indices {
+                if *idx >= ds.cache.len() as u64 {
+                    return (
+                        Message::Error {
+                            code: ErrorCode::IndexOutOfRange,
+                            detail: format!(
+                                "index {idx} out of range for '{name}' (len {})",
+                                ds.cache.len()
+                            ),
+                        },
+                        false,
+                    );
+                }
+                // Child of the connection's request span (when the
+                // request arrived Traced); invisible otherwise.
+                let _fetch_span = inner.tracer.span("serve", "fetch");
+                match ds.cache.fetch(*idx as usize) {
+                    Ok(sample) => {
+                        bytes += sample.len() as u64;
+                        payloads.push(sample);
+                    }
+                    Err(e) => {
+                        return (
+                            Message::Error {
+                                code: ErrorCode::SourceError,
+                                detail: format!("fetching '{name}'[{idx}]: {e}"),
+                            },
+                            false,
+                        )
+                    }
+                }
+            }
+            inner.metrics.record_samples(payloads.len() as u64, bytes);
+            (Message::Samples(payloads), false)
+        }
+        Message::ShardManifest { name, per_shard } => {
+            match dataset_plans(inner, &name, per_shard) {
+                Some(plans) if negotiated >= 4 => (Message::ShardManifestReplyV2(plans), false),
+                Some(plans) => (Message::ShardManifestReply(plans), false),
+                None => (unknown_dataset(&name), false),
+            }
+        }
+        Message::ClusterManifest { name } => {
+            if negotiated < 6 {
+                return (
+                    Message::Error {
+                        code: ErrorCode::BadRequest,
+                        detail: format!("ClusterManifest needs v6, connection is v{negotiated}"),
+                    },
+                    false,
+                );
+            }
+            let Some(plans) = dataset_plans(inner, &name, 0) else {
+                return (unknown_dataset(&name), false);
+            };
+            // Without cluster config the server is a cluster of one:
+            // every shard's sole replica is this node, so clients can
+            // treat all servers uniformly.
+            let (nodes, replication) = match &inner.cluster {
+                Some(c) => (c.nodes.clone(), c.replication),
+                None => (vec![inner.local_addr.to_string()], 1),
+            };
+            (
+                Message::ClusterManifestReply(ClusterPlan::assign(&plans, &nodes, replication)),
+                false,
+            )
+        }
+        Message::Stats => {
+            let (h, m, e) = inner.cache_totals();
+            (stats_reply(inner.metrics.snapshot(h, m, e)), false)
+        }
+        Message::Shutdown => {
+            // Acknowledge with the final counters; the engine triggers
+            // shutdown after the reply is on the wire.
+            let (h, m, e) = inner.cache_totals();
+            (stats_reply(inner.metrics.snapshot(h, m, e)), true)
+        }
+        // Client-bound messages arriving at the server.
+        other => (
+            Message::Error {
+                code: ErrorCode::BadRequest,
+                detail: format!("unexpected message: {other:?}"),
+            },
+            false,
+        ),
+    }
+}
+
+/// The shard partitioning exported for `name`: the store's real plans
+/// when it has them, else one synthesized by sample count. `None` when
+/// the dataset does not exist.
+fn dataset_plans(inner: &Inner, name: &str, per_shard: u64) -> Option<Vec<sciml_store::ShardPlan>> {
+    let ds = inner.datasets.get(name)?;
+    Some(match &ds.plans {
+        Some(plans) => plans.clone(),
+        None => {
+            let per = if per_shard == 0 {
+                DEFAULT_PLAN_PER_SHARD
+            } else {
+                per_shard
+            };
+            plan_by_count(ds.cache.len() as u64, per)
+        }
+    })
+}
+
+fn unknown_dataset(name: &str) -> Message {
+    Message::Error {
+        code: ErrorCode::UnknownDataset,
+        detail: format!("no dataset named '{name}'"),
+    }
+}

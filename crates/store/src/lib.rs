@@ -34,11 +34,13 @@
 
 #![deny(missing_docs)]
 
+pub mod cluster;
 pub mod manifest;
 pub mod shard;
 pub mod source;
 pub mod stager;
 
+pub use cluster::{ClusterPlan, HashRing, NodeLoad, ShardAssignment};
 pub use manifest::{ShardMeta, ShardPlan, StagingJournal, StoreManifest, MANIFEST_FILE};
 pub use shard::{
     pack_store, write_shard, EncodingChoice, EncodingCounts, PackConfig, PayloadEncoding,

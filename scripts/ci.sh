@@ -115,6 +115,31 @@ sciml trace-merge --out "$tel_dir/merged_trace.json" \
 sciml validate-json "$tel_dir/merged_trace.json" "$tel_dir/attribution.json" \
     "$tel_dir/client_trace.json" "$tel_dir/server_trace.json"
 
+echo "==> reactor soak (512 concurrent connections + connection-lifecycle scrape)"
+# Raise the fd ceiling where permitted: 512 client sockets + 512 server
+# sockets + headroom live in this stage.
+ulimit -n 8192 2>/dev/null || true
+sciml serve --store "$store_dir/packed" --addr 127.0.0.1:7982 \
+    --max-conns 600 --metrics-addr 127.0.0.1:9092 &
+serve_pid=$!
+for _ in $(seq 50); do
+    if sciml fetch --addr 127.0.0.1:7982 --indices 0 >/dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+# Hold 512 negotiated connections open simultaneously against the
+# reactor engine, fetch on every one, and require a clean close.
+sciml soak --addr 127.0.0.1:7982 --conns 512 --fetches 2
+# The connection-lifecycle families must be present and well-formed in
+# the Prometheus exposition after the soak.
+sciml scrape --addr 127.0.0.1:9092 \
+    --require serve_conn_active,serve_conn_accepted,serve_conn_rejected_busy,serve_conn_drained,serve_requests
+sciml fetch --addr 127.0.0.1:7982 --shutdown
+wait "$serve_pid" || true
+# Offline placement preview: the consistent-hash planner must produce a
+# valid plan for a 3-node layout without any server running.
+sciml cluster-plan --nodes 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
+    --n 256 --per-shard 32 --replication 2
+
 echo "==> compression shootout bench (raw vs gzip vs pack)"
 # Emits results/BENCH_compress_ratio.json: per-workload compression
 # ratio and decode throughput for each payload encoding.

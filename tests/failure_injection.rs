@@ -203,9 +203,9 @@ mod wire {
     /// so it reaches the parser) is `UnknownTag`.
     #[test]
     fn unknown_tags_rejected() {
-        // 0x13 is the first tag past the protocol-v5 range (0x11 became
-        // the Traced envelope, 0x12 the per-encoding StatsReplyV3).
-        for tag in [0x00u8, 0x13, 0x42, 0xEE, 0xFF] {
+        // 0x15 is the first tag past the protocol-v6 range (0x13/0x14
+        // became the ClusterManifest request/reply pair).
+        for tag in [0x00u8, 0x15, 0x42, 0xEE, 0xFF] {
             let payload = vec![tag];
             let mut frame = Vec::new();
             frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
