@@ -259,6 +259,7 @@ mod poll_backend {
     const POLLOUT: c_short = 0x004;
     const POLLERR: c_short = 0x008;
     const POLLHUP: c_short = 0x010;
+    const POLLNVAL: c_short = 0x020;
 
     extern "C" {
         fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
@@ -356,7 +357,10 @@ mod poll_backend {
                     token,
                     readable: pfd.revents & POLLIN != 0,
                     writable: pfd.revents & POLLOUT != 0,
-                    hangup: pfd.revents & (POLLERR | POLLHUP) != 0,
+                    // POLLNVAL (fd invalid while registered) must close
+                    // the connection too, or poll returns instantly on
+                    // every wait and the loop busy-spins.
+                    hangup: pfd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0,
                 });
             }
             Ok(())

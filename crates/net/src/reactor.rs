@@ -596,7 +596,10 @@ impl EventLoop {
                 return;
             };
             if conn.read_paused {
-                return;
+                // Break, not return: a burst that just filled `pending`
+                // pauses reading with nothing in flight yet, and only
+                // the trailing dispatch below can start draining it.
+                break;
             }
             match conn.stream.read(&mut scratch) {
                 Ok(0) => {
@@ -881,7 +884,13 @@ impl EventLoop {
                         .get(slot)
                         .and_then(|c| c.as_ref())
                         .is_some_and(|c| {
-                            c.is_settled()
+                            // Settled connections are plain idle; a
+                            // close-after-flush connection (reject,
+                            // frame error, ReplyThenClose) whose peer
+                            // never reads the final frame must also be
+                            // reaped or it holds its fd and buffers
+                            // forever.
+                            (c.is_settled() || c.close_after_flush)
                                 && now.saturating_duration_since(c.last_activity)
                                     >= self.cfg.idle_timeout
                         });

@@ -67,6 +67,12 @@ impl Service for EchoService {
                 shutdown: true,
             };
         }
+        // "bigclose" payload gets a 32 MiB reply-then-close: far more
+        // than loopback socket buffers hold, so a client that never
+        // reads leaves the connection stuck in close-after-flush.
+        if frame_bytes.len() >= 12 && &frame_bytes[4..12] == b"bigclose" {
+            return Reply::send_close(frame(&vec![0u8; 32 << 20]));
+        }
         Reply::send(frame_bytes)
     }
 
@@ -149,6 +155,62 @@ fn pipelined_frames_reply_in_order() {
     for (i, f) in frames.iter().enumerate() {
         let got = read_frame(&mut c).unwrap();
         assert_eq!(&got, f, "reply {i} out of order");
+    }
+    drop(c);
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_burst_beyond_pending_cap_does_not_deadlock() {
+    // A single write burst larger than max_pending_frames fills the
+    // pending queue before anything is dispatched, pausing reads with
+    // no job in flight. read_ready must still fall through to dispatch
+    // or the connection hangs forever with no completion to unpause it.
+    let cfg = ReactorConfig {
+        max_pending_frames: 8,
+        ..ReactorConfig::default()
+    };
+    let (handle, svc) = spawn_echo(cfg, Duration::ZERO);
+    let mut c = TcpStream::connect(handle.local_addr()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let frames: Vec<Vec<u8>> = (0..48)
+        .map(|i| frame(format!("burst-{i:03}").as_bytes()))
+        .collect();
+    let burst: Vec<u8> = frames.iter().flatten().copied().collect();
+    c.write_all(&burst).unwrap();
+    for (i, f) in frames.iter().enumerate() {
+        let got = read_frame(&mut c).unwrap();
+        assert_eq!(&got, f, "reply {i} missing or out of order");
+    }
+    assert_eq!(svc.handled.load(Ordering::SeqCst), 48);
+    drop(c);
+    handle.shutdown();
+}
+
+#[test]
+fn unread_close_after_flush_reply_is_idle_reaped() {
+    // The peer requests a reply-then-close far bigger than the socket
+    // buffers and never reads it: the connection sits unflushed with
+    // close_after_flush set. The idle reaper must still close it, or
+    // it holds its fd and buffers (and, for rejects, an open slot)
+    // forever.
+    let cfg = ReactorConfig {
+        idle_timeout: Duration::from_millis(150),
+        ..ReactorConfig::default()
+    };
+    let (handle, svc) = spawn_echo(cfg, Duration::ZERO);
+    let mut c = TcpStream::connect(handle.local_addr()).unwrap();
+    c.write_all(&frame(b"bigclose")).unwrap();
+    // Never read. Once the kernel buffers fill, flush stalls and
+    // last_activity stops advancing; the reaper should fire within a
+    // couple of idle periods.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while svc.disconnected.load(Ordering::SeqCst) == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stuck close-after-flush connection was never reaped"
+        );
+        std::thread::sleep(Duration::from_millis(25));
     }
     drop(c);
     handle.shutdown();

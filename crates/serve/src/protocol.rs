@@ -615,7 +615,9 @@ impl Message {
             tags::SHARD_MANIFEST_REPLY => {
                 let count = r.u32()? as usize;
                 // Each entry is 4 + 8 + 8 + 8 = 28 bytes on the wire.
-                if count * 28 > r.remaining() {
+                // Division form: `count * 28` could overflow usize on
+                // 32-bit targets (count is attacker-controlled).
+                if count > r.remaining() / 28 {
                     return Err(ProtocolError::Malformed(
                         "shard plan count exceeds payload length",
                     ));
@@ -637,7 +639,8 @@ impl Message {
             tags::SHARD_MANIFEST_REPLY_V2 => {
                 let count = r.u32()? as usize;
                 // Each entry is 4 + 8 + 8 + 8 + 1 = 29 bytes on the wire.
-                if count * 29 > r.remaining() {
+                // Division form avoids usize overflow on 32-bit targets.
+                if count > r.remaining() / 29 {
                     return Err(ProtocolError::Malformed(
                         "shard plan count exceeds payload length",
                     ));
@@ -665,8 +668,9 @@ impl Message {
                 let replication = r.u16()?;
                 let shard_count = r.u32()? as usize;
                 // Each shard is at least a 29-byte plan plus a u16
-                // replica count.
-                if shard_count * 31 > r.remaining() {
+                // replica count. Division form avoids usize overflow on
+                // 32-bit targets (shard_count is attacker-controlled).
+                if shard_count > r.remaining() / 31 {
                     return Err(ProtocolError::Malformed(
                         "shard assignment count exceeds payload length",
                     ));
@@ -1115,6 +1119,28 @@ mod tests {
         payload.extend_from_slice(b"addr");
         payload.extend_from_slice(&1u16.to_le_bytes());
         payload.extend_from_slice(&100_000u32.to_le_bytes()); // absurd shard count
+        payload.extend_from_slice(&[0u8; 32]);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn cluster_reply_shard_count_overflow_rejected() {
+        // shard_count = u32::MAX: `count * 31` would wrap usize on
+        // 32-bit targets and bypass the bound check, so the decoder
+        // must use an overflow-free comparison and reject outright.
+        let mut payload = vec![tags::CLUSTER_MANIFEST_REPLY];
+        payload.extend_from_slice(&1u16.to_le_bytes());
+        payload.extend_from_slice(&4u16.to_le_bytes());
+        payload.extend_from_slice(b"addr");
+        payload.extend_from_slice(&1u16.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
         payload.extend_from_slice(&[0u8; 32]);
         let mut frame = Vec::new();
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
