@@ -79,6 +79,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("validate-json") => for_each_file(&args[1..], validate_json),
         Some("trace-merge") => trace_merge(&args[1..]),
         Some("scrape") => scrape(&args[1..]),
+        Some("cpu-features") => cpu_features(&args[1..]),
         Some("lint") => lint(&args[1..]),
         Some("help") | None => {
             print_usage();
@@ -108,6 +109,7 @@ fn print_usage() {
          validate-json FILE...                         check metrics/trace JSON well-formedness\n  \
          trace-merge --out OUT IN...                   merge Chrome traces onto one timeline\n  \
          scrape --addr A [--require f1,f2] [--out F]   scrape + validate a metrics endpoint\n  \
+         cpu-features [--list]                         SIMD tier detection + per-kernel dispatch plan\n  \
          lint [--path DIR] [--json]                    static-analysis gate (panics, SAFETY, locks)\n\n\
          telemetry flags (serve / fetch):\n  \
          --metrics-out FILE    write a metrics snapshot (JSONL) on exit\n  \
@@ -760,6 +762,21 @@ fn fetch(args: &[String]) -> Result<(), String> {
                 s.decoded_raw, s.decoded_gzip, s.decoded_pack
             );
         }
+        // Client-side SIMD decode-kernel dispatches (the pooled decode
+        // pipeline runs in this process, not on the server).
+        let kernel_counts = sciml_simd::dispatch_counts();
+        if kernel_counts.iter().any(|&(_, _, n)| n > 0) {
+            let parts: Vec<String> = kernel_counts
+                .iter()
+                .filter(|&&(_, _, n)| n > 0)
+                .map(|(k, l, n)| format!("{}:{} {n}", k.name(), l.name()))
+                .collect();
+            println!(
+                "  decode kernels (tier {}): {}",
+                sciml_simd::active_level().name(),
+                parts.join(" / ")
+            );
+        }
         // `--stats --watch SECS`: keep polling and print one compact
         // line per tick showing request/sample movement.
         if watch > 0.0 {
@@ -785,6 +802,11 @@ fn fetch(args: &[String]) -> Result<(), String> {
                 prev = cur;
             }
         }
+    }
+    if metrics_out.is_some() || metrics_text.is_some() {
+        // Lift the SIMD dispatch atomics into `codec.simd.*` gauges so
+        // both export formats carry the kernel counters.
+        sciml_codec::telemetry::publish_simd_dispatch(&telemetry.registry);
     }
     if let Some(out) = metrics_out {
         telemetry
@@ -834,6 +856,51 @@ fn trace_merge(args: &[String]) -> Result<(), String> {
     let merged = sciml_obs::merge_chrome_traces(&inputs).map_err(|e| e.to_string())?;
     std::fs::write(&out, merged).map_err(|e| format!("write {out}: {e}"))?;
     println!("merged {} trace(s) into {out}", files.len());
+    Ok(())
+}
+
+/// Reports the detected SIMD tier, the `SCIML_SIMD` override state, and
+/// the kernel path every decode workload will take on this host.
+/// `--list` prints just the supported tier names, one per line — the
+/// form the CI `simd-matrix` stage iterates.
+fn cpu_features(args: &[String]) -> Result<(), String> {
+    use sciml_platform::cpu;
+    if args.iter().any(|a| a == "--list") {
+        for l in cpu::supported_levels() {
+            println!("{}", l.name());
+        }
+        return Ok(());
+    }
+    println!("detected tier:   {}", cpu::detected_level().name());
+    println!(
+        "supported tiers: {}",
+        cpu::supported_levels()
+            .iter()
+            .map(|l| l.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    match cpu::env_request() {
+        None => println!("{}:      unset", cpu::SIMD_ENV),
+        Some(raw) => match cpu::env_level() {
+            Some(lvl) => println!("{}={raw} -> {}", cpu::SIMD_ENV, lvl.name()),
+            None => println!(
+                "{}={raw} -> unrecognized value, detection wins",
+                cpu::SIMD_ENV
+            ),
+        },
+    }
+    println!("active tier:     {}", cpu::active_level().name());
+    println!("kernel paths:");
+    for p in cpu::kernel_plan() {
+        println!(
+            "  {:<13} {:<22} {:<7} {}",
+            p.kernel.name(),
+            p.stage,
+            p.level.name(),
+            p.strategy
+        );
+    }
     Ok(())
 }
 

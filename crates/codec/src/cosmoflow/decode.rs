@@ -159,40 +159,21 @@ fn decode_impl(
             return Err(CodecError::Corrupt("key out of table range"));
         }
         // Single-pass gather: one key decode per voxel, one LUT row
-        // copy, four channel writes. The key-width dispatch is hoisted
-        // out of the loop, and the zipped per-channel subslices let the
-        // compiler drop all bounds checks from the loop body.
+        // copy, four channel writes — dispatched across the runtime
+        // SIMD tiers (scalar keeps the zipped bounds-check-free loop;
+        // the vector paths transpose rows to planar in registers). The
+        // up-front max-key validation above is the safety contract the
+        // unchecked vector indexing relies on.
         if let [c0, c1, c2, c3] = chans {
-            let (d0, d1, d2, d3) = (
+            super::gather::gather_into(
+                chunk.key_width,
+                &chunk.keys,
+                &lut,
                 &mut c0[start..start + n],
                 &mut c1[start..start + n],
                 &mut c2[start..start + n],
                 &mut c3[start..start + n],
             );
-            match chunk.key_width {
-                KeyWidth::U8 => {
-                    for ((((&k, d0), d1), d2), d3) in
-                        chunk.keys.iter().zip(d0).zip(d1).zip(d2).zip(d3)
-                    {
-                        let row = &lut[k as usize];
-                        *d0 = row[0];
-                        *d1 = row[1];
-                        *d2 = row[2];
-                        *d3 = row[3];
-                    }
-                }
-                KeyWidth::U16 => {
-                    for ((((kb, d0), d1), d2), d3) in
-                        chunk.keys.chunks_exact(2).zip(d0).zip(d1).zip(d2).zip(d3)
-                    {
-                        let row = &lut[u16::from_le_bytes([kb[0], kb[1]]) as usize];
-                        *d0 = row[0];
-                        *d1 = row[1];
-                        *d2 = row[2];
-                        *d3 = row[3];
-                    }
-                }
-            }
         } else {
             for v in 0..n {
                 let row = &lut[chunk.key(v)];

@@ -23,6 +23,7 @@
 
 mod decode;
 mod encode;
+mod gather;
 
 pub use decode::{
     decode, decode_counts, decode_into, decode_parallel, decode_parallel_into, decode_with_counter,

@@ -1,10 +1,57 @@
 //! DeepCAM decoder: per-line independent reconstruction, FP32 compute,
 //! FP16 emission, optional fused affine preprocessing.
 
-use super::{decode_code, EncodedDeepCam, LineMode, CODE_ESCAPE};
+use super::simd::decode_codes_into;
+use super::{EncodedDeepCam, LineMode, CODE_ESCAPE};
 use crate::{CodecError, Op};
 use rayon::prelude::*;
+use sciml_half::slice::{narrow_affine_into, narrow_into};
 use sciml_half::F16;
+use sciml_simd::{arch_level, record, Kernel};
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread f32 line buffer: reconstruction runs in FP32, then a
+    /// single bulk narrowing pass emits FP16 — no per-line allocation.
+    static LINE_SCRATCH: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+}
+
+/// Runs `f` with a zeroed f32 scratch slice of `width` values.
+fn with_scratch<R>(width: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    LINE_SCRATCH.with(|slot| {
+        let mut buf = slot.take();
+        buf.clear();
+        buf.resize(width, 0.0);
+        let r = f(&mut buf);
+        slot.set(buf);
+        r
+    })
+}
+
+/// Applies `op` to the reconstructed f32 line and narrows it to FP16.
+///
+/// The affine stages go through the runtime-dispatched bulk kernels in
+/// `sciml-half`; the logarithmic ops keep a scalar `ln_1p` pre-pass
+/// (bit-exact by construction — the per-element float op sequence is
+/// identical to `F16::from_f32(op.apply(v))`).
+fn finish_into(vals: &mut [f32], op: Op, dst: &mut [F16]) {
+    match op {
+        Op::Identity => narrow_into(vals, dst),
+        Op::Normalize { scale, offset } => narrow_affine_into(vals, scale, offset, dst),
+        Op::Log1p => {
+            for v in vals.iter_mut() {
+                *v = v.ln_1p();
+            }
+            narrow_into(vals, dst);
+        }
+        Op::Log1pNormalize { scale, offset } => {
+            for v in vals.iter_mut() {
+                *v = v.ln_1p();
+            }
+            narrow_affine_into(vals, scale, offset, dst);
+        }
+    }
+}
 
 /// Decodes a full sample sequentially into channel-major FP16.
 pub fn decode(enc: &EncodedDeepCam, op: Op) -> Result<Vec<F16>, CodecError> {
@@ -84,10 +131,12 @@ pub fn decode_line_into(
             if payload.len() != width * 4 {
                 return Err(CodecError::Corrupt("raw line payload size"));
             }
-            for (d, chunk) in dst.iter_mut().zip(payload.chunks_exact(4)) {
-                let v = f32::from_le_bytes(chunk.try_into().unwrap());
-                *d = F16::from_f32(op.apply(v));
-            }
+            with_scratch(width, |vals| {
+                for (v, chunk) in vals.iter_mut().zip(payload.chunks_exact(4)) {
+                    *v = f32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                finish_into(vals, op, dst);
+            });
             Ok(())
         }
         LineMode::Delta => decode_delta_line(payload, width, op, dst),
@@ -137,25 +186,28 @@ fn decode_delta_line(
     let codes = &payload[headers_end..codes_end];
     let literal_bytes = &payload[codes_end..literals_end];
 
-    let mut ci = 0usize; // code cursor
-    let mut li = 0usize; // literal cursor
-    let mut di = 0usize; // destination cursor
-    for si in 0..n_segments {
-        let h = &payload[4 + si * 8..4 + si * 8 + 8];
-        let head = f32::from_le_bytes(h[0..4].try_into().unwrap());
-        let count = u16::from_le_bytes(h[4..6].try_into().unwrap()) as usize;
-        let base_exp = h[6] as i8;
-        // FP32 compute, FP16 emit — the paper's software-emulated path.
-        let mut prev = head;
-        dst[di] = F16::from_f32(op.apply(prev));
-        di += 1;
-        for _ in 1..count {
-            let code = codes[ci];
-            ci += 1;
-            let v = match decode_code(code, base_exp) {
-                Some(delta) => prev + delta,
-                None => {
-                    debug_assert_eq!(code, CODE_ESCAPE);
+    record(Kernel::DeepcamLine, arch_level());
+    with_scratch(width, |vals| {
+        let mut ci = 0usize; // code cursor
+        let mut li = 0usize; // literal cursor
+        let mut di = 0usize; // destination cursor
+        for si in 0..n_segments {
+            let h = &payload[4 + si * 8..4 + si * 8 + 8];
+            let head = f32::from_le_bytes(h[0..4].try_into().unwrap());
+            let count = u16::from_le_bytes(h[4..6].try_into().unwrap()) as usize;
+            let base_exp = h[6] as i8;
+            // Vector pass: code bytes → f32 deltas. Escapes land as 0.0
+            // and are patched from the literal array below.
+            let seg_codes = &codes[ci..ci + count - 1];
+            decode_codes_into(seg_codes, base_exp, &mut vals[di + 1..di + count]);
+            // Sequential pass: prefix-accumulate in FP32 (the paper's
+            // software-emulated path; FP16 emission happens in bulk at
+            // the end of the line).
+            let mut prev = head;
+            vals[di] = head;
+            for (j, &code) in seg_codes.iter().enumerate() {
+                let slot = di + 1 + j;
+                let v = if code == CODE_ESCAPE {
                     if li >= n_literals {
                         return Err(CodecError::Corrupt("literal index out of range"));
                     }
@@ -163,17 +215,21 @@ fn decode_delta_line(
                         f32::from_le_bytes(literal_bytes[li * 4..li * 4 + 4].try_into().unwrap());
                     li += 1;
                     l
-                }
-            };
-            dst[di] = F16::from_f32(op.apply(v));
-            di += 1;
-            prev = v;
+                } else {
+                    prev + vals[slot]
+                };
+                vals[slot] = v;
+                prev = v;
+            }
+            ci += count - 1;
+            di += count;
         }
-    }
-    if li != n_literals {
-        return Err(CodecError::Inconsistent("unused literals"));
-    }
-    Ok(())
+        if li != n_literals {
+            return Err(CodecError::Inconsistent("unused literals"));
+        }
+        finish_into(vals, op, dst);
+        Ok(())
+    })
 }
 
 #[cfg(test)]

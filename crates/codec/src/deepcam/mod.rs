@@ -24,6 +24,7 @@
 
 mod decode;
 mod encode;
+mod simd;
 
 pub use decode::{decode, decode_into, decode_line_into, decode_parallel, decode_parallel_into};
 pub use encode::{encode, encode_parallel, EncodeStats, EncoderConfig};

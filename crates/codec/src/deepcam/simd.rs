@@ -1,0 +1,203 @@
+//! Runtime-dispatched code→delta decode for DeepCAM delta segments.
+//!
+//! A delta code byte is `[sign:1][exp_off:3][mantissa:4]` relative to
+//! the segment's base exponent; the scalar decoder reconstructs
+//! `sign * (1 + m/16) * 2^(base_exp + e_off)`. For exponents in the
+//! f32 normal range that value's bit pattern is exactly
+//!
+//! ```text
+//! bits = sign << 31 | (base_exp + e_off + 127) << 23 | m << 19
+//! ```
+//!
+//! (the mantissa `m/16` occupies the top four mantissa bits, and the
+//! scale by `2^e` only moves the exponent field), so the vector paths
+//! assemble the bits with integer ops — no floating-point arithmetic,
+//! hence trivially bit-exact. Zero and escape codes decode to `0.0`;
+//! the caller patches escape positions from the literal side array
+//! during its (inherently sequential) prefix-sum pass.
+//!
+//! Segments whose exponent window `[base_exp, base_exp+7]` leaves the
+//! normal range (never produced by the encoder for real data, but
+//! reachable through a hostile payload) fall back to the scalar
+//! decoder wholesale, at every tier.
+
+use super::{decode_code, CODE_ESCAPE, CODE_ZERO};
+use sciml_simd::SimdLevel;
+
+/// Decodes a run of codes sharing one `base_exp` into f32 deltas.
+/// Escape codes (and zero codes) produce `0.0`. Caller guarantees
+/// equal lengths.
+pub(super) fn decode_codes_into(codes: &[u8], base_exp: i8, out: &mut [f32]) {
+    debug_assert_eq!(codes.len(), out.len());
+    let e = base_exp as i32;
+    if !(-126..=120).contains(&e) {
+        // Exponent window reaches subnormal/overflow territory: the
+        // bit-assembly identity does not hold, take the scalar path.
+        decode_codes_scalar(codes, base_exp, out);
+        return;
+    }
+    match sciml_simd::arch_level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only active when the probe (or a clamped
+        // override) verified avx2 support on this CPU.
+        SimdLevel::Avx2 => unsafe { x86::decode_codes_avx2(codes, e, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Sse42 implies sse2..sse4.2 were detected.
+        SimdLevel::Sse42 => unsafe { x86::decode_codes_sse(codes, e, out) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64.
+        SimdLevel::Neon => unsafe { neon::decode_codes_neon(codes, e, out) },
+        _ => decode_codes_scalar(codes, base_exp, out),
+    }
+}
+
+/// Canonical scalar form: the original `decode_code` with escapes
+/// mapped to `0.0` (the caller re-checks the code byte for escapes).
+fn decode_codes_scalar(codes: &[u8], base_exp: i8, out: &mut [f32]) {
+    for (o, &c) in out.iter_mut().zip(codes) {
+        *o = decode_code(c, base_exp).unwrap_or(0.0);
+    }
+}
+
+// Compile-time anchors: the bit-assembly relies on these code values.
+const _: () = assert!(CODE_ZERO == 0x00 && CODE_ESCAPE == 0xFF);
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::decode_codes_scalar;
+    use core::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn decode_codes_avx2(codes: &[u8], base_exp: i32, out: &mut [f32]) {
+        let n = codes.len();
+        let bias = _mm256_set1_epi32(base_exp + 127);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= n bounds the 8-byte code load and the
+            // 8-lane store into `out` (equal length, caller contract).
+            unsafe {
+                let c8 = _mm_loadl_epi64(codes.as_ptr().add(i).cast::<__m128i>());
+                let c = _mm256_cvtepu8_epi32(c8);
+                let is_zero = _mm256_cmpeq_epi32(c, _mm256_setzero_si256());
+                let is_esc = _mm256_cmpeq_epi32(c, _mm256_set1_epi32(0xFF));
+                let sign = _mm256_slli_epi32::<24>(_mm256_and_si256(c, _mm256_set1_epi32(0x80)));
+                let eoff = _mm256_and_si256(_mm256_srli_epi32::<4>(c), _mm256_set1_epi32(7));
+                let mant = _mm256_slli_epi32::<19>(_mm256_and_si256(c, _mm256_set1_epi32(0x0F)));
+                let expf = _mm256_slli_epi32::<23>(_mm256_add_epi32(eoff, bias));
+                let bits = _mm256_or_si256(sign, _mm256_or_si256(expf, mant));
+                let bits = _mm256_andnot_si256(_mm256_or_si256(is_zero, is_esc), bits);
+                _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_castsi256_ps(bits));
+            }
+            i += 8;
+        }
+        decode_codes_scalar(&codes[i..], base_exp as i8, &mut out[i..]);
+    }
+
+    /// Decodes 4 codes held in u32 lanes into f32 delta bits.
+    #[inline]
+    #[target_feature(enable = "sse4.2")]
+    unsafe fn decode4_sse(c: __m128i, bias: __m128i) -> __m128 {
+        let is_zero = _mm_cmpeq_epi32(c, _mm_setzero_si128());
+        let is_esc = _mm_cmpeq_epi32(c, _mm_set1_epi32(0xFF));
+        let sign = _mm_slli_epi32::<24>(_mm_and_si128(c, _mm_set1_epi32(0x80)));
+        let eoff = _mm_and_si128(_mm_srli_epi32::<4>(c), _mm_set1_epi32(7));
+        let mant = _mm_slli_epi32::<19>(_mm_and_si128(c, _mm_set1_epi32(0x0F)));
+        let expf = _mm_slli_epi32::<23>(_mm_add_epi32(eoff, bias));
+        let bits = _mm_or_si128(sign, _mm_or_si128(expf, mant));
+        let bits = _mm_andnot_si128(_mm_or_si128(is_zero, is_esc), bits);
+        _mm_castsi128_ps(bits)
+    }
+
+    #[target_feature(enable = "sse4.2")]
+    pub(super) unsafe fn decode_codes_sse(codes: &[u8], base_exp: i32, out: &mut [f32]) {
+        let n = codes.len();
+        let bias = _mm_set1_epi32(base_exp + 127);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= n bounds the 8-byte code load and both
+            // 4-lane stores into `out` (equal length, caller contract).
+            unsafe {
+                let c8 = _mm_loadl_epi64(codes.as_ptr().add(i).cast::<__m128i>());
+                let lo = decode4_sse(_mm_cvtepu8_epi32(c8), bias);
+                let hi = decode4_sse(_mm_cvtepu8_epi32(_mm_srli_si128::<4>(c8)), bias);
+                _mm_storeu_ps(out.as_mut_ptr().add(i), lo);
+                _mm_storeu_ps(out.as_mut_ptr().add(i + 4), hi);
+            }
+            i += 8;
+        }
+        decode_codes_scalar(&codes[i..], base_exp as i8, &mut out[i..]);
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::decode_codes_scalar;
+    use core::arch::aarch64::*;
+
+    /// Decodes 4 codes held in u32 lanes into f32 delta bits.
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn decode4_neon(c: uint32x4_t, bias: uint32x4_t) -> float32x4_t {
+        let is_zero = vceqq_u32(c, vdupq_n_u32(0));
+        let is_esc = vceqq_u32(c, vdupq_n_u32(0xFF));
+        let sign = vshlq_n_u32::<24>(vandq_u32(c, vdupq_n_u32(0x80)));
+        let eoff = vandq_u32(vshrq_n_u32::<4>(c), vdupq_n_u32(7));
+        let mant = vshlq_n_u32::<19>(vandq_u32(c, vdupq_n_u32(0x0F)));
+        let expf = vshlq_n_u32::<23>(vaddq_u32(eoff, bias));
+        let bits = vorrq_u32(sign, vorrq_u32(expf, mant));
+        let bits = vbicq_u32(bits, vorrq_u32(is_zero, is_esc));
+        vreinterpretq_f32_u32(bits)
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn decode_codes_neon(codes: &[u8], base_exp: i32, out: &mut [f32]) {
+        let n = codes.len();
+        let bias = vdupq_n_u32((base_exp + 127) as u32);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= n bounds the 8-byte code load and both
+            // 4-lane stores into `out` (equal length, caller contract).
+            unsafe {
+                let c8 = vld1_u8(codes.as_ptr().add(i));
+                let c16 = vmovl_u8(c8);
+                let lo = decode4_neon(vmovl_u16(vget_low_u16(c16)), bias);
+                let hi = decode4_neon(vmovl_u16(vget_high_u16(c16)), bias);
+                vst1q_f32(out.as_mut_ptr().add(i), lo);
+                vst1q_f32(out.as_mut_ptr().add(i + 4), hi);
+            }
+            i += 8;
+        }
+        decode_codes_scalar(&codes[i..], base_exp as i8, &mut out[i..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciml_simd::{force, supported_levels};
+
+    #[test]
+    fn vector_code_decode_matches_scalar_for_all_codes_and_exponents() {
+        // Every code byte at a spread of base exponents, including the
+        // edges of the normal window and beyond (fallback path), with a
+        // tail-unfriendly length.
+        let codes: Vec<u8> = (0..=255u8).chain(0..=10).collect();
+        for &be in &[-128i8, -127, -126, -120, -40, -3, 0, 5, 90, 120, 121, 127] {
+            let mut want = vec![0.0f32; codes.len()];
+            decode_codes_scalar(&codes, be, &mut want);
+            for lvl in supported_levels() {
+                let _g = force(Some(lvl));
+                let mut got = vec![0.0f32; codes.len()];
+                decode_codes_into(&codes, be, &mut got);
+                for i in 0..codes.len() {
+                    assert_eq!(
+                        got[i].to_bits(),
+                        want[i].to_bits(),
+                        "lvl {lvl:?} code {:#04x} base_exp {be}",
+                        codes[i]
+                    );
+                }
+            }
+        }
+    }
+}

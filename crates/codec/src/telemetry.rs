@@ -88,6 +88,18 @@ impl CodecTelemetry {
     }
 }
 
+/// Publishes the process-wide SIMD dispatch counters into `registry` as
+/// `codec.simd.*` gauges — see [`sciml_obs::simd::publish`] (this is
+/// the codec-side name for the same export; the implementation lives in
+/// `sciml-obs` so the serve scrape endpoint can refresh the gauges
+/// without depending on the codecs).
+///
+/// Call at export time (`sciml fetch --stats`, Prometheus scrape); the
+/// decode hot paths only bump atomics.
+pub fn publish_simd_dispatch(registry: &Arc<MetricsRegistry>) {
+    sciml_obs::simd::publish(registry);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +131,25 @@ mod tests {
         }
         assert_eq!(snap.counter("codec.decoded_samples"), 2);
         assert!(snap.counter("codec.encoded_bytes") > 0);
+    }
+
+    #[test]
+    fn simd_dispatch_publishes_gauges() {
+        let reg = MetricsRegistry::new();
+        let tel = CodecTelemetry::with_registry(&reg);
+        let cs = UniverseGenerator::new(CosmoFlowConfig::test_small()).generate(1);
+        let cenc = tel.cosmoflow_encode(&cs);
+        tel.cosmoflow_decode(&cenc, Op::Identity).unwrap();
+
+        publish_simd_dispatch(&reg);
+        let snap = reg.snapshot();
+        // The decode above dispatched the cosmo gather at least once,
+        // at whatever tier this host runs.
+        assert!(snap.gauge("codec.simd.dispatch_total") > 0);
+        let level_sum: i64 = sciml_simd::ALL_LEVELS
+            .iter()
+            .map(|l| snap.gauge(&format!("codec.simd.level.{}", l.name())))
+            .sum();
+        assert_eq!(level_sum, snap.gauge("codec.simd.dispatch_total"));
     }
 }

@@ -7,6 +7,45 @@ use sciml_codec::{CodecError, Op};
 use sciml_data::cosmoflow::{CosmoParams, CosmoSample};
 use sciml_data::deepcam::DeepCamSample;
 use sciml_half::F16;
+use sciml_simd::{force, supported_levels, SimdLevel};
+
+/// f32 values hostile to vector kernels: ordinary magnitudes mixed with
+/// raw bit patterns (NaN payloads, infinities, subnormals). These flow
+/// through RawF32 lines and escape literals, so the decoders see them.
+fn hostile_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -1000f32..1000f32,
+        -1f32..1f32,
+        any::<u32>().prop_map(f32::from_bits),
+        (0u32..0x0080_0000).prop_map(f32::from_bits), // subnormals
+    ]
+}
+
+/// DeepCAM sample over [`hostile_f32`] data, widths chosen to leave
+/// vector tails (not multiples of 8).
+fn deepcam_hostile_sample() -> impl Strategy<Value = DeepCamSample> {
+    (4usize..45, 1usize..3, 1usize..3).prop_flat_map(|(w, h, c)| {
+        let n = w * h * c;
+        prop::collection::vec(hostile_f32(), n..=n).prop_map(move |data| DeepCamSample {
+            width: w,
+            height: h,
+            channels: c,
+            data,
+            mask: vec![0; w * h],
+        })
+    })
+}
+
+/// One of the four fused preprocessing ops.
+fn any_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Identity),
+        Just(Op::Log1p),
+        (0.01f32..4.0, -100f32..100.0).prop_map(|(scale, offset)| Op::Normalize { scale, offset }),
+        (0.01f32..4.0, -10f32..10.0)
+            .prop_map(|(scale, offset)| Op::Log1pNormalize { scale, offset }),
+    ]
+}
 
 /// Arbitrary small CosmoFlow sample (grid 2..6).
 fn cosmo_sample() -> impl Strategy<Value = CosmoSample> {
@@ -167,6 +206,37 @@ proptest! {
             dc::decode_parallel_into(&ed, Op::Identity, &mut out),
             Err(CodecError::Inconsistent(_))
         ));
+    }
+
+    /// Every forced SIMD tier decodes byte-identically to the forced
+    /// scalar tier — both codecs, arbitrary fused op, serial and
+    /// parallel paths, hostile values (NaN payloads, subnormals,
+    /// infinities) and tail-leaving widths. This is the dispatch
+    /// layer's core contract: `SCIML_SIMD=scalar` output is the
+    /// reference, and no vector tier may deviate from it by a bit.
+    #[test]
+    fn simd_tiers_decode_bit_identically(
+        s in cosmo_sample(),
+        d in deepcam_hostile_sample(),
+        op in any_op(),
+    ) {
+        let e = cf::encode(&s);
+        let (ed, _) = dc::encode(&d, &dc::EncoderConfig::default());
+        let (want_c, want_d) = {
+            let _g = force(Some(SimdLevel::Scalar));
+            (cf::decode(&e, op).unwrap(), dc::decode(&ed, op).unwrap())
+        };
+        for lvl in supported_levels() {
+            let _g = force(Some(lvl));
+            prop_assert_eq!(&cf::decode(&e, op).unwrap(), &want_c, "cosmo tier {:?}", lvl);
+            prop_assert_eq!(&dc::decode(&ed, op).unwrap(), &want_d, "deepcam tier {:?}", lvl);
+            let mut out = vec![F16::ONE; want_c.len()];
+            cf::decode_parallel_into(&e, op, &mut out).unwrap();
+            prop_assert_eq!(&out, &want_c, "cosmo parallel tier {:?}", lvl);
+            let mut out = vec![F16::ONE; want_d.len()];
+            dc::decode_parallel_into(&ed, op, &mut out).unwrap();
+            prop_assert_eq!(&out, &want_d, "deepcam parallel tier {:?}", lvl);
+        }
     }
 
     /// Constant volumes compress to almost nothing in both codecs.

@@ -20,6 +20,7 @@
 
 mod convert;
 mod ops;
+mod simd;
 pub mod slice;
 
 pub use convert::{f16_bits_from_f32, f32_from_f16_bits};

@@ -1,0 +1,590 @@
+//! Runtime-dispatched vector kernels for bulk F32↔F16 conversion.
+//!
+//! Every path here is **bit-exact** against the canonical scalar
+//! conversions in [`crate::convert`] — same round-to-nearest-even, same
+//! subnormal generation, same overflow-to-infinity threshold (65520),
+//! same NaN handling (quiet bit forced, top payload bits preserved) and
+//! the same flush of f32-subnormal inputs to signed zero. Proptests in
+//! `tests/proptests.rs` force every tier and compare against scalar,
+//! including an exhaustive sweep of all 2^16 half patterns.
+//!
+//! * **AVX2 tier** uses the F16C hardware conversions (`vcvtps2ph` /
+//!   `vcvtph2ps` with round-to-nearest), which implement exactly the
+//!   scalar semantics above.
+//! * **SSE4.2 / NEON tiers** use the classic integer+magic-float
+//!   algorithm (Giesen-style `float_to_half_fast3_rtne`), modified to
+//!   preserve NaN payload top bits and force the quiet bit like the
+//!   scalar path does.
+//! * Tails shorter than the vector width and the **scalar tier** run the
+//!   scalar conversion loop, so `SCIML_SIMD=scalar` output is byte-for-
+//!   byte the pre-dispatch behavior.
+//!
+//! Dispatch is decided per slice call via [`sciml_simd::active_level`]
+//! and recorded in the shared dispatch counters so observability can
+//! tell which path actually ran.
+
+use crate::convert::{f16_bits_from_f32, f32_from_f16_bits};
+use crate::F16;
+use sciml_simd::{arch_level as chosen_level, record, Kernel, SimdLevel};
+
+#[inline]
+fn narrow_scalar(src: &[f32], dst: &mut [F16]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = F16(f16_bits_from_f32(s));
+    }
+}
+
+#[inline]
+fn narrow_affine_scalar(src: &[f32], scale: f32, offset: f32, dst: &mut [F16]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = F16(f16_bits_from_f32((s - offset) * scale));
+    }
+}
+
+#[inline]
+fn widen_scalar(src: &[F16], dst: &mut [f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = f32_from_f16_bits(s.0);
+    }
+}
+
+/// Bulk `f32 -> f16`, dispatched. Caller guarantees equal lengths.
+pub(crate) fn narrow_dispatch(src: &[f32], dst: &mut [F16]) {
+    debug_assert_eq!(src.len(), dst.len());
+    let lvl = chosen_level();
+    record(Kernel::HalfNarrow, lvl);
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `chosen_level` returns Avx2 only when the probe (or a
+        // clamped override) verified avx2+f16c+sse4.2 on this CPU.
+        SimdLevel::Avx2 => unsafe { x86::narrow_avx2(src, dst) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Sse42 from `chosen_level` implies sse4.2 (and thus
+        // sse2..sse4.1) was detected on this CPU.
+        SimdLevel::Sse42 => unsafe { x86::narrow_sse(src, dst) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64.
+        SimdLevel::Neon => unsafe { neon::narrow_neon(src, dst) },
+        _ => narrow_scalar(src, dst),
+    }
+}
+
+/// Bulk fused `(x - offset) * scale` then `f32 -> f16`, dispatched.
+/// Bit-exact versus the scalar expression because the vector sub/mul
+/// are the same IEEE single-precision operations. Caller guarantees
+/// equal lengths.
+pub(crate) fn narrow_affine_dispatch(src: &[f32], scale: f32, offset: f32, dst: &mut [F16]) {
+    debug_assert_eq!(src.len(), dst.len());
+    let lvl = chosen_level();
+    record(Kernel::HalfNarrow, lvl);
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `chosen_level` returns Avx2 only when the probe (or a
+        // clamped override) verified avx2+f16c+sse4.2 on this CPU.
+        SimdLevel::Avx2 => unsafe { x86::narrow_affine_avx2(src, scale, offset, dst) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Sse42 from `chosen_level` implies sse4.2 was detected.
+        SimdLevel::Sse42 => unsafe { x86::narrow_affine_sse(src, scale, offset, dst) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64.
+        SimdLevel::Neon => unsafe { neon::narrow_affine_neon(src, scale, offset, dst) },
+        _ => narrow_affine_scalar(src, scale, offset, dst),
+    }
+}
+
+/// Bulk `f16 -> f32` (exact), dispatched. Caller guarantees equal
+/// lengths.
+pub(crate) fn widen_dispatch(src: &[F16], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    let lvl = chosen_level();
+    record(Kernel::HalfWiden, lvl);
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `chosen_level` returns Avx2 only when the probe (or a
+        // clamped override) verified avx2+f16c+sse4.2 on this CPU.
+        SimdLevel::Avx2 => unsafe { x86::widen_avx2(src, dst) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Sse42 from `chosen_level` implies sse4.2 was detected.
+        SimdLevel::Sse42 => unsafe { x86::widen_sse(src, dst) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64.
+        SimdLevel::Neon => unsafe { neon::widen_neon(src, dst) },
+        _ => widen_scalar(src, dst),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{narrow_affine_scalar, narrow_scalar, widen_scalar};
+    use crate::F16;
+    use core::arch::x86_64::*;
+
+    /// `f16 := round_to_nearest_even(f32)` for 8 lanes via F16C. The
+    /// hardware instruction matches `f16_bits_from_f32` exactly: RTNE,
+    /// subnormal generation, 65520 overflow threshold, f32 subnormals
+    /// flushed only by the rounding itself (they are < 2^-126, far below
+    /// the half subnormal tie at 2^-25, so both produce signed zero),
+    /// and NaNs quieted with the top 9 payload bits kept.
+    #[target_feature(enable = "avx2,f16c")]
+    pub(super) unsafe fn narrow_avx2(src: &[f32], dst: &mut [F16]) {
+        let n = src.len();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= src.len() == dst.len(); unaligned
+            // load/store intrinsics have no alignment requirement, and
+            // `F16` is repr(transparent) over u16 so 8 lanes fill 16
+            // bytes of dst exactly.
+            unsafe {
+                let v = _mm256_loadu_ps(src.as_ptr().add(i));
+                let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(v);
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast::<__m128i>(), h);
+            }
+            i += 8;
+        }
+        narrow_scalar(&src[i..], &mut dst[i..]);
+    }
+
+    /// Fused affine + narrow for 8 lanes (same IEEE sub/mul as scalar,
+    /// then the F16C conversion).
+    #[target_feature(enable = "avx2,f16c")]
+    pub(super) unsafe fn narrow_affine_avx2(src: &[f32], scale: f32, offset: f32, dst: &mut [F16]) {
+        let n = src.len();
+        let off = _mm256_set1_ps(offset);
+        let sc = _mm256_set1_ps(scale);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= src.len() == dst.len(); unaligned
+            // intrinsics, dst writes are 16 bytes of valid F16 slots.
+            unsafe {
+                let v = _mm256_loadu_ps(src.as_ptr().add(i));
+                let y = _mm256_mul_ps(_mm256_sub_ps(v, off), sc);
+                let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(y);
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast::<__m128i>(), h);
+            }
+            i += 8;
+        }
+        narrow_affine_scalar(&src[i..], scale, offset, &mut dst[i..]);
+    }
+
+    /// Exact `f16 -> f32` widening for 8 lanes via F16C. `vcvtph2ps` is
+    /// exact and quiets signaling NaNs while preserving the payload —
+    /// identical to `f32_from_f16_bits`.
+    #[target_feature(enable = "avx2,f16c")]
+    pub(super) unsafe fn widen_avx2(src: &[F16], dst: &mut [f32]) {
+        let n = src.len();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= src.len() == dst.len(); unaligned
+            // intrinsics; 8 F16 lanes read 16 bytes of valid src.
+            unsafe {
+                let h = _mm_loadu_si128(src.as_ptr().add(i).cast::<__m128i>());
+                let v = _mm256_cvtph_ps(h);
+                _mm256_storeu_ps(dst.as_mut_ptr().add(i), v);
+            }
+            i += 8;
+        }
+        widen_scalar(&src[i..], &mut dst[i..]);
+    }
+
+    // ----- SSE tier: integer + magic-float conversion ----------------
+    //
+    // Narrowing algorithm per lane (all < 2^31 after sign strip, so
+    // signed 32-bit compares are exact):
+    //   sign = bits & 0x8000_0000;  a = bits & 0x7FFF_FFFF
+    //   a >= 0x4780_0000 (65536):       inf, or NaN with payload kept
+    //   a <  0x3880_0000 (2^-14):       subnormal result — float-add
+    //       0.5 (exponent 126) so the FP adder performs the shift+RTNE,
+    //       then subtract the 0.5 bit pattern to leave the mantissa
+    //   otherwise:                      rebias exponent by (15-127)<<23
+    //       and add 0xFFF + (bit 13) for RTNE; values in [65520, 65536)
+    //       carry into exponent 31 = infinity, exactly like scalar
+    //   result |= sign >> 16
+    const SIGN32: i32 = 0x8000_0000u32 as i32;
+    const NARROW_HI: i32 = 0x4780_0000; // 65536.0f32 bits
+    const F32_INF: i32 = 0x7F80_0000;
+    const SMALL: i32 = 0x3880_0000; // 2^-14 bits: below => subnormal half
+    const HALF_MAGIC: i32 = 126 << 23; // 0.5f32 bits
+    const REBIAS_RTNE: i32 = (((15 - 127) << 23) as u32).wrapping_add(0xFFF) as i32;
+
+    /// Narrows 4 f32 lanes to 4 u16-valued u32 lanes (sign applied).
+    #[inline]
+    #[target_feature(enable = "sse4.2")]
+    unsafe fn narrow4_sse(v: __m128) -> __m128i {
+        let bits = _mm_castps_si128(v);
+        let sign = _mm_and_si128(bits, _mm_set1_epi32(SIGN32));
+        let a = _mm_andnot_si128(_mm_set1_epi32(SIGN32), bits);
+
+        // Large magnitudes, infinities and NaNs.
+        let is_big = _mm_cmpgt_epi32(a, _mm_set1_epi32(NARROW_HI - 1));
+        let is_nan = _mm_cmpgt_epi32(a, _mm_set1_epi32(F32_INF));
+        let payload = _mm_or_si128(
+            _mm_set1_epi32(0x0200),
+            _mm_and_si128(_mm_srli_epi32::<13>(a), _mm_set1_epi32(0x01FF)),
+        );
+        let big = _mm_or_si128(_mm_set1_epi32(0x7C00), _mm_and_si128(is_nan, payload));
+
+        // Subnormal results: FP add against 0.5 shifts and rounds.
+        let is_small = _mm_cmplt_epi32(a, _mm_set1_epi32(SMALL));
+        let magic = _mm_castsi128_ps(_mm_set1_epi32(HALF_MAGIC));
+        let small_f = _mm_add_ps(_mm_castsi128_ps(a), magic);
+        let small = _mm_sub_epi32(_mm_castps_si128(small_f), _mm_set1_epi32(HALF_MAGIC));
+
+        // Normal results: rebias + RTNE increment, then drop 13 bits.
+        let odd = _mm_and_si128(_mm_srli_epi32::<13>(a), _mm_set1_epi32(1));
+        let adj = _mm_add_epi32(a, _mm_set1_epi32(REBIAS_RTNE));
+        let norm = _mm_srli_epi32::<13>(_mm_add_epi32(adj, odd));
+
+        let res = _mm_blendv_epi8(norm, small, is_small);
+        let res = _mm_blendv_epi8(res, big, is_big);
+        _mm_or_si128(res, _mm_srli_epi32::<16>(sign))
+    }
+
+    /// Widens 4 u16 half patterns (in u32 lanes) to 4 f32 lanes.
+    /// Normals rebias by (127-15)<<23; subnormals renormalize via one
+    /// exact FP subtract (Sterbenz); inf/NaN get exponent 255 with the
+    /// quiet bit forced on nonzero mantissas, matching scalar.
+    #[inline]
+    #[target_feature(enable = "sse4.2")]
+    unsafe fn widen4_sse(h32: __m128i) -> __m128 {
+        let sign = _mm_slli_epi32::<16>(_mm_and_si128(h32, _mm_set1_epi32(0x8000)));
+        let em = _mm_slli_epi32::<13>(_mm_and_si128(h32, _mm_set1_epi32(0x7FFF)));
+        let exp = _mm_and_si128(em, _mm_set1_epi32(0x0F80_0000));
+
+        let adjusted = _mm_add_epi32(em, _mm_set1_epi32((127 - 15) << 23));
+
+        // Inf/NaN: exponent field becomes 255; quiet any NaN.
+        let is_infnan = _mm_cmpeq_epi32(exp, _mm_set1_epi32(0x0F80_0000));
+        let mant = _mm_and_si128(em, _mm_set1_epi32(0x007F_E000));
+        let has_mant = _mm_andnot_si128(_mm_cmpeq_epi32(mant, _mm_setzero_si128()), is_infnan);
+        let infnan = _mm_or_si128(
+            _mm_add_epi32(adjusted, _mm_set1_epi32((128 - 16) << 23)),
+            _mm_and_si128(has_mant, _mm_set1_epi32(0x0040_0000)),
+        );
+
+        // Zero / subnormal halves: treat the mantissa as a fixed-point
+        // offset from 2^-14 and let one exact FP subtract renormalize.
+        let is_zero_exp = _mm_cmpeq_epi32(exp, _mm_setzero_si128());
+        let sub_bias = _mm_set1_epi32(0x3880_0000); // 2^-14
+        let sub_f = _mm_sub_ps(
+            _mm_castsi128_ps(_mm_add_epi32(em, sub_bias)),
+            _mm_castsi128_ps(sub_bias),
+        );
+        let subn = _mm_castps_si128(sub_f);
+
+        let res = _mm_blendv_epi8(adjusted, subn, is_zero_exp);
+        let res = _mm_blendv_epi8(res, infnan, is_infnan);
+        _mm_castsi128_ps(_mm_or_si128(res, sign))
+    }
+
+    #[target_feature(enable = "sse4.2")]
+    pub(super) unsafe fn narrow_sse(src: &[f32], dst: &mut [F16]) {
+        let n = src.len();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= src.len() == dst.len(); unaligned
+            // load/store intrinsics; both 4-lane results hold u16
+            // values so the unsigned pack is exact.
+            unsafe {
+                let lo = narrow4_sse(_mm_loadu_ps(src.as_ptr().add(i)));
+                let hi = narrow4_sse(_mm_loadu_ps(src.as_ptr().add(i + 4)));
+                let packed = _mm_packus_epi32(lo, hi);
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast::<__m128i>(), packed);
+            }
+            i += 8;
+        }
+        narrow_scalar(&src[i..], &mut dst[i..]);
+    }
+
+    #[target_feature(enable = "sse4.2")]
+    pub(super) unsafe fn narrow_affine_sse(src: &[f32], scale: f32, offset: f32, dst: &mut [F16]) {
+        let n = src.len();
+        let off = _mm_set1_ps(offset);
+        let sc = _mm_set1_ps(scale);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= src.len() == dst.len(); unaligned
+            // load/store intrinsics; packed lanes hold u16 values.
+            unsafe {
+                let a = _mm_mul_ps(_mm_sub_ps(_mm_loadu_ps(src.as_ptr().add(i)), off), sc);
+                let b = _mm_mul_ps(_mm_sub_ps(_mm_loadu_ps(src.as_ptr().add(i + 4)), off), sc);
+                let packed = _mm_packus_epi32(narrow4_sse(a), narrow4_sse(b));
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast::<__m128i>(), packed);
+            }
+            i += 8;
+        }
+        narrow_affine_scalar(&src[i..], scale, offset, &mut dst[i..]);
+    }
+
+    #[target_feature(enable = "sse4.2")]
+    pub(super) unsafe fn widen_sse(src: &[F16], dst: &mut [f32]) {
+        let n = src.len();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= src.len() == dst.len(); the 16-byte load
+            // covers 8 valid F16 lanes; stores are unaligned.
+            unsafe {
+                let h8 = _mm_loadu_si128(src.as_ptr().add(i).cast::<__m128i>());
+                let lo = widen4_sse(_mm_cvtepu16_epi32(h8));
+                let hi = widen4_sse(_mm_cvtepu16_epi32(_mm_srli_si128::<8>(h8)));
+                _mm_storeu_ps(dst.as_mut_ptr().add(i), lo);
+                _mm_storeu_ps(dst.as_mut_ptr().add(i + 4), hi);
+            }
+            i += 8;
+        }
+        widen_scalar(&src[i..], &mut dst[i..]);
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::{narrow_affine_scalar, narrow_scalar, widen_scalar};
+    use crate::F16;
+    use core::arch::aarch64::*;
+
+    // Same integer + magic-float algorithm as the SSE tier (see the
+    // comment block there); NEON has unsigned compares so the masks use
+    // them directly.
+
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn narrow4_neon(v: float32x4_t) -> uint32x4_t {
+        let bits = vreinterpretq_u32_f32(v);
+        let sign = vandq_u32(bits, vdupq_n_u32(0x8000_0000));
+        let a = vbicq_u32(bits, vdupq_n_u32(0x8000_0000));
+
+        let is_big = vcgeq_u32(a, vdupq_n_u32(0x4780_0000));
+        let is_nan = vcgtq_u32(a, vdupq_n_u32(0x7F80_0000));
+        let payload = vorrq_u32(
+            vdupq_n_u32(0x0200),
+            vandq_u32(vshrq_n_u32::<13>(a), vdupq_n_u32(0x01FF)),
+        );
+        let big = vorrq_u32(vdupq_n_u32(0x7C00), vandq_u32(is_nan, payload));
+
+        let is_small = vcltq_u32(a, vdupq_n_u32(0x3880_0000));
+        let magic = vreinterpretq_f32_u32(vdupq_n_u32(126 << 23));
+        let small_f = vaddq_f32(vreinterpretq_f32_u32(a), magic);
+        let small = vsubq_u32(vreinterpretq_u32_f32(small_f), vdupq_n_u32(126 << 23));
+
+        let odd = vandq_u32(vshrq_n_u32::<13>(a), vdupq_n_u32(1));
+        let rebias = (((15 - 127) << 23) as u32).wrapping_add(0xFFF);
+        let adj = vaddq_u32(a, vdupq_n_u32(rebias));
+        let norm = vshrq_n_u32::<13>(vaddq_u32(adj, odd));
+
+        let res = vbslq_u32(is_small, small, norm);
+        let res = vbslq_u32(is_big, big, res);
+        vorrq_u32(res, vshrq_n_u32::<16>(sign))
+    }
+
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn widen4_neon(h32: uint32x4_t) -> float32x4_t {
+        let sign = vshlq_n_u32::<16>(vandq_u32(h32, vdupq_n_u32(0x8000)));
+        let em = vshlq_n_u32::<13>(vandq_u32(h32, vdupq_n_u32(0x7FFF)));
+        let exp = vandq_u32(em, vdupq_n_u32(0x0F80_0000));
+
+        let adjusted = vaddq_u32(em, vdupq_n_u32(((127 - 15) << 23) as u32));
+
+        let is_infnan = vceqq_u32(exp, vdupq_n_u32(0x0F80_0000));
+        let mant = vandq_u32(em, vdupq_n_u32(0x007F_E000));
+        let has_mant = vandq_u32(is_infnan, vmvnq_u32(vceqq_u32(mant, vdupq_n_u32(0))));
+        let infnan = vorrq_u32(
+            vaddq_u32(adjusted, vdupq_n_u32(((128 - 16) << 23) as u32)),
+            vandq_u32(has_mant, vdupq_n_u32(0x0040_0000)),
+        );
+
+        let is_zero_exp = vceqq_u32(exp, vdupq_n_u32(0));
+        let sub_bias = vdupq_n_u32(0x3880_0000);
+        let sub_f = vsubq_f32(
+            vreinterpretq_f32_u32(vaddq_u32(em, sub_bias)),
+            vreinterpretq_f32_u32(sub_bias),
+        );
+        let subn = vreinterpretq_u32_f32(sub_f);
+
+        let res = vbslq_u32(is_zero_exp, subn, adjusted);
+        let res = vbslq_u32(is_infnan, infnan, res);
+        vreinterpretq_f32_u32(vorrq_u32(res, sign))
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn narrow_neon(src: &[f32], dst: &mut [F16]) {
+        let n = src.len();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= src.len() == dst.len(); NEON loads and
+            // stores are alignment-free; both 4-lane results hold u16
+            // values so the truncating narrow is exact.
+            unsafe {
+                let lo = narrow4_neon(vld1q_f32(src.as_ptr().add(i)));
+                let hi = narrow4_neon(vld1q_f32(src.as_ptr().add(i + 4)));
+                let packed = vcombine_u16(vmovn_u32(lo), vmovn_u32(hi));
+                vst1q_u16(dst.as_mut_ptr().add(i).cast::<u16>(), packed);
+            }
+            i += 8;
+        }
+        narrow_scalar(&src[i..], &mut dst[i..]);
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn narrow_affine_neon(src: &[f32], scale: f32, offset: f32, dst: &mut [F16]) {
+        let n = src.len();
+        let off = vdupq_n_f32(offset);
+        let sc = vdupq_n_f32(scale);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= src.len() == dst.len(); alignment-free
+            // NEON memory ops; packed lanes hold u16 values.
+            unsafe {
+                let a = vmulq_f32(vsubq_f32(vld1q_f32(src.as_ptr().add(i)), off), sc);
+                let b = vmulq_f32(vsubq_f32(vld1q_f32(src.as_ptr().add(i + 4)), off), sc);
+                let packed = vcombine_u16(vmovn_u32(narrow4_neon(a)), vmovn_u32(narrow4_neon(b)));
+                vst1q_u16(dst.as_mut_ptr().add(i).cast::<u16>(), packed);
+            }
+            i += 8;
+        }
+        narrow_affine_scalar(&src[i..], scale, offset, &mut dst[i..]);
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn widen_neon(src: &[F16], dst: &mut [f32]) {
+        let n = src.len();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= src.len() == dst.len(); the 16-byte load
+            // covers 8 valid F16 lanes; alignment-free NEON memory ops.
+            unsafe {
+                let h8 = vld1q_u16(src.as_ptr().add(i).cast::<u16>());
+                let lo = widen4_neon(vmovl_u16(vget_low_u16(h8)));
+                let hi = widen4_neon(vmovl_u16(vget_high_u16(h8)));
+                vst1q_f32(dst.as_mut_ptr().add(i), lo);
+                vst1q_f32(dst.as_mut_ptr().add(i + 4), hi);
+            }
+            i += 8;
+        }
+        widen_scalar(&src[i..], &mut dst[i..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciml_simd::{force, supported_levels};
+
+    fn edge_f32s() -> Vec<f32> {
+        let mut v: Vec<f32> = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            65504.0,
+            65519.0,
+            65519.5,
+            65520.0,
+            65536.0,
+            1e30,
+            -1e30,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::MIN_POSITIVE,        // f32 min normal: flushes to zero
+            f32::MIN_POSITIVE / 2.0,  // f32 subnormal
+            -f32::MIN_POSITIVE / 2.0, // negative f32 subnormal
+            2f32.powi(-24),
+            2f32.powi(-25),
+            2f32.powi(-25) * 1.0001,
+            1023.0 * 2f32.powi(-24),
+            2f32.powi(-14) * (1.0 - 2f32.powi(-12)),
+            1.0 + 2f32.powi(-11),
+            1.0 + 3.0 * 2f32.powi(-11),
+            2.0 - 2f32.powi(-20),
+        ];
+        // NaN payload variants, including a signaling pattern.
+        v.push(f32::from_bits(0x7F80_0001));
+        v.push(f32::from_bits(0xFFC0_1234));
+        v.push(f32::from_bits(0x7FA0_0000));
+        v
+    }
+
+    #[test]
+    fn vector_narrow_matches_scalar_on_edge_values() {
+        // Odd length exercises the tail path at every tier.
+        let mut src = edge_f32s();
+        src.push(std::f32::consts::PI);
+        for lvl in supported_levels() {
+            let _g = force(Some(lvl));
+            let mut got = vec![F16::ZERO; src.len()];
+            narrow_dispatch(&src, &mut got);
+            for (i, &s) in src.iter().enumerate() {
+                assert_eq!(
+                    got[i].0,
+                    f16_bits_from_f32(s),
+                    "lvl {lvl:?} src {:#010x}",
+                    s.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vector_widen_matches_scalar_for_all_half_patterns() {
+        let src: Vec<F16> = (0..=u16::MAX).map(F16).collect();
+        let mut want = vec![0.0f32; src.len()];
+        widen_scalar(&src, &mut want);
+        for lvl in supported_levels() {
+            let _g = force(Some(lvl));
+            let mut got = vec![0.0f32; src.len()];
+            widen_dispatch(&src, &mut got);
+            for h in 0..=u16::MAX as usize {
+                assert_eq!(
+                    got[h].to_bits(),
+                    want[h].to_bits(),
+                    "lvl {lvl:?} half {h:#06x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vector_narrow_matches_scalar_for_all_half_neighborhoods() {
+        // Every exactly-representable half value plus the f32 values one
+        // ULP either side: covers every rounding boundary class.
+        let mut src = Vec::with_capacity(3 * (1 << 16));
+        for h in 0..=u16::MAX {
+            let f = f32_from_f16_bits(h);
+            src.push(f);
+            src.push(f32::from_bits(f.to_bits().wrapping_add(1)));
+            src.push(f32::from_bits(f.to_bits().wrapping_sub(1)));
+        }
+        let mut want = vec![F16::ZERO; src.len()];
+        narrow_scalar(&src, &mut want);
+        for lvl in supported_levels() {
+            let _g = force(Some(lvl));
+            let mut got = vec![F16::ZERO; src.len()];
+            narrow_dispatch(&src, &mut got);
+            for i in 0..src.len() {
+                assert_eq!(
+                    got[i].0,
+                    want[i].0,
+                    "lvl {lvl:?} src {:#010x}",
+                    src[i].to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn affine_matches_scalar_expression() {
+        let src = edge_f32s();
+        for lvl in supported_levels() {
+            let _g = force(Some(lvl));
+            let mut got = vec![F16::ZERO; src.len()];
+            narrow_affine_dispatch(&src, 0.25, 1.5, &mut got);
+            for (i, &s) in src.iter().enumerate() {
+                assert_eq!(
+                    got[i].0,
+                    f16_bits_from_f32((s - 1.5) * 0.25),
+                    "lvl {lvl:?} src {s}"
+                );
+            }
+        }
+    }
+}

@@ -3,18 +3,26 @@
 //! Decoded samples travel through the pipeline as `Vec<F16>`; the storage
 //! and simulated-device layers treat them as raw bytes. Because [`F16`] is
 //! `repr(transparent)` over `u16`, the casts here are layout-safe.
+//!
+//! The bulk conversions dispatch through the runtime-selected SIMD tier
+//! (see the private `simd` module); every vector path is bit-exact against the
+//! scalar conversions, so results never depend on the host ISA.
 
 use crate::F16;
 
 /// Converts a slice of `f32` to a newly allocated `Vec<F16>` with
 /// round-to-nearest-even.
 pub fn narrow(values: &[f32]) -> Vec<F16> {
-    values.iter().map(|&v| F16::from_f32(v)).collect()
+    let mut out = vec![F16::ZERO; values.len()];
+    crate::simd::narrow_dispatch(values, &mut out);
+    out
 }
 
 /// Widens a slice of `F16` to a newly allocated `Vec<f32>` (exact).
 pub fn widen(values: &[F16]) -> Vec<f32> {
-    values.iter().map(|v| v.to_f32()).collect()
+    let mut out = vec![0.0f32; values.len()];
+    crate::simd::widen_dispatch(values, &mut out);
+    out
 }
 
 /// Narrows `src` into the preallocated `dst`.
@@ -23,9 +31,20 @@ pub fn widen(values: &[F16]) -> Vec<f32> {
 /// Panics if the lengths differ.
 pub fn narrow_into(src: &[f32], dst: &mut [F16]) {
     assert_eq!(src.len(), dst.len(), "narrow_into length mismatch");
-    for (d, &s) in dst.iter_mut().zip(src) {
-        *d = F16::from_f32(s);
-    }
+    crate::simd::narrow_dispatch(src, dst);
+}
+
+/// Fused `(x - offset) * scale` followed by the narrowing conversion,
+/// equivalent to `F16::from_f32((x - offset) * scale)` per element
+/// (bit-exact at every SIMD tier — the vector sub/mul are the same IEEE
+/// single-precision operations). This is the DeepCAM `Normalize` decode
+/// finish.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn narrow_affine_into(src: &[f32], scale: f32, offset: f32, dst: &mut [F16]) {
+    assert_eq!(src.len(), dst.len(), "narrow_affine_into length mismatch");
+    crate::simd::narrow_affine_dispatch(src, scale, offset, dst);
 }
 
 /// Widens `src` into the preallocated `dst`.
@@ -34,9 +53,7 @@ pub fn narrow_into(src: &[f32], dst: &mut [F16]) {
 /// Panics if the lengths differ.
 pub fn widen_into(src: &[F16], dst: &mut [f32]) {
     assert_eq!(src.len(), dst.len(), "widen_into length mismatch");
-    for (d, &s) in dst.iter_mut().zip(src) {
-        *d = s.to_f32();
-    }
+    crate::simd::widen_dispatch(src, dst);
 }
 
 /// Reinterprets a half slice as little-endian bytes (allocates; portable

@@ -19,7 +19,7 @@
 //! * [`reactor`] — the event loop itself: non-blocking accept with
 //!   admission control, per-connection state machines (read-frame →
 //!   dispatch → write-with-backpressure), a worker pool running the
-//!   [`Service`](reactor::Service) callback, bounded outbound buffers,
+//!   [`Service`] callback, bounded outbound buffers,
 //!   idle timeouts, and graceful drain (stop accepting, finish
 //!   in-flight, flush, then close).
 //!

@@ -45,6 +45,7 @@ pub mod merge;
 pub mod prom;
 pub mod registry;
 pub mod sampler;
+pub mod simd;
 pub mod trace;
 
 pub use context::TraceContext;

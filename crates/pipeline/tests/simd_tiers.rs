@@ -1,0 +1,114 @@
+//! Cross-tier pipeline determinism: the full pooled pipeline (readers,
+//! decode threads, buffer pool, batch assembly) must emit byte-identical
+//! tensors under every SIMD tier this host supports. Forcing `scalar`
+//! therefore reproduces the pre-SIMD pipeline output exactly, and every
+//! vector tier must match it — the end-to-end form of the kernel-level
+//! bit-exactness proofs in `sciml-half` and `sciml-codec`.
+
+use sciml_codec::cosmoflow as cf;
+use sciml_codec::deepcam as dc;
+use sciml_codec::Op;
+use sciml_data::cosmoflow::{CosmoFlowConfig, UniverseGenerator};
+use sciml_data::deepcam::{ClimateGenerator, DeepCamConfig};
+use sciml_half::F16;
+use sciml_pipeline::batch::Label;
+use sciml_pipeline::decoder::{CosmoPluginCpu, DeepCamPluginCpu};
+use sciml_pipeline::source::VecSource;
+use sciml_pipeline::{DecoderPlugin, Pipeline, PipelineConfig};
+use sciml_simd::{force, supported_levels, SimdLevel};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const N: usize = 8;
+
+fn cosmo_blobs() -> Vec<Vec<u8>> {
+    let g = UniverseGenerator::new(CosmoFlowConfig {
+        grid: 8,
+        halos: 6,
+        mass_scale: 30.0,
+        background: 1,
+        seed: 23,
+    });
+    (0..N as u64)
+        .map(|i| cf::encode(&g.generate(i)).to_bytes())
+        .collect()
+}
+
+fn deepcam_blobs() -> Vec<Vec<u8>> {
+    let g = ClimateGenerator::new(DeepCamConfig::test_small());
+    (0..N as u64)
+        .map(|i| {
+            let (enc, _) = dc::encode(&g.generate(i), &dc::EncoderConfig::default());
+            enc.to_bytes()
+        })
+        .collect()
+}
+
+fn f16_digest(data: &[F16]) -> u64 {
+    data.iter().fold(0u64, |h, v| {
+        h.wrapping_mul(31).wrapping_add(v.to_bits() as u64)
+    })
+}
+
+type Digests = BTreeMap<(usize, Vec<usize>), (u64, Vec<Label>)>;
+
+/// Runs the full pipeline with `level` forced (the force override is
+/// process-global, so it reaches the spawned decode threads) and
+/// returns per-batch tensor digests.
+fn run_at(level: SimdLevel, blobs: Vec<Vec<u8>>, plugin: Arc<dyn DecoderPlugin>) -> Digests {
+    let _g = force(Some(level));
+    let p = Pipeline::launch(
+        Arc::new(VecSource::new(blobs)),
+        plugin,
+        PipelineConfig {
+            batch_size: 3,
+            reader_threads: 2,
+            decode_threads: 2,
+            prefetch: 4,
+            epochs: 2,
+            seed: 9,
+            drop_remainder: false,
+            pool_capacity: None,
+        },
+    )
+    .unwrap();
+    let (batches, _) = p.collect_all().unwrap();
+    let mut digests = Digests::new();
+    for b in batches {
+        let key = (b.epoch, b.indices.clone());
+        let val = (f16_digest(&b.data), b.labels.clone());
+        assert!(digests.insert(key, val).is_none(), "duplicate batch");
+    }
+    digests
+}
+
+type Workload = (&'static str, Vec<Vec<u8>>, Arc<dyn DecoderPlugin>);
+
+#[test]
+fn pipeline_output_identical_across_simd_tiers() {
+    let workloads: Vec<Workload> = vec![
+        (
+            "cosmo",
+            cosmo_blobs(),
+            Arc::new(CosmoPluginCpu { op: Op::Log1p }),
+        ),
+        (
+            "deepcam",
+            deepcam_blobs(),
+            Arc::new(DeepCamPluginCpu {
+                op: Op::Normalize {
+                    scale: 0.05,
+                    offset: 270.0,
+                },
+            }),
+        ),
+    ];
+    for (name, blobs, plugin) in workloads {
+        let want = run_at(SimdLevel::Scalar, blobs.clone(), Arc::clone(&plugin));
+        assert!(!want.is_empty());
+        for lvl in supported_levels() {
+            let got = run_at(lvl, blobs.clone(), Arc::clone(&plugin));
+            assert_eq!(got, want, "{name} pipeline output diverged at tier {lvl:?}");
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! orderings, staging/caching effects).
 
 pub mod calibrate;
+pub mod cpu;
 pub mod epoch;
 pub mod figures;
 pub mod scaling;

@@ -83,6 +83,7 @@ fn serve_scrape(mut stream: TcpStream, telemetry: &Telemetry) {
     }
     telemetry.publish_trace_stats();
     sciml_obs::lockcheck::publish(&telemetry.registry);
+    sciml_obs::simd::publish(&telemetry.registry);
     let body = prometheus_text(&telemetry.registry.snapshot());
     let response = format!(
         "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",

@@ -11,7 +11,7 @@
 //! original acceptor + bounded worker pool, where each worker owns one
 //! connection at a time. It exists for A/B benchmarking and as a
 //! fallback; both engines share the same session state machine
-//! ([`crate::session`]), admission control with typed `Busy` frames,
+//! (`crate::session`), admission control with typed `Busy` frames,
 //! and `serve.*` metrics.
 //!
 //! Each registered dataset is wrapped in a [`MemoryCacheSource`] hot

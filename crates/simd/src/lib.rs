@@ -1,0 +1,369 @@
+//! Runtime CPU-feature probe and SIMD dispatch support.
+//!
+//! The decode hot loops (CosmoFlow LUT gather, DeepCAM differential
+//! decode, bulk F32↔F16 conversion) each carry hand-written intrinsics
+//! paths plus a canonical scalar fallback. This crate is the shared,
+//! dependency-free substrate they dispatch through:
+//!
+//! * [`detected_level`] — a cached, one-time probe of what the host CPU
+//!   supports (`is_x86_feature_detected!` on x86-64, NEON is baseline on
+//!   aarch64).
+//! * `SCIML_SIMD=scalar|sse42|avx2|neon` — an environment override so
+//!   tests and CI can force every tier. Forcing a tier the host cannot
+//!   run clamps to [`SimdLevel::Scalar`] (never an illegal-instruction
+//!   crash); an unrecognized value is ignored.
+//! * [`force`] — an in-process override (RAII guard) for proptests and
+//!   benches that iterate tiers inside one process. It is a process
+//!   global rather than a thread-local so forced tiers propagate into
+//!   spawned decode workers; this is sound because every tier is
+//!   bit-exact, so concurrent tests can only change *which* kernel runs,
+//!   never what it produces.
+//! * [`record`] / [`dispatch_counts`] — relaxed per-(kernel, level)
+//!   counters so `sciml fetch --stats` and the Prometheus scrape can
+//!   show which path actually ran (`codec.simd.*`).
+//!
+//! The public façade for tools lives in `sciml_platform::cpu`; kernels
+//! in `sciml-half` and `sciml-codec` link this crate directly because
+//! the platform crate sits *above* them in the dependency graph.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// An ISA tier a kernel can be compiled for. Ordered from least to most
+/// capable within an architecture; `Neon` is the aarch64 tier and never
+/// coexists with the x86 tiers on one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar Rust — the canonical semantics every vector path
+    /// must match bit for bit.
+    Scalar,
+    /// x86-64 SSE4.2 (uses SSE2..SSE4.1 integer ops, no AVX state).
+    Sse42,
+    /// x86-64 AVX2 + F16C (hardware F32↔F16 conversion).
+    Avx2,
+    /// aarch64 Advanced SIMD (baseline on all aarch64 hosts).
+    Neon,
+}
+
+/// All tiers, in probe order (most capable last).
+pub const ALL_LEVELS: [SimdLevel; 4] = [
+    SimdLevel::Scalar,
+    SimdLevel::Sse42,
+    SimdLevel::Avx2,
+    SimdLevel::Neon,
+];
+
+impl SimdLevel {
+    /// Stable lowercase name (the `SCIML_SIMD` vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse42 => "sse42",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Neon => "neon",
+        }
+    }
+
+    /// Parses a `SCIML_SIMD` value (case-insensitive).
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(SimdLevel::Scalar),
+            "sse42" | "sse4.2" | "sse4" => Some(SimdLevel::Sse42),
+            "avx2" => Some(SimdLevel::Avx2),
+            "neon" => Some(SimdLevel::Neon),
+            _ => None,
+        }
+    }
+
+    /// Dense index for counter tables.
+    pub fn index(self) -> usize {
+        match self {
+            SimdLevel::Scalar => 0,
+            SimdLevel::Sse42 => 1,
+            SimdLevel::Avx2 => 2,
+            SimdLevel::Neon => 3,
+        }
+    }
+
+    fn from_index(i: usize) -> Option<Self> {
+        ALL_LEVELS.get(i).copied()
+    }
+}
+
+/// One-time hardware probe. The `avx2` tier additionally requires F16C
+/// (for the hardware F32↔F16 conversions) and SSE4.2; every AVX2 part
+/// shipped with both, but a hypervisor can mask them independently, so
+/// we check rather than assume.
+fn probe() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("f16c")
+            && std::arch::is_x86_feature_detected!("sse4.2")
+        {
+            return SimdLevel::Avx2;
+        }
+        if std::arch::is_x86_feature_detected!("sse4.2") {
+            return SimdLevel::Sse42;
+        }
+        SimdLevel::Scalar
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        SimdLevel::Neon
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        SimdLevel::Scalar
+    }
+}
+
+/// The most capable tier the host CPU can run (cached).
+pub fn detected_level() -> SimdLevel {
+    static DETECTED: OnceLock<SimdLevel> = OnceLock::new();
+    *DETECTED.get_or_init(probe)
+}
+
+/// Whether the host can execute kernels of this tier.
+pub fn is_supported(level: SimdLevel) -> bool {
+    match level {
+        SimdLevel::Scalar => true,
+        // On each architecture the probe returns the top supported tier
+        // and the tiers below it are implied (AVX2 probe requires
+        // SSE4.2; NEON is baseline aarch64).
+        SimdLevel::Sse42 => matches!(detected_level(), SimdLevel::Sse42 | SimdLevel::Avx2),
+        SimdLevel::Avx2 => detected_level() == SimdLevel::Avx2,
+        SimdLevel::Neon => detected_level() == SimdLevel::Neon,
+    }
+}
+
+/// All tiers the host can execute, least capable first (always starts
+/// with `Scalar`). This is what the CI `simd-matrix` stage iterates.
+pub fn supported_levels() -> Vec<SimdLevel> {
+    ALL_LEVELS
+        .iter()
+        .copied()
+        .filter(|&l| is_supported(l))
+        .collect()
+}
+
+/// Name of the tier-override environment variable.
+pub const SIMD_ENV: &str = "SCIML_SIMD";
+
+/// Raw `SCIML_SIMD` value as seen at first use, if any (cached; later
+/// env mutations are deliberately ignored so dispatch is stable).
+pub fn env_request() -> Option<&'static str> {
+    static RAW: OnceLock<Option<String>> = OnceLock::new();
+    RAW.get_or_init(|| std::env::var(SIMD_ENV).ok()).as_deref()
+}
+
+/// The tier `SCIML_SIMD` resolves to, if the variable is set to a valid
+/// name. A valid but unsupported tier clamps to `Scalar` (deterministic
+/// and safe, never an illegal instruction); an unrecognized value yields
+/// `None` and detection wins.
+pub fn env_level() -> Option<SimdLevel> {
+    static PARSED: OnceLock<Option<SimdLevel>> = OnceLock::new();
+    *PARSED.get_or_init(|| {
+        let lvl = SimdLevel::from_name(env_request()?)?;
+        Some(if is_supported(lvl) {
+            lvl
+        } else {
+            SimdLevel::Scalar
+        })
+    })
+}
+
+// In-process override: 0 = none, otherwise level index + 1. A process
+// global (not a thread-local) so a forced tier reaches decode threads
+// spawned by rayon or the bench harness.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// RAII guard restoring the previous in-process override on drop.
+pub struct ForceGuard {
+    prev: u8,
+}
+
+impl Drop for ForceGuard {
+    fn drop(&mut self) {
+        FORCED.store(self.prev, Ordering::Relaxed);
+    }
+}
+
+/// Forces the active tier for the whole process until the guard drops
+/// (`None` clears a previous force). Unsupported tiers clamp to
+/// `Scalar`. Intended for tests and benches that iterate tiers.
+pub fn force(level: Option<SimdLevel>) -> ForceGuard {
+    let val = match level {
+        None => 0,
+        Some(l) => {
+            let l = if is_supported(l) {
+                l
+            } else {
+                SimdLevel::Scalar
+            };
+            l.index() as u8 + 1
+        }
+    };
+    let prev = FORCED.swap(val, Ordering::Relaxed);
+    ForceGuard { prev }
+}
+
+/// The tier kernels should dispatch to *right now*: in-process force,
+/// else `SCIML_SIMD`, else hardware detection.
+#[inline]
+pub fn active_level() -> SimdLevel {
+    let forced = FORCED.load(Ordering::Relaxed);
+    if forced != 0 {
+        if let Some(l) = SimdLevel::from_index(forced as usize - 1) {
+            return l;
+        }
+    }
+    match env_level() {
+        Some(l) => l,
+        None => detected_level(),
+    }
+}
+
+/// [`active_level`] clamped to the tiers this *architecture* has
+/// kernels for — e.g. a (clamp-bypassing) forced `neon` on x86-64
+/// resolves to `Scalar` here. Kernel dispatch sites use this so the
+/// level they record is the level that actually ran.
+#[inline]
+pub fn arch_level() -> SimdLevel {
+    match active_level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => SimdLevel::Avx2,
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse42 => SimdLevel::Sse42,
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => SimdLevel::Neon,
+        _ => SimdLevel::Scalar,
+    }
+}
+
+/// A dispatched kernel family, for attribution counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// CosmoFlow dense-LUT gather (per chunk).
+    CosmoGather,
+    /// DeepCAM per-line differential decode (per line).
+    DeepcamLine,
+    /// Bulk F32→F16 narrowing (per slice call).
+    HalfNarrow,
+    /// Bulk F16→F32 widening (per slice call).
+    HalfWiden,
+}
+
+/// All kernel families, in counter-table order.
+pub const ALL_KERNELS: [Kernel; 4] = [
+    Kernel::CosmoGather,
+    Kernel::DeepcamLine,
+    Kernel::HalfNarrow,
+    Kernel::HalfWiden,
+];
+
+impl Kernel {
+    /// Stable metric-name segment (`codec.simd.<kernel>.<level>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::CosmoGather => "cosmo_gather",
+            Kernel::DeepcamLine => "deepcam_line",
+            Kernel::HalfNarrow => "half_narrow",
+            Kernel::HalfWiden => "half_widen",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Kernel::CosmoGather => 0,
+            Kernel::DeepcamLine => 1,
+            Kernel::HalfNarrow => 2,
+            Kernel::HalfWiden => 3,
+        }
+    }
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static DISPATCH: [[AtomicU64; 4]; 4] = [[ZERO; 4], [ZERO; 4], [ZERO; 4], [ZERO; 4]];
+
+/// Records one dispatch of `kernel` through the `level` path. Relaxed;
+/// a few nanoseconds against kernels that run for microseconds.
+#[inline]
+pub fn record(kernel: Kernel, level: SimdLevel) {
+    DISPATCH[kernel.index()][level.index()].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of every (kernel, level) dispatch count since process start.
+pub fn dispatch_counts() -> Vec<(Kernel, SimdLevel, u64)> {
+    let mut out = Vec::with_capacity(16);
+    for &k in &ALL_KERNELS {
+        for &l in &ALL_LEVELS {
+            out.push((k, l, DISPATCH[k.index()][l.index()].load(Ordering::Relaxed)));
+        }
+    }
+    out
+}
+
+/// Total dispatches recorded for one level, summed over kernels.
+pub fn level_total(level: SimdLevel) -> u64 {
+    ALL_KERNELS
+        .iter()
+        .map(|k| DISPATCH[k.index()][level.index()].load(Ordering::Relaxed))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for &l in &ALL_LEVELS {
+            assert_eq!(SimdLevel::from_name(l.name()), Some(l));
+        }
+        assert_eq!(SimdLevel::from_name("AVX2"), Some(SimdLevel::Avx2));
+        assert_eq!(SimdLevel::from_name("sse4.2"), Some(SimdLevel::Sse42));
+        assert_eq!(SimdLevel::from_name("mmx"), None);
+    }
+
+    #[test]
+    fn scalar_is_always_supported_and_detected_is_supported() {
+        assert!(is_supported(SimdLevel::Scalar));
+        assert!(is_supported(detected_level()));
+        let levels = supported_levels();
+        assert_eq!(levels.first(), Some(&SimdLevel::Scalar));
+        assert!(levels.contains(&detected_level()));
+    }
+
+    #[test]
+    fn force_guard_overrides_and_restores() {
+        let baseline = active_level();
+        {
+            let _g = force(Some(SimdLevel::Scalar));
+            assert_eq!(active_level(), SimdLevel::Scalar);
+        }
+        assert_eq!(active_level(), baseline);
+    }
+
+    #[test]
+    fn forcing_unsupported_clamps_to_scalar() {
+        // On any single host at least one tier is unsupported (Neon on
+        // x86, Avx2 on aarch64).
+        let unsupported = ALL_LEVELS.iter().copied().find(|&l| !is_supported(l));
+        if let Some(l) = unsupported {
+            let _g = force(Some(l));
+            assert_eq!(active_level(), SimdLevel::Scalar);
+        }
+    }
+
+    #[test]
+    fn dispatch_counters_accumulate() {
+        let before = level_total(SimdLevel::Scalar);
+        record(Kernel::HalfNarrow, SimdLevel::Scalar);
+        record(Kernel::CosmoGather, SimdLevel::Scalar);
+        assert!(level_total(SimdLevel::Scalar) >= before + 2);
+        let counts = dispatch_counts();
+        assert_eq!(counts.len(), 16);
+    }
+}

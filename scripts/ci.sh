@@ -145,4 +145,20 @@ echo "==> compression shootout bench (raw vs gzip vs pack)"
 # ratio and decode throughput for each payload encoding.
 cargo bench -q -p sciml-bench --bench bench_compress
 
+echo "==> simd-matrix (codec + half suites at every supported tier)"
+# The dispatcher honors SCIML_SIMD, so the same test binaries prove
+# bit-exactness of the scalar, SSE4.2, and (where present) AVX2/NEON
+# kernels. `cpu-features --list` names only the tiers this host can
+# execute, so the matrix is exact on any machine.
+for tier in $(sciml cpu-features --list); do
+    echo "    -- SCIML_SIMD=$tier"
+    SCIML_SIMD="$tier" cargo test -q -p sciml-codec -p sciml-half -p sciml-pipeline
+done
+sciml cpu-features
+
+echo "==> decode thread-scaling bench (per kernel x ISA)"
+# Emits results/BENCH_decode_scaling.json: per-thread decode throughput,
+# scaling efficiency, and each vector tier's speedup over scalar.
+cargo bench -q -p sciml-bench --bench bench_decode_scaling
+
 echo "==> CI OK"
