@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! sciml-lint [--path <dir>] [--config <lint.toml>] [--json]
-//!            [--update-baseline] [--quiet]
+//!            [--require <rule>=<max>[,...]] [--update-baseline]
+//!            [--quiet]
 //! ```
 //!
-//! Walks `<path>/crates` (or `<path>` itself when it is not a repo
-//! root) and exits non-zero on any non-baselined violation or stale
-//! baseline entry. `--update-baseline` rewrites the generated section
-//! of `lint.toml` to match reality and exits 0.
+//! Walks `<path>/crates` *and* `<path>/shims` (or `<path>` itself when
+//! it is not a repo root) and exits non-zero on any non-baselined
+//! violation or stale baseline entry. `--update-baseline` rewrites the
+//! generated sections of `lint.toml` — the violation baseline and the
+//! unsafe inventory — to match reality and exits 0. `--require`
+//! additionally gates on *total* per-rule counts (baselined included),
+//! mirroring `sciml scrape --require`.
 
-use sciml_analyze::{lint_tree, Config, Report};
+use sciml_analyze::{lint_tree, Config, Outcome, Report, RULE_NAMES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,6 +24,46 @@ struct Args {
     json: bool,
     update_baseline: bool,
     quiet: bool,
+    require: Vec<(String, usize)>,
+}
+
+/// Parses one `--require` value: comma-separated `<rule>=<max>` pairs.
+fn parse_require(value: &str, out: &mut Vec<(String, usize)>) -> Result<(), String> {
+    for part in value.split(',').filter(|s| !s.is_empty()) {
+        let (rule, max) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--require expects <rule>=<max>, got `{part}`"))?;
+        let rule = rule.trim();
+        if !RULE_NAMES.contains(&rule) {
+            return Err(format!("--require: unknown rule `{rule}`"));
+        }
+        let max: usize = max
+            .trim()
+            .parse()
+            .map_err(|_| format!("--require: `{part}` needs an integer bound"))?;
+        out.push((rule.to_string(), max));
+    }
+    Ok(())
+}
+
+/// Checks `--require` bounds against total per-rule counts. Returns
+/// failure messages (empty = pass).
+fn check_require(outcome: &Outcome, require: &[(String, usize)]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (rule, max) in require {
+        let total: usize = outcome
+            .counts
+            .iter()
+            .filter(|((_, r), _)| r == rule)
+            .map(|(_, &c)| c)
+            .sum();
+        if total > *max {
+            failures.push(format!(
+                "--require {rule}={max} failed: {total} total violation(s)"
+            ));
+        }
+    }
+    failures
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         update_baseline: false,
         quiet: false,
+        require: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -42,10 +87,14 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = true,
             "--update-baseline" => args.update_baseline = true,
             "--quiet" | "-q" => args.quiet = true,
+            "--require" => {
+                let value = it.next().ok_or("--require needs <rule>=<max>")?;
+                parse_require(&value, &mut args.require)?;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: sciml-lint [--path <dir>] [--config <lint.toml>] [--json] \
-                            [--update-baseline] [--quiet]"
+                            [--require <rule>=<max>[,...]] [--update-baseline] [--quiet]"
                         .into(),
                 )
             }
@@ -77,31 +126,41 @@ fn main() -> ExitCode {
         }
     };
 
+    // A repo root is scanned as crates/ + shims/ (the lockcheck shim
+    // code is linted too); anything else is scanned as-is.
     let crates_dir = repo_root.join("crates");
-    let scan_root = if crates_dir.is_dir() {
-        crates_dir
+    let scan_roots: Vec<PathBuf> = if crates_dir.is_dir() {
+        let shims_dir = repo_root.join("shims");
+        if shims_dir.is_dir() {
+            vec![crates_dir, shims_dir]
+        } else {
+            vec![crates_dir]
+        }
     } else {
-        repo_root.clone()
+        vec![repo_root.clone()]
     };
-    let outcome = match lint_tree(&scan_root, &repo_root, &cfg) {
+    let outcome = match lint_tree(&scan_roots, &repo_root, &cfg) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("sciml-lint: scanning {}: {e}", scan_root.display());
+            eprintln!("sciml-lint: scanning: {e}");
             return ExitCode::from(2);
         }
     };
 
     if args.update_baseline {
         let entries = outcome.as_baseline();
-        if let Err(e) = Config::update_baseline_file(&config_path, &entries) {
+        if let Err(e) =
+            Config::update_baseline_file(&config_path, &entries, &outcome.unsafe_entries)
+        {
             eprintln!("sciml-lint: writing {}: {e}", config_path.display());
             return ExitCode::from(2);
         }
         if !args.quiet {
             println!(
-                "baseline updated: {} entr{} in {}",
+                "baseline updated: {} entr{}, {} unsafe site(s) inventoried in {}",
                 entries.len(),
                 if entries.len() == 1 { "y" } else { "ies" },
+                outcome.unsafe_entries.len(),
                 config_path.display()
             );
         }
@@ -118,7 +177,11 @@ fn main() -> ExitCode {
             print!("\n{failures}");
         }
     }
-    if outcome.is_green() {
+    let require_failures = check_require(&outcome, &args.require);
+    for f in &require_failures {
+        eprintln!("sciml-lint: {f}");
+    }
+    if outcome.is_green() && require_failures.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -15,6 +15,10 @@ use std::path::Path;
 pub const BASELINE_BEGIN: &str = "# BEGIN GENERATED BASELINE (sciml-lint --update-baseline)";
 /// Marker closing the generated baseline section.
 pub const BASELINE_END: &str = "# END GENERATED BASELINE";
+/// Marker opening the generated unsafe-inventory section.
+pub const UNSAFE_BEGIN: &str = "# BEGIN GENERATED UNSAFE INVENTORY (sciml-lint --update-baseline)";
+/// Marker closing the generated unsafe-inventory section.
+pub const UNSAFE_END: &str = "# END GENERATED UNSAFE INVENTORY";
 
 /// One grandfathered (file, rule) violation count.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +31,33 @@ pub struct BaselineEntry {
     pub count: usize,
 }
 
+/// Root / boundary configuration for one graph rule
+/// (`[rule.<name>]` section).
+#[derive(Debug, Clone, Default)]
+pub struct RuleCfg {
+    /// Root functions as `"path/suffix.rs:fn_name"` specs.
+    pub roots: Vec<String>,
+    /// Functions the reachability walk never enters (same spec format,
+    /// or a bare fn name).
+    pub boundaries: Vec<String>,
+}
+
+/// One recorded unsafe site in the generated inventory
+/// (`[[unsafe]]` table between the inventory markers).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct UnsafeEntry {
+    /// Repo-relative file path.
+    pub file: String,
+    /// `block`, `impl`, or `fn`.
+    pub kind: String,
+    /// Enclosing fn (blocks / unsafe fns) or impl type.
+    pub context: String,
+    /// Normalized FNV-1a 64 hash of the span's non-whitespace bytes.
+    pub hash: String,
+    /// Whether a SAFETY comment covers the site.
+    pub safety: bool,
+}
+
 /// Parsed `lint.toml`.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -37,6 +68,12 @@ pub struct Config {
     pub instant_paths: Vec<String>,
     /// Grandfathered violations: `(file, rule) -> count`.
     pub baseline: BTreeMap<(String, String), usize>,
+    /// Graph-rule roots/boundaries, keyed by rule name.
+    pub rules: BTreeMap<String, RuleCfg>,
+    /// The committed unsafe inventory. `None` means the config has no
+    /// inventory section yet and the ratchet is not enforced (so unit
+    /// fixtures and fresh repos don't instantly fail).
+    pub unsafe_inventory: Option<Vec<UnsafeEntry>>,
 }
 
 impl Default for Config {
@@ -52,6 +89,8 @@ impl Default for Config {
                 "crates/pipeline/src/pipeline.rs".into(),
             ],
             baseline: BTreeMap::new(),
+            rules: BTreeMap::new(),
+            unsafe_inventory: None,
         }
     }
 }
@@ -77,6 +116,8 @@ enum Section {
     None,
     Lint,
     Baseline,
+    Rule(String),
+    Unsafe,
     Unknown,
 }
 
@@ -89,7 +130,9 @@ impl Config {
         };
         let mut section = Section::None;
         let mut cur: Option<BaselineEntry> = None;
+        let mut cur_unsafe: Option<UnsafeEntry> = None;
         let finish = |cur: &mut Option<BaselineEntry>,
+                      cur_unsafe: &mut Option<UnsafeEntry>,
                       cfg: &mut Config,
                       line: usize|
          -> Result<(), ConfigError> {
@@ -102,16 +145,32 @@ impl Config {
                 }
                 cfg.baseline.insert((e.file, e.rule), e.count);
             }
+            if let Some(e) = cur_unsafe.take() {
+                if e.file.is_empty() || e.kind.is_empty() || e.hash.is_empty() {
+                    return Err(ConfigError {
+                        line,
+                        message: "unsafe entry needs `file`, `kind`, and `hash`".into(),
+                    });
+                }
+                cfg.unsafe_inventory.get_or_insert_with(Vec::new).push(e);
+            }
             Ok(())
         };
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
             let line = raw.trim();
+            if line == UNSAFE_BEGIN {
+                // An (even empty) inventory section turns the ratchet
+                // on: "no unsafe recorded" then means "no unsafe
+                // allowed", not "not enforced".
+                cfg.unsafe_inventory.get_or_insert_with(Vec::new);
+                continue;
+            }
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
             if line == "[[baseline]]" {
-                finish(&mut cur, &mut cfg, lineno)?;
+                finish(&mut cur, &mut cur_unsafe, &mut cfg, lineno)?;
                 section = Section::Baseline;
                 cur = Some(BaselineEntry {
                     file: String::new(),
@@ -120,10 +179,28 @@ impl Config {
                 });
                 continue;
             }
+            if line == "[[unsafe]]" {
+                finish(&mut cur, &mut cur_unsafe, &mut cfg, lineno)?;
+                section = Section::Unsafe;
+                cur_unsafe = Some(UnsafeEntry {
+                    file: String::new(),
+                    kind: String::new(),
+                    context: String::new(),
+                    hash: String::new(),
+                    safety: false,
+                });
+                continue;
+            }
             if line.starts_with('[') {
-                finish(&mut cur, &mut cfg, lineno)?;
+                finish(&mut cur, &mut cur_unsafe, &mut cfg, lineno)?;
                 section = if line == "[lint]" {
                     Section::Lint
+                } else if let Some(rule) = line
+                    .strip_prefix("[rule.")
+                    .and_then(|s| s.strip_suffix(']'))
+                {
+                    cfg.rules.entry(rule.to_string()).or_default();
+                    Section::Rule(rule.to_string())
                 } else {
                     Section::Unknown
                 };
@@ -170,6 +247,51 @@ impl Config {
                         }
                     }
                 }
+                Section::Rule(ref rule) => {
+                    let entry = cfg.rules.entry(rule.clone()).or_default();
+                    match key {
+                        "roots" => entry.roots = parse_string_array(value, lineno)?,
+                        "boundaries" => entry.boundaries = parse_string_array(value, lineno)?,
+                        _ => {
+                            return Err(ConfigError {
+                                line: lineno,
+                                message: format!("unknown [rule.{rule}] key `{key}`"),
+                            })
+                        }
+                    }
+                }
+                Section::Unsafe => {
+                    let entry = cur_unsafe.as_mut().ok_or(ConfigError {
+                        line: lineno,
+                        message: "unsafe key outside [[unsafe]]".into(),
+                    })?;
+                    match key {
+                        "file" => entry.file = parse_string(value, lineno)?,
+                        "kind" => entry.kind = parse_string(value, lineno)?,
+                        "context" => entry.context = parse_string(value, lineno)?,
+                        "hash" => entry.hash = parse_string(value, lineno)?,
+                        "safety" => {
+                            entry.safety = match value {
+                                "true" => true,
+                                "false" => false,
+                                _ => {
+                                    return Err(ConfigError {
+                                        line: lineno,
+                                        message: format!(
+                                            "safety must be true or false, got `{value}`"
+                                        ),
+                                    })
+                                }
+                            }
+                        }
+                        _ => {
+                            return Err(ConfigError {
+                                line: lineno,
+                                message: format!("unknown [[unsafe]] key `{key}`"),
+                            })
+                        }
+                    }
+                }
                 Section::Unknown => {}
                 Section::None => {
                     return Err(ConfigError {
@@ -179,7 +301,7 @@ impl Config {
                 }
             }
         }
-        finish(&mut cur, &mut cfg, text.lines().count())?;
+        finish(&mut cur, &mut cur_unsafe, &mut cfg, text.lines().count())?;
         Ok(cfg)
     }
 
@@ -208,34 +330,61 @@ impl Config {
         out
     }
 
-    /// Rewrites the marker-delimited generated section of `lint.toml`
-    /// at `path` with `entries`, creating the file (markers included)
-    /// if absent. Returns the new file text.
-    pub fn update_baseline_file(path: &Path, entries: &[BaselineEntry]) -> std::io::Result<String> {
+    /// Serializes `entries` as the generated unsafe-inventory body.
+    pub fn render_unsafe(entries: &[UnsafeEntry]) -> String {
+        let mut out = String::new();
+        for e in entries {
+            out.push_str(&format!(
+                "\n[[unsafe]]\nfile = \"{}\"\nkind = \"{}\"\ncontext = \"{}\"\nhash = \"{}\"\nsafety = {}\n",
+                e.file, e.kind, e.context, e.hash, e.safety
+            ));
+        }
+        out
+    }
+
+    /// Rewrites the marker-delimited generated sections of `lint.toml`
+    /// at `path` — the violation baseline and the unsafe inventory —
+    /// creating the file (markers included) if absent. Returns the new
+    /// file text.
+    pub fn update_baseline_file(
+        path: &Path,
+        entries: &[BaselineEntry],
+        unsafe_entries: &[UnsafeEntry],
+    ) -> std::io::Result<String> {
         let existing = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => format!(
-                "# sciml-lint configuration (see docs/ARCHITECTURE.md §4f)\n\n{}\n{}\n",
-                BASELINE_BEGIN, BASELINE_END
+                "# sciml-lint configuration (see docs/ARCHITECTURE.md §4f and §4k)\n\n{}\n{}\n\n{}\n{}\n",
+                BASELINE_BEGIN, BASELINE_END, UNSAFE_BEGIN, UNSAFE_END
             ),
             Err(e) => return Err(e),
         };
-        let body = Self::render_baseline(entries);
-        let new_text = match (existing.find(BASELINE_BEGIN), existing.find(BASELINE_END)) {
-            (Some(b), Some(e)) if b < e => {
-                let after_begin = b + BASELINE_BEGIN.len();
-                format!("{}{}\n{}", &existing[..after_begin], body, &existing[e..])
-            }
-            _ => format!(
-                "{}\n{}\n{}{}\n",
-                existing.trim_end(),
-                BASELINE_BEGIN,
-                body,
-                BASELINE_END
-            ),
-        };
-        std::fs::write(path, &new_text)?;
-        Ok(new_text)
+        let text = replace_section(
+            &existing,
+            BASELINE_BEGIN,
+            BASELINE_END,
+            &Self::render_baseline(entries),
+        );
+        let text = replace_section(
+            &text,
+            UNSAFE_BEGIN,
+            UNSAFE_END,
+            &Self::render_unsafe(unsafe_entries),
+        );
+        std::fs::write(path, &text)?;
+        Ok(text)
+    }
+}
+
+/// Replaces the text between `begin` and `end` markers with `body`,
+/// appending a fresh marker pair when the text has none.
+fn replace_section(existing: &str, begin: &str, end: &str, body: &str) -> String {
+    match (existing.find(begin), existing.find(end)) {
+        (Some(b), Some(e)) if b < e => {
+            let after_begin = b + begin.len();
+            format!("{}{}\n{}", &existing[..after_begin], body, &existing[e..])
+        }
+        _ => format!("{}\n\n{}\n{}{}\n", existing.trim_end(), begin, body, end),
     }
 }
 
@@ -323,7 +472,7 @@ count = 1
             rule: "no_panics".into(),
             count: 2,
         }];
-        Config::update_baseline_file(&path, &entries).unwrap();
+        Config::update_baseline_file(&path, &entries, &[]).unwrap();
         let cfg = Config::load(&path).unwrap();
         assert_eq!(
             cfg.baseline
@@ -334,10 +483,55 @@ count = 1
         let mut text = std::fs::read_to_string(&path).unwrap();
         text = format!("[lint]\nhot_path_crates = [\"codec\"]\n{text}");
         std::fs::write(&path, &text).unwrap();
-        Config::update_baseline_file(&path, &[]).unwrap();
+        Config::update_baseline_file(&path, &[], &[]).unwrap();
         let cfg = Config::load(&path).unwrap();
         assert_eq!(cfg.hot_path_crates, vec!["codec"]);
         assert!(cfg.baseline.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parses_rule_sections() {
+        let text = "[rule.no_panics_transitive]\nroots = [\"decode.rs:decode_into\"]\n\n\
+                    [rule.no_blocking_in_reactor]\nroots = [\"reactor.rs:run\"]\nboundaries = [\"reactor.rs:maybe_dispatch\"]\n";
+        let cfg = Config::parse(text).unwrap();
+        assert_eq!(
+            cfg.rules["no_panics_transitive"].roots,
+            vec!["decode.rs:decode_into"]
+        );
+        assert_eq!(
+            cfg.rules["no_blocking_in_reactor"].boundaries,
+            vec!["reactor.rs:maybe_dispatch"]
+        );
+        let err = Config::parse("[rule.x]\nnope = [\"y\"]\n").unwrap_err();
+        assert!(err.message.contains("unknown [rule.x] key"));
+    }
+
+    #[test]
+    fn unsafe_inventory_roundtrip_and_empty_semantics() {
+        // No section at all: the ratchet is off.
+        assert!(Config::parse("[lint]\nhot_path_crates = []\n")
+            .unwrap()
+            .unsafe_inventory
+            .is_none());
+        // An empty marker pair turns it on with zero recorded sites.
+        let text = format!("{UNSAFE_BEGIN}\n{UNSAFE_END}\n");
+        let cfg = Config::parse(&text).unwrap();
+        assert_eq!(cfg.unsafe_inventory.as_deref(), Some(&[] as &[UnsafeEntry]));
+
+        let dir = std::env::temp_dir().join(format!("lint-unsafe-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lint.toml");
+        let entries = vec![UnsafeEntry {
+            file: "crates/simd/src/gather.rs".into(),
+            kind: "block".into(),
+            context: "gather_rows".into(),
+            hash: "00ff00ff00ff00ff".into(),
+            safety: true,
+        }];
+        Config::update_baseline_file(&path, &[], &entries).unwrap();
+        let cfg = Config::load(&path).unwrap();
+        assert_eq!(cfg.unsafe_inventory.as_deref(), Some(entries.as_slice()));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

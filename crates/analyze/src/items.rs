@@ -1,0 +1,726 @@
+//! Item-aware parsing on top of the lexer: function boundaries, impl /
+//! trait / mod attribution, `#[cfg(test)]` / `#[cfg(target_arch)]`
+//! classification, and `unsafe` site extraction.
+//!
+//! This is not a Rust parser — it is a brace-tracking scanner over the
+//! lexer's code-only text (strings and comments blanked to spaces, so
+//! they can never confuse brace matching). It answers exactly the
+//! questions the call-graph and the unsafe inventory need:
+//!
+//! * where does each `fn` start and end (byte range of its body)?
+//! * which impl / trait block encloses it (for method resolution)?
+//! * is it test code, and which `target_arch` is it gated on?
+//! * where is every `unsafe` block / `unsafe impl` / `unsafe fn`, and
+//!   what is the normalized fingerprint of its span?
+//!
+//! Known approximations (documented in ARCHITECTURE §4k): const-generic
+//! braces in signatures (`fn f() -> Foo<{N}>`) and multi-line
+//! attributes are not understood; neither occurs in this workspace.
+
+use crate::lexer::{lex, Lexed};
+use std::ops::Range;
+
+/// One `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Enclosing impl/trait type name (last path segment, generics
+    /// stripped), if the fn is an associated fn / method.
+    pub impl_type: Option<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub decl_line: usize,
+    /// Byte range of the body, *inside* the outer braces.
+    pub body: Range<usize>,
+    /// Whether the fn lives in test code (`#[test]` / `#[cfg(test)]`
+    /// regions, or a `tests/`/`benches/` file).
+    pub is_test: bool,
+    /// `unsafe fn`?
+    pub is_unsafe: bool,
+    /// `target_arch` value from a `#[cfg(target_arch = "…")]` attribute
+    /// on the fn or an enclosing mod, if any.
+    pub arch: Option<String>,
+}
+
+/// Kind of one `unsafe` site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// `unsafe { … }` block.
+    Block,
+    /// `unsafe impl … { … }` (or `unsafe trait`).
+    Impl,
+    /// `unsafe fn` (the whole body is the unsafe span).
+    Fn,
+}
+
+impl UnsafeKind {
+    /// Stable name used in the generated inventory.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "block",
+            UnsafeKind::Impl => "impl",
+            UnsafeKind::Fn => "fn",
+        }
+    }
+
+    /// Parses an inventory `kind` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "block" => Some(UnsafeKind::Block),
+            "impl" => Some(UnsafeKind::Impl),
+            "fn" => Some(UnsafeKind::Fn),
+            _ => None,
+        }
+    }
+}
+
+/// One `unsafe` site found in a file.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Block, impl, or fn.
+    pub kind: UnsafeKind,
+    /// 1-indexed line of the `unsafe` keyword.
+    pub line: usize,
+    /// Enclosing fn name (for blocks), the fn's own name (for
+    /// `unsafe fn`), or the impl/trait type (for `unsafe impl`).
+    pub context: String,
+    /// Byte range of the site's span in the original text (from the
+    /// `unsafe` keyword through the matching close brace).
+    pub span: Range<usize>,
+    /// Whether a `SAFETY:`/`# Safety` comment covers the site.
+    pub safety_comment: bool,
+    /// Whether the site is in test code.
+    pub is_test: bool,
+}
+
+/// Parse result for one file.
+pub struct ParsedFile {
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every `unsafe` site, in source order.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// The file text with non-code bytes blanked (newlines kept), so
+    /// byte offsets match the original. Call extraction works on this.
+    pub code_text: String,
+    /// Per-line test classification (1-indexed line N at `[N-1]`).
+    pub test_mask: Vec<bool>,
+}
+
+/// FNV-1a 64 over the non-whitespace bytes of `span_text`: the
+/// normalized token hash used to fingerprint unsafe sites. Collapsing
+/// whitespace keeps reformatting from invalidating the inventory while
+/// any token change does.
+pub fn fingerprint(span_text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in span_text.bytes().filter(|b| !b.is_ascii_whitespace()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+enum ScopeKind {
+    Plain,
+    Mod,
+    Container,
+    Fn { idx: usize },
+    Unsafe { site_idx: usize },
+}
+
+struct Scope {
+    kind: ScopeKind,
+    prev_container: Option<String>,
+    prev_arch: Option<String>,
+}
+
+enum Pending {
+    Fn {
+        name: String,
+        decl_line: usize,
+        is_unsafe: bool,
+        arch: Option<String>,
+    },
+    Container {
+        start: usize,
+        is_unsafe: bool,
+        unsafe_line: usize,
+    },
+    Mod {
+        arch: Option<String>,
+    },
+    Unsafe {
+        start: usize,
+        line: usize,
+    },
+}
+
+/// Parses `text` into fn items and unsafe sites. `whole_file_test`
+/// marks every item as test code (for `tests/` / `benches/` files).
+pub fn parse_file(text: &str, whole_file_test: bool) -> ParsedFile {
+    parse_lexed(&lex(text), whole_file_test)
+}
+
+/// [`parse_file`] over an already-lexed file.
+pub fn parse_lexed(lexed: &Lexed<'_>, whole_file_test: bool) -> ParsedFile {
+    let code = lexed.code_text();
+    let test_mask = crate::rules::test_line_mask(lexed, whole_file_test);
+    let (fns, unsafe_sites) = Parser {
+        lexed,
+        code: code.as_bytes(),
+        test_mask: &test_mask,
+        fns: Vec::new(),
+        unsafe_sites: Vec::new(),
+        scopes: Vec::new(),
+        container: None,
+        arch: None,
+    }
+    .run();
+    ParsedFile {
+        fns,
+        unsafe_sites,
+        code_text: code,
+        test_mask,
+    }
+}
+
+struct Parser<'a> {
+    lexed: &'a Lexed<'a>,
+    code: &'a [u8],
+    test_mask: &'a [bool],
+    fns: Vec<FnItem>,
+    unsafe_sites: Vec<UnsafeSite>,
+    scopes: Vec<Scope>,
+    /// Current impl/trait type for method attribution.
+    container: Option<String>,
+    /// Current `target_arch` gate inherited from enclosing mods.
+    arch: Option<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn run(mut self) -> (Vec<FnItem>, Vec<UnsafeSite>) {
+        let n = self.code.len();
+        let mut i = 0usize;
+        // The pending item whose `{` we are looking for, plus the
+        // paren/bracket depth inside its signature (a `;` or `{` only
+        // counts at depth 0 — `[u8; 2]` must not cancel a pending fn).
+        let mut pending: Option<Pending> = None;
+        let mut sig_depth = 0usize;
+        // Set when the previous identifier was `unsafe`, so `unsafe fn`
+        // / `unsafe impl` / `unsafe trait` attach the flag.
+        let mut unsafe_kw: Option<(usize, usize)> = None; // (start, line)
+
+        while i < n {
+            let b = self.code[i];
+            if b.is_ascii_alphabetic() || b == b'_' {
+                let start = i;
+                while i < n && (self.code[i].is_ascii_alphanumeric() || self.code[i] == b'_') {
+                    i += 1;
+                }
+                // Raw identifiers (`r#match`) reach here as `r` … no:
+                // the lexer keeps `r#ident` as code, so the scanner sees
+                // `r`, `#`, `ident` — all harmless for item parsing.
+                let word = &self.code[start..i];
+                let took_unsafe = unsafe_kw.take();
+                match word {
+                    b"unsafe" if pending.is_none() => {
+                        let line = self.lexed.line_of_offset(start);
+                        // Peek: `unsafe {` opens an unsafe block; a
+                        // following `fn`/`impl`/`trait` keyword picks
+                        // the flag up from `unsafe_kw`.
+                        let mut j = i;
+                        while j < n && (self.code[j] == b' ' || self.code[j] == b'\n') {
+                            j += 1;
+                        }
+                        if self.code.get(j) == Some(&b'{') {
+                            pending = Some(Pending::Unsafe { start, line });
+                        } else {
+                            unsafe_kw = Some((start, line));
+                        }
+                    }
+                    b"fn" if pending.is_none() => {
+                        // `fn(` is a function-pointer type, not an item.
+                        let mut j = i;
+                        while j < n && (self.code[j] == b' ' || self.code[j] == b'\n') {
+                            j += 1;
+                        }
+                        let name_start = j;
+                        while j < n
+                            && (self.code[j].is_ascii_alphanumeric() || self.code[j] == b'_')
+                        {
+                            j += 1;
+                        }
+                        if j > name_start {
+                            let decl_line = self.lexed.line_of_offset(start);
+                            let name =
+                                String::from_utf8_lossy(&self.code[name_start..j]).into_owned();
+                            let arch = self.attr_arch(decl_line).or_else(|| self.arch.clone());
+                            pending = Some(Pending::Fn {
+                                name,
+                                decl_line,
+                                is_unsafe: took_unsafe.is_some(),
+                                arch,
+                            });
+                            sig_depth = 0;
+                            i = j;
+                        }
+                    }
+                    b"impl" | b"trait" if pending.is_none() => {
+                        let line = self.lexed.line_of_offset(start);
+                        let (us, ul) = match took_unsafe {
+                            Some((s, l)) => (true, (s, l)),
+                            None => (false, (start, line)),
+                        };
+                        pending = Some(Pending::Container {
+                            start: if us { ul.0 } else { start },
+                            is_unsafe: us,
+                            unsafe_line: ul.1,
+                        });
+                        sig_depth = 0;
+                    }
+                    b"mod" if pending.is_none() => {
+                        let line = self.lexed.line_of_offset(start);
+                        let arch = self.attr_arch(line);
+                        pending = Some(Pending::Mod { arch });
+                        sig_depth = 0;
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            // Whitespace between `unsafe` and the following `fn` /
+            // `impl` must not clear the pending keyword.
+            if !matches!(b, b' ' | b'\n' | b'\r' | b'\t') {
+                unsafe_kw = None;
+            }
+            match b {
+                b'(' | b'[' if pending.is_some() => sig_depth += 1,
+                b')' | b']' if pending.is_some() => sig_depth = sig_depth.saturating_sub(1),
+                b';' if pending.is_some() && sig_depth == 0 => {
+                    // Bodiless item: trait method decl, `mod x;`, …
+                    pending = None;
+                }
+                b'{' => {
+                    let scope = match pending.take() {
+                        Some(Pending::Fn {
+                            name,
+                            decl_line,
+                            is_unsafe,
+                            arch,
+                        }) => {
+                            let idx = self.fns.len();
+                            let is_test =
+                                self.test_mask.get(decl_line - 1).copied().unwrap_or(false);
+                            self.fns.push(FnItem {
+                                name: name.clone(),
+                                impl_type: self.container.clone(),
+                                decl_line,
+                                body: i + 1..i + 1, // end patched on close
+                                is_test,
+                                is_unsafe,
+                                arch,
+                            });
+                            if is_unsafe {
+                                let site_idx = self.unsafe_sites.len();
+                                self.unsafe_sites.push(UnsafeSite {
+                                    kind: UnsafeKind::Fn,
+                                    line: decl_line,
+                                    context: name,
+                                    span: i + 1..i + 1,
+                                    safety_comment: self.fn_safety_doc(decl_line),
+                                    is_test,
+                                });
+                                self.scopes.push(Scope {
+                                    kind: ScopeKind::Unsafe { site_idx },
+                                    prev_container: None,
+                                    prev_arch: None,
+                                });
+                            }
+                            Scope {
+                                kind: ScopeKind::Fn { idx },
+                                prev_container: None,
+                                prev_arch: None,
+                            }
+                        }
+                        Some(Pending::Container {
+                            start,
+                            is_unsafe,
+                            unsafe_line,
+                        }) => {
+                            let name = self.container_name(start, i);
+                            if is_unsafe {
+                                let is_test = self
+                                    .test_mask
+                                    .get(unsafe_line - 1)
+                                    .copied()
+                                    .unwrap_or(false);
+                                let site_idx = self.unsafe_sites.len();
+                                self.unsafe_sites.push(UnsafeSite {
+                                    kind: UnsafeKind::Impl,
+                                    line: unsafe_line,
+                                    context: name.clone().unwrap_or_default(),
+                                    span: start..start,
+                                    safety_comment: crate::rules::has_safety_comment(
+                                        self.lexed,
+                                        unsafe_line,
+                                    ),
+                                    is_test,
+                                });
+                                self.scopes.push(Scope {
+                                    kind: ScopeKind::Unsafe { site_idx },
+                                    prev_container: None,
+                                    prev_arch: None,
+                                });
+                            }
+                            let prev = self.container.take();
+                            self.container = name;
+                            Scope {
+                                kind: ScopeKind::Container,
+                                prev_container: prev,
+                                prev_arch: None,
+                            }
+                        }
+                        Some(Pending::Mod { arch }) => {
+                            let prev_arch = self.arch.take();
+                            self.arch = arch.or_else(|| prev_arch.clone());
+                            let prev_container = self.container.take();
+                            Scope {
+                                kind: ScopeKind::Mod,
+                                prev_container,
+                                prev_arch,
+                            }
+                        }
+                        Some(Pending::Unsafe { start, line }) => {
+                            let site_idx = self.unsafe_sites.len();
+                            let context = self
+                                .scopes
+                                .iter()
+                                .rev()
+                                .find_map(|s| match &s.kind {
+                                    ScopeKind::Fn { idx } => Some(self.fns[*idx].name.clone()),
+                                    _ => None,
+                                })
+                                .unwrap_or_default();
+                            let is_test = self.test_mask.get(line - 1).copied().unwrap_or(false);
+                            self.unsafe_sites.push(UnsafeSite {
+                                kind: UnsafeKind::Block,
+                                line,
+                                context,
+                                span: start..start,
+                                safety_comment: crate::rules::has_safety_comment(self.lexed, line),
+                                is_test,
+                            });
+                            Scope {
+                                kind: ScopeKind::Unsafe { site_idx },
+                                prev_container: None,
+                                prev_arch: None,
+                            }
+                        }
+                        None => Scope {
+                            kind: ScopeKind::Plain,
+                            prev_container: None,
+                            prev_arch: None,
+                        },
+                    };
+                    self.scopes.push(scope);
+                }
+                b'}' => {
+                    // An `unsafe fn` pushed two scopes (Unsafe then Fn);
+                    // keep popping Unsafe scopes that end here too.
+                    while let Some(scope) = self.scopes.pop() {
+                        let again = matches!(
+                            (&scope.kind, self.scopes.last().map(|s| &s.kind)),
+                            (ScopeKind::Fn { .. }, Some(ScopeKind::Unsafe { .. }))
+                                | (ScopeKind::Container, Some(ScopeKind::Unsafe { .. }))
+                        );
+                        match scope.kind {
+                            ScopeKind::Fn { idx } => self.fns[idx].body.end = i,
+                            ScopeKind::Unsafe { site_idx } => {
+                                self.unsafe_sites[site_idx].span.end = i + 1;
+                            }
+                            ScopeKind::Container => {
+                                self.container = scope.prev_container;
+                            }
+                            ScopeKind::Mod => {
+                                self.container = scope.prev_container;
+                                self.arch = scope.prev_arch;
+                            }
+                            ScopeKind::Plain => {}
+                        }
+                        if !again {
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // Unclosed scopes at EOF (truncated input): close them at EOF.
+        while let Some(scope) = self.scopes.pop() {
+            match scope.kind {
+                ScopeKind::Fn { idx } => self.fns[idx].body.end = n,
+                ScopeKind::Unsafe { site_idx } => self.unsafe_sites[site_idx].span.end = n,
+                _ => {}
+            }
+        }
+        (self.fns, self.unsafe_sites)
+    }
+
+    /// Derives the impl/trait type name from the header text between
+    /// the keyword (at `start`) and the opening brace (at `brace`):
+    /// strip `where …`, take the segment after ` for ` if present,
+    /// last `::` path segment, generics stripped.
+    fn container_name(&self, start: usize, brace: usize) -> Option<String> {
+        let header = String::from_utf8_lossy(&self.code[start..brace]).into_owned();
+        let header = header.split(" where ").next().unwrap_or(&header).trim();
+        let ty = match header.rfind(" for ") {
+            Some(at) => &header[at + 5..],
+            None => {
+                // `impl<T> Type`, `trait Name`, `impl Trait for` …
+                // drop the leading keyword and any generic params.
+                let rest = header
+                    .trim_start_matches("unsafe")
+                    .trim_start()
+                    .trim_start_matches("impl")
+                    .trim_start_matches("trait")
+                    .trim_start();
+                let rest = skip_generics(rest);
+                rest
+            }
+        };
+        let ty = ty.trim();
+        // Last path segment, generics stripped, reference/pointer
+        // sigils dropped.
+        let ty = ty.split('<').next().unwrap_or(ty).trim();
+        let ty = ty.rsplit("::").next().unwrap_or(ty).trim();
+        let ty: String = ty
+            .trim_start_matches(['&', '*', ' '])
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if ty.is_empty() {
+            None
+        } else {
+            Some(ty)
+        }
+    }
+
+    /// `target_arch = "x"` from attribute lines directly above `line`.
+    fn attr_arch(&self, line: usize) -> Option<String> {
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let raw = self.lexed.line(l).trim();
+            let is_attr = raw.starts_with("#[") || raw.starts_with("#!");
+            if !is_attr && !raw.is_empty() && self.lexed.line_has_code(l) {
+                return None;
+            }
+            if let Some(at) = raw.find("target_arch") {
+                let rest = &raw[at..];
+                let mut quotes = rest.split('"');
+                quotes.next();
+                if let Some(v) = quotes.next() {
+                    return Some(v.to_string());
+                }
+            }
+            if !is_attr && raw.is_empty() {
+                continue;
+            }
+        }
+        None
+    }
+
+    /// `unsafe fn` safety contract: a `# Safety` / `SAFETY:` marker in
+    /// the doc/comment block directly above the declaration.
+    fn fn_safety_doc(&self, decl_line: usize) -> bool {
+        let mut l = decl_line;
+        // Attributes may sit between the doc block and the fn.
+        loop {
+            if l <= 1 {
+                return false;
+            }
+            l -= 1;
+            let raw = self.lexed.line(l).trim();
+            if raw.starts_with("#[") {
+                continue;
+            }
+            if raw.is_empty() {
+                continue;
+            }
+            if self.lexed.line_has_code(l) {
+                return false;
+            }
+            // A comment line: scan the contiguous comment block.
+            break;
+        }
+        let mut l = l + 1;
+        while l > 1 {
+            l -= 1;
+            let raw = self.lexed.line(l).trim();
+            if self.lexed.line_has_code(l) {
+                return false;
+            }
+            if raw.contains("# Safety") || raw.contains("SAFETY:") {
+                return true;
+            }
+            if raw.is_empty() && !raw.starts_with("//") {
+                // Blank line still inside the doc block: keep going one
+                // step, then stop at the next blank.
+                continue;
+            }
+        }
+        false
+    }
+}
+
+/// Skips a leading `<…>` generic parameter list (balanced).
+fn skip_generics(s: &str) -> &str {
+    let b = s.as_bytes();
+    if b.first() != Some(&b'<') {
+        return s;
+    }
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate() {
+        match c {
+            b'<' => depth += 1,
+            b'>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return s[i + 1..].trim_start();
+                }
+            }
+            _ => {}
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fns(text: &str) -> Vec<FnItem> {
+        parse_file(text, false).fns
+    }
+
+    #[test]
+    fn free_fn_and_method_attribution() {
+        let src = "fn free(x: u8) -> u8 { x }\n\
+                   struct S;\n\
+                   impl S {\n    fn method(&self) { self.other() }\n    fn other(&self) {}\n}\n\
+                   impl std::fmt::Display for S {\n    fn fmt(&self) {}\n}\n";
+        let items = fns(src);
+        let names: Vec<(&str, Option<&str>)> = items
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_type.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None),
+                ("method", Some("S")),
+                ("other", Some("S")),
+                ("fmt", Some("S")),
+            ]
+        );
+        assert_eq!(items[0].decl_line, 1);
+    }
+
+    #[test]
+    fn body_ranges_are_exact() {
+        let src = "fn a() { inner(1); }\nfn b() { x }\n";
+        let items = fns(src);
+        assert_eq!(&src[items[0].body.clone()], " inner(1); ");
+        assert_eq!(&src[items[1].body.clone()], " x ");
+    }
+
+    #[test]
+    fn nested_fns_and_braces() {
+        let src = "fn outer() {\n    let c = |x: u8| { x + 1 };\n    fn inner() { leaf() }\n    if a { b() } else { c() }\n}\n";
+        let items = fns(src);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name, "outer");
+        assert_eq!(items[1].name, "inner");
+        // inner's body nests inside outer's.
+        assert!(items[0].body.start < items[1].body.start);
+        assert!(items[1].body.end < items[0].body.end);
+    }
+
+    #[test]
+    fn cfg_test_marks_items() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn t() {}\n}\n";
+        let items = fns(src);
+        assert!(!items[0].is_test);
+        assert!(items[1].is_test && items[2].is_test);
+    }
+
+    #[test]
+    fn target_arch_from_fn_and_mod() {
+        let src = "#[cfg(target_arch = \"x86_64\")]\nmod avx2 {\n    fn kernel() {}\n}\n#[cfg(target_arch = \"aarch64\")]\nfn neon_kernel() {}\nfn plain() {}\n";
+        let items = fns(src);
+        assert_eq!(items[0].arch.as_deref(), Some("x86_64"));
+        assert_eq!(items[1].arch.as_deref(), Some("aarch64"));
+        assert_eq!(items[2].arch, None);
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_are_skipped() {
+        let src = "trait T {\n    fn decl(&self) -> u8;\n    fn dflt(&self) -> u8 { 0 }\n}\n";
+        let items = fns(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "dflt");
+        assert_eq!(items[0].impl_type.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn signature_punctuation_does_not_cancel_fn() {
+        let src = "fn f(x: [u8; 2], y: (u8, u8)) -> Result<(), E> where E: Sized { body() }\n";
+        let items = fns(src);
+        assert_eq!(items.len(), 1);
+        assert!(src[items[0].body.clone()].contains("body()"));
+    }
+
+    #[test]
+    fn unsafe_sites_extracted_with_context() {
+        let src = "fn f(p: *mut u8) {\n    // SAFETY: valid\n    unsafe { *p = 1 };\n}\n\
+                   // SAFETY: no shared state\nunsafe impl Send for X {}\n\
+                   /// # Safety\n/// caller checks\npub unsafe fn raw(p: *mut u8) { *p }\n";
+        let parsed = parse_file(src, false);
+        let sites = &parsed.unsafe_sites;
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites[0].kind, UnsafeKind::Block);
+        assert_eq!(sites[0].context, "f");
+        assert!(sites[0].safety_comment);
+        assert_eq!(sites[1].kind, UnsafeKind::Impl);
+        assert_eq!(sites[1].context, "X");
+        assert!(sites[1].safety_comment);
+        assert_eq!(sites[2].kind, UnsafeKind::Fn);
+        assert_eq!(sites[2].context, "raw");
+        assert!(sites[2].safety_comment);
+        assert!(src[sites[0].span.clone()].starts_with("unsafe"));
+        assert!(src[sites[0].span.clone()].ends_with('}'));
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_flagged() {
+        let src = "fn f(p: *mut u8) {\n    unsafe { *p = 1 };\n}\nunsafe fn g() {}\n";
+        let parsed = parse_file(src, false);
+        assert!(!parsed.unsafe_sites[0].safety_comment);
+        assert!(!parsed.unsafe_sites[1].safety_comment);
+    }
+
+    #[test]
+    fn impl_for_generic_types() {
+        let src = "impl<'a, T: Clone> Deref for PooledTensor<T> {\n    fn deref(&self) {}\n}\n";
+        let items = fns(src);
+        assert_eq!(items[0].impl_type.as_deref(), Some("PooledTensor"));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn real(cb: fn(u8) -> u8) { cb(1) }\nstatic F: fn() = || {};\n";
+        let items = fns(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "real");
+    }
+}

@@ -110,6 +110,25 @@ impl<'a> Lexed<'a> {
             Err(i) => i,
         }
     }
+
+    /// The whole file with every non-code byte replaced by a space
+    /// (newlines kept), so byte offsets and line boundaries survive.
+    /// This is the text the item parser and call-graph extractor work
+    /// on: brace matching and identifier scans can never be confused by
+    /// strings or comments.
+    pub fn code_text(&self) -> String {
+        self.text
+            .bytes()
+            .enumerate()
+            .map(|(i, b)| {
+                if b == b'\n' || (self.mask[i] == Class::Code && b != b'\r') {
+                    b as char
+                } else {
+                    ' '
+                }
+            })
+            .collect()
+    }
 }
 
 /// Lexes `text` into a per-byte classification.
@@ -168,6 +187,19 @@ pub fn lex(text: &str) -> Lexed<'_> {
                 }
             }
             b'"' => i = lex_string(bytes, i, &mut mask, &mut line_starts),
+            b'r' if is_raw_identifier(bytes, i) => {
+                // Raw identifier (`r#match`, `r#type`, …): the `r#` and
+                // the identifier are code. Consuming the whole token at
+                // once matters — raw identifiers like `r#r` or `r#b`
+                // would otherwise leave a bare `r`/`b` adjacent to a
+                // following `"` and be mis-lexed as a raw/byte string
+                // start, which disables escape handling for the rest of
+                // the file.
+                i += 2;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+            }
             b'r' | b'b' | b'c' if is_literal_prefix(bytes, i) => {
                 let start = i;
                 let mut j = i;
@@ -217,6 +249,20 @@ pub fn lex(text: &str) -> Lexed<'_> {
         mask,
         line_starts,
     }
+}
+
+/// Is the `r` at `i` the start of a raw identifier (`r#ident`)? True
+/// when `r#` is followed by an identifier-start byte — `r#"` (raw
+/// string) and `r##"` (hash-depth ≥ 1, which raw identifiers never
+/// have) stay literal prefixes.
+fn is_raw_identifier(bytes: &[u8], i: usize) -> bool {
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    bytes.get(i + 1) == Some(&b'#')
+        && bytes
+            .get(i + 2)
+            .is_some_and(|&b| b.is_ascii_alphabetic() || b == b'_')
 }
 
 /// Is the r/b/c run starting at `i` actually a literal prefix (i.e. not
@@ -463,6 +509,38 @@ mod tests {
         let c = code("for x in y { s.push_str(\"unwrap()\") }");
         assert!(c.contains("for x in y"));
         assert!(!c.contains("unwrap"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_code_not_raw_strings() {
+        // `r#match` is an identifier, fully code.
+        let c = code("let r#match = x.unwrap(); // panic! in comment");
+        assert!(c.contains("r#match"));
+        assert!(c.contains("unwrap"));
+        assert!(!c.contains("panic"));
+        // `r#r` / `r#b` adjacent to a string: the trailing `r`/`b` must
+        // not be re-interpreted as a raw/byte string prefix — the
+        // string that follows keeps normal escape handling.
+        let c = code(r#"m!(r#r"a\" x.unwrap()");"#);
+        assert!(c.contains("r#r"));
+        assert!(!c.contains("unwrap"), "escaped quote leaked: {c}");
+        let c = code(r#"let _ = (r#b, "unreachable!");"#);
+        assert!(c.contains("r#b"));
+        assert!(!c.contains("unreachable"));
+        // Raw *strings* still lex as strings: `r#"…"#` is not an ident.
+        let c = code(r###"let s = r#"todo!"#;"###);
+        assert!(!c.contains("todo"));
+    }
+
+    #[test]
+    fn code_text_preserves_offsets() {
+        let lexed = lex("let a = \"x\"; // c\nlet b = 2;\n");
+        let flat = lexed.code_text();
+        assert_eq!(flat.len(), lexed.text.len());
+        assert_eq!(&flat[..8], "let a = ");
+        assert!(flat.contains("\nlet b = 2;"));
+        assert!(!flat.contains('"'));
+        assert!(!flat.contains("// c"));
     }
 
     #[test]

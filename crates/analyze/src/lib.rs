@@ -24,13 +24,17 @@
 #![deny(missing_docs)]
 
 pub mod config;
+pub mod effects;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 
-pub use config::{BaselineEntry, Config};
+pub use config::{BaselineEntry, Config, RuleCfg, UnsafeEntry};
+pub use effects::Chain;
 pub use report::Report;
-pub use rules::{FileContext, Violation, RULE_NAMES};
+pub use rules::{baselineable, FileContext, Violation, RULE_NAMES};
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -51,6 +55,11 @@ pub struct Outcome {
     pub counts: BTreeMap<(String, String), usize>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Effect chains behind the graph-rule violations.
+    pub chains: Vec<Chain>,
+    /// The unsafe inventory of the scanned tree as it exists *now*
+    /// (what `--update-baseline` writes).
+    pub unsafe_entries: Vec<UnsafeEntry>,
 }
 
 /// One baseline entry that no longer matches reality.
@@ -72,11 +81,14 @@ impl Outcome {
         self.new_violations.is_empty() && self.stale.is_empty()
     }
 
-    /// The full violation set re-expressed as baseline entries.
+    /// The baselineable violation set re-expressed as baseline entries.
+    /// Graph-rule and inventory violations are deliberately excluded:
+    /// they cannot be grandfathered, only fixed or waived in place.
     pub fn as_baseline(&self) -> Vec<BaselineEntry> {
         self.counts
             .iter()
             .filter(|(_, &count)| count > 0)
+            .filter(|((_, rule), _)| baselineable(rule))
             .map(|((file, rule), &count)| BaselineEntry {
                 file: file.clone(),
                 rule: rule.clone(),
@@ -86,26 +98,53 @@ impl Outcome {
     }
 }
 
-/// Lints every `.rs` file under `root` (typically the repo's `crates/`
-/// directory, or a single file) against `cfg`.
-pub fn lint_tree(root: &Path, repo_root: &Path, cfg: &Config) -> std::io::Result<Outcome> {
+/// Lints every `.rs` file under each of `roots` (typically the repo's
+/// `crates/` and `shims/` directories, or a single file) against `cfg`.
+///
+/// Two phases: per-file token rules first, then the workspace call
+/// graph is built once over all scanned files for the reachability
+/// rules and the unsafe-inventory check.
+pub fn lint_tree(roots: &[PathBuf], repo_root: &Path, cfg: &Config) -> std::io::Result<Outcome> {
     let mut files = Vec::new();
-    collect_rs_files(root, &mut files)?;
+    for root in roots {
+        collect_rs_files(root, &mut files)?;
+    }
     files.sort();
+    files.dedup();
 
     let mut outcome = Outcome::default();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in files {
         let text = std::fs::read_to_string(&path)?;
         let rel = rel_path(repo_root, &path);
         let ctx = file_context(&rel, cfg);
         outcome.files_scanned += 1;
         for v in rules::scan_file(&text, &ctx) {
-            *outcome
-                .counts
-                .entry((v.file.clone(), v.rule.to_string()))
-                .or_default() += 1;
             outcome.new_violations.push(v);
         }
+        sources.push((rel, text));
+    }
+
+    // Phase two: call graph + effect rules + unsafe inventory. Only
+    // `crates/` files become graph nodes (the shims mimic external
+    // crates; their blocking/alloc internals are exactly what the
+    // effect tokens detect at the call site), but every scanned file
+    // is inventoried for unsafe sites.
+    let ws = graph::Workspace::build(&sources);
+    let (graph_violations, chains) = effects::evaluate(&ws, cfg);
+    outcome.new_violations.extend(graph_violations);
+    outcome.chains = chains;
+
+    outcome.unsafe_entries = current_inventory(&ws);
+    if let Some(recorded) = &cfg.unsafe_inventory {
+        outcome.new_violations.extend(inventory_diff(&ws, recorded));
+    }
+
+    for v in &outcome.new_violations {
+        *outcome
+            .counts
+            .entry((v.file.clone(), v.rule.to_string()))
+            .or_default() += 1;
     }
 
     // Apply the baseline: per (file, rule), the first `count`
@@ -140,6 +179,92 @@ pub fn lint_tree(root: &Path, repo_root: &Path, cfg: &Config) -> std::io::Result
         }
     }
     Ok(outcome)
+}
+
+/// The scanned tree's non-test unsafe sites as inventory entries.
+/// Test-code unsafe (inside `#[cfg(test)]` or `tests/` files) is
+/// excluded: it churns with test edits and is not part of the
+/// production unsafe surface the ratchet protects.
+fn current_inventory(ws: &graph::Workspace) -> Vec<UnsafeEntry> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        for (site, hash) in f.unsafe_sites.iter().zip(&f.unsafe_hashes) {
+            if f.test_file || site.is_test {
+                continue;
+            }
+            out.push(UnsafeEntry {
+                file: f.rel.clone(),
+                kind: site.kind.name().to_string(),
+                context: site.context.clone(),
+                hash: hash.clone(),
+                safety: site.safety_comment,
+            });
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Multiset diff of the current unsafe sites against the recorded
+/// inventory: unrecorded sites and entries that no longer match both
+/// fail as `unsafe_inventory` violations until the inventory is
+/// regenerated (and the diff reviewed).
+fn inventory_diff(ws: &graph::Workspace, recorded: &[UnsafeEntry]) -> Vec<Violation> {
+    type Key = (String, String, String, String, bool);
+    let key = |e: &UnsafeEntry| -> Key {
+        (
+            e.file.clone(),
+            e.kind.clone(),
+            e.context.clone(),
+            e.hash.clone(),
+            e.safety,
+        )
+    };
+    let mut budget: BTreeMap<Key, usize> = BTreeMap::new();
+    for e in recorded {
+        *budget.entry(key(e)).or_default() += 1;
+    }
+    let mut out = Vec::new();
+    for f in &ws.files {
+        for (site, hash) in f.unsafe_sites.iter().zip(&f.unsafe_hashes) {
+            if f.test_file || site.is_test {
+                continue;
+            }
+            let k = (
+                f.rel.clone(),
+                site.kind.name().to_string(),
+                site.context.clone(),
+                hash.clone(),
+                site.safety_comment,
+            );
+            match budget.get_mut(&k) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => out.push(Violation {
+                    file: f.rel.clone(),
+                    line: site.line,
+                    rule: "unsafe_inventory",
+                    token: format!(
+                        "unrecorded or edited unsafe {} in `{}` — review it, then run `sciml-lint --update-baseline`",
+                        site.kind.name(),
+                        site.context
+                    ),
+                }),
+            }
+        }
+    }
+    for ((file, kind, context, _, _), n) in budget {
+        if n > 0 {
+            out.push(Violation {
+                file,
+                line: 0,
+                rule: "unsafe_inventory",
+                token: format!(
+                    "inventory records {n} unsafe {kind} site(s) in `{context}` that no longer exist as recorded — run `sciml-lint --update-baseline`"
+                ),
+            });
+        }
+    }
+    out
 }
 
 fn collect_rs_files(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -221,20 +346,20 @@ mod tests {
         // Exact baseline: green.
         cfg.baseline
             .insert(("crates/codec/src/lib.rs".into(), "no_panics".into()), 2);
-        let out = lint_tree(&dir.join("crates"), &dir, &cfg).unwrap();
+        let out = lint_tree(&[dir.join("crates")], &dir, &cfg).unwrap();
         assert!(out.is_green(), "{:?}", out.new_violations);
         assert_eq!(out.suppressed, 2);
 
         // Baseline smaller than reality: the extra violation fails.
         cfg.baseline
             .insert(("crates/codec/src/lib.rs".into(), "no_panics".into()), 1);
-        let out = lint_tree(&dir.join("crates"), &dir, &cfg).unwrap();
+        let out = lint_tree(&[dir.join("crates")], &dir, &cfg).unwrap();
         assert_eq!(out.new_violations.len(), 1);
 
         // Baseline larger than reality: stale, also fails.
         cfg.baseline
             .insert(("crates/codec/src/lib.rs".into(), "no_panics".into()), 3);
-        let out = lint_tree(&dir.join("crates"), &dir, &cfg).unwrap();
+        let out = lint_tree(&[dir.join("crates")], &dir, &cfg).unwrap();
         assert!(out.new_violations.is_empty());
         assert_eq!(out.stale.len(), 1);
         assert_eq!(out.stale[0].actual, 2);
@@ -259,7 +384,7 @@ mod tests {
             "crates/store/src/lib.rs",
             "fn f(x: Option<u8>) { x.unwrap(); panic!(\"x\") }\n",
         );
-        let out = lint_tree(&dir.join("crates"), &dir, &Config::default()).unwrap();
+        let out = lint_tree(&[dir.join("crates")], &dir, &Config::default()).unwrap();
         assert_eq!(out.new_violations.len(), 2);
         let entries = out.as_baseline();
         assert_eq!(entries.len(), 1);
@@ -270,7 +395,7 @@ mod tests {
             cfg.baseline
                 .insert((e.file.clone(), e.rule.clone()), e.count);
         }
-        let out = lint_tree(&dir.join("crates"), &dir, &cfg).unwrap();
+        let out = lint_tree(&[dir.join("crates")], &dir, &cfg).unwrap();
         assert!(out.is_green());
         std::fs::remove_dir_all(&dir).ok();
     }

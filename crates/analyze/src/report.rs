@@ -43,17 +43,19 @@ impl<'a> Report<'a> {
         let mut out = String::new();
         let _ = write!(out, "{:<name_w$}", "crate");
         for rule in RULE_NAMES {
-            let _ = write!(out, "  {rule:>14}");
+            let w = rule.len().max(5);
+            let _ = write!(out, "  {rule:>w$}");
         }
         let _ = writeln!(out, "  {:>6}", "new");
         for (krate, counts) in &per_crate {
             let _ = write!(out, "{krate:<name_w$}");
             for rule in RULE_NAMES {
+                let w = rule.len().max(5);
                 let c = counts.get(rule).copied().unwrap_or(0);
                 if c == 0 {
-                    let _ = write!(out, "  {:>14}", "-");
+                    let _ = write!(out, "  {:>w$}", "-");
                 } else {
-                    let _ = write!(out, "  {c:>14}");
+                    let _ = write!(out, "  {c:>w$}");
                 }
             }
             let newc = new_per_crate.get(krate).copied().unwrap_or(0);
@@ -108,16 +110,47 @@ impl<'a> Report<'a> {
         out
     }
 
-    /// JSON document for tooling: counts, new violations, staleness.
+    /// JSON document for tooling: schema-versioned counts, per-rule
+    /// totals, new violations, staleness, and effect chains.
+    ///
+    /// The top-level `schema` field is the stability contract
+    /// (`sciml.lint.report.v1`): existing fields keep their names and
+    /// types within a major version; consumers must ignore unknown
+    /// fields.
     pub fn json(&self) -> String {
         let mut out = String::from("{");
         let _ = write!(
             out,
-            "\"files_scanned\":{},\"suppressed\":{},\"green\":{}",
+            "\"schema\":\"sciml.lint.report.v1\",\"files_scanned\":{},\"suppressed\":{},\"green\":{}",
             self.outcome.files_scanned,
             self.outcome.suppressed,
             self.outcome.is_green()
         );
+        // Per-rule totals (baselined + new) and new-only counts.
+        let mut total: BTreeMap<&str, usize> = BTreeMap::new();
+        for ((_, rule), &count) in &self.outcome.counts {
+            if let Some(r) = RULE_NAMES.iter().find(|r| *r == rule) {
+                *total.entry(r).or_default() += count;
+            }
+        }
+        let mut newc: BTreeMap<&str, usize> = BTreeMap::new();
+        for v in &self.outcome.new_violations {
+            *newc.entry(v.rule).or_default() += 1;
+        }
+        out.push_str(",\"rules\":{");
+        for (i, rule) in RULE_NAMES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"total\":{},\"new\":{}}}",
+                rule,
+                total.get(rule).copied().unwrap_or(0),
+                newc.get(rule).copied().unwrap_or(0)
+            );
+        }
+        out.push('}');
         out.push_str(",\"new_violations\":[");
         for (i, v) in self.outcome.new_violations.iter().enumerate() {
             if i > 0 {
@@ -162,6 +195,32 @@ impl<'a> Report<'a> {
                 escape(file),
                 rule,
                 count
+            );
+        }
+        out.push_str("],\"chains\":[");
+        for (i, c) in self.outcome.chains.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":\"{}\",\"root_file\":\"{}\",\"root_line\":{},\"path\":[",
+                c.rule,
+                escape(&c.root_file),
+                c.root_line
+            );
+            for (j, seg) in c.path.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", escape(seg));
+            }
+            let _ = write!(
+                out,
+                "],\"token\":\"{}\",\"site_file\":\"{}\",\"site_line\":{}}}",
+                escape(&c.token),
+                escape(&c.site_file),
+                c.site_line
             );
         }
         out.push_str("]}");
@@ -223,6 +282,28 @@ mod tests {
         assert!(j.contains("\"green\":false"));
         assert!(j.contains("\"rule\":\"no_panics\""));
         // Balanced quotes: every key/value quote closes.
+        assert_eq!(j.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn json_carries_schema_rules_and_chains() {
+        let mut o = outcome_with(1);
+        o.chains.push(crate::effects::Chain {
+            rule: "no_panics_transitive",
+            root_file: "crates/codec/src/decode.rs".into(),
+            root_line: 10,
+            path: vec!["decode_into".into(), "lut_get".into()],
+            token: "panic!".into(),
+            site_file: "crates/codec/src/lut.rs".into(),
+            site_line: 42,
+        });
+        let j = Report::new(&o).json();
+        assert!(j.contains("\"schema\":\"sciml.lint.report.v1\""));
+        assert!(j.contains("\"rules\":{"));
+        assert!(j.contains("\"no_panics\":{\"total\":3,\"new\":1}"));
+        assert!(j.contains("\"no_blocking_in_reactor\":{\"total\":0,\"new\":0}"));
+        assert!(j.contains("\"path\":[\"decode_into\",\"lut_get\"]"));
+        assert!(j.contains("\"site_line\":42"));
         assert_eq!(j.matches('"').count() % 2, 0);
     }
 

@@ -14,8 +14,31 @@
 use crate::lexer::{lex, Lexed};
 use std::collections::{HashMap, HashSet};
 
-/// Names of all rules, in report order.
-pub const RULE_NAMES: [&str; 4] = ["no_panics", "safety_comment", "no_std_sync", "no_instant"];
+/// Names of all rules, in report order. The first four are token
+/// rules (line-local, baselineable); the last four are the graph and
+/// inventory rules added by lint v2, which can be waived in place but
+/// never grandfathered.
+pub const RULE_NAMES: [&str; 8] = [
+    "no_panics",
+    "safety_comment",
+    "no_std_sync",
+    "no_instant",
+    "no_panics_transitive",
+    "no_alloc_hot_loop",
+    "no_blocking_in_reactor",
+    "unsafe_inventory",
+];
+
+/// Whether violations of `rule` may be grandfathered in the generated
+/// baseline. Graph-reachability and inventory rules deliberately are
+/// not: a transitive panic chain or an unrecorded unsafe site must be
+/// fixed or waived in place, not absorbed.
+pub fn baselineable(rule: &str) -> bool {
+    matches!(
+        rule,
+        "no_panics" | "safety_comment" | "no_std_sync" | "no_instant"
+    )
+}
 
 /// One rule violation at a source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,7 +136,7 @@ pub fn scan_file(text: &str, ctx: &FileContext) -> Vec<Violation> {
 
 /// `true` for every 1-indexed line inside `#[cfg(test)]` / `#[test]`
 /// regions (attribute line through the matching close brace).
-fn test_line_mask(lexed: &Lexed<'_>, whole_file: bool) -> Vec<bool> {
+pub(crate) fn test_line_mask(lexed: &Lexed<'_>, whole_file: bool) -> Vec<bool> {
     let n = lexed.line_count();
     if whole_file {
         return vec![true; n];
@@ -169,7 +192,7 @@ fn test_line_mask(lexed: &Lexed<'_>, whole_file: bool) -> Vec<bool> {
 /// Parses `lint:allow(rule): reason` annotations. Returns, per code
 /// line, the set of rules waived there (trailing comments waive their
 /// own line; comment-only lines waive the next line with code).
-fn allow_map(lexed: &Lexed<'_>) -> HashMap<usize, HashSet<String>> {
+pub(crate) fn allow_map(lexed: &Lexed<'_>) -> HashMap<usize, HashSet<String>> {
     let n = lexed.line_count();
     let mut map: HashMap<usize, HashSet<String>> = HashMap::new();
     let mut pending: HashSet<String> = HashSet::new();
@@ -205,7 +228,7 @@ fn allow_map(lexed: &Lexed<'_>) -> HashMap<usize, HashSet<String>> {
 
 /// Panic-capable tokens on a code line: `.unwrap()`, `.expect(`,
 /// `panic!`, `unreachable!`, `todo!`.
-fn panic_tokens(code: &str) -> Vec<String> {
+pub(crate) fn panic_tokens(code: &str) -> Vec<String> {
     let mut out = Vec::new();
     for (at, _) in word_occurrences(code, "unwrap") {
         if at > 0 && code[..at].ends_with('.') {
@@ -249,7 +272,7 @@ fn unsafe_sites_needing_comment(lexed: &Lexed<'_>, line: usize, code: &str) -> u
     needing
 }
 
-fn has_safety_comment(lexed: &Lexed<'_>, line: usize) -> bool {
+pub(crate) fn has_safety_comment(lexed: &Lexed<'_>, line: usize) -> bool {
     if lexed.comment_of_line(line).contains("SAFETY:") {
         return true;
     }
@@ -287,7 +310,10 @@ fn contains_word(text: &str, word: &str) -> bool {
 
 /// Occurrences of `word` in `text` with identifier boundaries on both
 /// sides; yields `(start, end)` byte offsets.
-fn word_occurrences<'a>(text: &'a str, word: &'a str) -> impl Iterator<Item = (usize, usize)> + 'a {
+pub(crate) fn word_occurrences<'a>(
+    text: &'a str,
+    word: &'a str,
+) -> impl Iterator<Item = (usize, usize)> + 'a {
     let mut at = 0usize;
     std::iter::from_fn(move || {
         while let Some(pos) = text[at..].find(word) {

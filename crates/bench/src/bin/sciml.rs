@@ -23,7 +23,7 @@
 //! sciml validate-json FILE...      # check emitted metrics/trace files parse as JSON
 //! sciml trace-merge --out OUT IN...   # merge Chrome traces onto one timeline
 //! sciml scrape --addr HOST:PORT [--require fam1,fam2] [--out FILE]
-//! sciml lint [--path DIR] [--json] # run the in-repo static analyzer
+//! sciml lint [--path DIR] [--json] [--require r=N]  # run the in-repo static analyzer
 //! ```
 
 use sciml_codec::cosmoflow as cf;
@@ -110,7 +110,7 @@ fn print_usage() {
          trace-merge --out OUT IN...                   merge Chrome traces onto one timeline\n  \
          scrape --addr A [--require f1,f2] [--out F]   scrape + validate a metrics endpoint\n  \
          cpu-features [--list]                         SIMD tier detection + per-kernel dispatch plan\n  \
-         lint [--path DIR] [--json]                    static-analysis gate (panics, SAFETY, locks)\n\n\
+         lint [--path DIR] [--json] [--require r=N]    static-analysis gate (panics, effects, unsafe)\n\n\
          telemetry flags (serve / fetch):\n  \
          --metrics-out FILE    write a metrics snapshot (JSONL) on exit\n  \
          --metrics-addr A      expose Prometheus-text metrics on A (serve)\n  \
@@ -1310,25 +1310,50 @@ fn soak(args: &[String]) -> Result<(), String> {
 
 /// Runs the in-repo static analyzer (`sciml-analyze`) over the repo at
 /// `--path` (default `.`) and prints the per-crate, per-rule violation
-/// table, or machine-readable JSON with `--json`. Exits nonzero on any
-/// non-baselined violation or stale baseline entry, mirroring the CI
-/// `lint` stage.
+/// table, or machine-readable JSON (`sciml.lint.report.v1`) with
+/// `--json`. Exits nonzero on any non-baselined violation, stale
+/// baseline entry, or exceeded `--require <rule>=<max>` bound,
+/// mirroring the CI `lint` stage.
 fn lint(args: &[String]) -> Result<(), String> {
     let repo_root = PathBuf::from(flag(args, "--path").unwrap_or_else(|| ".".into()));
     let config_path = flag(args, "--config")
         .map(PathBuf::from)
         .unwrap_or_else(|| repo_root.join("lint.toml"));
     let json = args.iter().any(|a| a == "--json");
+    // `--require no_panics=0,no_panics_transitive=0` gates on *total*
+    // per-rule counts (baselined included), like `scrape --require`.
+    let mut require: Vec<(String, usize)> = Vec::new();
+    if let Some(value) = flag(args, "--require") {
+        for part in value.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (rule, max) = part
+                .split_once('=')
+                .ok_or_else(|| format!("--require expects <rule>=<max>, got `{part}`"))?;
+            let rule = rule.trim();
+            if !sciml_analyze::RULE_NAMES.contains(&rule) {
+                return Err(format!("--require: unknown rule `{rule}`"));
+            }
+            let max: usize = max
+                .trim()
+                .parse()
+                .map_err(|_| format!("--require: `{part}` needs an integer bound"))?;
+            require.push((rule.to_string(), max));
+        }
+    }
 
     let cfg = sciml_analyze::Config::load(&config_path).map_err(|e| e.to_string())?;
     let crates_dir = repo_root.join("crates");
-    let scan_root = if crates_dir.is_dir() {
-        crates_dir
+    let scan_roots: Vec<PathBuf> = if crates_dir.is_dir() {
+        let shims_dir = repo_root.join("shims");
+        if shims_dir.is_dir() {
+            vec![crates_dir, shims_dir]
+        } else {
+            vec![crates_dir]
+        }
     } else {
-        repo_root.clone()
+        vec![repo_root.clone()]
     };
-    let outcome = sciml_analyze::lint_tree(&scan_root, &repo_root, &cfg)
-        .map_err(|e| format!("scanning {}: {e}", scan_root.display()))?;
+    let outcome = sciml_analyze::lint_tree(&scan_roots, &repo_root, &cfg)
+        .map_err(|e| format!("scanning {}: {e}", repo_root.display()))?;
 
     let report = sciml_analyze::Report::new(&outcome);
     if json {
@@ -1340,7 +1365,24 @@ fn lint(args: &[String]) -> Result<(), String> {
             print!("\n{failures}");
         }
     }
-    if outcome.is_green() {
+    let mut require_failures = Vec::new();
+    for (rule, max) in &require {
+        let total: usize = outcome
+            .counts
+            .iter()
+            .filter(|((_, r), _)| r == rule)
+            .map(|(_, &c)| c)
+            .sum();
+        if total > *max {
+            require_failures.push(format!(
+                "--require {rule}={max} failed: {total} total violation(s)"
+            ));
+        }
+    }
+    for f in &require_failures {
+        eprintln!("sciml lint: {f}");
+    }
+    if outcome.is_green() && require_failures.is_empty() {
         Ok(())
     } else {
         Err("lint violations found (see above; `sciml-lint --update-baseline` regenerates the grandfather baseline)".into())

@@ -92,6 +92,7 @@ fn decode_impl(
             };
             F16::from_f32(y)
         };
+        // lint:allow(no_alloc_hot_loop): per-chunk unique-value LUT (§V-B); bounded by table size, amortized over millions of voxels
         let mut lut: Vec<[F16; N_REDSHIFTS]> = vec![[F16::ZERO; N_REDSHIFTS]; chunk.table.len()];
         let (mut lo, mut hi) = (u16::MAX, u16::MIN);
         for g in &chunk.table {
@@ -108,7 +109,9 @@ fn decode_impl(
             // the key-range check below.
         } else if ((hi - lo) as usize) < DENSE_RANGE_MAX {
             let range = (hi - lo) as usize + 1;
+            // lint:allow(no_alloc_hot_loop): per-chunk dense memo, capped at 2^15 entries
             let mut memo = vec![F16::ZERO; range];
+            // lint:allow(no_alloc_hot_loop): per-chunk dense memo, capped at 2^15 entries
             let mut seen = vec![false; range];
             for (gi, g) in chunk.table.iter().enumerate() {
                 for (z, &c) in g.iter().enumerate() {
@@ -123,6 +126,7 @@ fn decode_impl(
         } else {
             // Wide-range fallback: sort (value, slot) pairs and sweep
             // equal-value runs, applying the op once per run.
+            // lint:allow(no_alloc_hot_loop): wide-range fallback, once per chunk and bounded by table size
             let mut entries: Vec<(u16, u32)> = Vec::with_capacity(chunk.table.len() * N_REDSHIFTS);
             for (gi, g) in chunk.table.iter().enumerate() {
                 for (z, &count) in g.iter().enumerate() {
@@ -188,8 +192,9 @@ fn decode_impl(
     if parallel && enc.chunks.len() > 1 {
         // Parallelize across chunks: each task owns a disjoint column
         // range of all four channels. Split the channel slices by chunk.
-        let mut per_chunk: Vec<Vec<&mut [F16]>> =
-            (0..enc.chunks.len()).map(|_| Vec::new()).collect();
+        let mut per_chunk: Vec<Vec<&mut [F16]>> = (0..enc.chunks.len())
+            .map(|_| Vec::new()) // lint:allow(no_alloc_hot_loop): per-decode slice scaffolding for the parallel split
+            .collect();
         for chan in channels.drain(..) {
             let mut rest = chan;
             for (ci, c) in enc.chunks.iter().enumerate() {

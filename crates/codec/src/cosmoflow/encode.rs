@@ -53,7 +53,9 @@ fn encode_chunk(sample: &CosmoSample, start: usize, remaining: usize) -> (CosmoC
     let mut table: Vec<[u16; N_REDSHIFTS]> = first_seen.keys().copied().collect();
     table.sort_unstable();
     for (i, g) in table.iter().enumerate() {
-        *first_seen.get_mut(g).expect("group present") = i as u32;
+        if let Some(slot) = first_seen.get_mut(g) {
+            *slot = i as u32;
+        }
     }
 
     let key_width = if table.len() <= 256 {

@@ -181,24 +181,24 @@ impl EncodedCosmo {
         if take(&mut pos, 4)? != MAGIC {
             return Err(CodecError::Corrupt("bad magic"));
         }
-        if u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) != VERSION {
+        if crate::wire::le_u32(take(&mut pos, 4)?) != VERSION {
             return Err(CodecError::Corrupt("unsupported version"));
         }
-        let grid = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let grid = crate::wire::le_u32(take(&mut pos, 4)?);
         if grid as u64 > 4096 {
             return Err(CodecError::Corrupt("implausible grid"));
         }
         let mut label = [0f32; 4];
         for l in &mut label {
-            *l = f32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+            *l = crate::wire::le_f32(take(&mut pos, 4)?);
         }
-        let n_chunks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let n_chunks = crate::wire::le_u32(take(&mut pos, 4)?) as usize;
         let mut chunks = Vec::with_capacity(n_chunks.min(1 << 20));
         let mut covered = 0u64;
         for _ in 0..n_chunks {
-            let n_voxels = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+            let n_voxels = crate::wire::le_u32(take(&mut pos, 4)?);
             let key_width = KeyWidth::from_code(take(&mut pos, 1)?[0])?;
-            let n_groups = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let n_groups = crate::wire::le_u32(take(&mut pos, 4)?) as usize;
             let max_groups = match key_width {
                 KeyWidth::U8 => 256,
                 KeyWidth::U16 => 65536,

@@ -122,7 +122,7 @@ pub fn decode_line_into(
             if payload.len() != 4 {
                 return Err(CodecError::Corrupt("constant line payload size"));
             }
-            let v = f32::from_le_bytes(payload.try_into().unwrap());
+            let v = crate::wire::le_f32(payload);
             let h = F16::from_f32(op.apply(v));
             dst.fill(h);
             Ok(())
@@ -133,7 +133,7 @@ pub fn decode_line_into(
             }
             with_scratch(width, |vals| {
                 for (v, chunk) in vals.iter_mut().zip(payload.chunks_exact(4)) {
-                    *v = f32::from_le_bytes(chunk.try_into().unwrap());
+                    *v = crate::wire::le_f32(chunk);
                 }
                 finish_into(vals, op, dst);
             });
@@ -154,8 +154,8 @@ fn decode_delta_line(
     if payload.len() < 4 {
         return Err(CodecError::Corrupt("delta line header"));
     }
-    let n_segments = u16::from_le_bytes(payload[0..2].try_into().unwrap()) as usize;
-    let n_literals = u16::from_le_bytes(payload[2..4].try_into().unwrap()) as usize;
+    let n_segments = crate::wire::le_u16(&payload[0..2]) as usize;
+    let n_literals = crate::wire::le_u16(&payload[2..4]) as usize;
     let headers_end = 4 + n_segments * 8;
     if payload.len() < headers_end {
         return Err(CodecError::Corrupt("segment headers truncated"));
@@ -168,7 +168,7 @@ fn decode_delta_line(
     let mut total = 0usize;
     for si in 0..n_segments {
         let h = &payload[4 + si * 8..4 + si * 8 + 8];
-        let count = u16::from_le_bytes(h[4..6].try_into().unwrap()) as usize;
+        let count = crate::wire::le_u16(&h[4..6]) as usize;
         if count == 0 {
             return Err(CodecError::Corrupt("empty segment"));
         }
@@ -193,8 +193,8 @@ fn decode_delta_line(
         let mut di = 0usize; // destination cursor
         for si in 0..n_segments {
             let h = &payload[4 + si * 8..4 + si * 8 + 8];
-            let head = f32::from_le_bytes(h[0..4].try_into().unwrap());
-            let count = u16::from_le_bytes(h[4..6].try_into().unwrap()) as usize;
+            let head = crate::wire::le_f32(&h[0..4]);
+            let count = crate::wire::le_u16(&h[4..6]) as usize;
             let base_exp = h[6] as i8;
             // Vector pass: code bytes → f32 deltas. Escapes land as 0.0
             // and are patched from the literal array below.
@@ -211,8 +211,7 @@ fn decode_delta_line(
                     if li >= n_literals {
                         return Err(CodecError::Corrupt("literal index out of range"));
                     }
-                    let l =
-                        f32::from_le_bytes(literal_bytes[li * 4..li * 4 + 4].try_into().unwrap());
+                    let l = crate::wire::le_f32(&literal_bytes[li * 4..li * 4 + 4]);
                     li += 1;
                     l
                 } else {

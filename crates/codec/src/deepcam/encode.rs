@@ -311,9 +311,11 @@ fn try_delta_encode(line: &[f32], cfg: &EncoderConfig) -> Option<DeltaLine> {
 /// the decoder will produce.
 fn quantize(d: f32, prev: f32, x: f32, base_exp: i8, cfg: &EncoderConfig) -> (u8, f32) {
     let code = quantize_code(d, base_exp);
-    match code {
-        Some(c) => {
-            let delta_hat = decode_code(c, base_exp).expect("non-escape code decodes");
+    // `quantize_code` never yields the escape code, so `decode_code`
+    // always succeeds; degrade to a literal escape instead of panicking
+    // if that invariant ever breaks.
+    match code.and_then(|c| decode_code(c, base_exp).map(|d| (c, d))) {
+        Some((c, delta_hat)) => {
             let recon = prev + delta_hat;
             let denom = x.abs().max(cfg.abs_floor);
             if ((recon - x) / denom).abs() > cfg.escape_rel_tol {

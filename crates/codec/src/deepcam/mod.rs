@@ -201,13 +201,13 @@ impl EncodedDeepCam {
         if take(&mut pos, 4)? != MAGIC {
             return Err(CodecError::Corrupt("bad magic"));
         }
-        let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let version = crate::wire::le_u32(take(&mut pos, 4)?);
         if version != VERSION && version != VERSION_PACKED {
             return Err(CodecError::Corrupt("unsupported version"));
         }
-        let width = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
-        let height = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
-        let channels = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let width = crate::wire::le_u32(take(&mut pos, 4)?);
+        let height = crate::wire::le_u32(take(&mut pos, 4)?);
+        let channels = crate::wire::le_u32(take(&mut pos, 4)?);
         let n_lines = (channels as usize)
             .checked_mul(height as usize)
             .ok_or(CodecError::Corrupt("line count overflow"))?;
@@ -217,11 +217,11 @@ impl EncodedDeepCam {
         let mut lines = Vec::with_capacity(n_lines);
         for _ in 0..n_lines {
             let mode = LineMode::from_code(take(&mut pos, 1)?[0])?;
-            let offset = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
-            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+            let offset = crate::wire::le_u32(take(&mut pos, 4)?);
+            let len = crate::wire::le_u32(take(&mut pos, 4)?);
             lines.push(LineMeta { mode, offset, len });
         }
-        let payload_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let payload_len = crate::wire::le_u64(take(&mut pos, 8)?) as usize;
         let section = take(&mut pos, payload_len)?;
         let payload = if version == VERSION_PACKED {
             sciml_pack::unpack(section).map_err(|e| match e {
@@ -231,7 +231,7 @@ impl EncodedDeepCam {
         } else {
             section.to_vec()
         };
-        let mask_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let mask_len = crate::wire::le_u64(take(&mut pos, 8)?) as usize;
         let mask = take(&mut pos, mask_len)?.to_vec();
         for l in &lines {
             let end = (l.offset as usize)

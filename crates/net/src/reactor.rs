@@ -433,6 +433,7 @@ impl EventLoop {
         let mut events: Vec<Event> = Vec::new();
         loop {
             let timeout = self.next_timeout();
+            // lint:allow(no_blocking_in_reactor): the event loop's own poll/park point
             if self.poller.wait(&mut events, Some(timeout)).is_err() {
                 // A broken poller is unrecoverable; abandon ship and
                 // let connection drops signal clients.
@@ -473,6 +474,7 @@ impl EventLoop {
 
     fn accept_ready(&mut self) {
         loop {
+            // lint:allow(no_blocking_in_reactor): listener is nonblocking; WouldBlock exits the loop
             match self.listener.accept() {
                 Ok((stream, _)) => self.admit(stream),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,

@@ -272,10 +272,12 @@ pub(crate) fn decode_chunk(
         return Err(PackError::Corrupt("bin count out of range"));
     }
     let head_count = order.min(n);
+    // lint:allow(no_alloc_hot_loop): per-chunk header parse; heads/freqs are bounded small tables
     let mut heads = Vec::with_capacity(head_count);
     for _ in 0..head_count {
         heads.push(unzigzag(c.u32()? as u64));
     }
+    // lint:allow(no_alloc_hot_loop): per-chunk header parse; heads/freqs are bounded small tables
     let mut freqs = Vec::with_capacity(n_bins);
     for _ in 0..n_bins {
         freqs.push(c.u16()? as u32);

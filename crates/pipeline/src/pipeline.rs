@@ -189,7 +189,9 @@ impl Assembler {
             base,
             data: Mutex::new(Some(tensor)),
             meta: Mutex::new(BuildMeta {
+                // lint:allow(no_alloc_hot_loop): per-batch build metadata, not per-sample
                 labels: vec![None; expected],
+                // lint:allow(no_alloc_hot_loop): per-batch build metadata, not per-sample
                 indices: vec![0; expected],
                 filled: 0,
             }),

@@ -1,27 +1,78 @@
 #!/usr/bin/env bash
 # Tier-1 verification: format, lint, build, test. Run from anywhere;
-# operates on the repository containing this script.
+# operates on the repository containing this script. Prints a per-stage
+# wall-time summary on exit (also after a failure, for the stages that
+# completed).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
+STAGE_NAMES=()
+STAGE_TIMES=()
+current_stage=""
+stage_start=0
+
+stage_end() {
+    if [[ -n "$current_stage" ]]; then
+        STAGE_NAMES+=("$current_stage")
+        STAGE_TIMES+=($((SECONDS - stage_start)))
+        current_stage=""
+    fi
+}
+
+stage() {
+    stage_end
+    current_stage="$1"
+    stage_start=$SECONDS
+    echo "==> $1"
+}
+
+finish() {
+    stage_end
+    rm -rf "${obs_dir:-}" "${store_dir:-}" "${tel_dir:-}"
+    if [[ ${#STAGE_NAMES[@]} -gt 0 ]]; then
+        echo
+        echo "stage wall times:"
+        local i
+        for i in "${!STAGE_NAMES[@]}"; do
+            printf '  %4ds  %s\n' "${STAGE_TIMES[$i]}" "${STAGE_NAMES[$i]}"
+        done
+        printf '  %4ds  total\n' "$SECONDS"
+    fi
+}
+trap 'finish' EXIT
+
+stage "cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo clippy (deny warnings)"
+stage "cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
+stage "cargo build --release"
 cargo build --workspace --release
 
-echo "==> sciml-lint (static analysis: panics / SAFETY / lock hygiene)"
-# Fails on any non-baselined violation AND on stale baseline entries
-# (fixed code whose grandfather budget was not ratcheted down).
+stage "sciml-lint (token rules + call-graph effects + unsafe inventory)"
+# Scans crates/ AND shims/ (the shim layer carries its own waivers).
+# Fails on any non-baselined violation, on stale baseline entries
+# (fixed code whose grandfather budget was not ratcheted down), and on
+# any unsafe site missing from — or edited since — the generated
+# inventory in lint.toml.
 cargo run --release -q -p sciml-analyze --bin sciml-lint -- --path .
 
-echo "==> cargo test"
+stage "lint self-test (planted fixture must FAIL the gate)"
+# The fixture plants a 3-deep transitive panic chain and an unsafe
+# block that its (empty) inventory does not record; a zero exit here
+# means the gate has stopped gating.
+if cargo run --release -q -p sciml-analyze --bin sciml-lint -- \
+    --path crates/analyze/tests/fixtures/planted \
+    --config crates/analyze/tests/fixtures/planted/lint.toml >/dev/null 2>&1; then
+    echo "ERROR: planted lint fixture did not fail the gate" >&2
+    exit 1
+fi
+
+stage "cargo test"
 cargo test --workspace -q
 
-echo "==> lockcheck-test (lock-order inversion detector enabled)"
+stage "lockcheck-test (lock-order inversion detector enabled)"
 # Rebuilds the parking_lot shim with the dynamic ABBA detector compiled
 # in (panic-on-inversion under test) and re-runs the lock-heavy crates.
 # A separate target dir keeps the instrumented artifacts from evicting
@@ -29,26 +80,24 @@ echo "==> lockcheck-test (lock-order inversion detector enabled)"
 RUSTFLAGS="--cfg lockcheck" CARGO_TARGET_DIR=target/lockcheck \
     cargo test -q -p parking_lot -p sciml-obs -p sciml-serve -p sciml-pipeline -p sciml-store
 
-echo "==> cargo doc (deny warnings)"
+stage "cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "==> observability smoke"
+stage "observability smoke"
 obs_dir="$(mktemp -d)"
-trap 'rm -rf "$obs_dir"' EXIT
 cargo run --release --example observability -- \
     --trace-out "$obs_dir/trace.json" --metrics-out "$obs_dir/metrics.jsonl"
 # The emitted trace and metrics must parse as JSON / JSONL.
 cargo run --release -p sciml-bench --bin sciml -- validate-json \
     "$obs_dir/trace.json" "$obs_dir/metrics.jsonl"
 
-echo "==> pooled-pipeline smoke (zero-copy vs per-sample-alloc checksums)"
+stage "pooled-pipeline smoke (zero-copy vs per-sample-alloc checksums)"
 # Pooling on vs off must produce byte-identical batches for both
 # workloads; the example exits nonzero on any divergence.
 cargo run --release --example zero_copy
 
-echo "==> store pack -> stage -> fetch smoke"
+stage "store pack -> stage -> fetch smoke"
 store_dir="$(mktemp -d)"
-trap 'rm -rf "$obs_dir" "$store_dir"' EXIT
 sciml() { cargo run --release -q -p sciml-bench --bin sciml -- "$@"; }
 # Pack a tiny synthetic dataset, verify it, serve it over loopback,
 # stage it through the server, and check the staged copy is itself a
@@ -83,9 +132,8 @@ for f in "$store_dir"/data/sample_*.bin; do
 done
 sciml verify "$store_dir/fetched/sample_000000.bin"
 
-echo "==> telemetry plane smoke (traced fetch, scrape, merged trace, attribution)"
+stage "telemetry plane smoke (traced fetch, scrape, merged trace, attribution)"
 tel_dir="$(mktemp -d)"
-trap 'rm -rf "$obs_dir" "$store_dir" "$tel_dir"' EXIT
 # Serve the packed store with server-side tracing and a Prometheus
 # scrape endpoint alongside the wire port.
 sciml serve --store "$store_dir/packed" --addr 127.0.0.1:7981 \
@@ -115,7 +163,7 @@ sciml trace-merge --out "$tel_dir/merged_trace.json" \
 sciml validate-json "$tel_dir/merged_trace.json" "$tel_dir/attribution.json" \
     "$tel_dir/client_trace.json" "$tel_dir/server_trace.json"
 
-echo "==> reactor soak (512 concurrent connections + connection-lifecycle scrape)"
+stage "reactor soak (512 concurrent connections + connection-lifecycle scrape)"
 # Raise the fd ceiling where permitted: 512 client sockets + 512 server
 # sockets + headroom live in this stage.
 ulimit -n 8192 2>/dev/null || true
@@ -140,12 +188,12 @@ wait "$serve_pid" || true
 sciml cluster-plan --nodes 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
     --n 256 --per-shard 32 --replication 2
 
-echo "==> compression shootout bench (raw vs gzip vs pack)"
+stage "compression shootout bench (raw vs gzip vs pack)"
 # Emits results/BENCH_compress_ratio.json: per-workload compression
 # ratio and decode throughput for each payload encoding.
 cargo bench -q -p sciml-bench --bench bench_compress
 
-echo "==> simd-matrix (codec + half suites at every supported tier)"
+stage "simd-matrix (codec + half suites at every supported tier)"
 # The dispatcher honors SCIML_SIMD, so the same test binaries prove
 # bit-exactness of the scalar, SSE4.2, and (where present) AVX2/NEON
 # kernels. `cpu-features --list` names only the tiers this host can
@@ -156,9 +204,10 @@ for tier in $(sciml cpu-features --list); do
 done
 sciml cpu-features
 
-echo "==> decode thread-scaling bench (per kernel x ISA)"
+stage "decode thread-scaling bench (per kernel x ISA)"
 # Emits results/BENCH_decode_scaling.json: per-thread decode throughput,
 # scaling efficiency, and each vector tier's speedup over scalar.
 cargo bench -q -p sciml-bench --bench bench_decode_scaling
 
+stage_end
 echo "==> CI OK"

@@ -44,6 +44,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::panic::Location;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+// lint:allow(no_std_sync): the lock-order detector's own state must not recurse into lockcheck
 use std::sync::{Mutex, OnceLock};
 
 /// What to do when an ordering cycle is detected.
@@ -243,6 +244,7 @@ fn lock_global() -> std::sync::MutexGuard<'static, Global> {
 
 /// Non-poisoning lock on the detector's own std mutexes (a panicked
 /// holder must not wedge the detector — that would mask the report).
+// lint:allow(no_std_sync): detector-internal mutex; poison-tolerant by design
 fn lock_std<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
